@@ -1,0 +1,143 @@
+//! Iterative radix-2 complex FFT.
+//!
+//! Small, allocation-light, and exactly what a mel front-end needs. Sizes
+//! must be powers of two; the mel op pads its frames accordingly.
+
+/// A complex number (re, im).
+pub type Complex = (f64, f64);
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics when `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2usize;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let (w_re, w_im) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (a_re, a_im) = data[start + k];
+                let (b_re, b_im) = data[start + k + len / 2];
+                let t_re = b_re * cur_re - b_im * cur_im;
+                let t_im = b_re * cur_im + b_im * cur_re;
+                data[start + k] = (a_re + t_re, a_im + t_im);
+                data[start + k + len / 2] = (a_re - t_re, a_im - t_im);
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Power spectrum (|X_k|²) of a real frame, returning `n/2 + 1` bins.
+///
+/// # Panics
+///
+/// Panics when `frame.len()` is not a power of two.
+pub fn power_spectrum(frame: &[f64]) -> Vec<f64> {
+    let mut data: Vec<Complex> = frame.iter().map(|&v| (v, 0.0)).collect();
+    fft_in_place(&mut data);
+    data[..frame.len() / 2 + 1]
+        .iter()
+        .map(|&(re, im)| re * re + im * im)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive DFT for cross-checking.
+    fn dft(data: &[Complex]) -> Vec<Complex> {
+        let n = data.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0, 0.0);
+                for (j, &(re, im)) in data.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    let (c, s) = (ang.cos(), ang.sin());
+                    acc.0 += re * c - im * s;
+                    acc.1 += re * s + im * c;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let mut data: Vec<Complex> = (0..64)
+            .map(|i| (((i * 37 + 11) % 17) as f64 - 8.0, ((i * 13) % 7) as f64 - 3.0))
+            .collect();
+        let expected = dft(&data);
+        fft_in_place(&mut data);
+        for (a, b) in data.iter().zip(expected.iter()) {
+            assert!((a.0 - b.0).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!((a.1 - b.1).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 256;
+        let k0 = 19usize;
+        let frame: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = power_spectrum(&frame);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+        let total: f64 = spec.iter().sum();
+        assert!(spec[k0] / total > 0.95, "energy leaked: {}", spec[k0] / total);
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let frame: Vec<f64> = (0..128).map(|i| ((i as f64) * 0.37).sin() * 3.0).collect();
+        let time_energy: f64 = frame.iter().map(|v| v * v).sum();
+        let mut data: Vec<Complex> = frame.iter().map(|&v| (v, 0.0)).collect();
+        fft_in_place(&mut data);
+        let freq_energy: f64 =
+            data.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut d = vec![(0.0, 0.0); 100];
+        fft_in_place(&mut d);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let mut d = vec![(5.0, -2.0)];
+        fft_in_place(&mut d);
+        assert_eq!(d, vec![(5.0, -2.0)]);
+    }
+}

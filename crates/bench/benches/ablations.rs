@@ -1,0 +1,65 @@
+//! Ablations of SOPHON's design choices (DESIGN.md §5):
+//!
+//! * sample ordering: efficiency (the paper) vs raw-size vs pseudo-random;
+//! * the bottleneck-aware stopping rule vs offloading everything beneficial.
+//!
+//! Prints the comparison at two storage-CPU budgets, then times the engine.
+
+use bench::{epoch_with_ordering, openimages, scenario};
+use cluster::{simulate_epoch, EpochSpec, GpuModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sophon::engine::{DecisionEngine, PlanningContext};
+use sophon::OffloadPlan;
+
+fn offload_all_beneficial_epoch(ds: &datasets::DatasetSpec, cores: usize) -> f64 {
+    let s = scenario(ds.clone(), cores, GpuModel::AlexNet);
+    let profiles = s.profiles();
+    let mut plan = OffloadPlan::none(profiles.len());
+    for (i, p) in profiles.iter().enumerate() {
+        if p.efficiency() > 0.0 {
+            plan.set_split(i, p.best_split());
+        }
+    }
+    let works = plan.to_sample_works(&profiles).unwrap();
+    simulate_epoch(&s.config, &EpochSpec::new(works, 256, GpuModel::AlexNet))
+        .unwrap()
+        .epoch_seconds
+}
+
+fn bench(c: &mut Criterion) {
+    let ds = openimages(8_192);
+    println!("\nAblation: epoch seconds by candidate ordering and stopping rule");
+    println!("{:<28} {:>10} {:>10}", "variant", "1 core", "4 cores");
+    type Variant<'a> = (&'a str, Box<dyn Fn(usize) -> f64 + 'a>);
+    let rows: Vec<Variant<'_>> = vec![
+        ("efficiency order (paper)", Box::new(|k| epoch_with_ordering(&ds, k, |p| p.efficiency()))),
+        ("raw-size order", Box::new(|k| epoch_with_ordering(&ds, k, |p| p.raw_bytes as f64))),
+        ("pseudo-random order", Box::new(|k| {
+            epoch_with_ordering(&ds, k, |p| {
+                (p.sample_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 11) as f64
+            })
+        })),
+        ("no stopping rule", Box::new(|k| offload_all_beneficial_epoch(&ds, k))),
+    ];
+    for (name, f) in &rows {
+        println!("{:<28} {:>9.1}s {:>9.1}s", name, f(1), f(4));
+    }
+
+    let s = scenario(openimages(8_192), 4, GpuModel::AlexNet);
+    let profiles = s.profiles();
+    c.bench_function("ablations/engine_plan_8192", |b| {
+        b.iter(|| {
+            let ctx = PlanningContext::new(
+                &profiles,
+                &s.pipeline,
+                &s.config,
+                s.gpu,
+                s.batch_size,
+            );
+            std::hint::black_box(DecisionEngine::new().plan(&ctx))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

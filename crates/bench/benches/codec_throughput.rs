@@ -1,0 +1,57 @@
+//! Times the SJPG codec — both entropy backends and chroma modes — and
+//! prints a rate–distortion ladder for context.
+
+use codec::{decode, encode, encode_with, EncodeOptions, EntropyMode, Quality, Subsampling};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use imagery::synth::SynthSpec;
+
+fn bench(c: &mut Criterion) {
+    // Rate ladder print (once).
+    let img = SynthSpec::new(640, 480).complexity(0.5).render(7);
+    println!("\nrate-distortion ladder (640x480, complexity 0.5):");
+    println!("{:>8} {:>12} {:>10}", "quality", "bytes", "PSNR (dB)");
+    for p in codec::rate::rate_curve(
+        &img,
+        &[30, 50, 70, 85, 95],
+        Subsampling::S444,
+        EntropyMode::RleVarint,
+    ) {
+        println!("{:>8} {:>12} {:>10.2}", p.quality, p.bytes, p.psnr_db);
+    }
+    let huff = codec::rate::rate_curve(&img, &[85], Subsampling::S444, EntropyMode::Huffman)[0];
+    let sub = codec::rate::rate_curve(&img, &[85], Subsampling::S420, EntropyMode::Huffman)[0];
+    println!("q85 + huffman: {} bytes; q85 + huffman + 4:2:0: {} bytes\n", huff.bytes, sub.bytes);
+
+    let mut group = c.benchmark_group("codec");
+    for &complexity in &[0.1f64, 0.5, 0.9] {
+        let img = SynthSpec::new(640, 480).complexity(complexity).render(7);
+        let bytes = encode(&img, Quality::default());
+        group.throughput(Throughput::Bytes(img.raw_len() as u64));
+        group.bench_function(format!("encode/640x480/c{complexity:.1}"), |b| {
+            b.iter(|| std::hint::black_box(encode(&img, Quality::default())))
+        });
+        group.bench_function(format!("decode/640x480/c{complexity:.1}"), |b| {
+            b.iter(|| std::hint::black_box(decode(&bytes).unwrap()))
+        });
+    }
+    // Mode comparison at one content level.
+    let img = SynthSpec::new(640, 480).complexity(0.5).render(7);
+    let huffman_opts = EncodeOptions::new(Quality::default()).entropy(EntropyMode::Huffman);
+    let full_opts = EncodeOptions::new(Quality::default())
+        .entropy(EntropyMode::Huffman)
+        .subsampling(Subsampling::S420);
+    group.bench_function("encode/640x480/huffman", |b| {
+        b.iter(|| std::hint::black_box(encode_with(&img, &huffman_opts)))
+    });
+    group.bench_function("encode/640x480/huffman_420", |b| {
+        b.iter(|| std::hint::black_box(encode_with(&img, &full_opts)))
+    });
+    let huff_bytes = encode_with(&img, &full_opts);
+    group.bench_function("decode/640x480/huffman_420", |b| {
+        b.iter(|| std::hint::black_box(decode(&huff_bytes).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

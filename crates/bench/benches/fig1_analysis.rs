@@ -1,0 +1,28 @@
+//! Regenerates Figure 1 (a–d): pipeline size analysis, benefit fractions,
+//! efficiency distribution, and GPU utilization; times the corpus analysis.
+
+use bench::{figure_1a, figure_1b, figure_1c, figure_1d, openimages};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::stats::CorpusStats;
+use pipeline::{CostModel, PipelineSpec};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", figure_1a());
+    println!("{}", figure_1b(20_480));
+    println!("{}", figure_1c(20_480));
+    println!("{}", figure_1d(20_480));
+
+    let ds = openimages(8_192);
+    let spec = PipelineSpec::standard_train();
+    let model = CostModel::realistic();
+    c.bench_function("fig1/corpus_stats_8192", |b| {
+        b.iter(|| std::hint::black_box(CorpusStats::compute(&ds, &spec, &model)))
+    });
+    c.bench_function("fig1/analytic_profile", |b| {
+        let rec = ds.record(0);
+        b.iter(|| std::hint::black_box(rec.analytic_profile(&spec, &model)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

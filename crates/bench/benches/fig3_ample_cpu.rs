@@ -1,0 +1,28 @@
+//! Regenerates Figure 3 (training time & traffic per epoch, all policies,
+//! both datasets, 48 storage cores) and times the full per-policy runs.
+
+use bench::{figure_3, imagenet, openimages, run_policy_epoch};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sophon::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", figure_3(bench::PAPER_SAMPLES));
+
+    let oi = openimages(8_192);
+    let inet = imagenet(8_192);
+    let mut group = c.benchmark_group("fig3/epoch_run_8192");
+    group.sample_size(10);
+    group.bench_function("openimages/no-off", |b| {
+        b.iter(|| std::hint::black_box(run_policy_epoch(&oi, &NoOffPolicy, 48)))
+    });
+    group.bench_function("openimages/sophon", |b| {
+        b.iter(|| std::hint::black_box(run_policy_epoch(&oi, &SophonPolicy::default(), 48)))
+    });
+    group.bench_function("imagenet/sophon", |b| {
+        b.iter(|| std::hint::black_box(run_policy_epoch(&inet, &SophonPolicy::default(), 48)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

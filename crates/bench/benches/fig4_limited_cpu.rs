@@ -1,0 +1,23 @@
+//! Regenerates Figure 4 (epoch time & traffic vs storage-node cores) and
+//! times SOPHON planning under tight CPU budgets.
+
+use bench::{figure_4, openimages, run_policy_epoch};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sophon::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", figure_4(bench::PAPER_SAMPLES));
+
+    let ds = openimages(8_192);
+    let mut group = c.benchmark_group("fig4/sophon_epoch_8192");
+    group.sample_size(10);
+    for cores in [1usize, 2, 5] {
+        group.bench_function(format!("{cores}_cores"), |b| {
+            b.iter(|| std::hint::black_box(run_policy_epoch(&ds, &SophonPolicy::default(), cores)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Times each preprocessing operation over realistic inputs.
+
+use codec::{encode, Quality};
+use criterion::{criterion_group, criterion_main, Criterion};
+use imagery::synth::SynthSpec;
+use pipeline::{AugmentRng, OpKind, SampleKey, StageData};
+
+fn bench(c: &mut Criterion) {
+    let img = SynthSpec::new(800, 600).complexity(0.5).render(3);
+    let encoded = StageData::Encoded(encode(&img, Quality::default()).into());
+    let decoded = StageData::Image(img.clone());
+    let cropped = {
+        let mut rng = AugmentRng::for_op(SampleKey::new(0, 0, 0), 1);
+        OpKind::RandomResizedCrop { size: 224 }.apply(decoded.clone(), &mut rng).unwrap()
+    };
+    let tensor = {
+        let mut rng = AugmentRng::for_op(SampleKey::new(0, 0, 0), 3);
+        OpKind::ToTensor.apply(cropped.clone(), &mut rng).unwrap()
+    };
+
+    let mut group = c.benchmark_group("pipeline_ops");
+    let cases: Vec<(OpKind, StageData)> = vec![
+        (OpKind::Decode, encoded),
+        (OpKind::RandomResizedCrop { size: 224 }, decoded),
+        (OpKind::RandomHorizontalFlip, cropped.clone()),
+        (OpKind::ToTensor, cropped),
+        (OpKind::Normalize, tensor),
+    ];
+    for (op, input) in cases {
+        group.bench_function(op.name(), |b| {
+            b.iter(|| {
+                let mut rng = AugmentRng::for_op(SampleKey::new(0, 0, 0), 0);
+                std::hint::black_box(op.apply(input.clone(), &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Table 1 (capability matrix) and times policy planning for
+//! each baseline.
+
+use bench::{openimages, scenario, table1};
+use cluster::GpuModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sophon::engine::PlanningContext;
+use sophon::policy::standard_policies;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", table1());
+
+    let s = scenario(openimages(4_096), 48, GpuModel::AlexNet);
+    let profiles = s.profiles();
+    let mut group = c.benchmark_group("table1/plan");
+    for policy in standard_policies() {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let ctx = PlanningContext::new(
+                    &profiles,
+                    &s.pipeline,
+                    &s.config,
+                    s.gpu,
+                    s.batch_size,
+                );
+                std::hint::black_box(policy.plan(&ctx).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,471 @@
+//! Shared harness regenerating every table and figure of the SOPHON paper.
+//!
+//! Each `figure_*` function computes one artifact's data and renders it as a
+//! plain-text table; the `figures` binary prints them and the Criterion
+//! benches wrap the underlying computations. Corpus sizes default to the
+//! paper's scale (40 960 samples ≈ 12 GB for OpenImages) — everything is
+//! virtual-time, so full-scale runs take seconds.
+
+use std::fmt::Write as _;
+
+use cluster::{simulate_epoch, ClusterConfig, EpochSpec, GpuModel};
+use datasets::stats::CorpusStats;
+use datasets::DatasetSpec;
+use pipeline::{CostModel, PipelineSpec};
+use sophon::policy::standard_policies;
+use sophon::prelude::*;
+
+/// Paper-scale corpus length ("each subset comprises over 40,000 images").
+pub const PAPER_SAMPLES: u64 = 40_960;
+/// Corpus seed shared by all figures.
+pub const SEED: u64 = 2024;
+
+/// The OpenImages-like evaluation corpus at a given scale.
+pub fn openimages(len: u64) -> DatasetSpec {
+    DatasetSpec::openimages_like(len, SEED)
+}
+
+/// The ImageNet-like evaluation corpus at a given scale.
+pub fn imagenet(len: u64) -> DatasetSpec {
+    DatasetSpec::imagenet_like(len, SEED)
+}
+
+/// Builds the paper's testbed scenario.
+pub fn scenario(ds: DatasetSpec, storage_cores: usize, gpu: GpuModel) -> Scenario {
+    Scenario::new(ds, ClusterConfig::paper_testbed(storage_cores), gpu, 256)
+}
+
+/// Table 1 — capability matrix of offloading systems.
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: Existing Offloading vs SOPHON (capability matrix)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>20} {:>15} {:>14}",
+        "policy", "offloads", "operation-selective", "data-selective", "near-storage"
+    );
+    let mark = |b: bool| if b { "yes" } else { "-" };
+    for p in standard_policies() {
+        let c = p.capabilities();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>20} {:>15} {:>14}",
+            p.name(),
+            mark(c.offloads_preprocessing),
+            mark(c.operation_selective),
+            mark(c.data_selective),
+            mark(c.near_storage)
+        );
+    }
+    out
+}
+
+/// Figure 1a — per-stage sizes of a benefiting sample ("Sample A") and a
+/// raw-minimal sample ("Sample B").
+pub fn figure_1a() -> String {
+    let ds = openimages(4_096);
+    let spec = PipelineSpec::standard_train();
+    let model = CostModel::realistic();
+    // Sample A: largest encoded sample (clearly benefits). Sample B: a
+    // sample smaller than the post-crop raster (raw is minimal).
+    let records: Vec<_> = ds.records().collect();
+    let a = records
+        .iter()
+        .max_by_key(|r| r.encoded_bytes)
+        .expect("non-empty corpus");
+    let b = records
+        .iter()
+        .filter(|r| r.encoded_bytes < 100_000)
+        .max_by_key(|r| r.encoded_bytes)
+        .expect("corpus has small samples");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1a: sample size through the preprocessing pipeline (bytes)");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12}",
+        "stage",
+        format!("sample A #{}", a.id),
+        format!("sample B #{}", b.id)
+    );
+    let pa = a.analytic_profile(&spec, &model);
+    let pb = b.analytic_profile(&spec, &model);
+    let stage_names = ["raw (encoded)", "decode", "random_resized_crop", "random_horizontal_flip", "to_tensor", "normalize"];
+    for (stage, name) in stage_names.iter().enumerate() {
+        let _ = writeln!(out, "{:<24} {:>12} {:>12}", name, pa.size_at(stage), pb.size_at(stage));
+    }
+    let _ = writeln!(
+        out,
+        "min stage: sample A -> {} ({} B), sample B -> {} ({} B)",
+        stage_names[pa.min_stage().0],
+        pa.min_stage().1,
+        stage_names[pb.min_stage().0],
+        pb.min_stage().1
+    );
+    out
+}
+
+/// Figure 1b — fraction of each corpus whose minimum size falls at each
+/// stage (OpenImages ≈ 76 % benefit, ImageNet ≈ 26 %).
+pub fn figure_1b(len: u64) -> String {
+    let spec = PipelineSpec::standard_train();
+    let model = CostModel::realistic();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1b: where each sample's minimum size occurs");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>12} {:>18} {:>14}",
+        "dataset", "samples", "raw minimal", "post-crop minimal", "benefit frac"
+    );
+    for ds in [openimages(len), imagenet(len)] {
+        let stats = CorpusStats::compute(&ds, &spec, &model);
+        let post_crop: u64 = stats.min_stage_counts[1..].iter().sum();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10} {:>12} {:>18} {:>13.1}%",
+            ds.name,
+            stats.len,
+            stats.min_stage_counts[0],
+            post_crop,
+            stats.benefit_fraction() * 100.0
+        );
+    }
+    out
+}
+
+/// Figure 1c — distribution of offloading efficiency (bytes saved per CPU
+/// second) across the OpenImages-like corpus.
+pub fn figure_1c(len: u64) -> String {
+    let spec = PipelineSpec::standard_train();
+    let model = CostModel::realistic();
+    let stats = CorpusStats::compute(&openimages(len), &spec, &model);
+    let zero = stats.efficiencies.iter().filter(|&&e| e == 0.0).count();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1c: offloading efficiency distribution (OpenImages-like)");
+    let _ = writeln!(
+        out,
+        "zero-efficiency samples: {} / {} ({:.1}%)",
+        zero,
+        stats.len,
+        zero as f64 * 100.0 / stats.len as f64
+    );
+    for q in [0.25, 0.5, 0.75, 0.9, 0.99] {
+        let _ = writeln!(
+            out,
+            "p{:<4} {:>12.1} KB saved per CPU-second",
+            (q * 100.0) as u32,
+            stats.efficiency_percentile(q) / 1e3
+        );
+    }
+    out
+}
+
+/// Figure 1d — GPU utilization of three models training behind the 500 Mbps
+/// link with no offloading.
+pub fn figure_1d(len: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1d: GPU utilization under the 500 Mbps link (No-Off)");
+    let _ = writeln!(out, "{:<10} {:>10} {:>12}", "model", "GPU util", "idle time");
+    for gpu in [GpuModel::ResNet50, GpuModel::ResNet18, GpuModel::AlexNet] {
+        let s = scenario(imagenet(len), 48, gpu);
+        let report = s.run(&NoOffPolicy).expect("no-off always simulates");
+        let util = report.epoch.gpu_utilization();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9.1}% {:>11.1}%",
+            gpu.name(),
+            util * 100.0,
+            (1.0 - util) * 100.0
+        );
+    }
+    out
+}
+
+/// Figure 3 — per-epoch training time and data traffic for every policy on
+/// both datasets, with 48 storage cores.
+pub fn figure_3(len: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 3: training time & traffic per epoch, 48 storage cores");
+    for ds in [openimages(len), imagenet(len)] {
+        let name = ds.name.clone();
+        let s = scenario(ds, 48, GpuModel::AlexNet);
+        let reports = s.run_all().expect("all policies simulate at 48 cores");
+        let base_traffic = reports[0].epoch.traffic_bytes as f64;
+        let base_time = reports[0].epoch.epoch_seconds;
+        let _ = writeln!(out, "\n[{name}]");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>11} {:>13} {:>13} {:>12}",
+            "policy", "epoch (s)", "vs no-off", "traffic (GB)", "vs no-off"
+        );
+        for r in &reports {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>11.1} {:>12.2}x {:>13.2} {:>11.2}x",
+                r.policy,
+                r.epoch.epoch_seconds,
+                base_time / r.epoch.epoch_seconds,
+                r.epoch.traffic_bytes as f64 / 1e9,
+                base_traffic / r.epoch.traffic_bytes as f64
+            );
+        }
+    }
+    out
+}
+
+/// Figure 4 — training time and traffic vs storage-node preprocessing
+/// cores, OpenImages-like corpus.
+pub fn figure_4(len: u64) -> String {
+    let ds = openimages(len);
+    let policies = standard_policies();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4: epoch time (s) vs storage-node cores (OpenImages-like)");
+    let _ = write!(out, "{:<7}", "cores");
+    for p in &policies {
+        let _ = write!(out, " {:>11}", p.name());
+    }
+    let _ = writeln!(out);
+    for cores in [0usize, 1, 2, 3, 4, 5, 8] {
+        let s = scenario(ds.clone(), cores, GpuModel::AlexNet);
+        let profiles = s.profiles();
+        let _ = write!(out, "{cores:<7}");
+        for p in &policies {
+            match s.run_with_profiles(p.as_ref(), &profiles) {
+                Ok(r) => {
+                    let _ = write!(out, " {:>10.1}s", r.epoch.epoch_seconds);
+                }
+                Err(_) => {
+                    let _ = write!(out, " {:>11}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    // Traffic panel.
+    let _ = writeln!(out, "\ntraffic per epoch (GB):");
+    let _ = write!(out, "{:<7}", "cores");
+    for p in &policies {
+        let _ = write!(out, " {:>11}", p.name());
+    }
+    let _ = writeln!(out);
+    for cores in [1usize, 2, 4, 8] {
+        let s = scenario(ds.clone(), cores, GpuModel::AlexNet);
+        let profiles = s.profiles();
+        let _ = write!(out, "{cores:<7}");
+        for p in &policies {
+            match s.run_with_profiles(p.as_ref(), &profiles) {
+                Ok(r) => {
+                    let _ = write!(out, " {:>10.2}G", r.epoch.traffic_bytes as f64 / 1e9);
+                }
+                Err(_) => {
+                    let _ = write!(out, " {:>11}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Discussion-section experiment: how SOPHON's advantage varies with link
+/// bandwidth, including the crossover where the workload stops being
+/// I/O-bound and SOPHON (correctly) stops offloading.
+pub fn discussion_bandwidth_sweep(len: u64) -> String {
+    use netsim::Bandwidth;
+    let ds = openimages(len);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Discussion: SOPHON vs No-Off across link bandwidths (OpenImages-like, AlexNet)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>9} {:>12} {:>11}",
+        "bandwidth", "no-off (s)", "sophon (s)", "speedup", "offloaded", "class"
+    );
+    for mbps in [100.0, 250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 16_000.0] {
+        let config =
+            ClusterConfig::paper_testbed(48).with_bandwidth(Bandwidth::from_mbps(mbps));
+        let s = Scenario::new(ds.clone(), config, GpuModel::AlexNet, 256);
+        let profiles = s.profiles();
+        let no_off = s
+            .run_with_profiles(&NoOffPolicy, &profiles)
+            .expect("no-off simulates");
+        let sophon = s
+            .run_with_profiles(&SophonPolicy::default(), &profiles)
+            .expect("sophon simulates");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12.1} {:>12.1} {:>8.2}x {:>12} {:>11?}",
+            format!("{} Mbps", mbps),
+            no_off.epoch.epoch_seconds,
+            sophon.epoch.epoch_seconds,
+            no_off.epoch.epoch_seconds / sophon.epoch.epoch_seconds,
+            sophon.summary.offloaded_samples,
+            sophon.class
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nSOPHON's gain grows as the link tightens; on fast links the stage-1 gate"
+    );
+    let _ = writeln!(out, "classifies the job GPU-bound and SOPHON degrades to No-Off.");
+    out
+}
+
+/// Discussion-section experiment: multi-GPU data-parallel training behind
+/// the 500 Mbps link. Adding GPUs without fixing the link buys nothing;
+/// SOPHON restores part of the scaling.
+pub fn discussion_gpus(len: u64) -> String {
+    let ds = imagenet(len);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Discussion: multi-GPU scaling behind 500 Mbps (ImageNet-like, ResNet50)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>12} {:>12} {:>14} {:>14}",
+        "GPUs", "no-off (s)", "sophon (s)", "no-off util", "sophon util"
+    );
+    for gpus in [1usize, 2, 4, 8] {
+        let config = ClusterConfig::paper_testbed(48).with_gpus(gpus);
+        let s = Scenario::new(ds.clone(), config, GpuModel::ResNet50, 256);
+        let profiles = s.profiles();
+        let no_off = s.run_with_profiles(&NoOffPolicy, &profiles).expect("no-off simulates");
+        let sophon = s
+            .run_with_profiles(&SophonPolicy::default(), &profiles)
+            .expect("sophon simulates");
+        let _ = writeln!(
+            out,
+            "{:<6} {:>12.1} {:>12.1} {:>13.1}% {:>13.1}%",
+            gpus,
+            no_off.epoch.epoch_seconds,
+            sophon.epoch.epoch_seconds,
+            no_off.epoch.gpu_utilization() * 100.0,
+            sophon.epoch.gpu_utilization() * 100.0
+        );
+    }
+    out
+}
+
+/// Amortization experiment: total training time over `epochs` epochs,
+/// charging SOPHON its un-offloaded profiling epoch.
+pub fn training_amortization(len: u64, epochs: u64) -> String {
+    let ds = openimages(len);
+    let s = scenario(ds, 48, GpuModel::AlexNet);
+    let mut out = String::new();
+    let _ = writeln!(out, "Training-run amortization over {epochs} epochs (OpenImages-like)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>14} {:>14} {:>18}",
+        "policy", "epoch 0 (s)", "steady (s)", "total (s)", "profiling overhead"
+    );
+    for p in standard_policies() {
+        match s.run_training(p.as_ref(), epochs) {
+            Ok(r) => {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>14.1} {:>14.1} {:>14.1} {:>17.2}%",
+                    r.policy,
+                    r.stats.first_epoch.epoch_seconds,
+                    r.stats.steady_epoch.epoch_seconds,
+                    r.stats.total_seconds,
+                    r.profiling_overhead() * 100.0
+                );
+            }
+            Err(_) => {
+                let _ = writeln!(out, "{:<12} {:>14}", p.name(), "-");
+            }
+        }
+    }
+    out
+}
+
+/// Simulates one epoch for `(dataset, policy)` — the unit the Criterion
+/// benches time.
+pub fn run_policy_epoch(ds: &DatasetSpec, policy: &dyn Policy, storage_cores: usize) -> f64 {
+    let s = scenario(ds.clone(), storage_cores, GpuModel::AlexNet);
+    s.run(policy).expect("policy simulates").epoch.epoch_seconds
+}
+
+/// Ablation: plan with candidates ordered by a custom key instead of the
+/// paper's efficiency metric, using the same stopping rule. Returns the
+/// simulated epoch seconds of the resulting plan.
+pub fn epoch_with_ordering<F>(ds: &DatasetSpec, storage_cores: usize, key: F) -> f64
+where
+    F: Fn(&pipeline::SampleProfile) -> f64,
+{
+    let s = scenario(ds.clone(), storage_cores, GpuModel::AlexNet);
+    let profiles = s.profiles();
+    let ctx = sophon::engine::PlanningContext::new(
+        &profiles,
+        &s.pipeline,
+        &s.config,
+        s.gpu,
+        s.batch_size,
+    );
+    // Greedy loop identical to the engine, but ordered by `key`.
+    let mut order: Vec<usize> =
+        (0..profiles.len()).filter(|&i| profiles[i].efficiency() > 0.0).collect();
+    order.sort_by(|&a, &b| {
+        key(&profiles[b]).partial_cmp(&key(&profiles[a])).expect("finite keys")
+    });
+    let mut plan = OffloadPlan::none(profiles.len());
+    let mut costs = ctx.baseline_costs();
+    let storage_cores_f = s.config.storage_cores.max(1) as f64;
+    let compute_cores_f = s.config.compute_cores as f64;
+    for i in order {
+        if !costs.network_predominant() {
+            break;
+        }
+        let p = &profiles[i];
+        let (stage, min_size) = p.min_stage();
+        let prefix = p.prefix_seconds(stage);
+        let next = CostVector::new(
+            costs.t_g,
+            (costs.t_cc - prefix / compute_cores_f).max(0.0),
+            costs.t_cs + prefix / storage_cores_f,
+            (costs.t_net - (p.raw_bytes - min_size) as f64 * 8.0 / s.config.link_bps).max(0.0),
+        );
+        if next.makespan() > costs.makespan() {
+            continue;
+        }
+        plan.set_split(i, p.best_split());
+        costs = next;
+    }
+    let works = plan.to_sample_works(&profiles).expect("plan matches profiles");
+    simulate_epoch(&s.config, &EpochSpec::new(works, 256, GpuModel::AlexNet))
+        .expect("feasible plan")
+        .epoch_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figures_render() {
+        assert!(table1().contains("sophon"));
+        assert!(figure_1a().contains("150528"));
+        assert!(figure_1b(512).contains("openimages-like"));
+        assert!(figure_1c(512).contains("zero-efficiency"));
+        assert!(figure_1d(512).contains("resnet50"));
+        assert!(figure_3(512).contains("sophon"));
+        assert!(figure_4(512).contains("cores"));
+        assert!(discussion_bandwidth_sweep(512).contains("Mbps"));
+        assert!(discussion_gpus(512).contains("GPUs"));
+        assert!(training_amortization(512, 10).contains("overhead"));
+    }
+
+    #[test]
+    fn efficiency_ordering_beats_random_under_tight_cpu() {
+        let ds = openimages(2_048);
+        let eff = epoch_with_ordering(&ds, 1, |p| p.efficiency());
+        // Pseudo-random ordering keyed by a hash of the sample id.
+        let rand = epoch_with_ordering(&ds, 1, |p| {
+            (p.sample_id.wrapping_mul(0x9e3779b97f4a7c15) >> 11) as f64
+        });
+        assert!(eff <= rand + 1e-9, "efficiency {eff} vs random {rand}");
+    }
+}

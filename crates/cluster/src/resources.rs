@@ -1,0 +1,185 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pool of identical CPU cores serving tasks FIFO.
+///
+/// Tasks are submitted in order with a ready time; each starts at
+/// `max(ready, earliest core free)` and occupies one core for its duration.
+/// This is the standard `G/G/k` forward schedule under FIFO dispatch.
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    // Min-heap of times at which each core becomes free. Total order on f64
+    // is safe here: times are always finite and non-NaN (asserted on entry).
+    free_at: BinaryHeap<Reverse<OrderedTime>>,
+    cores: usize,
+    busy_seconds: f64,
+}
+
+/// `f64` wrapper with a total order; times are validated finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedTime(f64);
+
+impl Eq for OrderedTime {}
+
+impl PartialOrd for OrderedTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("times are finite")
+    }
+}
+
+impl CpuPool {
+    /// Creates a pool of `cores` idle cores.
+    ///
+    /// A zero-core pool is legal; submitting work to it panics, so callers
+    /// must route around empty pools (the simulator returns an error
+    /// instead).
+    pub fn new(cores: usize) -> CpuPool {
+        let mut free_at = BinaryHeap::with_capacity(cores);
+        for _ in 0..cores {
+            free_at.push(Reverse(OrderedTime(0.0)));
+        }
+        CpuPool { free_at, cores, busy_seconds: 0.0 }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Schedules a task that becomes ready at `ready` and needs `seconds` of
+    /// one core; returns its completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool has zero cores or the inputs are not finite.
+    pub fn run(&mut self, ready: f64, seconds: f64) -> f64 {
+        assert!(ready.is_finite() && ready >= 0.0, "invalid ready time {ready}");
+        assert!(seconds.is_finite() && seconds >= 0.0, "invalid task length {seconds}");
+        let Reverse(OrderedTime(free)) = self.free_at.pop().expect("CpuPool has no cores");
+        let start = ready.max(free);
+        let end = start + seconds;
+        self.free_at.push(Reverse(OrderedTime(end)));
+        self.busy_seconds += seconds;
+        end
+    }
+
+    /// Total core-seconds of work executed.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Time at which the last core finishes all queued work.
+    pub fn drain_time(&self) -> f64 {
+        self.free_at.iter().map(|Reverse(OrderedTime(t))| *t).fold(0.0, f64::max)
+    }
+}
+
+/// A single FIFO server (the GPU): tasks run one at a time in submission
+/// order.
+#[derive(Debug, Clone)]
+pub struct FifoServer {
+    free_at: f64,
+    busy_seconds: f64,
+}
+
+impl FifoServer {
+    /// Creates an idle server.
+    pub fn new() -> FifoServer {
+        FifoServer { free_at: 0.0, busy_seconds: 0.0 }
+    }
+
+    /// Schedules a task ready at `ready` lasting `seconds`; returns its
+    /// completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inputs are not finite or negative.
+    pub fn run(&mut self, ready: f64, seconds: f64) -> f64 {
+        assert!(ready.is_finite() && ready >= 0.0, "invalid ready time {ready}");
+        assert!(seconds.is_finite() && seconds >= 0.0, "invalid task length {seconds}");
+        let start = ready.max(self.free_at);
+        self.free_at = start + seconds;
+        self.busy_seconds += seconds;
+        self.free_at
+    }
+
+    /// Total seconds of work executed.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Time the server becomes idle.
+    pub fn free_at(&self) -> f64 {
+        self.free_at
+    }
+}
+
+impl Default for FifoServer {
+    fn default() -> Self {
+        FifoServer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_serializes() {
+        let mut pool = CpuPool::new(1);
+        assert_eq!(pool.run(0.0, 1.0), 1.0);
+        assert_eq!(pool.run(0.0, 1.0), 2.0);
+        assert_eq!(pool.run(5.0, 1.0), 6.0);
+    }
+
+    #[test]
+    fn multi_core_parallelizes() {
+        let mut pool = CpuPool::new(4);
+        for _ in 0..4 {
+            assert_eq!(pool.run(0.0, 2.0), 2.0);
+        }
+        // Fifth task queues behind the earliest core.
+        assert_eq!(pool.run(0.0, 2.0), 4.0);
+        assert_eq!(pool.busy_seconds(), 10.0);
+    }
+
+    #[test]
+    fn ready_time_delays_start() {
+        let mut pool = CpuPool::new(2);
+        assert_eq!(pool.run(10.0, 1.0), 11.0);
+        assert_eq!(pool.drain_time(), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cores")]
+    fn zero_core_pool_rejects_work() {
+        CpuPool::new(0).run(0.0, 1.0);
+    }
+
+    #[test]
+    fn makespan_matches_greedy_bound() {
+        // 100 unit tasks on 8 cores, all ready at 0: makespan = ceil(100/8).
+        let mut pool = CpuPool::new(8);
+        for _ in 0..100 {
+            pool.run(0.0, 1.0);
+        }
+        assert_eq!(pool.drain_time(), 13.0);
+    }
+
+    #[test]
+    fn fifo_server_behaves_like_one_core_pool() {
+        let mut srv = FifoServer::new();
+        let mut pool = CpuPool::new(1);
+        let jobs = [(0.0, 0.5), (0.1, 0.2), (3.0, 1.0), (3.0, 0.0)];
+        for &(r, s) in &jobs {
+            assert_eq!(srv.run(r, s), pool.run(r, s));
+        }
+        assert_eq!(srv.busy_seconds(), pool.busy_seconds());
+    }
+}

@@ -1,0 +1,116 @@
+//! Multi-epoch training runs.
+//!
+//! Epochs are independent in the cluster model (no cross-epoch caching), so
+//! a training run is one simulation of each *distinct* epoch workload plus
+//! arithmetic. The distinction that matters for SOPHON is the **profiling
+//! epoch**: its stage-2 profiler runs the first epoch without offloading, so
+//! a SOPHON training run pays one `No-Off` epoch up front and reaps the
+//! optimized epochs afterwards. This module quantifies that amortization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{simulate_epoch, ClusterConfig, EpochSpec, EpochStats, SimError};
+
+/// Statistics of a full training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingStats {
+    /// Total epochs executed.
+    pub epochs: u64,
+    /// The first epoch's stats (the profiling epoch, when distinct).
+    pub first_epoch: EpochStats,
+    /// Stats of each steady-state epoch.
+    pub steady_epoch: EpochStats,
+    /// Total wall-clock (virtual) seconds.
+    pub total_seconds: f64,
+    /// Total bytes moved over the link.
+    pub total_traffic_bytes: u64,
+}
+
+impl TrainingStats {
+    /// Mean epoch time across the run.
+    pub fn mean_epoch_seconds(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.epochs as f64
+        }
+    }
+}
+
+/// Simulates a training run whose first epoch may differ from the rest.
+///
+/// # Errors
+///
+/// Propagates epoch-simulation failures.
+///
+/// # Panics
+///
+/// Panics when `epochs == 0`.
+pub fn simulate_training(
+    config: &ClusterConfig,
+    first_epoch: &EpochSpec,
+    steady_epoch: &EpochSpec,
+    epochs: u64,
+) -> Result<TrainingStats, SimError> {
+    assert!(epochs > 0, "training needs at least one epoch");
+    let first = simulate_epoch(config, first_epoch)?;
+    let steady = if epochs > 1 {
+        simulate_epoch(config, steady_epoch)?
+    } else {
+        first.clone()
+    };
+    let steady_count = epochs - 1;
+    Ok(TrainingStats {
+        epochs,
+        total_seconds: first.epoch_seconds + steady.epoch_seconds * steady_count as f64,
+        total_traffic_bytes: first.traffic_bytes + steady.traffic_bytes * steady_count,
+        first_epoch: first,
+        steady_epoch: steady,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuModel, SampleWork};
+
+    fn spec(bytes: u64) -> EpochSpec {
+        EpochSpec::new(vec![SampleWork::new(0.0, bytes, 0.001); 1024], 256, GpuModel::AlexNet)
+    }
+
+    #[test]
+    fn uniform_run_is_linear() {
+        let config = ClusterConfig::paper_testbed(48);
+        let e = spec(200_000);
+        let run = simulate_training(&config, &e, &e, 10).unwrap();
+        assert!((run.total_seconds - run.first_epoch.epoch_seconds * 10.0).abs() < 1e-6);
+        assert_eq!(run.total_traffic_bytes, run.first_epoch.traffic_bytes * 10);
+        assert!((run.mean_epoch_seconds() - run.first_epoch.epoch_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expensive_first_epoch_amortizes() {
+        let config = ClusterConfig::paper_testbed(48);
+        let profiling = spec(300_000); // un-offloaded first epoch
+        let steady = spec(140_000); // optimized epochs
+        let run = simulate_training(&config, &profiling, &steady, 50).unwrap();
+        // Mean epoch time approaches the steady time as epochs grow.
+        let steady_time = run.steady_epoch.epoch_seconds;
+        let overhead = run.mean_epoch_seconds() / steady_time - 1.0;
+        assert!(overhead > 0.0 && overhead < 0.05, "amortized overhead {overhead}");
+    }
+
+    #[test]
+    fn single_epoch_run_uses_first_spec_only() {
+        let config = ClusterConfig::paper_testbed(48);
+        let run = simulate_training(&config, &spec(100_000), &spec(1), 1).unwrap();
+        assert_eq!(run.total_traffic_bytes, run.first_epoch.traffic_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_panics() {
+        let config = ClusterConfig::paper_testbed(48);
+        let _ = simulate_training(&config, &spec(1), &spec(1), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the cluster simulator: lower bounds, monotonicity,
+//! and conservation laws that any correct schedule must satisfy.
+
+use cluster::{simulate_epoch, ClusterConfig, EpochSpec, GpuModel, SampleWork};
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = SampleWork> {
+    (0.0f64..0.02, 1_000u64..600_000, 0.0f64..0.01)
+        .prop_map(|(s, b, c)| SampleWork::new(s, b, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The epoch can never finish faster than any single resource's total
+    /// work divided by its parallelism.
+    #[test]
+    fn epoch_respects_resource_lower_bounds(
+        samples in proptest::collection::vec(arb_sample(), 1..400),
+        batch in 1usize..64,
+        storage_cores in 1usize..8,
+    ) {
+        let config = ClusterConfig::paper_testbed(storage_cores);
+        let spec = EpochSpec::new(samples, batch, GpuModel::AlexNet);
+        let stats = simulate_epoch(&config, &spec).unwrap();
+        let eps = 1e-9;
+        let net_bound = spec.total_transfer_bytes() as f64 * 8.0 / config.link_bps;
+        let storage_bound = spec.total_storage_cpu() / storage_cores as f64;
+        let compute_bound = spec.total_compute_cpu() / config.compute_cores as f64;
+        let gpu_bound = spec.samples.len() as f64 * spec.gpu.seconds_per_image();
+        prop_assert!(stats.epoch_seconds + eps >= net_bound);
+        prop_assert!(stats.epoch_seconds + eps >= storage_bound);
+        prop_assert!(stats.epoch_seconds + eps >= compute_bound);
+        prop_assert!(stats.epoch_seconds + eps >= gpu_bound);
+    }
+
+    /// Conservation: busy-time accounting equals the workload totals.
+    #[test]
+    fn busy_time_conservation(
+        samples in proptest::collection::vec(arb_sample(), 1..300),
+        batch in 1usize..64,
+    ) {
+        let config = ClusterConfig::paper_testbed(4);
+        let spec = EpochSpec::new(samples, batch, GpuModel::ResNet18);
+        let stats = simulate_epoch(&config, &spec).unwrap();
+        prop_assert!((stats.storage_cpu_busy_seconds - spec.total_storage_cpu()).abs() < 1e-9);
+        prop_assert!((stats.compute_cpu_busy_seconds - spec.total_compute_cpu()).abs() < 1e-9);
+        prop_assert_eq!(stats.traffic_bytes, spec.total_transfer_bytes());
+        let gpu_expected = spec.samples.len() as f64 * spec.gpu.seconds_per_image();
+        prop_assert!((stats.gpu_busy_seconds - gpu_expected).abs() < 1e-9);
+    }
+
+    /// Adding storage cores never slows the epoch down (FIFO pools are
+    /// work-conserving here because task order is fixed).
+    #[test]
+    fn more_storage_cores_never_hurt(
+        samples in proptest::collection::vec(arb_sample(), 1..200),
+        cores in 1usize..6,
+    ) {
+        let spec = EpochSpec::new(samples, 32, GpuModel::AlexNet);
+        let slow = simulate_epoch(&ClusterConfig::paper_testbed(cores), &spec).unwrap();
+        let fast = simulate_epoch(&ClusterConfig::paper_testbed(cores * 4), &spec).unwrap();
+        prop_assert!(fast.epoch_seconds <= slow.epoch_seconds + 1e-9);
+    }
+
+    /// Higher bandwidth never slows the epoch down.
+    #[test]
+    fn more_bandwidth_never_hurts(
+        samples in proptest::collection::vec(arb_sample(), 1..200),
+    ) {
+        let spec = EpochSpec::new(samples, 32, GpuModel::AlexNet);
+        let base = ClusterConfig::paper_testbed(4);
+        let slow = simulate_epoch(&base, &spec).unwrap();
+        let fast = simulate_epoch(
+            &base.with_bandwidth(netsim::Bandwidth::from_gbps(10.0)),
+            &spec,
+        ).unwrap();
+        prop_assert!(fast.epoch_seconds <= slow.epoch_seconds + 1e-9);
+    }
+
+    /// Utilizations are well-formed fractions.
+    #[test]
+    fn utilizations_in_unit_interval(
+        samples in proptest::collection::vec(arb_sample(), 1..200),
+        batch in 1usize..64,
+    ) {
+        let spec = EpochSpec::new(samples, batch, GpuModel::ResNet50);
+        let stats = simulate_epoch(&ClusterConfig::paper_testbed(8), &spec).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&stats.gpu_utilization()));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&stats.link_utilization()));
+    }
+}
+
+#[test]
+fn paper_scale_epoch_runs_fast_and_matches_io_bound() {
+    // A full 40 960-sample OpenImages-scale epoch (≈ 12 GB at 300 KB/sample)
+    // simulates in well under a second of real time and lands on the
+    // 500 Mbps network bound (~196 s virtual).
+    let samples = vec![SampleWork::new(0.0, 300_000, 0.015); 40_960];
+    let spec = EpochSpec::new(samples, 256, GpuModel::AlexNet);
+    let start = std::time::Instant::now();
+    let stats = simulate_epoch(&ClusterConfig::paper_testbed(48), &spec).unwrap();
+    assert!(start.elapsed().as_secs_f64() < 5.0);
+    let bound = 40_960.0 * 300_000.0 * 8.0 / 500e6;
+    assert!((stats.epoch_seconds - bound).abs() / bound < 0.1,
+        "epoch {} vs bound {bound}", stats.epoch_seconds);
+}
+
+#[test]
+fn eight_gpus_turn_gpu_bound_into_io_bound() {
+    // The paper's discussion: 8 V100s training ResNet50 need ~16 Gbps; on a
+    // 500 Mbps link the job flips from GPU-bound to hopelessly I/O-bound.
+    let samples = vec![SampleWork::new(0.0, 120_000, 0.002); 8192];
+    let spec = EpochSpec::new(samples, 256, GpuModel::ResNet50);
+    let one = simulate_epoch(&ClusterConfig::paper_testbed(48), &spec).unwrap();
+    let eight =
+        simulate_epoch(&ClusterConfig::paper_testbed(48).with_gpus(8), &spec).unwrap();
+    assert!(one.gpu_utilization() > 0.85, "1 GPU util {}", one.gpu_utilization());
+    assert!(eight.gpu_utilization() < 0.35, "8 GPU util {}", eight.gpu_utilization());
+    // With 8 GPUs the epoch time is pinned by the link, not the GPUs.
+    let net_bound = spec.total_transfer_bytes() as f64 * 8.0 / 500e6;
+    assert!((eight.epoch_seconds - net_bound).abs() / net_bound < 0.15);
+    // A 16 Gbps link restores GPU saturation.
+    let fast = simulate_epoch(
+        &ClusterConfig::paper_testbed(48)
+            .with_gpus(8)
+            .with_bandwidth(netsim::Bandwidth::from_gbps(16.0)),
+        &spec,
+    )
+    .unwrap();
+    assert!(fast.gpu_utilization() > 0.7, "fast-link util {}", fast.gpu_utilization());
+}
+
+#[test]
+fn more_gpus_never_hurt() {
+    let samples = vec![SampleWork::new(0.001, 80_000, 0.003); 4096];
+    let spec = EpochSpec::new(samples, 128, GpuModel::ResNet18);
+    let mut last = f64::INFINITY;
+    for gpus in [1usize, 2, 4, 8] {
+        let stats =
+            simulate_epoch(&ClusterConfig::paper_testbed(8).with_gpus(gpus), &spec).unwrap();
+        assert!(stats.epoch_seconds <= last + 1e-9, "{gpus} GPUs regressed");
+        last = stats.epoch_seconds;
+    }
+}

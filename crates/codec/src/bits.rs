@@ -1,0 +1,194 @@
+//! MSB-first bit-level I/O for the Huffman entropy coder.
+
+use crate::CodecError;
+
+/// Writes bits MSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bits accumulated in `acc`, high bits first.
+    acc: u32,
+    /// Number of valid bits in `acc` (< 8 between `push` calls).
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends the low `count` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count > 24` (larger writes must be split).
+    pub fn put(&mut self, value: u32, count: u32) {
+        assert!(count <= 24, "bit writes capped at 24 bits, got {count}");
+        if count == 0 {
+            return;
+        }
+        let mask = (1u32 << count) - 1;
+        debug_assert!(value <= mask, "value wider than count");
+        self.acc = (self.acc << count) | (value & mask);
+        self.nbits += count;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.out.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.acc <<= pad;
+            self.out.push(self.acc as u8);
+            self.nbits = 0;
+        }
+        self.out
+    }
+
+    /// Number of complete bytes written so far.
+    pub fn byte_len(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index.
+    pos: usize,
+    /// Bit offset within `data[pos]` (0 = MSB).
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader { data, pos: 0, bit: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] at end of input.
+    pub fn bit(&mut self) -> Result<u32, CodecError> {
+        let byte = *self.data.get(self.pos).ok_or(CodecError::Truncated { offset: self.pos })?;
+        let v = (u32::from(byte) >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Reads `count` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] at end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count > 24`.
+    pub fn bits(&mut self, count: u32) -> Result<u32, CodecError> {
+        assert!(count <= 24, "bit reads capped at 24 bits, got {count}");
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | self.bit()?;
+        }
+        Ok(v)
+    }
+
+    /// Number of bytes fully or partially consumed.
+    pub fn bytes_consumed(&self) -> usize {
+        self.pos + usize::from(self.bit > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let fields = [(0b1u32, 1u32), (0b1010, 4), (0x3FF, 10), (0, 3), (0xABCDE, 20)];
+        for &(v, n) in &fields {
+            w.put(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.put(0, 0);
+        w.put(0b11, 2);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1100_0000]);
+    }
+
+    #[test]
+    fn padding_is_zeros() {
+        let mut w = BitWriter::new();
+        w.put(0b1, 1);
+        assert_eq!(w.finish(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn reader_reports_truncation() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(8).unwrap(), 0xFF);
+        assert!(matches!(r.bit(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bytes_consumed_counts_partial() {
+        let bytes = [0u8, 0u8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bytes_consumed(), 0);
+        r.bits(3).unwrap();
+        assert_eq!(r.bytes_consumed(), 1);
+        r.bits(5).unwrap();
+        assert_eq!(r.bytes_consumed(), 1);
+        r.bit().unwrap();
+        assert_eq!(r.bytes_consumed(), 2);
+    }
+
+    #[test]
+    fn long_random_roundtrip() {
+        // Deterministic pseudo-random field sequence.
+        let mut state = 0x243F_6A88u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let fields: Vec<(u32, u32)> = (0..500)
+            .map(|_| {
+                let n = (next() % 17) as u32; // 0..=16 bits
+                let v = (next() as u32) & ((1u32 << n).wrapping_sub(1));
+                (if n == 0 { 0 } else { v }, n)
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.put(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.bits(n).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! RGB ↔ YCbCr color transform (BT.601 full range, as in baseline JPEG).
+//!
+//! Separating luma from chroma lets the quantizer discard chroma detail more
+//! aggressively, which is where much of a transform codec's compression comes
+//! from on natural-looking images.
+
+/// Converts one RGB pixel to YCbCr. All planes are centered in `[0, 255]`.
+pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> [f32; 3] {
+    let (r, g, b) = (f32::from(r), f32::from(g), f32::from(b));
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+    [y, cb, cr]
+}
+
+/// Converts one YCbCr pixel back to RGB, clamping to `[0, 255]`.
+pub fn ycbcr_to_rgb(y: f32, cb: f32, cr: f32) -> [u8; 3] {
+    let cb = cb - 128.0;
+    let cr = cr - 128.0;
+    let r = y + 1.402 * cr;
+    let g = y - 0.344_136 * cb - 0.714_136 * cr;
+    let b = y + 1.772 * cb;
+    [clamp_u8(r), clamp_u8(g), clamp_u8(b)]
+}
+
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_and_white_map_to_luma_extremes() {
+        let [y, cb, cr] = rgb_to_ycbcr(0, 0, 0);
+        assert!(y.abs() < 1e-3);
+        assert!((cb - 128.0).abs() < 1e-3);
+        assert!((cr - 128.0).abs() < 1e-3);
+        let [y, _, _] = rgb_to_ycbcr(255, 255, 255);
+        assert!((y - 255.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_is_near_lossless() {
+        for &(r, g, b) in &[(12u8, 200u8, 90u8), (255, 0, 0), (0, 255, 0), (0, 0, 255), (73, 73, 73)] {
+            let [y, cb, cr] = rgb_to_ycbcr(r, g, b);
+            let [r2, g2, b2] = ycbcr_to_rgb(y, cb, cr);
+            assert!(i16::from(r).abs_diff(i16::from(r2)) <= 1, "r {r} -> {r2}");
+            assert!(i16::from(g).abs_diff(i16::from(g2)) <= 1, "g {g} -> {g2}");
+            assert!(i16::from(b).abs_diff(i16::from(b2)) <= 1, "b {b} -> {b2}");
+        }
+    }
+
+    #[test]
+    fn gray_has_neutral_chroma() {
+        for v in [0u8, 64, 128, 200, 255] {
+            let [_, cb, cr] = rgb_to_ycbcr(v, v, v);
+            assert!((cb - 128.0).abs() < 0.5);
+            assert!((cr - 128.0).abs() < 0.5);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Forward and inverse 8×8 type-II discrete cosine transform.
+//!
+//! The implementation is the separable row/column formulation with
+//! precomputed cosine tables — clear, allocation-free, and exactly invertible
+//! up to floating-point rounding. Speed is adequate for the workloads in this
+//! repository; the entropy coder, not the DCT, dominates encode time.
+
+use crate::{BLOCK, BLOCK_AREA};
+
+/// Precomputed `cos((2x+1) u π / 16)` table, indexed `[u][x]`.
+fn cos_table() -> &'static [[f32; BLOCK]; BLOCK] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f32; BLOCK]; BLOCK]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0f32; BLOCK]; BLOCK];
+        for (u, row) in t.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = (((2 * x + 1) as f32) * (u as f32) * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        t
+    })
+}
+
+#[inline]
+fn alpha(u: usize) -> f32 {
+    if u == 0 {
+        std::f32::consts::FRAC_1_SQRT_2
+    } else {
+        1.0
+    }
+}
+
+/// Forward 8×8 DCT-II of a row-major spatial block (values already centered
+/// around zero), producing row-major frequency coefficients.
+pub fn forward(block: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let cos = cos_table();
+    let mut tmp = [0f32; BLOCK_AREA];
+    // Transform rows.
+    for y in 0..BLOCK {
+        for u in 0..BLOCK {
+            let mut acc = 0f32;
+            for x in 0..BLOCK {
+                acc += block[y * BLOCK + x] * cos[u][x];
+            }
+            tmp[y * BLOCK + u] = acc * alpha(u) * 0.5;
+        }
+    }
+    // Transform columns.
+    let mut out = [0f32; BLOCK_AREA];
+    for u in 0..BLOCK {
+        for v in 0..BLOCK {
+            let mut acc = 0f32;
+            for y in 0..BLOCK {
+                acc += tmp[y * BLOCK + u] * cos[v][y];
+            }
+            out[v * BLOCK + u] = acc * alpha(v) * 0.5;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (type III), reconstructing the spatial block.
+pub fn inverse(coeffs: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let cos = cos_table();
+    let mut tmp = [0f32; BLOCK_AREA];
+    // Inverse transform columns.
+    for u in 0..BLOCK {
+        for y in 0..BLOCK {
+            let mut acc = 0f32;
+            for v in 0..BLOCK {
+                acc += alpha(v) * coeffs[v * BLOCK + u] * cos[v][y];
+            }
+            tmp[y * BLOCK + u] = acc * 0.5;
+        }
+    }
+    // Inverse transform rows.
+    let mut out = [0f32; BLOCK_AREA];
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut acc = 0f32;
+            for u in 0..BLOCK {
+                acc += alpha(u) * tmp[y * BLOCK + u] * cos[u][x];
+            }
+            out[y * BLOCK + x] = acc * 0.5;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let block = [10f32; BLOCK_AREA];
+        let coeffs = forward(&block);
+        // DC of a constant block of value v is 8v for the orthonormal DCT.
+        assert!((coeffs[0] - 80.0).abs() < 1e-3, "dc = {}", coeffs[0]);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-3, "AC coefficient {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let mut block = [0f32; BLOCK_AREA];
+        for (i, v) in block.iter_mut().enumerate() {
+            // Deterministic pseudo-random content centered at zero.
+            *v = ((i * 37 + 11) % 256) as f32 - 128.0;
+        }
+        let back = inverse(&forward(&block));
+        for (a, b) in block.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut block = [0f32; BLOCK_AREA];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i as f32) * 0.7).sin() * 100.0;
+        }
+        let coeffs = forward(&block);
+        let e_spatial: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!((e_spatial - e_freq).abs() / e_spatial < 1e-4);
+    }
+
+    #[test]
+    fn single_frequency_isolates_one_coefficient() {
+        // A pure horizontal cosine at frequency u=3 should put nearly all
+        // energy in coefficient (v=0, u=3).
+        let mut block = [0f32; BLOCK_AREA];
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                block[y * BLOCK + x] =
+                    (((2 * x + 1) as f32) * 3.0 * std::f32::consts::PI / 16.0).cos() * 50.0;
+            }
+        }
+        let coeffs = forward(&block);
+        let target = coeffs[3].abs();
+        let rest: f32 = coeffs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 3)
+            .map(|(_, c)| c.abs())
+            .sum();
+        assert!(target > 100.0, "target coefficient too small: {target}");
+        assert!(rest < target * 0.01, "energy leaked: {rest} vs {target}");
+    }
+}

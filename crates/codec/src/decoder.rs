@@ -1,0 +1,180 @@
+use imagery::RasterImage;
+
+use crate::bits::BitReader;
+use crate::block::Plane;
+use crate::encoder::chroma_dims;
+use crate::header::{Header, HEADER_LEN};
+use crate::huffman::HuffmanTable;
+use crate::{
+    color, dct, entropy, entropy_huff, quant, zigzag, CodecError, EncodeOptions, EntropyMode,
+    Quality, Subsampling, BLOCK_AREA,
+};
+
+/// Decodes an SJPG byte stream back to a raster image.
+///
+/// Handles every encode mode (4:4:4 / 4:2:0 chroma, RLE-varint / Huffman
+/// entropy) from the header's flags.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first structural defect found:
+/// bad magic, unsupported version, invalid dimensions or flags, truncation,
+/// malformed entropy data, or trailing bytes after the final block.
+///
+/// ```
+/// use codec::{decode, CodecError};
+/// assert!(matches!(decode(b"nope"), Err(CodecError::Truncated { .. })));
+/// ```
+pub fn decode(data: &[u8]) -> Result<RasterImage, CodecError> {
+    let header = Header::parse(data)?;
+    let quality = Quality::new(header.quality).expect("validated by Header::parse");
+    let opts = EncodeOptions::from_flags(quality, header.flags)
+        .expect("flags validated by Header::parse");
+    let (w, h) = (header.width, header.height);
+    let (cw, ch) = chroma_dims(w, h, opts.subsampling);
+
+    let dims = [(w, h), (cw, ch), (cw, ch)];
+    let block_counts: Vec<usize> = dims
+        .iter()
+        .map(|&(pw, ph)| (pw.div_ceil(8) as usize) * (ph.div_ceil(8) as usize))
+        .collect();
+
+    // Entropy-decode all three planes' quantized blocks.
+    let quantized: [Vec<[i16; BLOCK_AREA]>; 3] = match opts.entropy {
+        EntropyMode::RleVarint => {
+            let mut pos = HEADER_LEN;
+            let mut planes: [Vec<[i16; BLOCK_AREA]>; 3] = Default::default();
+            for (p, &count) in planes.iter_mut().zip(block_counts.iter()) {
+                let mut dc_pred = 0i16;
+                for _ in 0..count {
+                    p.push(entropy::decode_block(data, &mut pos, &mut dc_pred)?);
+                }
+            }
+            if pos != data.len() {
+                return Err(CodecError::TrailingData { remaining: data.len() - pos });
+            }
+            planes
+        }
+        EntropyMode::Huffman => {
+            let mut pos = HEADER_LEN;
+            let luma = entropy_huff::TablePair {
+                dc: HuffmanTable::parse(data, &mut pos)?,
+                ac: HuffmanTable::parse(data, &mut pos)?,
+            };
+            let chroma = entropy_huff::TablePair {
+                dc: HuffmanTable::parse(data, &mut pos)?,
+                ac: HuffmanTable::parse(data, &mut pos)?,
+            };
+            let len_bytes =
+                data.get(pos..pos + 4).ok_or(CodecError::Truncated { offset: pos })?;
+            let stream_len =
+                u32::from_le_bytes(len_bytes.try_into().expect("sliced 4 bytes")) as usize;
+            pos += 4;
+            let stream = data
+                .get(pos..pos + stream_len)
+                .ok_or(CodecError::Truncated { offset: pos })?;
+            if pos + stream_len != data.len() {
+                return Err(CodecError::TrailingData {
+                    remaining: data.len() - pos - stream_len,
+                });
+            }
+            let mut reader = BitReader::new(stream);
+            let y = entropy_huff::decode_plane(&mut reader, &luma, block_counts[0])?;
+            let cb = entropy_huff::decode_plane(&mut reader, &chroma, block_counts[1])?;
+            let cr = entropy_huff::decode_plane(&mut reader, &chroma, block_counts[2])?;
+            [y, cb, cr]
+        }
+    };
+
+    // Dequantize + inverse DCT into planes.
+    let luma_table = quality.luma_table();
+    let chroma_table = quality.chroma_table();
+    let mut planes = [Plane::new(w, h), Plane::new(cw, ch), Plane::new(cw, ch)];
+    for (ch_idx, plane) in planes.iter_mut().enumerate() {
+        let table = if ch_idx == 0 { &luma_table } else { &chroma_table };
+        let mut it = quantized[ch_idx].iter();
+        for by in 0..plane.blocks_y() {
+            for bx in 0..plane.blocks_x() {
+                let zz = it.next().expect("block counts precomputed");
+                let coeffs = quant::dequantize(&zigzag::unscan(zz), table);
+                plane.place_block(bx, by, &dct::inverse(&coeffs));
+            }
+        }
+    }
+
+    // Color-convert, upsampling chroma when subsampled.
+    let mut raw = Vec::with_capacity(w as usize * h as usize * 3);
+    for yy in 0..h {
+        for xx in 0..w {
+            let (cx, cy) = match opts.subsampling {
+                Subsampling::S444 => (xx, yy),
+                Subsampling::S420 => ((xx / 2).min(cw - 1), (yy / 2).min(ch - 1)),
+            };
+            let rgb = color::ycbcr_to_rgb(
+                planes[0].get(xx, yy),
+                planes[1].get(cx, cy),
+                planes[2].get(cx, cy),
+            );
+            raw.extend_from_slice(&rgb);
+        }
+    }
+    Ok(RasterImage::from_raw(w, h, raw).expect("buffer sized from dimensions"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode, encode_with};
+    use imagery::synth::SynthSpec;
+
+    #[test]
+    fn rejects_truncated_body() {
+        let img = SynthSpec::new(40, 40).complexity(0.5).render(1);
+        let bytes = encode(&img, Quality::default());
+        let cut = &bytes[..bytes.len() - 10];
+        assert!(decode(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let img = SynthSpec::new(24, 24).complexity(0.5).render(1);
+        let mut bytes = encode(&img, Quality::default());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert!(decode(&bytes).is_err(), "decode accepted trailing garbage");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_huffman() {
+        let img = SynthSpec::new(24, 24).complexity(0.5).render(1);
+        let mut bytes = encode_with(
+            &img,
+            &EncodeOptions::new(Quality::default()).entropy(EntropyMode::Huffman),
+        );
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert!(decode(&bytes).is_err(), "decode accepted trailing garbage");
+    }
+
+    #[test]
+    fn empty_input_is_truncated() {
+        assert!(matches!(decode(&[]), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn fuzz_corrupt_bytes_never_panic() {
+        let img = SynthSpec::new(48, 32).complexity(0.7).render(4);
+        for opts in [
+            EncodeOptions::new(Quality::default()),
+            EncodeOptions::new(Quality::default())
+                .entropy(EntropyMode::Huffman)
+                .subsampling(Subsampling::S420),
+        ] {
+            let bytes = encode_with(&img, &opts);
+            for i in (0..bytes.len()).step_by(5) {
+                let mut corrupted = bytes.clone();
+                corrupted[i] ^= 0xA5;
+                // Must not panic; any Result is acceptable.
+                let _ = decode(&corrupted);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+use crate::CodecError;
+
+/// Magic bytes identifying an SJPG stream.
+pub const FORMAT_MAGIC: [u8; 4] = *b"SJPG";
+/// Current format version (2 added the flags byte: subsampling + entropy
+/// mode).
+pub const FORMAT_VERSION: u8 = 2;
+/// Serialized header length in bytes.
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 4 + 1 + 1;
+
+/// Parsed SJPG stream header.
+///
+/// Layout (little-endian): magic `SJPG`, version `u8`, width `u32`, height
+/// `u32`, quality `u8`, flags `u8` (bit 0 = 4:2:0 chroma, bit 1 = Huffman
+/// entropy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Quality the stream was encoded with (determines the quant tables).
+    pub quality: u8,
+    /// Option flags (see [`crate::EncodeOptions`]).
+    pub flags: u8,
+}
+
+impl Header {
+    /// Serializes the header to its wire form.
+    pub fn to_bytes(self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[..4].copy_from_slice(&FORMAT_MAGIC);
+        out[4] = FORMAT_VERSION;
+        out[5..9].copy_from_slice(&self.width.to_le_bytes());
+        out[9..13].copy_from_slice(&self.height.to_le_bytes());
+        out[13] = self.quality;
+        out[14] = self.flags;
+        out
+    }
+
+    /// Parses and validates a header from the start of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`], [`CodecError::BadMagic`],
+    /// [`CodecError::UnsupportedVersion`], or
+    /// [`CodecError::InvalidDimensions`] for the corresponding defects.
+    pub fn parse(data: &[u8]) -> Result<Header, CodecError> {
+        if data.len() < HEADER_LEN {
+            return Err(CodecError::Truncated { offset: data.len() });
+        }
+        if data[..4] != FORMAT_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        if data[4] != FORMAT_VERSION {
+            return Err(CodecError::UnsupportedVersion(data[4]));
+        }
+        let width = u32::from_le_bytes(data[5..9].try_into().expect("sliced 4 bytes"));
+        let height = u32::from_le_bytes(data[9..13].try_into().expect("sliced 4 bytes"));
+        // 2^26 pixels per side is far beyond anything this workspace creates;
+        // rejecting earlier protects decode from absurd allocations.
+        if width == 0 || height == 0 || width > (1 << 26) || height > (1 << 26) {
+            return Err(CodecError::InvalidDimensions { width, height });
+        }
+        let quality = data[13];
+        if !(1..=100).contains(&quality) {
+            return Err(CodecError::InvalidDimensions { width, height });
+        }
+        let flags = data[14];
+        if flags & !0b11 != 0 {
+            return Err(CodecError::InvalidDimensions { width, height });
+        }
+        Ok(Header { width, height, quality, flags })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Header {
+        Header { width: 1920, height: 1080, quality: 85, flags: 0 }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for flags in 0..=3u8 {
+            let h = Header { flags, ..header() };
+            assert_eq!(Header::parse(&h.to_bytes()).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = header().to_bytes();
+        b[0] = b'X';
+        assert_eq!(Header::parse(&b), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut b = header().to_bytes();
+        b[4] = 99;
+        assert_eq!(Header::parse(&b), Err(CodecError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let b = header().to_bytes();
+        assert!(matches!(Header::parse(&b[..10]), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_dims() {
+        let b = Header { width: 0, height: 5, quality: 50, flags: 0 }.to_bytes();
+        assert!(matches!(Header::parse(&b), Err(CodecError::InvalidDimensions { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_quality() {
+        let b = Header { quality: 0, ..header() }.to_bytes();
+        assert!(Header::parse(&b).is_err());
+        let b = Header { quality: 101, ..header() }.to_bytes();
+        assert!(Header::parse(&b).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let b = Header { flags: 0b100, ..header() }.to_bytes();
+        assert!(Header::parse(&b).is_err());
+    }
+}

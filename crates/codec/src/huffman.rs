@@ -1,0 +1,367 @@
+//! Canonical, length-limited Huffman coding (JPEG-style, 16-bit depth cap).
+//!
+//! Tables are built from observed symbol frequencies, depth-limited to 16
+//! bits with the JPEG Annex-K adjustment, and serialized in the canonical
+//! form `[count of codes of length 1..=16][symbols in code order]` — the
+//! same representation a JFIF `DHT` segment uses.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::CodecError;
+
+/// Maximum code length (JPEG's limit).
+pub const MAX_CODE_LEN: usize = 16;
+
+/// A canonical Huffman table over `u8` symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanTable {
+    /// `counts[l]` = number of codes of length `l` (index 0 unused).
+    counts: [u16; MAX_CODE_LEN + 1],
+    /// Symbols ordered by (code length, assignment order).
+    symbols: Vec<u8>,
+    /// Per-symbol (code, length); length 0 = symbol absent.
+    encode: [(u16, u8); 256],
+}
+
+impl HuffmanTable {
+    /// Builds a table from symbol frequencies (`freq[s]` = occurrences of
+    /// symbol `s`). Symbols with zero frequency get no code.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every frequency is zero — the caller must guarantee at
+    /// least one symbol occurs (every encoded plane emits at least an EOB).
+    pub fn from_frequencies(freq: &[u64; 256]) -> HuffmanTable {
+        let active: Vec<usize> = (0..256).filter(|&s| freq[s] > 0).collect();
+        assert!(!active.is_empty(), "Huffman table needs at least one symbol");
+
+        // Degenerate single-symbol alphabet: give it a 1-bit code.
+        let mut lengths = [0u8; 256];
+        if active.len() == 1 {
+            lengths[active[0]] = 1;
+        } else {
+            build_code_lengths(freq, &mut lengths);
+            limit_lengths(&mut lengths, &active);
+        }
+        Self::from_lengths(&lengths)
+    }
+
+    /// Builds the canonical table from per-symbol code lengths.
+    fn from_lengths(lengths: &[u8; 256]) -> HuffmanTable {
+        let mut counts = [0u16; MAX_CODE_LEN + 1];
+        // Canonical order: by length, then symbol value.
+        let mut symbols: Vec<u8> = Vec::new();
+        for (len, count) in counts.iter_mut().enumerate().take(MAX_CODE_LEN + 1).skip(1) {
+            for (s, &l) in lengths.iter().enumerate() {
+                if usize::from(l) == len {
+                    *count += 1;
+                    symbols.push(s as u8);
+                }
+            }
+        }
+        let mut table = HuffmanTable { counts, symbols, encode: [(0, 0); 256] };
+        table.rebuild_encode_map();
+        table
+    }
+
+    fn rebuild_encode_map(&mut self) {
+        let mut code = 0u32;
+        let mut idx = 0usize;
+        for len in 1..=MAX_CODE_LEN {
+            for _ in 0..self.counts[len] {
+                let sym = self.symbols[idx];
+                self.encode[usize::from(sym)] = (code as u16, len as u8);
+                code += 1;
+                idx += 1;
+            }
+            code <<= 1;
+        }
+    }
+
+    /// Writes `symbol`'s code.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the symbol has no code in this table.
+    pub fn write_symbol(&self, symbol: u8, w: &mut BitWriter) {
+        let (code, len) = self.encode[usize::from(symbol)];
+        assert!(len > 0, "symbol {symbol} not in table");
+        w.put(u32::from(code), u32::from(len));
+    }
+
+    /// Code length of a symbol in bits (0 if absent) — for size estimation.
+    pub fn code_len(&self, symbol: u8) -> u32 {
+        u32::from(self.encode[usize::from(symbol)].1)
+    }
+
+    /// Reads one symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] at end of input or
+    /// [`CodecError::MalformedVarint`]-class corruption as a generic
+    /// invalid-code error.
+    pub fn read_symbol(&self, r: &mut BitReader<'_>) -> Result<u8, CodecError> {
+        let mut code = 0u32;
+        let mut first = 0u32; // first code of current length
+        let mut idx = 0u32; // symbols consumed by shorter lengths
+        for len in 1..=MAX_CODE_LEN {
+            code = (code << 1) | r.bit()?;
+            let n = u32::from(self.counts[len]);
+            if n > 0 && code < first + n {
+                return Ok(self.symbols[(idx + code - first) as usize]);
+            }
+            idx += n;
+            first = (first + n) << 1;
+        }
+        Err(CodecError::RunOverflow { offset: r.bytes_consumed() })
+    }
+
+    /// Serialized length: 16 count bytes + one byte per symbol.
+    pub fn serialized_len(&self) -> usize {
+        MAX_CODE_LEN + self.symbols.len()
+    }
+
+    /// Serializes as `[counts 1..=16][symbols]`.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        for len in 1..=MAX_CODE_LEN {
+            out.push(self.counts[len] as u8);
+        }
+        out.extend_from_slice(&self.symbols);
+    }
+
+    /// Parses a serialized table, advancing `*pos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] or a validation error for
+    /// impossible count vectors.
+    pub fn parse(data: &[u8], pos: &mut usize) -> Result<HuffmanTable, CodecError> {
+        let counts_raw = data
+            .get(*pos..*pos + MAX_CODE_LEN)
+            .ok_or(CodecError::Truncated { offset: *pos })?;
+        *pos += MAX_CODE_LEN;
+        let mut counts = [0u16; MAX_CODE_LEN + 1];
+        let mut total = 0usize;
+        // Kraft-sum validation: the counts must describe a prefix code.
+        let mut code_space = 0u64; // in units of 2^-16
+        for (len, &c) in (1..=MAX_CODE_LEN).zip(counts_raw.iter()) {
+            counts[len] = u16::from(c);
+            total += usize::from(c);
+            code_space += u64::from(c) << (MAX_CODE_LEN - len);
+        }
+        if total == 0 || total > 256 || code_space > 1 << MAX_CODE_LEN {
+            return Err(CodecError::InvalidDimensions { width: total as u32, height: 0 });
+        }
+        let symbols = data
+            .get(*pos..*pos + total)
+            .ok_or(CodecError::Truncated { offset: *pos })?
+            .to_vec();
+        *pos += total;
+        let mut table =
+            HuffmanTable { counts, symbols, encode: [(0, 0); 256] };
+        table.rebuild_encode_map();
+        Ok(table)
+    }
+}
+
+/// Standard heap-free Huffman code-length computation (Moffat/Katajainen
+/// style would be leaner; an explicit tree is clear and fast enough here).
+fn build_code_lengths(freq: &[u64; 256], lengths: &mut [u8; 256]) {
+    #[derive(Clone, Copy)]
+    enum Kind {
+        Leaf(u8),
+        Internal(u16, u16),
+    }
+    let mut kinds: Vec<Kind> = Vec::new();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u16)>> =
+        std::collections::BinaryHeap::new();
+    for (s, &f) in freq.iter().enumerate() {
+        if f > 0 {
+            kinds.push(Kind::Leaf(s as u8));
+            heap.push(std::cmp::Reverse((f, (kinds.len() - 1) as u16)));
+        }
+    }
+    while heap.len() > 1 {
+        let std::cmp::Reverse((wa, a)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse((wb, b)) = heap.pop().expect("len > 1");
+        kinds.push(Kind::Internal(a, b));
+        heap.push(std::cmp::Reverse((wa + wb, (kinds.len() - 1) as u16)));
+    }
+    // Depth-first assignment of depths from the root (last node pushed).
+    let root = kinds.len() - 1;
+    let mut stack = vec![(root, 0u8)];
+    while let Some((idx, depth)) = stack.pop() {
+        match kinds[idx] {
+            Kind::Leaf(sym) => lengths[usize::from(sym)] = depth.max(1),
+            Kind::Internal(a, b) => {
+                stack.push((usize::from(a), depth + 1));
+                stack.push((usize::from(b), depth + 1));
+            }
+        }
+    }
+}
+
+/// Depth limiting: clamp over-deep codes to 16 bits, then restore the Kraft
+/// inequality by lengthening the shortest codes. Each repair step halves
+/// one short code's code-space contribution, and `active.len() ≤ 256`
+/// guarantees the all-16s assignment is feasible, so the loop terminates
+/// with every length in `1..=16`.
+fn limit_lengths(lengths: &mut [u8; 256], active: &[usize]) {
+    for &s in active {
+        if usize::from(lengths[s]) > MAX_CODE_LEN {
+            lengths[s] = MAX_CODE_LEN as u8;
+        }
+    }
+    repair_kraft(lengths, active);
+}
+
+fn kraft_ok(lengths: &[u8; 256], active: &[usize]) -> bool {
+    let sum: u64 = active
+        .iter()
+        .map(|&s| 1u64 << (MAX_CODE_LEN - usize::from(lengths[s])))
+        .sum();
+    sum <= 1 << MAX_CODE_LEN
+}
+
+/// Lengthens the shortest codes until the Kraft inequality holds.
+fn repair_kraft(lengths: &mut [u8; 256], active: &[usize]) {
+    while !kraft_ok(lengths, active) {
+        let shortest = *active
+            .iter()
+            .filter(|&&s| usize::from(lengths[s]) < MAX_CODE_LEN)
+            .min_by_key(|&&s| lengths[s])
+            .expect("repairable code");
+        lengths[shortest] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbols(freq: &[u64; 256], stream: &[u8]) {
+        let table = HuffmanTable::from_frequencies(freq);
+        let mut w = BitWriter::new();
+        for &s in stream {
+            table.write_symbol(s, &mut w);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(table.read_symbol(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_roundtrips() {
+        let mut freq = [0u64; 256];
+        freq[0] = 1000;
+        freq[1] = 100;
+        freq[7] = 10;
+        freq[200] = 1;
+        let stream: Vec<u8> = [0u8, 0, 1, 0, 7, 200, 0, 1, 0, 0].to_vec();
+        roundtrip_symbols(&freq, &stream);
+    }
+
+    #[test]
+    fn skewed_codes_are_shorter_for_frequent_symbols() {
+        let mut freq = [0u64; 256];
+        freq[0] = 1_000_000;
+        for f in freq.iter_mut().take(64).skip(1) {
+            *f = 1;
+        }
+        let table = HuffmanTable::from_frequencies(&freq);
+        assert!(table.code_len(0) < table.code_len(1));
+        assert!(table.code_len(0) <= 2);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let mut freq = [0u64; 256];
+        freq[42] = 5;
+        roundtrip_symbols(&freq, &[42u8; 9]);
+    }
+
+    #[test]
+    fn uniform_full_alphabet_stays_within_limit() {
+        let freq = [1u64; 256];
+        let table = HuffmanTable::from_frequencies(&freq);
+        for s in 0..=255u8 {
+            let l = table.code_len(s);
+            assert!((1..=MAX_CODE_LEN as u32).contains(&l), "symbol {s} len {l}");
+        }
+        let stream: Vec<u8> = (0..=255u8).collect();
+        roundtrip_symbols(&freq, &stream);
+    }
+
+    #[test]
+    fn pathological_fibonacci_weights_are_depth_limited() {
+        // Fibonacci-ish weights force deep unlimited Huffman trees.
+        let mut freq = [0u64; 256];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freq.iter_mut().take(40) {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let table = HuffmanTable::from_frequencies(&freq);
+        for s in 0..40u8 {
+            let l = table.code_len(s);
+            assert!(l >= 1 && l <= MAX_CODE_LEN as u32, "symbol {s} len {l}");
+        }
+        let stream: Vec<u8> = (0..40u8).chain((0..40u8).rev()).collect();
+        roundtrip_symbols(&freq, &stream);
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let mut freq = [0u64; 256];
+        for (s, f) in freq.iter_mut().enumerate().take(100) {
+            *f = (s as u64 % 7) + 1;
+        }
+        let table = HuffmanTable::from_frequencies(&freq);
+        let mut buf = Vec::new();
+        table.serialize(&mut buf);
+        assert_eq!(buf.len(), table.serialized_len());
+        let mut pos = 0;
+        let parsed = HuffmanTable::parse(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn parse_rejects_invalid_counts() {
+        // 256 codes of length 1 is impossible.
+        let mut buf = vec![0u8; MAX_CODE_LEN];
+        buf[0] = 255;
+        buf.extend(std::iter::repeat_n(0u8, 255));
+        let mut pos = 0;
+        assert!(HuffmanTable::parse(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let mut freq = [0u64; 256];
+        freq[1] = 1;
+        freq[2] = 1;
+        let table = HuffmanTable::from_frequencies(&freq);
+        let mut buf = Vec::new();
+        table.serialize(&mut buf);
+        for len in 0..buf.len() {
+            let mut pos = 0;
+            assert!(HuffmanTable::parse(&buf[..len], &mut pos).is_err(), "prefix {len}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_dangling_code() {
+        // A table with codes {0b0} only; reading 0b1... must error, not loop.
+        let mut freq = [0u64; 256];
+        freq[9] = 3;
+        let table = HuffmanTable::from_frequencies(&freq);
+        let bytes = [0xFFu8; 3];
+        let mut r = BitReader::new(&bytes);
+        assert!(table.read_symbol(&mut r).is_err());
+    }
+}

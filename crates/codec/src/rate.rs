@@ -1,0 +1,134 @@
+//! Rate–distortion measurement: encoded size and PSNR across qualities and
+//! modes.
+//!
+//! Used to choose a re-encode quality for the selective-compression
+//! extension and to sanity-check the codec's quality ladder.
+
+use imagery::{metrics, RasterImage};
+
+use crate::{decode, encode_with, EncodeOptions, EntropyMode, Quality, Subsampling};
+
+/// One operating point on the codec's rate–distortion curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePoint {
+    /// Quality setting.
+    pub quality: u8,
+    /// Encoded size in bytes.
+    pub bytes: usize,
+    /// Reconstruction PSNR in dB (infinite for lossless).
+    pub psnr_db: f64,
+}
+
+/// Measures the rate–distortion curve of an image across `qualities`, using
+/// the given subsampling and entropy mode.
+///
+/// # Panics
+///
+/// Panics when a quality value is out of range (use `1..=100`).
+pub fn rate_curve(
+    img: &RasterImage,
+    qualities: &[u8],
+    subsampling: Subsampling,
+    entropy: EntropyMode,
+) -> Vec<RatePoint> {
+    qualities
+        .iter()
+        .map(|&q| {
+            let quality = Quality::new(q).expect("quality in 1..=100");
+            let opts = EncodeOptions::new(quality).subsampling(subsampling).entropy(entropy);
+            let bytes = encode_with(img, &opts);
+            let back = decode(&bytes).expect("own encoder output decodes");
+            RatePoint { quality: q, bytes: bytes.len(), psnr_db: metrics::psnr(img, &back) }
+        })
+        .collect()
+}
+
+/// The smallest quality whose PSNR meets `min_psnr_db`, if any — a simple
+/// operating-point chooser for transfer re-compression.
+pub fn min_quality_for_psnr(
+    img: &RasterImage,
+    min_psnr_db: f64,
+    subsampling: Subsampling,
+    entropy: EntropyMode,
+) -> Option<RatePoint> {
+    // The quality ladder is monotone in PSNR (asserted in tests); binary
+    // search over the 1..=100 range.
+    let (mut lo, mut hi) = (1u8, 100u8);
+    let probe = |q: u8| rate_curve(img, &[q], subsampling, entropy)[0];
+    if probe(hi).psnr_db < min_psnr_db {
+        return None;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid).psnr_db >= min_psnr_db {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(probe(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagery::synth::SynthSpec;
+
+    fn img() -> RasterImage {
+        SynthSpec::new(96, 96).complexity(0.4).render(9)
+    }
+
+    #[test]
+    fn curve_is_monotone_in_rate_and_distortion() {
+        let points = rate_curve(
+            &img(),
+            &[20, 40, 60, 80, 95],
+            Subsampling::S444,
+            EntropyMode::RleVarint,
+        );
+        for w in points.windows(2) {
+            assert!(w[1].bytes >= w[0].bytes, "rate not monotone: {points:?}");
+            assert!(w[1].psnr_db >= w[0].psnr_db - 0.2, "distortion not monotone: {points:?}");
+        }
+    }
+
+    #[test]
+    fn huffman_dominates_rle_at_equal_quality() {
+        // Same quantized data, smaller representation: strictly better rate
+        // at identical distortion.
+        let rle = rate_curve(&img(), &[85], Subsampling::S444, EntropyMode::RleVarint)[0];
+        let huff = rate_curve(&img(), &[85], Subsampling::S444, EntropyMode::Huffman)[0];
+        assert!(huff.bytes < rle.bytes);
+        assert_eq!(huff.psnr_db, rle.psnr_db);
+    }
+
+    #[test]
+    fn quality_chooser_finds_minimal_quality() {
+        let img = img();
+        let target = 30.0;
+        let point =
+            min_quality_for_psnr(&img, target, Subsampling::S444, EntropyMode::RleVarint)
+                .expect("30 dB is reachable");
+        assert!(point.psnr_db >= target);
+        if point.quality > 1 {
+            let below = rate_curve(
+                &img,
+                &[point.quality - 1],
+                Subsampling::S444,
+                EntropyMode::RleVarint,
+            )[0];
+            assert!(below.psnr_db < target, "quality not minimal: {point:?} vs {below:?}");
+        }
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        assert!(min_quality_for_psnr(
+            &img(),
+            90.0, // lossy codec cannot reach 90 dB
+            Subsampling::S444,
+            EntropyMode::RleVarint
+        )
+        .is_none());
+    }
+}

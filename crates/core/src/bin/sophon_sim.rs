@@ -1,0 +1,133 @@
+//! `sophon-sim` — run any SOPHON scenario from the command line.
+//!
+//! ```sh
+//! cargo run --release -p sophon-core --bin sophon-sim -- \
+//!     --dataset openimages --samples 8192 --storage-cores 4 --policy all
+//! ```
+
+use sophon::cli::CliOptions;
+use sophon::policy::standard_policies;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", CliOptions::usage());
+        println!("            [--explain]   print the SOPHON decision trace summary");
+        println!("            [--trace N]   print the first N samples' simulated timeline");
+        return;
+    }
+    let explain = if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let trace_n: Option<usize> = args.iter().position(|a| a == "--trace").map(|pos| {
+        args.remove(pos);
+        args.remove(pos).parse().unwrap_or_else(|_| {
+            eprintln!("error: --trace needs a sample count");
+            std::process::exit(2);
+        })
+    });
+    let opts = match CliOptions::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", CliOptions::usage());
+            std::process::exit(2);
+        }
+    };
+
+    let scenario = opts.scenario();
+    println!(
+        "scenario: {} x{} | {} | {} storage cores, {} compute cores, {} GPU(s), {:.0} Mbps",
+        scenario.dataset.name,
+        scenario.dataset.len,
+        scenario.gpu.name(),
+        scenario.config.storage_cores,
+        scenario.config.compute_cores,
+        scenario.config.gpus,
+        scenario.config.link_bps / 1e6,
+    );
+
+    if explain {
+        let profiles = scenario.profiles();
+        let ctx = sophon::engine::PlanningContext::new(
+            &profiles,
+            &scenario.pipeline,
+            &scenario.config,
+            scenario.gpu,
+            scenario.batch_size,
+        );
+        let (_, report) = sophon::explain::ExplainReport::compute(&ctx);
+        println!("
+SOPHON decision trace:
+{}", report.render());
+    }
+
+    if let Some(n) = trace_n {
+        let profiles = scenario.profiles();
+        let ctx = sophon::engine::PlanningContext::new(
+            &profiles,
+            &scenario.pipeline,
+            &scenario.config,
+            scenario.gpu,
+            scenario.batch_size,
+        );
+        let plan = sophon::engine::DecisionEngine::new().plan(&ctx);
+        let works = plan.to_sample_works(&profiles).expect("plan matches profiles");
+        let spec = cluster::EpochSpec::new(works, scenario.batch_size, scenario.gpu);
+        match cluster::simulate_epoch_traced(&scenario.config, &spec) {
+            Ok(trace) => {
+                println!("
+SOPHON epoch timeline (first {n} samples, virtual seconds):");
+                println!("{}", trace.render_head(n));
+            }
+            Err(e) => eprintln!("trace unavailable: {e}"),
+        }
+    }
+
+    let policies = standard_policies();
+    let selected: Vec<_> = policies
+        .iter()
+        .filter(|p| opts.policy == "all" || p.name() == opts.policy)
+        .collect();
+
+    if opts.epochs == 1 {
+        println!(
+            "\n{:<12} {:>11} {:>13} {:>11} {:>10} {:>9}",
+            "policy", "epoch (s)", "traffic (GB)", "offloaded", "GPU util", "class"
+        );
+        for p in selected {
+            match scenario.run(p.as_ref()) {
+                Ok(r) => println!(
+                    "{:<12} {:>11.1} {:>13.2} {:>11} {:>9.1}% {:>9}",
+                    r.policy,
+                    r.epoch.epoch_seconds,
+                    r.epoch.traffic_bytes as f64 / 1e9,
+                    r.summary.offloaded_samples,
+                    r.epoch.gpu_utilization() * 100.0,
+                    format!("{:?}", r.class),
+                ),
+                Err(e) => println!("{:<12} failed: {e}", p.name()),
+            }
+        }
+    } else {
+        println!(
+            "\n{:<12} {:>12} {:>12} {:>12} {:>18}",
+            "policy", "epoch 0 (s)", "steady (s)", "total (s)", "profiling overhead"
+        );
+        for p in selected {
+            match scenario.run_training(p.as_ref(), opts.epochs) {
+                Ok(r) => println!(
+                    "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>17.2}%",
+                    r.policy,
+                    r.stats.first_epoch.epoch_seconds,
+                    r.stats.steady_epoch.epoch_seconds,
+                    r.stats.total_seconds,
+                    r.profiling_overhead() * 100.0,
+                ),
+                Err(e) => println!("{:<12} failed: {e}", p.name()),
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Argument parsing for the `sophon-sim` command-line tool.
+//!
+//! Hand-rolled (`--flag value` pairs) to keep the workspace dependency-free;
+//! the parser is a pure function so every path is unit-testable.
+
+use cluster::{ClusterConfig, GpuModel};
+use datasets::DatasetSpec;
+
+use crate::runner::Scenario;
+
+/// Which corpus to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetChoice {
+    /// OpenImages-like statistics.
+    OpenImages,
+    /// ImageNet-like statistics.
+    ImageNet,
+    /// The small mixed corpus used by functional tests.
+    Mini,
+}
+
+/// A fully parsed `sophon-sim` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Corpus family.
+    pub dataset: DatasetChoice,
+    /// Sample count.
+    pub samples: u64,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Policy name, or `"all"`.
+    pub policy: String,
+    /// Storage-node preprocessing cores.
+    pub storage_cores: usize,
+    /// Compute-node preprocessing cores.
+    pub compute_cores: usize,
+    /// GPUs.
+    pub gpus: usize,
+    /// Link bandwidth in Mbps.
+    pub bandwidth_mbps: f64,
+    /// GPU cost model.
+    pub model: GpuModel,
+    /// Batch size.
+    pub batch: usize,
+    /// Training epochs (1 = single-epoch report).
+    pub epochs: u64,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            dataset: DatasetChoice::OpenImages,
+            samples: 8_192,
+            seed: 42,
+            policy: "all".to_string(),
+            storage_cores: 48,
+            compute_cores: 48,
+            gpus: 1,
+            bandwidth_mbps: 500.0,
+            model: GpuModel::AlexNet,
+            batch: 256,
+            epochs: 1,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses `--flag value` argument pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message naming the offending flag or value.
+    pub fn parse<I, S>(args: I) -> Result<CliOptions, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = CliOptions::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let flag = flag.as_ref();
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))?;
+            let value = value.as_ref();
+            match flag {
+                "--dataset" => {
+                    opts.dataset = match value {
+                        "openimages" => DatasetChoice::OpenImages,
+                        "imagenet" => DatasetChoice::ImageNet,
+                        "mini" => DatasetChoice::Mini,
+                        other => return Err(format!("unknown dataset '{other}'")),
+                    }
+                }
+                "--samples" => opts.samples = parse_num(flag, value)?,
+                "--seed" => opts.seed = parse_num(flag, value)?,
+                "--policy" => {
+                    if !["all", "no-off", "all-off", "fastflow", "resize-off", "sophon"]
+                        .contains(&value)
+                    {
+                        return Err(format!("unknown policy '{value}'"));
+                    }
+                    opts.policy = value.to_string();
+                }
+                "--storage-cores" => opts.storage_cores = parse_num(flag, value)?,
+                "--compute-cores" => opts.compute_cores = parse_num(flag, value)?,
+                "--gpus" => opts.gpus = parse_num(flag, value)?,
+                "--bandwidth-mbps" => {
+                    opts.bandwidth_mbps = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite() && *v > 0.0)
+                        .ok_or_else(|| format!("invalid bandwidth '{value}'"))?;
+                }
+                "--model" => {
+                    opts.model = match value {
+                        "alexnet" => GpuModel::AlexNet,
+                        "resnet18" => GpuModel::ResNet18,
+                        "resnet50" => GpuModel::ResNet50,
+                        other => return Err(format!("unknown model '{other}'")),
+                    }
+                }
+                "--batch" => opts.batch = parse_num(flag, value)?,
+                "--epochs" => opts.epochs = parse_num(flag, value)?,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        if opts.samples == 0 || opts.batch == 0 || opts.epochs == 0 {
+            return Err("samples, batch, and epochs must be positive".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// Materializes the corpus spec.
+    pub fn dataset_spec(&self) -> DatasetSpec {
+        match self.dataset {
+            DatasetChoice::OpenImages => DatasetSpec::openimages_like(self.samples, self.seed),
+            DatasetChoice::ImageNet => DatasetSpec::imagenet_like(self.samples, self.seed),
+            DatasetChoice::Mini => DatasetSpec::mini(self.samples, self.seed),
+        }
+    }
+
+    /// Materializes the cluster config.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        ClusterConfig::paper_testbed(self.storage_cores)
+            .with_compute_cores(self.compute_cores)
+            .with_gpus(self.gpus)
+            .with_bandwidth(netsim::Bandwidth::from_mbps(self.bandwidth_mbps))
+    }
+
+    /// Materializes the scenario.
+    pub fn scenario(&self) -> Scenario {
+        Scenario::new(self.dataset_spec(), self.cluster_config(), self.model, self.batch)
+    }
+
+    /// One line per flag, for `--help`-style output.
+    pub fn usage() -> &'static str {
+        "sophon-sim [--dataset openimages|imagenet|mini] [--samples N] [--seed N]\n\
+         \u{20}          [--policy all|no-off|all-off|fastflow|resize-off|sophon]\n\
+         \u{20}          [--storage-cores N] [--compute-cores N] [--gpus N]\n\
+         \u{20}          [--bandwidth-mbps F] [--model alexnet|resnet18|resnet50]\n\
+         \u{20}          [--batch N] [--epochs N]"
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("invalid value '{value}' for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_parse_from_empty() {
+        let opts = CliOptions::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(opts, CliOptions::default());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let opts = CliOptions::parse(
+            "--dataset imagenet --samples 1000 --seed 9 --policy sophon \
+             --storage-cores 2 --compute-cores 16 --gpus 4 --bandwidth-mbps 1000 \
+             --model resnet50 --batch 128 --epochs 50"
+                .split_whitespace(),
+        )
+        .unwrap();
+        assert_eq!(opts.dataset, DatasetChoice::ImageNet);
+        assert_eq!(opts.samples, 1000);
+        assert_eq!(opts.policy, "sophon");
+        assert_eq!(opts.storage_cores, 2);
+        assert_eq!(opts.gpus, 4);
+        assert_eq!(opts.bandwidth_mbps, 1000.0);
+        assert_eq!(opts.model, GpuModel::ResNet50);
+        assert_eq!(opts.epochs, 50);
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert!(CliOptions::parse(["--policy", "bogus"]).unwrap_err().contains("bogus"));
+        assert!(CliOptions::parse(["--samples"]).unwrap_err().contains("needs a value"));
+        assert!(CliOptions::parse(["--wat", "1"]).unwrap_err().contains("--wat"));
+        assert!(CliOptions::parse(["--bandwidth-mbps", "-5"])
+            .unwrap_err()
+            .contains("bandwidth"));
+        assert!(CliOptions::parse(["--samples", "0"]).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn scenario_materializes() {
+        let opts = CliOptions::parse(["--samples", "64"]).unwrap();
+        let s = opts.scenario();
+        assert_eq!(s.dataset.len, 64);
+        assert_eq!(s.config.link_bps, 500e6);
+    }
+}

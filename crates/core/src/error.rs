@@ -1,0 +1,62 @@
+/// Errors from SOPHON planning and experiment runs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SophonError {
+    /// The cluster simulation rejected the workload.
+    Sim(cluster::SimError),
+    /// A pipeline execution failed during profiling.
+    Pipeline(pipeline::PipelineError),
+    /// The plan and profile collections disagree in length.
+    PlanMismatch {
+        /// Number of per-sample profiles.
+        profiles: usize,
+        /// Number of plan entries.
+        plan: usize,
+    },
+    /// A policy produced a split outside the pipeline.
+    BadSplit {
+        /// Offending sample.
+        sample_id: u64,
+        /// The split requested.
+        split: usize,
+        /// Pipeline length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for SophonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SophonError::Sim(e) => write!(f, "cluster simulation failed: {e}"),
+            SophonError::Pipeline(e) => write!(f, "profiling failed: {e}"),
+            SophonError::PlanMismatch { profiles, plan } => {
+                write!(f, "plan has {plan} entries for {profiles} profiles")
+            }
+            SophonError::BadSplit { sample_id, split, len } => {
+                write!(f, "sample {sample_id}: split {split} exceeds pipeline length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SophonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SophonError::Sim(e) => Some(e),
+            SophonError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cluster::SimError> for SophonError {
+    fn from(e: cluster::SimError) -> Self {
+        SophonError::Sim(e)
+    }
+}
+
+impl From<pipeline::PipelineError> for SophonError {
+    fn from(e: pipeline::PipelineError) -> Self {
+        SophonError::Pipeline(e)
+    }
+}

@@ -1,0 +1,246 @@
+//! Adaptive replanning under dataset drift.
+//!
+//! SOPHON profiles once (epoch 0) and reuses the plan for the whole job.
+//! That is sound while the corpus is fixed — but production training jobs
+//! see datasets grow and shift. This extension quantifies the cost of a
+//! *stale* plan on a drifted corpus and the benefit of replanning, and
+//! simulates a training run that drifts mid-way with and without
+//! re-profiling.
+
+use cluster::{simulate_epoch, EpochSpec, GpuModel};
+use pipeline::SplitPoint;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{DecisionEngine, PlanningContext};
+use crate::{CostVector, OffloadPlan, SophonError};
+
+/// Comparison of a stale plan against replanning on a drifted corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Predicted costs of the stale plan over the new profiles.
+    pub stale: CostVector,
+    /// Predicted costs of a fresh plan over the new profiles.
+    pub replanned: CostVector,
+    /// Samples whose stale split no longer matches the fresh plan.
+    pub divergent_samples: u64,
+}
+
+impl DriftReport {
+    /// Makespan ratio stale / replanned (≥ 1; 1 = drift was harmless).
+    pub fn regression(&self) -> f64 {
+        self.stale.makespan() / self.replanned.makespan().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Evaluates a plan built for an *old* corpus against the profiles of a
+/// *new* (drifted) corpus of the same length, and compares with replanning.
+///
+/// Stale splits that exceed a sample's pipeline are clamped to no
+/// offloading (defensive: drift should never crash the loader).
+///
+/// # Errors
+///
+/// Propagates cost-evaluation failures.
+///
+/// # Panics
+///
+/// Panics when the plan length differs from the new corpus length.
+pub fn evaluate_drift(
+    stale_plan: &OffloadPlan,
+    new_ctx: &PlanningContext<'_>,
+) -> Result<DriftReport, SophonError> {
+    assert_eq!(
+        stale_plan.len(),
+        new_ctx.profiles.len(),
+        "drift evaluation requires corpora of equal length"
+    );
+    // Sanitize stale splits against the new profiles.
+    let sanitized = OffloadPlan::from_splits(
+        stale_plan
+            .iter()
+            .zip(new_ctx.profiles.iter())
+            .map(|(split, p)| {
+                if split.offloaded_ops() <= p.stages.len() {
+                    split
+                } else {
+                    SplitPoint::NONE
+                }
+            })
+            .collect(),
+    );
+    let stale = new_ctx.costs_for_plan(&sanitized)?;
+    let fresh_plan = DecisionEngine::new().plan(new_ctx);
+    let replanned = new_ctx.costs_for_plan(&fresh_plan)?;
+    let divergent_samples = sanitized
+        .iter()
+        .zip(fresh_plan.iter())
+        .filter(|(a, b)| a != b)
+        .count() as u64;
+    Ok(DriftReport { stale, replanned, divergent_samples })
+}
+
+/// Simulated totals of a training run whose corpus drifts at `drift_epoch`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftRunReport {
+    /// Total seconds when the epoch-0 plan is kept after the drift.
+    pub stale_total_seconds: f64,
+    /// Total seconds when SOPHON re-profiles (one un-offloaded epoch) and
+    /// replans at the drift point.
+    pub adaptive_total_seconds: f64,
+    /// Epochs in the run.
+    pub epochs: u64,
+    /// The epoch at which the corpus drifted.
+    pub drift_epoch: u64,
+}
+
+impl DriftRunReport {
+    /// Speedup of adapting over keeping the stale plan.
+    pub fn adaptation_gain(&self) -> f64 {
+        self.stale_total_seconds / self.adaptive_total_seconds.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Simulates a run of `epochs` epochs where the corpus switches from
+/// `before` to `after` at `drift_epoch` (both contexts share the cluster).
+///
+/// The *stale* strategy keeps the epoch-0 plan throughout; the *adaptive*
+/// strategy pays one un-offloaded re-profiling epoch at the drift point and
+/// then uses a fresh plan.
+///
+/// # Errors
+///
+/// Propagates planning and simulation failures.
+///
+/// # Panics
+///
+/// Panics when `drift_epoch` is not inside `1..epochs` or corpus lengths
+/// differ.
+pub fn simulate_drifted_run(
+    before: &PlanningContext<'_>,
+    after: &PlanningContext<'_>,
+    gpu: GpuModel,
+    batch_size: usize,
+    epochs: u64,
+    drift_epoch: u64,
+) -> Result<DriftRunReport, SophonError> {
+    assert!(drift_epoch >= 1 && drift_epoch < epochs, "drift must fall inside the run");
+    assert_eq!(before.profiles.len(), after.profiles.len(), "corpora must match in length");
+    let engine = DecisionEngine::new();
+    let plan_before = engine.plan(before);
+    let plan_after = engine.plan(after);
+
+    let epoch_secs = |ctx: &PlanningContext<'_>, plan: &OffloadPlan| -> Result<f64, SophonError> {
+        let works = plan.to_sample_works(ctx.profiles)?;
+        Ok(simulate_epoch(ctx.config, &EpochSpec::new(works, batch_size, gpu))?.epoch_seconds)
+    };
+
+    let before_optimized = epoch_secs(before, &plan_before)?;
+    // Stale: old plan (sanitized) runs on the new corpus forever.
+    let sanitized = OffloadPlan::from_splits(
+        plan_before
+            .iter()
+            .zip(after.profiles.iter())
+            .map(|(s, p)| if s.offloaded_ops() <= p.stages.len() { s } else { SplitPoint::NONE })
+            .collect(),
+    );
+    let after_stale = epoch_secs(after, &sanitized)?;
+    let after_optimized = epoch_secs(after, &plan_after)?;
+    let after_unoffloaded = epoch_secs(after, &OffloadPlan::none(after.profiles.len()))?;
+
+    // Epoch 0 profiles un-offloaded on the `before` corpus for both
+    // strategies.
+    let before_unoffloaded = epoch_secs(before, &OffloadPlan::none(before.profiles.len()))?;
+    let pre_epochs = (drift_epoch - 1) as f64;
+    let post_epochs = (epochs - drift_epoch) as f64;
+
+    // Both strategies: one un-offloaded profiling epoch, then optimized
+    // epochs until the drift. After the drift, the stale strategy keeps the
+    // old plan; the adaptive one pays one re-profiling (un-offloaded) epoch
+    // and runs freshly planned epochs from there.
+    let shared = before_unoffloaded + pre_epochs * before_optimized;
+    let stale_total = shared + post_epochs * after_stale;
+    let adaptive_total =
+        shared + after_unoffloaded + (post_epochs - 1.0).max(0.0) * after_optimized;
+
+    Ok(DriftRunReport {
+        stale_total_seconds: stale_total,
+        adaptive_total_seconds: adaptive_total,
+        epochs,
+        drift_epoch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::ClusterConfig;
+    use datasets::DatasetSpec;
+    use pipeline::{CostModel, PipelineSpec, SampleProfile};
+
+    fn profiles(ds: &DatasetSpec) -> Vec<SampleProfile> {
+        let spec = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        ds.records().map(|r| r.analytic_profile(&spec, &model)).collect()
+    }
+
+    #[test]
+    fn drift_from_openimages_to_imagenet_regresses_stale_plans() {
+        // A plan tuned for OpenImages offloads ~76% of samples; on an
+        // ImageNet-like corpus most of those samples are smaller raw, so the
+        // stale plan ships inflated crops.
+        let pipeline = PipelineSpec::standard_train();
+        let config = ClusterConfig::paper_testbed(48);
+        let old_profiles = profiles(&DatasetSpec::openimages_like(1500, 1));
+        let new_profiles = profiles(&DatasetSpec::imagenet_like(1500, 2));
+        let old_ctx =
+            PlanningContext::new(&old_profiles, &pipeline, &config, GpuModel::AlexNet, 256);
+        let new_ctx =
+            PlanningContext::new(&new_profiles, &pipeline, &config, GpuModel::AlexNet, 256);
+        let stale_plan = DecisionEngine::new().plan(&old_ctx);
+        let report = evaluate_drift(&stale_plan, &new_ctx).unwrap();
+        assert!(report.regression() > 1.1, "regression {}", report.regression());
+        assert!(report.divergent_samples > 500);
+    }
+
+    #[test]
+    fn no_drift_means_no_regression() {
+        let pipeline = PipelineSpec::standard_train();
+        let config = ClusterConfig::paper_testbed(48);
+        let ps = profiles(&DatasetSpec::openimages_like(1000, 1));
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let plan = DecisionEngine::new().plan(&ctx);
+        let report = evaluate_drift(&plan, &ctx).unwrap();
+        assert!((report.regression() - 1.0).abs() < 1e-9);
+        assert_eq!(report.divergent_samples, 0);
+    }
+
+    #[test]
+    fn adapting_beats_stale_over_a_long_run() {
+        let pipeline = PipelineSpec::standard_train();
+        let config = ClusterConfig::paper_testbed(48);
+        let old_profiles = profiles(&DatasetSpec::openimages_like(1500, 1));
+        let new_profiles = profiles(&DatasetSpec::imagenet_like(1500, 2));
+        let before =
+            PlanningContext::new(&old_profiles, &pipeline, &config, GpuModel::AlexNet, 256);
+        let after =
+            PlanningContext::new(&new_profiles, &pipeline, &config, GpuModel::AlexNet, 256);
+        let report =
+            simulate_drifted_run(&before, &after, GpuModel::AlexNet, 256, 50, 10).unwrap();
+        assert!(
+            report.adaptation_gain() > 1.05,
+            "adaptation gain {}",
+            report.adaptation_gain()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_corpora_panic() {
+        let pipeline = PipelineSpec::standard_train();
+        let config = ClusterConfig::paper_testbed(48);
+        let ps = profiles(&DatasetSpec::mini(10, 1));
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 4);
+        let plan = OffloadPlan::none(9);
+        let _ = evaluate_drift(&plan, &ctx);
+    }
+}

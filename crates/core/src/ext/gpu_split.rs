@@ -1,0 +1,213 @@
+//! CPU↔GPU preprocessing split (paper §5, "new opportunities").
+//!
+//! The paper notes its findings also apply *inside* the compute node: the
+//! CPU→GPU copy is another constrained link, and `ToTensor` + `Normalize`
+//! quadruple the bytes crossing it. Offloading those two ops **to the GPU**
+//! (as NVIDIA DALI does) ships the 1-byte-per-channel crop over PCIe
+//! instead of the 4-byte float tensor — the same minimum-size logic SOPHON
+//! applies to the storage link, pointed at a different wire.
+//!
+//! This extension reuses the per-sample profile machinery: for each sample
+//! it compares bytes-over-PCIe at the CPU→GPU handoff when tensor
+//! conversion happens on the CPU versus on the GPU, charges the GPU the
+//! conversion cost, and keeps the choice that minimizes the epoch's
+//! predicted makespan contribution.
+
+use pipeline::{DataKind, OpKind, SampleProfile};
+use serde::{Deserialize, Serialize};
+
+/// Where a sample's tensor conversion (`ToTensor` + `Normalize`) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TensorSide {
+    /// Convert on the CPU; PCIe carries the float tensor (the default
+    /// PyTorch pipeline).
+    Cpu,
+    /// Convert on the GPU; PCIe carries the u8 raster (the DALI-style
+    /// split).
+    Gpu,
+}
+
+/// Parameters of the intra-node link and the GPU's conversion cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSplitConfig {
+    /// Effective host→device bandwidth in bytes/second (PCIe 3.0 x16
+    /// sustains ~12 GB/s; shared with other traffic in practice).
+    pub pcie_bytes_per_sec: f64,
+    /// GPU seconds per pixel for tensor conversion + normalization
+    /// (vectorized, far cheaper than the CPU path).
+    pub gpu_convert_seconds_per_pixel: f64,
+}
+
+impl Default for GpuSplitConfig {
+    fn default() -> Self {
+        GpuSplitConfig {
+            pcie_bytes_per_sec: 12e9,
+            gpu_convert_seconds_per_pixel: 0.2e-9,
+        }
+    }
+}
+
+/// The outcome of planning the CPU↔GPU split for a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSplitReport {
+    /// Per-sample placements, indexed by sample.
+    pub placement: Vec<TensorSide>,
+    /// PCIe bytes per epoch with everything converted on the CPU.
+    pub pcie_bytes_cpu_only: u64,
+    /// PCIe bytes per epoch under the chosen placement.
+    pub pcie_bytes_split: u64,
+    /// CPU seconds saved per epoch (single-core) by moving conversions off
+    /// the CPU.
+    pub cpu_seconds_saved: f64,
+    /// GPU seconds added per epoch by on-device conversion.
+    pub gpu_seconds_added: f64,
+}
+
+impl GpuSplitReport {
+    /// PCIe traffic reduction factor.
+    pub fn pcie_reduction(&self) -> f64 {
+        self.pcie_bytes_cpu_only as f64 / self.pcie_bytes_split.max(1) as f64
+    }
+
+    /// Samples converted on the GPU.
+    pub fn gpu_samples(&self) -> usize {
+        self.placement.iter().filter(|&&p| p == TensorSide::Gpu).count()
+    }
+}
+
+/// Plans the per-sample conversion placement for a profiled corpus.
+///
+/// A sample converts on the GPU when that strictly reduces its PCIe bytes
+/// (true whenever its pipeline ends in tensor stages — the u8 raster is 4×
+/// smaller) *and* the GPU-time price of conversion stays below the PCIe
+/// time saved; with the default constants this holds for every sample, but
+/// the guard matters for slow devices or fat links.
+pub fn plan_gpu_split(profiles: &[SampleProfile], config: &GpuSplitConfig) -> GpuSplitReport {
+    let mut placement = Vec::with_capacity(profiles.len());
+    let mut pcie_cpu_only = 0u64;
+    let mut pcie_split = 0u64;
+    let mut cpu_saved = 0.0f64;
+    let mut gpu_added = 0.0f64;
+    for p in profiles {
+        // Bytes entering the GPU under the CPU-convert pipeline: the final
+        // stage's size (a float tensor for tensor-terminated pipelines).
+        let final_bytes = p.size_at(p.stages.len());
+        pcie_cpu_only += final_bytes;
+        // The last image-kind stage is what a GPU-convert pipeline would
+        // ship (u8, pre-ToTensor). Pipelines that never reach tensor kind
+        // have nothing to move.
+        let image_stage = p
+            .stages
+            .iter()
+            .rposition(|s| s.op.output_kind() == DataKind::Image)
+            .map(|i| i + 1);
+        let (side, shipped) = match image_stage {
+            Some(stage) if p.size_at(stage) < final_bytes => {
+                let raster_bytes = p.size_at(stage);
+                let pixels = raster_bytes / 3;
+                let gpu_cost = pixels as f64 * config.gpu_convert_seconds_per_pixel;
+                let pcie_saved_s =
+                    (final_bytes - raster_bytes) as f64 / config.pcie_bytes_per_sec;
+                if gpu_cost < pcie_saved_s {
+                    // CPU no longer runs the tensor-stage ops.
+                    cpu_saved += p
+                        .stages
+                        .iter()
+                        .filter(|s| {
+                            matches!(s.op, OpKind::ToTensor | OpKind::Normalize)
+                        })
+                        .map(|s| s.seconds)
+                        .sum::<f64>();
+                    gpu_added += gpu_cost;
+                    (TensorSide::Gpu, raster_bytes)
+                } else {
+                    (TensorSide::Cpu, final_bytes)
+                }
+            }
+            _ => (TensorSide::Cpu, final_bytes),
+        };
+        pcie_split += shipped;
+        placement.push(side);
+    }
+    GpuSplitReport {
+        placement,
+        pcie_bytes_cpu_only: pcie_cpu_only,
+        pcie_bytes_split: pcie_split,
+        cpu_seconds_saved: cpu_saved,
+        gpu_seconds_added: gpu_added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::DatasetSpec;
+    use pipeline::{CostModel, PipelineSpec};
+
+    fn profiles(n: u64) -> Vec<SampleProfile> {
+        let spec = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        DatasetSpec::openimages_like(n, 3)
+            .records()
+            .map(|r| r.analytic_profile(&spec, &model))
+            .collect()
+    }
+
+    #[test]
+    fn standard_pipeline_moves_everything_to_gpu_and_saves_4x() {
+        let ps = profiles(500);
+        let report = plan_gpu_split(&ps, &GpuSplitConfig::default());
+        assert_eq!(report.gpu_samples(), 500);
+        // Every sample ships 150 528 B instead of 602 112 B: exactly 4x.
+        assert!((report.pcie_reduction() - 4.0).abs() < 1e-9);
+        assert!(report.cpu_seconds_saved > 0.0);
+        assert!(report.gpu_seconds_added > 0.0);
+        // GPU conversion is far cheaper than the CPU path it replaces.
+        assert!(report.gpu_seconds_added < report.cpu_seconds_saved / 10.0);
+    }
+
+    #[test]
+    fn slow_gpu_conversion_keeps_work_on_cpu() {
+        let ps = profiles(100);
+        let config = GpuSplitConfig {
+            pcie_bytes_per_sec: 12e9,
+            // Pathologically slow device-side conversion.
+            gpu_convert_seconds_per_pixel: 1e-3,
+        };
+        let report = plan_gpu_split(&ps, &config);
+        assert_eq!(report.gpu_samples(), 0);
+        assert_eq!(report.pcie_bytes_split, report.pcie_bytes_cpu_only);
+        assert_eq!(report.cpu_seconds_saved, 0.0);
+    }
+
+    #[test]
+    fn image_terminated_pipelines_have_nothing_to_move() {
+        // A pipeline ending at the raster stage never pays the 4x penalty.
+        let spec = pipeline::PipelineSpec::new(vec![
+            OpKind::Decode,
+            OpKind::RandomResizedCrop { size: 224 },
+        ])
+        .unwrap();
+        let model = CostModel::realistic();
+        let ps: Vec<_> = DatasetSpec::mini(20, 1)
+            .records()
+            .map(|r| r.analytic_profile(&spec, &model))
+            .collect();
+        let report = plan_gpu_split(&ps, &GpuSplitConfig::default());
+        assert_eq!(report.gpu_samples(), 0);
+        assert!((report.pcie_reduction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composes_with_storage_offloading() {
+        // The two selective offloads are independent: storage offloading
+        // decides what crosses the storage link; the GPU split decides what
+        // crosses PCIe. Both reach their maximum simultaneously.
+        let ps = profiles(300);
+        let report = plan_gpu_split(&ps, &GpuSplitConfig::default());
+        let storage_min: u64 = ps.iter().map(|p| p.min_stage().1).sum();
+        let storage_raw: u64 = ps.iter().map(|p| p.raw_bytes).sum();
+        assert!(storage_min < storage_raw, "storage offload still helps");
+        assert!(report.pcie_reduction() > 3.9, "PCIe split still helps");
+    }
+}

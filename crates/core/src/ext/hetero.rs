@@ -1,0 +1,130 @@
+//! Heterogeneous CPU types across compute and storage nodes (future work
+//! §6).
+//!
+//! The paper's prototype assumes identical CPUs so that compute-node
+//! profiling times transfer directly to the storage node. Real storage
+//! servers usually carry weaker cores. This extension models that with a
+//! single *speed factor*: a storage core runs offloaded work at `factor ×`
+//! the speed of a compute core (`factor < 1` = slower).
+//!
+//! The factor enters in two places:
+//!
+//! 1. **Planning** — [`PlanningContext::storage_speed_factor`] rescales the
+//!    effective storage capacity the decision engine budgets against, so a
+//!    slow storage node offloads fewer samples.
+//! 2. **Simulation** — [`scale_storage_work`] stretches each offloaded
+//!    task's duration, so the simulated epoch reflects the slower cores.
+
+use cluster::SampleWork;
+
+use crate::engine::{DecisionEngine, PlanningContext};
+use crate::OffloadPlan;
+
+/// Returns a context planning against storage cores running at `factor`
+/// relative speed.
+///
+/// # Panics
+///
+/// Panics when `factor` is not strictly positive and finite.
+pub fn with_storage_speed<'a>(
+    ctx: &PlanningContext<'a>,
+    factor: f64,
+) -> PlanningContext<'a> {
+    assert!(factor.is_finite() && factor > 0.0, "invalid speed factor {factor}");
+    let mut out = *ctx;
+    out.storage_speed_factor = factor;
+    out
+}
+
+/// Plans with the heterogeneous-aware engine.
+pub fn plan_heterogeneous(ctx: &PlanningContext<'_>, factor: f64) -> OffloadPlan {
+    DecisionEngine::new().plan(&with_storage_speed(ctx, factor))
+}
+
+/// Stretches offloaded CPU seconds to reflect storage cores running at
+/// `factor` relative speed (for the simulator, whose pools tick in
+/// compute-core seconds).
+///
+/// # Panics
+///
+/// Panics when `factor` is not strictly positive and finite.
+pub fn scale_storage_work(works: &[SampleWork], factor: f64) -> Vec<SampleWork> {
+    assert!(factor.is_finite() && factor > 0.0, "invalid speed factor {factor}");
+    works
+        .iter()
+        .map(|w| {
+            SampleWork::new(
+                w.storage_cpu_seconds / factor,
+                w.transfer_bytes,
+                w.compute_cpu_seconds,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{simulate_epoch, ClusterConfig, EpochSpec, GpuModel};
+    use datasets::DatasetSpec;
+    use pipeline::{CostModel, PipelineSpec, SampleProfile};
+
+    fn setup() -> (Vec<SampleProfile>, PipelineSpec, ClusterConfig) {
+        let ds = DatasetSpec::openimages_like(1500, 6);
+        let pipeline = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        let ps: Vec<_> = ds.records().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+        (ps, pipeline, ClusterConfig::paper_testbed(2))
+    }
+
+    #[test]
+    fn slower_storage_cores_offload_less() {
+        let (ps, pipeline, config) = setup();
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let fast = plan_heterogeneous(&ctx, 1.0);
+        let slow = plan_heterogeneous(&ctx, 0.25);
+        assert!(
+            slow.offloaded_samples() < fast.offloaded_samples(),
+            "slow {} vs fast {}",
+            slow.offloaded_samples(),
+            fast.offloaded_samples()
+        );
+        assert!(slow.offloaded_samples() > 0);
+    }
+
+    #[test]
+    fn hetero_plan_still_beats_no_off_in_simulation() {
+        let (ps, pipeline, config) = setup();
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let factor = 0.5;
+        let plan = plan_heterogeneous(&ctx, factor);
+        let works = scale_storage_work(&plan.to_sample_works(&ps).unwrap(), factor);
+        let hetero = simulate_epoch(&config, &EpochSpec::new(works, 256, GpuModel::AlexNet))
+            .unwrap();
+        let baseline_works = OffloadPlan::none(ps.len()).to_sample_works(&ps).unwrap();
+        let baseline =
+            simulate_epoch(&config, &EpochSpec::new(baseline_works, 256, GpuModel::AlexNet))
+                .unwrap();
+        assert!(
+            hetero.epoch_seconds < baseline.epoch_seconds,
+            "hetero {} vs baseline {}",
+            hetero.epoch_seconds,
+            baseline.epoch_seconds
+        );
+    }
+
+    #[test]
+    fn scaling_stretches_only_storage_time() {
+        let works = vec![SampleWork::new(0.01, 100, 0.02)];
+        let scaled = scale_storage_work(&works, 0.5);
+        assert!((scaled[0].storage_cpu_seconds - 0.02).abs() < 1e-12);
+        assert_eq!(scaled[0].transfer_bytes, 100);
+        assert!((scaled[0].compute_cpu_seconds - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed factor")]
+    fn zero_factor_rejected() {
+        let _ = scale_storage_work(&[], 0.0);
+    }
+}

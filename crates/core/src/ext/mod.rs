@@ -1,0 +1,27 @@
+//! Implemented extensions from the paper's future-work section (§6):
+//!
+//! * [`compression`] — selectively re-compress offloaded intermediates
+//!   before transfer, trading extra storage-node CPU for further traffic
+//!   reduction.
+//! * [`hetero`] — heterogeneous CPU types across compute and storage nodes
+//!   (a speed factor rescales offloaded work in both planning and
+//!   simulation).
+//! * [`multitenant`] — a storage-side CPU scheduler that splits cores among
+//!   concurrent training jobs by marginal epoch-time gain.
+//!
+//! Plus one operator tool that falls out of the same machinery:
+//!
+//! * [`provisioning`] — the smallest storage-core grant meeting a target
+//!   epoch time (the inverse of the paper's Figure 4).
+//! * [`adaptive`] — replanning under dataset drift: the cost of a stale
+//!   plan and the payoff of re-profiling mid-run.
+//! * [`gpu_split`] — the paper's §5 "new opportunity": the same selective
+//!   minimum-size logic applied to the CPU→GPU PCIe hop (DALI-style
+//!   on-device tensor conversion).
+
+pub mod adaptive;
+pub mod compression;
+pub mod gpu_split;
+pub mod hetero;
+pub mod multitenant;
+pub mod provisioning;

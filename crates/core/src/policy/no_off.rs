@@ -1,0 +1,49 @@
+use crate::engine::PlanningContext;
+use crate::{OffloadPlan, SophonError};
+
+use super::{Capabilities, Policy};
+
+/// `No-Off`: the original training pipeline — every sample fetched raw,
+/// all preprocessing on the compute node.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOffPolicy;
+
+impl Policy for NoOffPolicy {
+    fn name(&self) -> &'static str {
+        "no-off"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            offloads_preprocessing: false,
+            operation_selective: false,
+            data_selective: false,
+            near_storage: false,
+        }
+    }
+
+    fn plan(&self, ctx: &PlanningContext<'_>) -> Result<OffloadPlan, SophonError> {
+        Ok(OffloadPlan::none(ctx.profiles.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClusterConfig, GpuModel};
+    use datasets::DatasetSpec;
+    use pipeline::{CostModel, PipelineSpec};
+
+    #[test]
+    fn plan_is_empty() {
+        let ds = DatasetSpec::mini(10, 1);
+        let pipeline = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        let ps: Vec<_> = ds.records().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+        let config = ClusterConfig::paper_testbed(48);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 4);
+        let plan = NoOffPolicy.plan(&ctx).unwrap();
+        assert_eq!(plan.offloaded_samples(), 0);
+        assert_eq!(plan.len(), 10);
+    }
+}

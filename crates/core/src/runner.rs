@@ -1,0 +1,268 @@
+//! End-to-end experiment driver: corpus → profiles → plan → simulated epoch.
+
+use cluster::{simulate_epoch, ClusterConfig, EpochSpec, EpochStats, GpuModel};
+use datasets::DatasetSpec;
+use pipeline::{CostModel, PipelineSpec, SampleProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::PlanningContext;
+use crate::policy::Policy;
+use crate::profiler::{Stage1Probe, WorkloadClass};
+use crate::{CostVector, PlanSummary, SophonError};
+
+/// One training scenario: a corpus on a cluster with a model.
+///
+/// A `Scenario` owns everything needed to evaluate any policy, so Figures 3
+/// and 4 are sweeps of `Scenario::run` over policies and storage-core
+/// counts.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The corpus.
+    pub dataset: DatasetSpec,
+    /// The cluster.
+    pub config: ClusterConfig,
+    /// The trained model's GPU cost.
+    pub gpu: GpuModel,
+    /// Training batch size.
+    pub batch_size: usize,
+    /// The preprocessing pipeline.
+    pub pipeline: PipelineSpec,
+    /// The CPU cost model.
+    pub cost_model: CostModel,
+}
+
+impl Scenario {
+    /// Creates a scenario with the standard training pipeline and realistic
+    /// cost model.
+    pub fn new(
+        dataset: DatasetSpec,
+        config: ClusterConfig,
+        gpu: GpuModel,
+        batch_size: usize,
+    ) -> Scenario {
+        Scenario {
+            dataset,
+            config,
+            gpu,
+            batch_size,
+            pipeline: PipelineSpec::standard_train(),
+            cost_model: CostModel::realistic(),
+        }
+    }
+
+    /// Stage-2 profiles for the whole corpus (analytic path).
+    pub fn profiles(&self) -> Vec<SampleProfile> {
+        crate::profiler::stage2::profile_corpus_analytic(
+            &self.dataset,
+            &self.pipeline,
+            &self.cost_model,
+        )
+    }
+
+    /// Evaluates one policy end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and simulation failures.
+    pub fn run(&self, policy: &dyn Policy) -> Result<RunReport, SophonError> {
+        let profiles = self.profiles();
+        self.run_with_profiles(policy, &profiles)
+    }
+
+    /// Evaluates one policy over precomputed profiles (avoids re-profiling
+    /// in sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and simulation failures.
+    pub fn run_with_profiles(
+        &self,
+        policy: &dyn Policy,
+        profiles: &[SampleProfile],
+    ) -> Result<RunReport, SophonError> {
+        let ctx = PlanningContext::new(
+            profiles,
+            &self.pipeline,
+            &self.config,
+            self.gpu,
+            self.batch_size,
+        );
+        let class = Stage1Probe::run(&ctx)?.classify();
+        let plan = policy.plan(&ctx)?;
+        let summary = plan.summarize(profiles)?;
+        let costs = ctx.costs_for_plan(&plan)?;
+        let works = plan.to_sample_works(profiles)?;
+        let epoch =
+            simulate_epoch(&self.config, &EpochSpec::new(works, self.batch_size, self.gpu))?;
+        Ok(RunReport { policy: policy.name().to_string(), class, costs, summary, epoch })
+    }
+
+    /// Evaluates all five standard policies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing policy.
+    pub fn run_all(&self) -> Result<Vec<RunReport>, SophonError> {
+        let profiles = self.profiles();
+        crate::policy::standard_policies()
+            .iter()
+            .map(|p| self.run_with_profiles(p.as_ref(), &profiles))
+            .collect()
+    }
+}
+
+/// The outcome of a multi-epoch training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Policy name.
+    pub policy: String,
+    /// The run's statistics; for policies with a profiling epoch
+    /// (`SOPHON`), the first epoch is un-offloaded.
+    pub stats: cluster::TrainingStats,
+}
+
+impl TrainingReport {
+    /// Fractional overhead of the profiling epoch relative to a run that
+    /// used the optimized plan from epoch 0.
+    pub fn profiling_overhead(&self) -> f64 {
+        let ideal = self.stats.steady_epoch.epoch_seconds * self.stats.epochs as f64;
+        if ideal <= 0.0 {
+            0.0
+        } else {
+            self.stats.total_seconds / ideal - 1.0
+        }
+    }
+}
+
+impl Scenario {
+    /// Simulates a full training run of `epochs` epochs under `policy`,
+    /// charging SOPHON its un-offloaded profiling epoch (stage-2 runs
+    /// on-the-fly during epoch 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and simulation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epochs == 0`.
+    pub fn run_training(
+        &self,
+        policy: &dyn Policy,
+        epochs: u64,
+    ) -> Result<TrainingReport, SophonError> {
+        let profiles = self.profiles();
+        let ctx = PlanningContext::new(
+            &profiles,
+            &self.pipeline,
+            &self.config,
+            self.gpu,
+            self.batch_size,
+        );
+        let plan = policy.plan(&ctx)?;
+        let steady_works = plan.to_sample_works(&profiles)?;
+        let steady = EpochSpec::new(steady_works, self.batch_size, self.gpu);
+        let first = if policy.requires_profiling_epoch() {
+            let baseline =
+                crate::OffloadPlan::none(profiles.len()).to_sample_works(&profiles)?;
+            EpochSpec::new(baseline, self.batch_size, self.gpu)
+        } else {
+            steady.clone()
+        };
+        let stats = cluster::simulate_training(&self.config, &first, &steady, epochs)?;
+        Ok(TrainingReport { policy: policy.name().to_string(), stats })
+    }
+}
+
+/// The outcome of one policy run on one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Policy name.
+    pub policy: String,
+    /// Stage-1 classification of the (un-offloaded) workload.
+    pub class: WorkloadClass,
+    /// Predicted cost vector of the chosen plan.
+    pub costs: CostVector,
+    /// Plan aggregates.
+    pub summary: PlanSummary,
+    /// Simulated epoch statistics.
+    pub epoch: EpochStats,
+}
+
+impl RunReport {
+    /// Traffic relative to `No-Off` (1.0 = unchanged, <1 = reduced).
+    pub fn relative_traffic(&self) -> f64 {
+        self.epoch.traffic_bytes as f64 / self.summary.raw_bytes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{NoOffPolicy, SophonPolicy};
+
+    fn scenario(storage_cores: usize) -> Scenario {
+        Scenario::new(
+            DatasetSpec::openimages_like(2048, 5),
+            ClusterConfig::paper_testbed(storage_cores),
+            GpuModel::AlexNet,
+            256,
+        )
+    }
+
+    #[test]
+    fn sophon_beats_no_off_on_io_bound_workload() {
+        let s = scenario(48);
+        let no_off = s.run(&NoOffPolicy).unwrap();
+        let sophon = s.run(&SophonPolicy::default()).unwrap();
+        assert_eq!(no_off.class, WorkloadClass::IoBound);
+        assert!(sophon.epoch.traffic_bytes < no_off.epoch.traffic_bytes);
+        let speedup = no_off.epoch.epoch_seconds / sophon.epoch.epoch_seconds;
+        assert!(speedup > 1.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn run_all_covers_standard_policies() {
+        let reports = scenario(48).run_all().unwrap();
+        let names: Vec<_> = reports.iter().map(|r| r.policy.as_str()).collect();
+        assert_eq!(names, vec!["no-off", "all-off", "fastflow", "resize-off", "sophon"]);
+        // Simulated traffic must equal the plan's predicted bytes.
+        for r in &reports {
+            assert_eq!(r.epoch.traffic_bytes, r.summary.transfer_bytes, "{}", r.policy);
+        }
+    }
+
+    #[test]
+    fn profiling_epoch_amortizes_over_training_run() {
+        // The paper trains for 50+ epochs; SOPHON's un-offloaded first epoch
+        // must cost only a few percent overall while the run still crushes
+        // No-Off.
+        let s = scenario(48);
+        let sophon = s.run_training(&SophonPolicy::default(), 50).unwrap();
+        let no_off = s.run_training(&NoOffPolicy, 50).unwrap();
+        assert!(
+            sophon.stats.first_epoch.epoch_seconds
+                > sophon.stats.steady_epoch.epoch_seconds * 1.5,
+            "profiling epoch should be slower than steady epochs"
+        );
+        let overhead = sophon.profiling_overhead();
+        assert!(overhead > 0.0 && overhead < 0.05, "amortized overhead {overhead}");
+        assert!(sophon.stats.total_seconds < no_off.stats.total_seconds / 1.8);
+        assert!(no_off.profiling_overhead().abs() < 1e-12);
+    }
+
+    #[test]
+    fn sophon_is_fastest_policy_even_with_one_storage_core() {
+        let reports = scenario(1).run_all().unwrap();
+        let sophon = reports.iter().find(|r| r.policy == "sophon").unwrap();
+        for r in &reports {
+            assert!(
+                sophon.epoch.epoch_seconds <= r.epoch.epoch_seconds + 1e-9,
+                "sophon {} vs {} {}",
+                sophon.epoch.epoch_seconds,
+                r.policy,
+                r.epoch.epoch_seconds
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Plain-text corpus manifests.
+//!
+//! A manifest lists every sample's metadata in a stable, diff-friendly,
+//! line-per-sample format — the artifact you would commit beside an
+//! experiment so another machine can reproduce the exact corpus without
+//! rendering it:
+//!
+//! ```text
+//! # sophon-manifest v1
+//! # id,width,height,complexity,encoded_bytes
+//! 0,1032,774,0.513420,301553
+//! 1,486,365,0.287310,88021
+//! ```
+
+use crate::{DatasetSpec, SampleRecord};
+
+/// Manifest format version tag.
+pub const MANIFEST_HEADER: &str = "# sophon-manifest v1";
+
+/// Serializes all records of a corpus.
+pub fn write_manifest(ds: &DatasetSpec) -> String {
+    let mut out = String::with_capacity(ds.len as usize * 32 + 64);
+    out.push_str(MANIFEST_HEADER);
+    out.push('\n');
+    out.push_str("# id,width,height,complexity,encoded_bytes\n");
+    for r in ds.records() {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{}\n",
+            r.id, r.width, r.height, r.complexity, r.encoded_bytes
+        ));
+    }
+    out
+}
+
+/// Errors from manifest parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ManifestError {
+    /// The version header is missing or wrong.
+    BadHeader,
+    /// A data line is malformed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Sample ids are not dense and ascending from zero.
+    BadIdSequence {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::BadHeader => write!(f, "missing or unsupported manifest header"),
+            ManifestError::BadLine { line } => write!(f, "malformed manifest line {line}"),
+            ManifestError::BadIdSequence { line } => {
+                write!(f, "non-sequential sample id at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Parses a manifest back into records.
+///
+/// # Errors
+///
+/// Returns a [`ManifestError`] naming the first offending line.
+pub fn parse_manifest(text: &str) -> Result<Vec<SampleRecord>, ManifestError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == MANIFEST_HEADER => {}
+        _ => return Err(ManifestError::BadHeader),
+    }
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut field = || parts.next().ok_or(ManifestError::BadLine { line: line_no });
+        let id: u64 = field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
+        let width: u32 =
+            field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
+        let height: u32 =
+            field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
+        let complexity: f64 =
+            field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
+        let encoded_bytes: u64 =
+            field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
+        if parts.next().is_some()
+            || width == 0
+            || height == 0
+            || !(0.0..=1.0).contains(&complexity)
+        {
+            return Err(ManifestError::BadLine { line: line_no });
+        }
+        if id != records.len() as u64 {
+            return Err(ManifestError::BadIdSequence { line: line_no });
+        }
+        records.push(SampleRecord { id, width, height, complexity, encoded_bytes });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything_but_float_precision() {
+        let ds = DatasetSpec::openimages_like(50, 13);
+        let text = write_manifest(&ds);
+        let parsed = parse_manifest(&text).unwrap();
+        assert_eq!(parsed.len(), 50);
+        for (orig, back) in ds.records().zip(parsed.iter()) {
+            assert_eq!(back.id, orig.id);
+            assert_eq!(back.width, orig.width);
+            assert_eq!(back.height, orig.height);
+            assert_eq!(back.encoded_bytes, orig.encoded_bytes);
+            assert!((back.complexity - orig.complexity).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(parse_manifest("0,1,1,0.5,100\n"), Err(ManifestError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let bad = [
+            format!("{MANIFEST_HEADER}\n0,10,10,0.5\n"),       // missing field
+            format!("{MANIFEST_HEADER}\n0,10,10,0.5,1,9\n"),   // extra field
+            format!("{MANIFEST_HEADER}\n0,10,10,1.5,100\n"),   // complexity > 1
+            format!("{MANIFEST_HEADER}\n0,0,10,0.5,100\n"),    // zero width
+            format!("{MANIFEST_HEADER}\n0,ten,10,0.5,100\n"),  // non-numeric
+        ];
+        for text in &bad {
+            assert!(
+                matches!(parse_manifest(text), Err(ManifestError::BadLine { line: 2 })),
+                "accepted: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_gapped_ids() {
+        let text = format!("{MANIFEST_HEADER}\n0,10,10,0.5,100\n2,10,10,0.5,100\n");
+        assert_eq!(parse_manifest(&text), Err(ManifestError::BadIdSequence { line: 3 }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text =
+            format!("{MANIFEST_HEADER}\n# comment\n\n0,10,12,0.25,1000\n# more\n1,20,24,0.75,2000\n");
+        let parsed = parse_manifest(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].width, 20);
+    }
+
+    #[test]
+    fn empty_manifest_is_valid() {
+        let parsed = parse_manifest(&format!("{MANIFEST_HEADER}\n")).unwrap();
+        assert!(parsed.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Checks that the analytic profile (used by the large-scale experiments)
+//! agrees with measuring the materialized sample through the real pipeline.
+
+use datasets::DatasetSpec;
+use pipeline::{CostModel, PipelineSpec, SampleKey, SampleProfile, StageData};
+use proptest::prelude::*;
+
+#[test]
+fn analytic_profile_matches_measured_profile_structure() {
+    let ds = DatasetSpec::mini(24, 77);
+    let spec = PipelineSpec::standard_train();
+    let model = CostModel::realistic();
+    let mut checked = 0;
+    for id in 0..24u64 {
+        let rec = ds.record(id);
+        if rec.pixels() > 600_000 {
+            continue; // bound test time; enough small samples exist
+        }
+        let analytic = rec.analytic_profile(&spec, &model);
+        let real_bytes = ds.materialize(id);
+        let measured = SampleProfile::measure(
+            &spec,
+            StageData::Encoded(real_bytes.into()),
+            SampleKey::new(ds.seed, id, 0),
+            &model,
+        )
+        .unwrap();
+        // Post-decode stages are byte-exact (they depend only on dimensions).
+        for stage in 1..=spec.len() {
+            assert_eq!(
+                analytic.size_at(stage),
+                measured.size_at(stage),
+                "sample {id} stage {stage}"
+            );
+        }
+        // The raw stage uses the statistical size model; it must stay within
+        // tolerance of the real encoder.
+        let ratio = measured.raw_bytes as f64 / analytic.raw_bytes as f64;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "sample {id}: real {} vs modeled {} (ratio {ratio})",
+            measured.raw_bytes,
+            analytic.raw_bytes
+        );
+        checked += 1;
+    }
+    assert!(checked >= 8, "only {checked} samples checked");
+}
+
+#[test]
+fn corpus_benefit_decision_agrees_between_model_and_reality() {
+    // The *decision* each sample induces (offload or not) should usually
+    // agree between the modeled and the real encoded size; samples near the
+    // 150 528-byte threshold may flip, so require only a strong majority.
+    let ds = DatasetSpec::mini(30, 5);
+    let mut agree = 0;
+    let mut total = 0;
+    for id in 0..30u64 {
+        let rec = ds.record(id);
+        if rec.pixels() > 600_000 {
+            continue;
+        }
+        let real = ds.materialize(id).len() as u64;
+        let modeled_benefit = rec.encoded_bytes > pipeline::CROPPED_RAW_BYTES;
+        let real_benefit = real > pipeline::CROPPED_RAW_BYTES;
+        total += 1;
+        if modeled_benefit == real_benefit {
+            agree += 1;
+        }
+    }
+    assert!(total >= 10, "too few samples: {total}");
+    assert!(
+        agree as f64 / total as f64 >= 0.7,
+        "model/reality agreement too low: {agree}/{total}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Corpus statistics are stable across seeds: any seed reproduces the
+    /// paper's benefit fractions.
+    #[test]
+    fn benefit_fractions_stable_across_seeds(seed in any::<u64>()) {
+        let oi = DatasetSpec::openimages_like(2_000, seed);
+        let benefit = oi.records().filter(|r| r.encoded_bytes > 150_528).count();
+        let frac = benefit as f64 / 2_000.0;
+        prop_assert!((0.68..0.84).contains(&frac), "OpenImages fraction {frac}");
+
+        let inet = DatasetSpec::imagenet_like(2_000, seed);
+        let benefit = inet.records().filter(|r| r.encoded_bytes > 150_528).count();
+        let frac = benefit as f64 / 2_000.0;
+        prop_assert!((0.18..0.34).contains(&frac), "ImageNet fraction {frac}");
+    }
+
+    /// Records never produce degenerate geometry.
+    #[test]
+    fn record_geometry_valid(seed in any::<u64>(), id in 0u64..200) {
+        let ds = DatasetSpec::openimages_like(200, seed);
+        let r = ds.record(id);
+        prop_assert!(r.width >= 32 && r.width <= 6000);
+        prop_assert!(r.height >= 32 && r.height <= 6000);
+        prop_assert!(r.encoded_bytes > 0);
+        // Encoded is always smaller than the raw raster (bpp < 24).
+        prop_assert!(r.encoded_bytes < r.raster_bytes());
+    }
+}

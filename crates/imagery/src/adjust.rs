@@ -1,0 +1,155 @@
+//! Photometric adjustments: brightness, contrast, saturation, grayscale.
+//!
+//! These are the primitives behind the pipeline's `ColorJitter` and
+//! `Grayscale` operations, with torchvision-compatible semantics: each
+//! adjustment blends the image toward a degenerate version of itself
+//! (black, mean gray, or per-pixel gray) with a multiplicative factor.
+
+use crate::{RasterImage, Rgb, CHANNELS};
+
+#[inline]
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+impl RasterImage {
+    /// Scales every channel by `factor` (1.0 = unchanged, 0.0 = black).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is negative or not finite.
+    pub fn adjust_brightness(&self, factor: f32) -> RasterImage {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid brightness factor {factor}");
+        let data = self.as_raw().iter().map(|&v| clamp_u8(f32::from(v) * factor)).collect();
+        RasterImage::from_raw(self.width(), self.height(), data)
+            .expect("same dimensions as source")
+    }
+
+    /// Blends toward the image's mean luma (1.0 = unchanged, 0.0 = flat
+    /// gray).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is negative or not finite.
+    pub fn adjust_contrast(&self, factor: f32) -> RasterImage {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid contrast factor {factor}");
+        let mean = {
+            let mut acc = 0u64;
+            for px in self.as_raw().chunks_exact(CHANNELS) {
+                acc += u64::from(Rgb::new(px[0], px[1], px[2]).luma());
+            }
+            acc as f32 / self.pixel_count() as f32
+        };
+        let data = self
+            .as_raw()
+            .iter()
+            .map(|&v| clamp_u8(mean + (f32::from(v) - mean) * factor))
+            .collect();
+        RasterImage::from_raw(self.width(), self.height(), data)
+            .expect("same dimensions as source")
+    }
+
+    /// Blends toward the per-pixel grayscale (1.0 = unchanged, 0.0 = fully
+    /// desaturated).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is negative or not finite.
+    pub fn adjust_saturation(&self, factor: f32) -> RasterImage {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid saturation factor {factor}");
+        let mut data = Vec::with_capacity(self.raw_len());
+        for px in self.as_raw().chunks_exact(CHANNELS) {
+            let gray = Rgb::new(px[0], px[1], px[2]).luma() as f32;
+            for &v in px {
+                data.push(clamp_u8(gray + (f32::from(v) - gray) * factor));
+            }
+        }
+        RasterImage::from_raw(self.width(), self.height(), data)
+            .expect("same dimensions as source")
+    }
+
+    /// Converts to three-channel grayscale (all channels = luma), preserving
+    /// the byte size.
+    pub fn to_grayscale(&self) -> RasterImage {
+        self.adjust_saturation(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RasterImage {
+        let mut img = RasterImage::new(8, 8).unwrap();
+        for y in 0..8 {
+            for x in 0..8 {
+                img.put_pixel(x, y, Rgb::new((x * 30) as u8, (y * 30) as u8, 120));
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let img = sample();
+        assert_eq!(img.adjust_brightness(1.0), img);
+        assert_eq!(img.adjust_saturation(1.0), img);
+        // Contrast at 1.0 may round by ±1 through the mean; check exactly.
+        let c = img.adjust_contrast(1.0);
+        for (a, b) in img.as_raw().iter().zip(c.as_raw().iter()) {
+            assert!(a.abs_diff(*b) <= 1);
+        }
+    }
+
+    #[test]
+    fn zero_brightness_is_black() {
+        let img = sample().adjust_brightness(0.0);
+        assert!(img.as_raw().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn zero_contrast_is_flat() {
+        let img = sample().adjust_contrast(0.0);
+        let first = img.pixel(0, 0);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(img.pixel(x, y), first);
+            }
+        }
+    }
+
+    #[test]
+    fn grayscale_equalizes_channels() {
+        let img = sample().to_grayscale();
+        for px in img.as_raw().chunks_exact(3) {
+            assert!(px[0].abs_diff(px[1]) <= 1 && px[1].abs_diff(px[2]) <= 1, "{px:?}");
+        }
+        assert_eq!(img.raw_len(), sample().raw_len());
+    }
+
+    #[test]
+    fn brightness_scales() {
+        let img = RasterImage::filled(2, 2, Rgb::new(100, 50, 200));
+        let brighter = img.adjust_brightness(1.5);
+        assert_eq!(brighter.pixel(0, 0), Rgb::new(150, 75, 255)); // clamped blue
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid brightness factor")]
+    fn negative_factor_rejected() {
+        let _ = sample().adjust_brightness(-0.5);
+    }
+
+    #[test]
+    fn adjustments_preserve_dimensions() {
+        let img = sample();
+        for out in [
+            img.adjust_brightness(0.7),
+            img.adjust_contrast(1.3),
+            img.adjust_saturation(0.4),
+            img.to_grayscale(),
+        ] {
+            assert_eq!((out.width(), out.height()), (8, 8));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+use std::fmt;
+
+/// Errors produced by image construction and geometric operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// The requested dimensions are zero or would overflow the buffer size.
+    InvalidDimensions {
+        /// Requested width in pixels.
+        width: u32,
+        /// Requested height in pixels.
+        height: u32,
+    },
+    /// The provided pixel buffer does not match `width * height * 3`.
+    BufferSizeMismatch {
+        /// Number of bytes the caller provided.
+        got: usize,
+        /// Number of bytes required by the dimensions.
+        expected: usize,
+    },
+    /// A crop rectangle does not fit inside the source image.
+    CropOutOfBounds {
+        /// The offending rectangle.
+        rect: crate::Rect,
+        /// Source image width.
+        width: u32,
+        /// Source image height.
+        height: u32,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            ImageError::BufferSizeMismatch { got, expected } => {
+                write!(f, "pixel buffer has {got} bytes, expected {expected}")
+            }
+            ImageError::CropOutOfBounds { rect, width, height } => write!(
+                f,
+                "crop rectangle {rect:?} does not fit in {width}x{height} image"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}

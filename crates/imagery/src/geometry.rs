@@ -1,0 +1,87 @@
+/// An axis-aligned rectangle in pixel coordinates.
+///
+/// Used to describe crop regions. The rectangle is anchored at `(x, y)` (top
+/// left) and spans `width × height` pixels.
+///
+/// ```
+/// use imagery::Rect;
+/// let r = Rect::new(4, 8, 100, 50);
+/// assert_eq!(r.area(), 5000);
+/// assert!(r.fits_in(200, 100));
+/// assert!(!r.fits_in(100, 50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left edge, in pixels from the image's left border.
+    pub x: u32,
+    /// Top edge, in pixels from the image's top border.
+    pub y: u32,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle anchored at `(x, y)` spanning `width × height`.
+    pub const fn new(x: u32, y: u32, width: u32, height: u32) -> Self {
+        Rect { x, y, width, height }
+    }
+
+    /// A rectangle covering an entire `width × height` image.
+    pub const fn full(width: u32, height: u32) -> Self {
+        Rect { x: 0, y: 0, width, height }
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// Returns `true` when the rectangle lies fully inside a `width × height`
+    /// image (and is non-empty).
+    pub fn fits_in(&self, width: u32, height: u32) -> bool {
+        self.width > 0
+            && self.height > 0
+            && self.x.checked_add(self.width).is_some_and(|r| r <= width)
+            && self.y.checked_add(self.height).is_some_and(|b| b <= height)
+    }
+
+    /// Aspect ratio (width / height) as `f64`.
+    ///
+    /// Returns `f64::INFINITY` for zero-height rectangles.
+    pub fn aspect_ratio(&self) -> f64 {
+        f64::from(self.width) / f64::from(self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_covers_image() {
+        let r = Rect::full(640, 480);
+        assert!(r.fits_in(640, 480));
+        assert_eq!(r.area(), 640 * 480);
+    }
+
+    #[test]
+    fn empty_rect_never_fits() {
+        assert!(!Rect::new(0, 0, 0, 10).fits_in(100, 100));
+        assert!(!Rect::new(0, 0, 10, 0).fits_in(100, 100));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        assert!(!Rect::new(90, 0, 20, 10).fits_in(100, 100));
+        assert!(!Rect::new(0, 95, 10, 10).fits_in(100, 100));
+        // Overflowing coordinates must not panic.
+        assert!(!Rect::new(u32::MAX, 0, 2, 2).fits_in(100, 100));
+    }
+
+    #[test]
+    fn aspect_ratio_simple() {
+        assert_eq!(Rect::new(0, 0, 200, 100).aspect_ratio(), 2.0);
+    }
+}

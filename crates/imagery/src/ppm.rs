@@ -1,0 +1,159 @@
+//! Binary PPM (P6) import/export.
+//!
+//! The one image format every viewer understands — handy for eyeballing
+//! synthetic samples and codec artifacts (`RasterImage::to_ppm` →
+//! `display out.ppm`).
+
+use crate::{ImageError, RasterImage};
+
+/// Serializes the image as binary PPM (P6, maxval 255).
+pub fn to_ppm(img: &RasterImage) -> Vec<u8> {
+    let header = format!("P6\n{} {}\n255\n", img.width(), img.height());
+    let mut out = Vec::with_capacity(header.len() + img.raw_len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(img.as_raw());
+    out
+}
+
+/// Errors from PPM parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PpmError {
+    /// Missing `P6` magic.
+    BadMagic,
+    /// Header fields missing or malformed.
+    BadHeader,
+    /// Only maxval 255 is supported.
+    UnsupportedMaxval(u32),
+    /// Pixel data shorter than the header promises.
+    Truncated,
+    /// Image construction failed (dimension overflow).
+    Image(ImageError),
+}
+
+impl std::fmt::Display for PpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpmError::BadMagic => write!(f, "not a binary PPM (missing P6 magic)"),
+            PpmError::BadHeader => write!(f, "malformed PPM header"),
+            PpmError::UnsupportedMaxval(v) => write!(f, "unsupported PPM maxval {v}"),
+            PpmError::Truncated => write!(f, "PPM pixel data truncated"),
+            PpmError::Image(e) => write!(f, "invalid PPM dimensions: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PpmError {}
+
+/// Parses a binary PPM (P6, maxval 255), tolerating comments and arbitrary
+/// whitespace in the header.
+///
+/// # Errors
+///
+/// Returns a [`PpmError`] describing the first defect.
+pub fn from_ppm(data: &[u8]) -> Result<RasterImage, PpmError> {
+    if data.len() < 2 || &data[..2] != b"P6" {
+        return Err(PpmError::BadMagic);
+    }
+    let mut pos = 2usize;
+    let mut fields = [0u32; 3];
+    for field in &mut fields {
+        *field = parse_header_int(data, &mut pos)?;
+    }
+    let [width, height, maxval] = fields;
+    if maxval != 255 {
+        return Err(PpmError::UnsupportedMaxval(maxval));
+    }
+    // Exactly one whitespace byte separates the header from pixel data.
+    pos += 1;
+    let len = (width as usize)
+        .checked_mul(height as usize)
+        .and_then(|p| p.checked_mul(3))
+        .ok_or(PpmError::BadHeader)?;
+    let pixels = data.get(pos..pos + len).ok_or(PpmError::Truncated)?;
+    RasterImage::from_raw(width, height, pixels.to_vec()).map_err(PpmError::Image)
+}
+
+/// Reads one whitespace/comment-delimited decimal integer.
+fn parse_header_int(data: &[u8], pos: &mut usize) -> Result<u32, PpmError> {
+    // Skip whitespace and comment lines.
+    loop {
+        match data.get(*pos) {
+            Some(b) if b.is_ascii_whitespace() => *pos += 1,
+            Some(b'#') => {
+                while let Some(&b) = data.get(*pos) {
+                    *pos += 1;
+                    if b == b'\n' {
+                        break;
+                    }
+                }
+            }
+            Some(_) => break,
+            None => return Err(PpmError::BadHeader),
+        }
+    }
+    let start = *pos;
+    while data.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == start || *pos - start > 9 {
+        return Err(PpmError::BadHeader);
+    }
+    std::str::from_utf8(&data[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(PpmError::BadHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+    use crate::Rgb;
+
+    #[test]
+    fn roundtrip() {
+        let img = SynthSpec::new(33, 21).complexity(0.6).render(4);
+        let ppm = to_ppm(&img);
+        assert_eq!(from_ppm(&ppm).unwrap(), img);
+    }
+
+    #[test]
+    fn header_format() {
+        let img = RasterImage::filled(2, 3, Rgb::new(1, 2, 3));
+        let ppm = to_ppm(&img);
+        assert!(ppm.starts_with(b"P6\n2 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 18);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let mut data = b"P6\n# made by a test\n2 1\n# another\n255\n".to_vec();
+        data.extend_from_slice(&[9, 8, 7, 6, 5, 4]);
+        let img = from_ppm(&data).unwrap();
+        assert_eq!((img.width(), img.height()), (2, 1));
+        assert_eq!(img.pixel(0, 0), Rgb::new(9, 8, 7));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(from_ppm(b"P5\n1 1\n255\nxxx"), Err(PpmError::BadMagic));
+        assert_eq!(from_ppm(b"P6\n1 1\n65535\n"), Err(PpmError::UnsupportedMaxval(65535)));
+        assert_eq!(from_ppm(b"P6\n2 2\n255\nxx"), Err(PpmError::Truncated));
+        assert_eq!(from_ppm(b"P6\n\n"), Err(PpmError::BadHeader));
+    }
+
+    #[test]
+    fn fuzz_never_panics() {
+        let mut state = 7u64;
+        for len in 0..120usize {
+            let buf: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as u8
+                })
+                .collect();
+            let _ = from_ppm(&buf);
+        }
+    }
+}

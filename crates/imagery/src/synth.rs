@@ -1,0 +1,395 @@
+//! Deterministic synthetic image generation.
+//!
+//! The SOPHON paper measures real JPEG photographs; here we stand in a
+//! generator whose images have *content-dependent compressibility*. The key
+//! knob is [`SynthSpec::complexity`]: low-complexity images are smooth
+//! gradients that an 8×8 DCT codec compresses aggressively (small encoded
+//! size), high-complexity images carry multi-octave value noise and sharp
+//! edges that survive quantization (large encoded size). Together with the
+//! resolution distribution in the `datasets` crate this reproduces the
+//! paper's per-sample size variance — the foundation of every offloading
+//! decision.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{RasterImage, Rgb};
+
+/// Background structure of a synthetic image.
+///
+/// The default [`Pattern::Gradient`] is the calibrated baseline every
+/// corpus generator uses; the other patterns diversify content for codec
+/// and pipeline testing (stripes and checkers carry strong directional
+/// frequencies that exercise different DCT coefficients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pattern {
+    /// Smooth two-corner color gradient (the calibrated default).
+    #[default]
+    Gradient,
+    /// Diagonal color stripes.
+    Stripes,
+    /// Checkerboard.
+    Checker,
+    /// Radial gradient from a random center.
+    Radial,
+}
+
+/// Specification for one synthetic image.
+///
+/// A `SynthSpec` plus a seed fully determines the rendered image, so corpora
+/// are reproducible without storing pixels.
+///
+/// ```
+/// use imagery::synth::SynthSpec;
+/// let a = SynthSpec::new(320, 240).complexity(0.8).render(7);
+/// let b = SynthSpec::new(320, 240).complexity(0.8).render(7);
+/// assert_eq!(a, b); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthSpec {
+    width: u32,
+    height: u32,
+    complexity: f64,
+    blobs: u32,
+    pattern: Pattern,
+}
+
+impl SynthSpec {
+    /// Creates a spec for a `width × height` image with default complexity 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        SynthSpec { width, height, complexity: 0.5, blobs: 6, pattern: Pattern::Gradient }
+    }
+
+    /// Sets the content complexity in `[0, 1]`; values are clamped.
+    ///
+    /// 0.0 renders a pure smooth gradient, 1.0 a noisy high-frequency scene.
+    #[must_use]
+    pub fn complexity(mut self, c: f64) -> Self {
+        self.complexity = c.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the number of soft elliptical "objects" composited over the
+    /// background (default 6).
+    #[must_use]
+    pub fn blobs(mut self, n: u32) -> Self {
+        self.blobs = n;
+        self
+    }
+
+    /// Sets the background pattern (default [`Pattern::Gradient`]).
+    #[must_use]
+    pub fn pattern(mut self, p: Pattern) -> Self {
+        self.pattern = p;
+        self
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Renders the image deterministically from `seed`.
+    pub fn render(&self, seed: u64) -> RasterImage {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5350_4f48_4f4e_u64);
+        let mut img = match self.pattern {
+            Pattern::Gradient => render_gradient(self.width, self.height, &mut rng),
+            Pattern::Stripes => render_stripes(self.width, self.height, &mut rng),
+            Pattern::Checker => render_checker(self.width, self.height, &mut rng),
+            Pattern::Radial => render_radial(self.width, self.height, &mut rng),
+        };
+        composite_blobs(&mut img, self.blobs, &mut rng);
+        if self.complexity > 0.0 {
+            apply_noise(&mut img, self.complexity, &mut rng);
+        }
+        img
+    }
+}
+
+/// Renders a smooth two-corner color gradient background.
+fn render_gradient(width: u32, height: u32, rng: &mut StdRng) -> RasterImage {
+    let c0 = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let c1 = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let c2 = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let mut img = RasterImage::new(width, height).expect("validated dimensions");
+    for y in 0..height {
+        let ty = f32::from(y as u16) / height.max(2) as f32;
+        let left = c0.lerp(c2, ty);
+        let right = c1.lerp(c2, 1.0 - ty);
+        for x in 0..width {
+            let tx = f32::from(x as u16) / width.max(2) as f32;
+            img.put_pixel(x, y, left.lerp(right, tx));
+        }
+    }
+    img
+}
+
+/// Renders diagonal stripes with random period, angle sign, and colors.
+fn render_stripes(width: u32, height: u32, rng: &mut StdRng) -> RasterImage {
+    let a = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let b = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let period = rng.gen_range(8i64..48);
+    let slope: i64 = if rng.gen() { 1 } else { -1 };
+    let mut img = RasterImage::new(width, height).expect("validated dimensions");
+    for y in 0..height {
+        for x in 0..width {
+            let phase = (i64::from(x) + slope * i64::from(y)).rem_euclid(period);
+            // Soft edges: a two-pixel blend keeps the stripes codec-friendly.
+            let t = (phase.min(period - phase)) as f32 / period as f32;
+            img.put_pixel(x, y, a.lerp(b, (t * 4.0).min(1.0)));
+        }
+    }
+    img
+}
+
+/// Renders a checkerboard with a random cell size.
+fn render_checker(width: u32, height: u32, rng: &mut StdRng) -> RasterImage {
+    let a = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let b = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let cell = rng.gen_range(8u32..64);
+    let mut img = RasterImage::new(width, height).expect("validated dimensions");
+    for y in 0..height {
+        for x in 0..width {
+            let c = if ((x / cell) + (y / cell)) % 2 == 0 { a } else { b };
+            img.put_pixel(x, y, c);
+        }
+    }
+    img
+}
+
+/// Renders a radial gradient from a random center.
+fn render_radial(width: u32, height: u32, rng: &mut StdRng) -> RasterImage {
+    let a = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let b = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+    let cx = rng.gen_range(0.0..f64::from(width));
+    let cy = rng.gen_range(0.0..f64::from(height));
+    let max_r = f64::from(width).hypot(f64::from(height));
+    let mut img = RasterImage::new(width, height).expect("validated dimensions");
+    for y in 0..height {
+        for x in 0..width {
+            let d = (f64::from(x) - cx).hypot(f64::from(y) - cy) / max_r;
+            img.put_pixel(x, y, a.lerp(b, d as f32));
+        }
+    }
+    img
+}
+
+/// Composites soft-edged ellipses ("objects") over the background.
+fn composite_blobs(img: &mut RasterImage, blobs: u32, rng: &mut StdRng) {
+    let (w, h) = (img.width(), img.height());
+    for _ in 0..blobs {
+        let cx = rng.gen_range(0.0..f64::from(w));
+        let cy = rng.gen_range(0.0..f64::from(h));
+        let rx = rng.gen_range(f64::from(w) * 0.05..f64::from(w) * 0.3);
+        let ry = rng.gen_range(f64::from(h) * 0.05..f64::from(h) * 0.3);
+        let color = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+        let x0 = (cx - rx).max(0.0) as u32;
+        let x1 = ((cx + rx).ceil() as u32).min(w);
+        let y0 = (cy - ry).max(0.0) as u32;
+        let y1 = ((cy + ry).ceil() as u32).min(h);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let dx = (f64::from(x) - cx) / rx;
+                let dy = (f64::from(y) - cy) / ry;
+                let d = dx * dx + dy * dy;
+                if d < 1.0 {
+                    // Soft edge: full color in the core, feathered boundary.
+                    let alpha = ((1.0 - d) * 3.0).min(1.0) as f32;
+                    let base = img.pixel(x, y);
+                    img.put_pixel(x, y, base.lerp(color, alpha));
+                }
+            }
+        }
+    }
+}
+
+/// Adds multi-octave value noise; amplitude and octave count grow with
+/// `complexity`.
+fn apply_noise(img: &mut RasterImage, complexity: f64, rng: &mut StdRng) {
+    let (w, h) = (img.width(), img.height());
+    let octaves = 1 + (complexity * 3.0).round() as u32;
+    let amplitude = 10.0 + complexity * 70.0;
+    let lattice_seed: u64 = rng.gen();
+    for y in 0..h {
+        for x in 0..w {
+            let mut n = 0.0f64;
+            let mut amp = amplitude;
+            let mut cell = 8.0f64;
+            for o in 0..octaves {
+                n += amp * value_noise(lattice_seed.wrapping_add(u64::from(o)),
+                                       f64::from(x) / cell, f64::from(y) / cell);
+                amp *= 0.55;
+                cell /= 2.0;
+            }
+            // Per-pixel white noise floor grows with complexity; this is the
+            // high-frequency content that defeats DCT quantization.
+            let white = (hash2(lattice_seed ^ 0x77, x, y) - 0.5) * complexity * 60.0;
+            let p = img.pixel(x, y);
+            let adj = |v: u8| -> u8 { (f64::from(v) + n + white).round().clamp(0.0, 255.0) as u8 };
+            img.put_pixel(x, y, Rgb::new(adj(p.r), adj(p.g), adj(p.b)));
+        }
+    }
+}
+
+/// Smooth 2-D value noise in `[-0.5, 0.5]` from a hashed integer lattice.
+fn value_noise(seed: u64, x: f64, y: f64) -> f64 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = smoothstep(x - x0);
+    let fy = smoothstep(y - y0);
+    let (xi, yi) = (x0 as i64 as u32, y0 as i64 as u32);
+    let v00 = hash2(seed, xi, yi);
+    let v10 = hash2(seed, xi.wrapping_add(1), yi);
+    let v01 = hash2(seed, xi, yi.wrapping_add(1));
+    let v11 = hash2(seed, xi.wrapping_add(1), yi.wrapping_add(1));
+    let top = v00 + (v10 - v00) * fx;
+    let bottom = v01 + (v11 - v01) * fx;
+    top + (bottom - top) * fy - 0.5
+}
+
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Hashes a lattice coordinate to a uniform value in `[0, 1)`.
+fn hash2(seed: u64, x: u32, y: u32) -> f64 {
+    let mut v = seed ^ (u64::from(x) << 32) ^ u64::from(y);
+    // SplitMix64 finalizer.
+    v = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    v = (v ^ (v >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    v = (v ^ (v >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    v ^= v >> 31;
+    (v >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic() {
+        let spec = SynthSpec::new(64, 48).complexity(0.7);
+        assert_eq!(spec.render(1), spec.render(1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = SynthSpec::new(64, 48);
+        assert_ne!(spec.render(1), spec.render(2));
+    }
+
+    #[test]
+    fn complexity_is_clamped() {
+        let spec = SynthSpec::new(8, 8).complexity(9.0);
+        assert_eq!(spec.complexity, 1.0);
+        let spec = SynthSpec::new(8, 8).complexity(-1.0);
+        assert_eq!(spec.complexity, 0.0);
+    }
+
+    #[test]
+    fn zero_complexity_is_smooth() {
+        // Neighboring pixels in a pure gradient+blob image differ slowly.
+        let img = SynthSpec::new(128, 128).complexity(0.0).blobs(0).render(3);
+        let mut max_delta = 0i32;
+        for y in 0..127 {
+            for x in 0..127 {
+                let a = img.pixel(x, y);
+                let b = img.pixel(x + 1, y);
+                max_delta = max_delta.max((i32::from(a.r) - i32::from(b.r)).abs());
+            }
+        }
+        assert!(max_delta <= 8, "gradient should be smooth, got delta {max_delta}");
+    }
+
+    #[test]
+    fn high_complexity_is_rough() {
+        let smooth = SynthSpec::new(96, 96).complexity(0.0).blobs(0).render(5);
+        let rough = SynthSpec::new(96, 96).complexity(1.0).blobs(0).render(5);
+        let roughness = |img: &RasterImage| -> f64 {
+            let mut acc = 0f64;
+            for y in 0..95 {
+                for x in 0..95 {
+                    let a = img.pixel(x, y);
+                    let b = img.pixel(x + 1, y);
+                    acc += f64::from((i32::from(a.g) - i32::from(b.g)).unsigned_abs());
+                }
+            }
+            acc
+        };
+        assert!(roughness(&rough) > roughness(&smooth) * 4.0);
+    }
+
+    #[test]
+    fn value_noise_in_range() {
+        for i in 0..200 {
+            let v = value_noise(9, f64::from(i) * 0.37, f64::from(i) * 0.11);
+            assert!((-0.5..=0.5).contains(&v), "noise out of range: {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_panic() {
+        let _ = SynthSpec::new(0, 10);
+    }
+
+    #[test]
+    fn patterns_render_deterministically_and_differ() {
+        let base = SynthSpec::new(64, 64).complexity(0.3).blobs(2);
+        let rendered: Vec<RasterImage> = [
+            Pattern::Gradient,
+            Pattern::Stripes,
+            Pattern::Checker,
+            Pattern::Radial,
+        ]
+        .into_iter()
+        .map(|p| base.pattern(p).render(5))
+        .collect();
+        for (i, img) in rendered.iter().enumerate() {
+            // Deterministic per (spec, seed).
+            assert_eq!(img, &[
+                Pattern::Gradient,
+                Pattern::Stripes,
+                Pattern::Checker,
+                Pattern::Radial,
+            ].into_iter().map(|p| base.pattern(p).render(5)).nth(i).unwrap());
+        }
+        for i in 0..rendered.len() {
+            for j in i + 1..rendered.len() {
+                assert_ne!(rendered[i], rendered[j], "patterns {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn default_pattern_is_gradient() {
+        // The calibrated corpora rely on the default staying put.
+        let a = SynthSpec::new(32, 32).render(9);
+        let b = SynthSpec::new(32, 32).pattern(Pattern::Gradient).render(9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checker_has_exactly_two_colors_without_noise() {
+        let img = SynthSpec::new(64, 64).complexity(0.0).blobs(0)
+            .pattern(Pattern::Checker)
+            .render(3);
+        let mut colors = std::collections::HashSet::new();
+        for y in 0..64 {
+            for x in 0..64 {
+                colors.insert(img.pixel(x, y));
+            }
+        }
+        assert_eq!(colors.len(), 2, "checker should be two-tone");
+    }
+}

@@ -1,0 +1,113 @@
+use std::fmt;
+
+/// A network bandwidth, stored as bits per second.
+///
+/// ```
+/// use netsim::Bandwidth;
+/// let bw = Bandwidth::from_mbps(500.0);
+/// assert_eq!(bw.bits_per_second(), 500_000_000.0);
+/// // 1 GB over a 500 Mbps link: 16 seconds.
+/// assert!((bw.transfer_seconds(1_000_000_000) - 16.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth {
+    bits_per_second: f64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bps` is not strictly positive and finite.
+    pub fn from_bps(bps: f64) -> Bandwidth {
+        assert!(bps.is_finite() && bps > 0.0, "bandwidth must be positive, got {bps}");
+        Bandwidth { bits_per_second: bps }
+    }
+
+    /// Creates a bandwidth from megabits per second (the paper's unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mbps` is not strictly positive and finite.
+    pub fn from_mbps(mbps: f64) -> Bandwidth {
+        Self::from_bps(mbps * 1e6)
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gbps` is not strictly positive and finite.
+    pub fn from_gbps(gbps: f64) -> Bandwidth {
+        Self::from_bps(gbps * 1e9)
+    }
+
+    /// Bits per second.
+    pub fn bits_per_second(self) -> f64 {
+        self.bits_per_second
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_second(self) -> f64 {
+        self.bits_per_second / 8.0
+    }
+
+    /// Seconds to move `bytes` over this bandwidth (excluding latency and
+    /// queueing).
+    pub fn transfer_seconds(self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 / self.bits_per_second
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bps = self.bits_per_second;
+        if bps >= 1e9 {
+            write!(f, "{:.3} Gbps", bps / 1e9)
+        } else if bps >= 1e6 {
+            write!(f, "{:.1} Mbps", bps / 1e6)
+        } else {
+            write!(f, "{bps:.0} bps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Bandwidth::from_mbps(1000.0), Bandwidth::from_gbps(1.0));
+        assert_eq!(Bandwidth::from_bps(1e6), Bandwidth::from_mbps(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::from_mbps(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nan_bandwidth_rejected() {
+        let _ = Bandwidth::from_bps(f64::NAN);
+    }
+
+    #[test]
+    fn paper_epoch_transfer_time() {
+        // 12 GB dataset at 500 Mbps: 192 s — the No-Off network time scale
+        // in the evaluation.
+        let bw = Bandwidth::from_mbps(500.0);
+        let t = bw.transfer_seconds(12_000_000_000);
+        assert!((t - 192.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Bandwidth::from_mbps(500.0).to_string(), "500.0 Mbps");
+        assert_eq!(Bandwidth::from_gbps(10.0).to_string(), "10.000 Gbps");
+        assert_eq!(Bandwidth::from_bps(4000.0).to_string(), "4000 bps");
+    }
+}

@@ -1,0 +1,39 @@
+//! Bandwidth-limited network models.
+//!
+//! The paper's testbed caps the storage↔compute link at 500 Mbps to induce a
+//! remote-I/O bottleneck. This crate provides that link in two forms:
+//!
+//! * [`VirtualLink`] — a virtual-time FIFO link for the discrete-event
+//!   cluster simulator: transfers serialize, each taking
+//!   `bytes / bandwidth + latency` seconds, with exact byte accounting.
+//! * [`ThrottledPipe`] — a wall-clock, token-bucket-throttled in-process
+//!   channel for the live storage server demo: real bytes move between
+//!   threads at the configured rate.
+//!
+//! Plus the shared vocabulary types [`Bandwidth`] and [`TrafficMeter`].
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::{Bandwidth, VirtualLink};
+//!
+//! let mut link = VirtualLink::new(Bandwidth::from_mbps(500.0));
+//! // A 12 GB epoch at 500 Mbps takes ~192 virtual seconds.
+//! let done = link.transfer(0.0, 12_000_000_000);
+//! assert!((done - 192.0).abs() < 1.0, "completion {done}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod link;
+mod meter;
+mod pipe;
+mod token_bucket;
+
+pub use bandwidth::Bandwidth;
+pub use link::VirtualLink;
+pub use meter::TrafficMeter;
+pub use pipe::{PipeReceiver, PipeSender, RecvError, SendError, ThrottledPipe};
+pub use token_bucket::TokenBucket;

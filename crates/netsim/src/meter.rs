@@ -1,0 +1,87 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe byte and message counters, shared by cloning.
+///
+/// ```
+/// use netsim::TrafficMeter;
+/// let meter = TrafficMeter::new();
+/// let m2 = meter.clone();
+/// m2.record(1500);
+/// assert_eq!(meter.bytes(), 1500);
+/// assert_eq!(meter.messages(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMeter {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    bytes: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl TrafficMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> TrafficMeter {
+        TrafficMeter::default()
+    }
+
+    /// Records one message of `bytes` bytes.
+    pub fn record(&self, bytes: u64) {
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.inner.messages.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.inner.bytes.store(0, Ordering::Relaxed);
+        self.inner.messages.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let meter = TrafficMeter::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = meter.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record(3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(meter.bytes(), 24_000);
+        assert_eq!(meter.messages(), 8_000);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let meter = TrafficMeter::new();
+        meter.record(10);
+        meter.reset();
+        assert_eq!(meter.bytes(), 0);
+        assert_eq!(meter.messages(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+use std::fmt;
+use std::thread;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::{Bandwidth, TokenBucket, TrafficMeter};
+
+/// Error returned when the receiving half of a pipe has been dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError;
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipe receiver disconnected")
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Error returned when the sending half of a pipe has been dropped and the
+/// queue is drained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipe sender disconnected")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A wall-clock bandwidth-throttled, in-process byte pipe.
+///
+/// This is the "network" of the live two-node demo: the storage server
+/// thread sends response payloads through a `ThrottledPipe` capped at the
+/// experiment's bandwidth (e.g. 500 Mbps), and the compute-side data loader
+/// receives them. Every byte is counted in the attached [`TrafficMeter`].
+#[derive(Debug)]
+pub struct ThrottledPipe;
+
+impl ThrottledPipe {
+    /// Creates a connected `(sender, receiver)` pair with the given
+    /// bandwidth cap and a queue depth of `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[allow(clippy::new_ret_no_self)] // the pipe *is* the pair; no handle type exists
+    pub fn new(bandwidth: Bandwidth, capacity: usize) -> (PipeSender, PipeReceiver) {
+        assert!(capacity > 0, "capacity must be positive");
+        let (tx, rx) = channel::bounded::<Bytes>(capacity);
+        let meter = TrafficMeter::new();
+        // Burst of ~20 ms worth of traffic keeps throttling smooth without
+        // letting large messages bypass the cap.
+        let burst = (bandwidth.bytes_per_second() * 0.02).max(1500.0) as usize;
+        let bucket = Arc::new(Mutex::new(TokenBucket::new(bandwidth, burst)));
+        (
+            PipeSender { tx, bucket, meter: meter.clone() },
+            PipeReceiver { rx, meter },
+        )
+    }
+}
+
+/// Sending half of a [`ThrottledPipe`].
+#[derive(Debug, Clone)]
+pub struct PipeSender {
+    tx: channel::Sender<Bytes>,
+    bucket: Arc<Mutex<TokenBucket>>,
+    meter: TrafficMeter,
+}
+
+impl PipeSender {
+    /// Sends `payload`, sleeping as needed to respect the bandwidth cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] when the receiver has been dropped.
+    pub fn send(&self, payload: Bytes) -> Result<(), SendError> {
+        let delay = self.bucket.lock().delay_for(payload.len());
+        if delay > Duration::ZERO {
+            thread::sleep(delay);
+        }
+        self.meter.record(payload.len() as u64);
+        self.tx.send(payload).map_err(|_| SendError)
+    }
+
+    /// The meter counting bytes through this pipe.
+    pub fn meter(&self) -> &TrafficMeter {
+        &self.meter
+    }
+}
+
+/// Receiving half of a [`ThrottledPipe`].
+#[derive(Debug)]
+pub struct PipeReceiver {
+    rx: channel::Receiver<Bytes>,
+    meter: TrafficMeter,
+}
+
+impl PipeReceiver {
+    /// Blocks for the next payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when all senders are gone and the queue is
+    /// empty.
+    pub fn recv(&self) -> Result<Bytes, RecvError> {
+        self.rx.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive; `Ok(None)` when the queue is momentarily empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when all senders are gone and the queue is
+    /// empty.
+    pub fn try_recv(&self) -> Result<Option<Bytes>, RecvError> {
+        match self.rx.try_recv() {
+            Ok(b) => Ok(Some(b)),
+            Err(channel::TryRecvError::Empty) => Ok(None),
+            Err(channel::TryRecvError::Disconnected) => Err(RecvError),
+        }
+    }
+
+    /// The meter counting bytes through this pipe.
+    pub fn meter(&self) -> &TrafficMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn bytes_arrive_in_order() {
+        let (tx, rx) = ThrottledPipe::new(Bandwidth::from_gbps(10.0), 8);
+        tx.send(Bytes::from_static(b"one")).unwrap();
+        tx.send(Bytes::from_static(b"two")).unwrap();
+        assert_eq!(rx.recv().unwrap(), Bytes::from_static(b"one"));
+        assert_eq!(rx.recv().unwrap(), Bytes::from_static(b"two"));
+    }
+
+    #[test]
+    fn meter_counts_bytes() {
+        let (tx, rx) = ThrottledPipe::new(Bandwidth::from_gbps(10.0), 8);
+        tx.send(Bytes::from(vec![0u8; 1234])).unwrap();
+        assert_eq!(rx.meter().bytes(), 1234);
+        assert_eq!(tx.meter().messages(), 1);
+    }
+
+    #[test]
+    fn throttling_enforces_rate() {
+        // 4 Mbps = 500 KB/s; sending 250 KB beyond the burst (~10 KB)
+        // should take roughly half a second.
+        let (tx, rx) = ThrottledPipe::new(Bandwidth::from_mbps(4.0), 64);
+        let consumer = thread::spawn(move || while rx.recv().is_ok() {});
+        let start = Instant::now();
+        for _ in 0..25 {
+            tx.send(Bytes::from(vec![0u8; 10_000])).unwrap();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        drop(tx);
+        consumer.join().unwrap();
+        assert!((0.3..1.2).contains(&elapsed), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn disconnected_receiver_reports_error() {
+        let (tx, rx) = ThrottledPipe::new(Bandwidth::from_gbps(10.0), 2);
+        drop(rx);
+        assert_eq!(tx.send(Bytes::from_static(b"x")), Err(SendError));
+    }
+
+    #[test]
+    fn disconnected_sender_reports_error_after_drain() {
+        let (tx, rx) = ThrottledPipe::new(Bandwidth::from_gbps(10.0), 2);
+        tx.send(Bytes::from_static(b"last")).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), Bytes::from_static(b"last"));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_empty_vs_disconnected() {
+        let (tx, rx) = ThrottledPipe::new(Bandwidth::from_gbps(10.0), 2);
+        assert_eq!(rx.try_recv(), Ok(None));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(RecvError));
+    }
+}

@@ -1,0 +1,244 @@
+//! Batch assembly (the data loader's collate step).
+//!
+//! The GPU consumes fixed-shape NCHW buffers, not individual tensors. A
+//! [`TensorBatch`] stacks the pipeline's per-sample tensors into one
+//! contiguous `f32` buffer, validating shape uniformity — the final hop of
+//! Figure 2's step (f).
+
+use imagery::Tensor;
+
+use crate::{PipelineError, StageData};
+
+/// A stacked NCHW batch of training tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorBatch {
+    count: usize,
+    width: u32,
+    height: u32,
+    data: Vec<f32>,
+}
+
+/// Error from batch assembly.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CollateError {
+    /// The input set was empty.
+    Empty,
+    /// A sample was not a tensor (pipeline incomplete).
+    NotATensor {
+        /// Index of the offending sample within the batch.
+        index: usize,
+    },
+    /// A tensor's spatial shape differs from the first sample's.
+    ShapeMismatch {
+        /// Index of the offending sample within the batch.
+        index: usize,
+        /// Expected (width, height).
+        expected: (u32, u32),
+        /// Actual (width, height).
+        got: (u32, u32),
+    },
+}
+
+impl std::fmt::Display for CollateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollateError::Empty => write!(f, "cannot collate an empty batch"),
+            CollateError::NotATensor { index } => {
+                write!(f, "sample {index} is not a tensor")
+            }
+            CollateError::ShapeMismatch { index, expected, got } => write!(
+                f,
+                "sample {index} has shape {got:?}, batch expects {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollateError {}
+
+impl TensorBatch {
+    /// Stacks fully preprocessed samples into a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollateError`] for empty input, non-tensor samples, or
+    /// shape mismatches.
+    pub fn collate(samples: &[StageData]) -> Result<TensorBatch, CollateError> {
+        let first = samples.first().ok_or(CollateError::Empty)?;
+        let Some(first_t) = first.as_tensor() else {
+            return Err(CollateError::NotATensor { index: 0 });
+        };
+        let (w, h) = (first_t.width(), first_t.height());
+        let per_sample = first_t.element_count();
+        let mut data = Vec::with_capacity(per_sample * samples.len());
+        for (index, s) in samples.iter().enumerate() {
+            let t: &Tensor =
+                s.as_tensor().ok_or(CollateError::NotATensor { index })?;
+            if (t.width(), t.height()) != (w, h) {
+                return Err(CollateError::ShapeMismatch {
+                    index,
+                    expected: (w, h),
+                    got: (t.width(), t.height()),
+                });
+            }
+            data.extend_from_slice(t.as_slice());
+        }
+        Ok(TensorBatch { count: samples.len(), width: w, height: h, data })
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the batch is empty (never true for a collated batch).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Spatial shape `(width, height)`.
+    pub fn shape(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Total `f32` elements (`N × 3 × H × W`).
+    pub fn element_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Byte size of the batch buffer.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Borrows the contiguous NCHW buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Borrows the `i`-th sample's CHW slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        assert!(i < self.count, "sample {i} out of range");
+        let per = self.data.len() / self.count;
+        &self.data[i * per..(i + 1) * per]
+    }
+}
+
+/// Runs the pipeline suffix for a set of fetched samples and collates the
+/// batch — the compute node's per-batch work in one call.
+///
+/// # Errors
+///
+/// Propagates pipeline failures, then collate failures (wrapped in
+/// [`PipelineError`] is not possible, so the error type is a simple
+/// enum of the two).
+pub fn finish_and_collate(
+    spec: &crate::PipelineSpec,
+    fetched: Vec<(crate::SampleKey, crate::SplitPoint, StageData)>,
+) -> Result<TensorBatch, BatchError> {
+    let mut tensors = Vec::with_capacity(fetched.len());
+    for (key, split, data) in fetched {
+        tensors.push(spec.run_suffix(data, split, key).map_err(BatchError::Pipeline)?);
+    }
+    TensorBatch::collate(&tensors).map_err(BatchError::Collate)
+}
+
+/// Error from [`finish_and_collate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchError {
+    /// The pipeline suffix failed for a sample.
+    Pipeline(PipelineError),
+    /// The resulting tensors could not be stacked.
+    Collate(CollateError),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Pipeline(e) => write!(f, "pipeline suffix failed: {e}"),
+            BatchError::Collate(e) => write!(f, "collate failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PipelineSpec, SampleKey, SplitPoint};
+    use codec::Quality;
+    use imagery::synth::SynthSpec;
+    use imagery::RasterImage;
+
+    fn tensor_of(seed: u64) -> StageData {
+        let img = SynthSpec::new(300, 200).complexity(0.4).render(seed);
+        let enc = codec::encode(&img, Quality::default());
+        PipelineSpec::standard_train()
+            .run(StageData::Encoded(enc.into()), SampleKey::new(1, seed, 0))
+            .unwrap()
+    }
+
+    #[test]
+    fn collate_stacks_in_order() {
+        let samples = vec![tensor_of(1), tensor_of(2), tensor_of(3)];
+        let batch = TensorBatch::collate(&samples).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.shape(), (224, 224));
+        assert_eq!(batch.element_count(), 3 * 3 * 224 * 224);
+        assert_eq!(batch.byte_len(), 3 * 602_112);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(batch.sample(i), s.as_tensor().unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert_eq!(TensorBatch::collate(&[]), Err(CollateError::Empty));
+    }
+
+    #[test]
+    fn non_tensor_rejected_with_index() {
+        let img = RasterImage::filled(8, 8, imagery::Rgb::BLACK);
+        let samples = vec![tensor_of(1), StageData::Image(img)];
+        assert_eq!(
+            TensorBatch::collate(&samples),
+            Err(CollateError::NotATensor { index: 1 })
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let small = StageData::Tensor(imagery::Tensor::zeros(10, 10));
+        let samples = vec![tensor_of(1), small];
+        assert!(matches!(
+            TensorBatch::collate(&samples),
+            Err(CollateError::ShapeMismatch { index: 1, expected: (224, 224), got: (10, 10) })
+        ));
+    }
+
+    #[test]
+    fn finish_and_collate_end_to_end() {
+        let spec = PipelineSpec::standard_train();
+        let fetched: Vec<_> = (0..4u64)
+            .map(|id| {
+                let img = SynthSpec::new(280, 210).complexity(0.5).render(id);
+                let enc = codec::encode(&img, Quality::default());
+                let key = SampleKey::new(9, id, 2);
+                let split = SplitPoint::new(2);
+                let mid = spec
+                    .run_prefix(StageData::Encoded(enc.into()), split, key)
+                    .unwrap();
+                (key, split, mid)
+            })
+            .collect();
+        let batch = finish_and_collate(&spec, fetched).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.shape(), (224, 224));
+    }
+}

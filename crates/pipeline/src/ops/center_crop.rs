@@ -1,0 +1,47 @@
+//! `CenterCrop`: deterministic central square crop.
+
+use imagery::Rect;
+
+use crate::{PipelineError, StageData};
+
+pub(super) fn apply(data: StageData, size: u32) -> Result<StageData, PipelineError> {
+    let StageData::Image(img) = data else { unreachable!("kind checked by caller") };
+    let (w, h) = (img.width(), img.height());
+    // Images smaller than the crop are upscaled first (torchvision pads;
+    // upscaling keeps the implementation pad-free with equivalent shape
+    // semantics for this workspace's pipelines).
+    let img = if w < size || h < size {
+        img.resize_bilinear(w.max(size), h.max(size))
+    } else {
+        img
+    };
+    let (w, h) = (img.width(), img.height());
+    let rect = Rect::new((w - size) / 2, (h - size) / 2, size, size);
+    Ok(StageData::Image(img.crop(rect)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AugmentRng, OpKind, StageData};
+    use imagery::synth::SynthSpec;
+
+    #[test]
+    fn output_is_square() {
+        let img = SynthSpec::new(341, 256).complexity(0.2).render(1);
+        let out = OpKind::CenterCrop { size: 224 }
+            .apply(StageData::Image(img), &mut AugmentRng::for_sample(0, 0, 0))
+            .unwrap();
+        let img = out.as_image().unwrap();
+        assert_eq!((img.width(), img.height()), (224, 224));
+    }
+
+    #[test]
+    fn small_images_are_upscaled() {
+        let img = SynthSpec::new(100, 90).complexity(0.2).render(1);
+        let out = OpKind::CenterCrop { size: 224 }
+            .apply(StageData::Image(img), &mut AugmentRng::for_sample(0, 0, 0))
+            .unwrap();
+        let img = out.as_image().unwrap();
+        assert_eq!((img.width(), img.height()), (224, 224));
+    }
+}

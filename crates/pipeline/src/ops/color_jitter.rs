@@ -1,0 +1,94 @@
+//! `ColorJitter`: random brightness / contrast / saturation perturbation.
+//!
+//! torchvision semantics: each enabled component draws a factor uniformly
+//! from `[max(0, 1 - s), 1 + s]` (strength `s`), and the three adjustments
+//! are applied in a random order. The byte size is unchanged, so the
+//! operation never moves a sample's minimum stage — but it adds CPU cost
+//! that SOPHON's profiler must attribute correctly.
+
+use imagery::RasterImage;
+
+use crate::{AugmentRng, PipelineError, StageData};
+
+/// Draws a jitter factor for a strength expressed in percent.
+fn draw_factor(strength_pct: u8, rng: &mut AugmentRng) -> f32 {
+    let s = f64::from(strength_pct) / 100.0;
+    rng.next_range_f64((1.0 - s).max(0.0), 1.0 + s) as f32
+}
+
+pub(super) fn apply(
+    data: StageData,
+    brightness_pct: u8,
+    contrast_pct: u8,
+    saturation_pct: u8,
+    rng: &mut AugmentRng,
+) -> Result<StageData, PipelineError> {
+    let StageData::Image(img) = data else { unreachable!("kind checked by caller") };
+    // Draw all factors first (fixed draw order keeps the stream layout
+    // stable), then apply in a random permutation.
+    let factors = [
+        (0u8, draw_factor(brightness_pct, rng)),
+        (1u8, draw_factor(contrast_pct, rng)),
+        (2u8, draw_factor(saturation_pct, rng)),
+    ];
+    let mut order = [0usize, 1, 2];
+    // Fisher-Yates with the augmentation stream.
+    for i in (1..3usize).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    let mut out: RasterImage = img;
+    for &idx in &order {
+        let (kind, factor) = factors[idx];
+        out = match kind {
+            0 => out.adjust_brightness(factor),
+            1 => out.adjust_contrast(factor),
+            _ => out.adjust_saturation(factor),
+        };
+    }
+    Ok(StageData::Image(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AugmentRng, OpKind, StageData};
+    use imagery::synth::SynthSpec;
+
+    fn op() -> OpKind {
+        OpKind::ColorJitter { brightness_pct: 40, contrast_pct: 40, saturation_pct: 40 }
+    }
+
+    #[test]
+    fn size_is_preserved() {
+        let img = SynthSpec::new(48, 32).complexity(0.5).render(1);
+        let before = img.raw_len() as u64;
+        let out = op()
+            .apply(StageData::Image(img), &mut AugmentRng::for_sample(0, 0, 0))
+            .unwrap();
+        assert_eq!(out.byte_len(), before);
+    }
+
+    #[test]
+    fn deterministic_per_key_and_varies_per_epoch() {
+        let img = SynthSpec::new(32, 32).complexity(0.8).render(2);
+        let run = |epoch| {
+            let mut rng = AugmentRng::for_sample(3, 4, epoch);
+            op().apply(StageData::Image(img.clone()), &mut rng).unwrap()
+        };
+        assert_eq!(run(0).as_image(), run(0).as_image());
+        assert_ne!(run(0).as_image(), run(1).as_image());
+    }
+
+    #[test]
+    fn zero_strength_is_near_identity() {
+        let img = SynthSpec::new(24, 24).complexity(0.5).render(3);
+        let out = OpKind::ColorJitter { brightness_pct: 0, contrast_pct: 0, saturation_pct: 0 }
+            .apply(StageData::Image(img.clone()), &mut AugmentRng::for_sample(1, 1, 1))
+            .unwrap();
+        // Factors are exactly 1.0; only contrast's mean-rounding can move a
+        // value by ±1.
+        for (a, b) in img.as_raw().iter().zip(out.as_image().unwrap().as_raw().iter()) {
+            assert!(a.abs_diff(*b) <= 1);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! `Grayscale`: deterministic three-channel desaturation.
+
+use crate::{PipelineError, StageData};
+
+pub(super) fn apply(data: StageData) -> Result<StageData, PipelineError> {
+    let StageData::Image(img) = data else { unreachable!("kind checked by caller") };
+    Ok(StageData::Image(img.to_grayscale()))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AugmentRng, OpKind, StageData};
+    use imagery::synth::SynthSpec;
+
+    #[test]
+    fn output_is_gray_and_same_size() {
+        let img = SynthSpec::new(20, 20).complexity(0.9).render(1);
+        let before = img.raw_len() as u64;
+        let out = OpKind::Grayscale
+            .apply(StageData::Image(img), &mut AugmentRng::for_sample(0, 0, 0))
+            .unwrap();
+        assert_eq!(out.byte_len(), before);
+        for px in out.as_image().unwrap().as_raw().chunks_exact(3) {
+            assert!(px[0].abs_diff(px[1]) <= 1 && px[1].abs_diff(px[2]) <= 1);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! `Normalize`: per-channel standardization with the ImageNet constants.
+
+use imagery::{IMAGENET_MEAN, IMAGENET_STD};
+
+use crate::{PipelineError, StageData};
+
+pub(super) fn apply(data: StageData) -> Result<StageData, PipelineError> {
+    let StageData::Tensor(mut t) = data else { unreachable!("kind checked by caller") };
+    t.normalize(IMAGENET_MEAN, IMAGENET_STD);
+    Ok(StageData::Tensor(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AugmentRng, OpKind, StageData};
+    use imagery::{RasterImage, Rgb, Tensor};
+
+    #[test]
+    fn preserves_byte_size() {
+        let t = Tensor::from_image(&RasterImage::filled(32, 32, Rgb::gray(100)));
+        let before = t.byte_len() as u64;
+        let out = OpKind::Normalize
+            .apply(StageData::Tensor(t), &mut AugmentRng::for_sample(0, 0, 0))
+            .unwrap();
+        assert_eq!(out.byte_len(), before);
+    }
+
+    #[test]
+    fn applies_imagenet_constants() {
+        let t = Tensor::from_image(&RasterImage::filled(2, 2, Rgb::new(255, 0, 0)));
+        let out = OpKind::Normalize
+            .apply(StageData::Tensor(t), &mut AugmentRng::for_sample(0, 0, 0))
+            .unwrap();
+        let t = out.as_tensor().unwrap();
+        assert!((t.get(0, 0, 0) - (1.0 - 0.485) / 0.229).abs() < 1e-5);
+        assert!((t.get(1, 0, 0) - (0.0 - 0.456) / 0.224).abs() < 1e-5);
+    }
+}

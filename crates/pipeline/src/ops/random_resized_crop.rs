@@ -1,0 +1,156 @@
+//! `RandomResizedCrop`: random scale/aspect crop resized to a square.
+//!
+//! Faithful to `torchvision.transforms.RandomResizedCrop`: sample a target
+//! area in `[0.08, 1.0]` of the source area and a log-uniform aspect ratio in
+//! `[3/4, 4/3]`; retry up to ten times until the rectangle fits; otherwise
+//! fall back to a central crop of the largest in-range aspect.
+
+use imagery::{RasterImage, Rect};
+
+use crate::{AugmentRng, PipelineError, StageData};
+
+/// Scale range of the sampled crop area, relative to the source area.
+pub const SCALE_RANGE: (f64, f64) = (0.08, 1.0);
+/// Aspect-ratio range of the sampled crop (log-uniform).
+pub const RATIO_RANGE: (f64, f64) = (3.0 / 4.0, 4.0 / 3.0);
+/// Number of rejection-sampling attempts before the deterministic fallback.
+pub const MAX_ATTEMPTS: u32 = 10;
+
+/// The crop rectangle chosen for a sample (exposed for tests and traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CropParams {
+    /// Region of the source image that was kept.
+    pub rect: Rect,
+}
+
+/// Draws torchvision-style crop parameters for a `width × height` source.
+pub fn sample_params(width: u32, height: u32, rng: &mut AugmentRng) -> CropParams {
+    let area = f64::from(width) * f64::from(height);
+    for _ in 0..MAX_ATTEMPTS {
+        let target_area = area * rng.next_range_f64(SCALE_RANGE.0, SCALE_RANGE.1);
+        let log_ratio = rng.next_range_f64(RATIO_RANGE.0.ln(), RATIO_RANGE.1.ln());
+        let ratio = log_ratio.exp();
+        let w = (target_area * ratio).sqrt().round() as u32;
+        let h = (target_area / ratio).sqrt().round() as u32;
+        if w > 0 && h > 0 && w <= width && h <= height {
+            let x = rng.next_below(u64::from(width - w) + 1) as u32;
+            let y = rng.next_below(u64::from(height - h) + 1) as u32;
+            return CropParams { rect: Rect::new(x, y, w, h) };
+        }
+    }
+    // Fallback: central crop with the aspect clamped into range.
+    let in_ratio = f64::from(width) / f64::from(height);
+    let (w, h) = if in_ratio < RATIO_RANGE.0 {
+        let w = width;
+        let h = ((f64::from(w) / RATIO_RANGE.0).round() as u32).min(height).max(1);
+        (w, h)
+    } else if in_ratio > RATIO_RANGE.1 {
+        let h = height;
+        let w = ((f64::from(h) * RATIO_RANGE.1).round() as u32).min(width).max(1);
+        (w, h)
+    } else {
+        (width, height)
+    };
+    CropParams { rect: Rect::new((width - w) / 2, (height - h) / 2, w, h) }
+}
+
+pub(super) fn apply(
+    data: StageData,
+    size: u32,
+    rng: &mut AugmentRng,
+) -> Result<StageData, PipelineError> {
+    let StageData::Image(img) = data else { unreachable!("kind checked by caller") };
+    Ok(StageData::Image(crop_and_resize(&img, size, rng)?))
+}
+
+/// Crops with sampled parameters and resizes to `size × size`.
+///
+/// # Errors
+///
+/// Propagates crop geometry failures (impossible for parameters produced by
+/// [`sample_params`], but kept fallible for defense in depth).
+pub fn crop_and_resize(
+    img: &RasterImage,
+    size: u32,
+    rng: &mut AugmentRng,
+) -> Result<RasterImage, PipelineError> {
+    let params = sample_params(img.width(), img.height(), rng);
+    let cropped = img.crop(params.rect)?;
+    Ok(cropped.resize_bilinear(size, size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+    use imagery::synth::SynthSpec;
+
+    fn rng(id: u64) -> AugmentRng {
+        AugmentRng::for_sample(3, id, 0)
+    }
+
+    #[test]
+    fn output_is_exactly_size_squared() {
+        let img = SynthSpec::new(613, 407).complexity(0.5).render(2);
+        for id in 0..20 {
+            let out = OpKind::RandomResizedCrop { size: 224 }
+                .apply(StageData::Image(img.clone()), &mut rng(id))
+                .unwrap();
+            let out_img = out.as_image().unwrap();
+            assert_eq!((out_img.width(), out_img.height()), (224, 224));
+            assert_eq!(out.byte_len(), 150_528);
+        }
+    }
+
+    #[test]
+    fn params_always_fit_source() {
+        for (w, h) in [(224u32, 224u32), (30, 500), (500, 30), (1, 1), (7, 9)] {
+            for id in 0..50 {
+                let p = sample_params(w, h, &mut rng(id));
+                assert!(p.rect.fits_in(w, h), "{p:?} does not fit {w}x{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_aspect_falls_back_to_clamped_center() {
+        // 1000x10 has ratio 100, far outside [3/4, 4/3]; most draws fail and
+        // the fallback clamps to ratio 4/3.
+        let p = sample_params(1000, 10, &mut rng(1));
+        assert!(p.rect.fits_in(1000, 10));
+        let r = p.rect.aspect_ratio();
+        assert!(r <= RATIO_RANGE.1 + 0.35, "fallback ratio {r} not clamped");
+    }
+
+    #[test]
+    fn deterministic_per_key() {
+        let img = SynthSpec::new(300, 200).complexity(0.4).render(5);
+        let a = crop_and_resize(&img, 224, &mut rng(7)).unwrap();
+        let b = crop_and_resize(&img, 224, &mut rng(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_epochs_crop_differently() {
+        let img = SynthSpec::new(300, 200).complexity(0.4).render(5);
+        let a = crop_and_resize(&img, 224, &mut AugmentRng::for_sample(3, 1, 0)).unwrap();
+        let b = crop_and_resize(&img, 224, &mut AugmentRng::for_sample(3, 1, 1)).unwrap();
+        assert_ne!(a, b, "augmentation must vary across epochs");
+    }
+
+    #[test]
+    fn scale_distribution_spans_range() {
+        // Areas of accepted crops should span a wide range of the source.
+        let (w, h) = (400u32, 400u32);
+        let mut min_frac = 1.0f64;
+        let mut max_frac = 0.0f64;
+        for id in 0..200 {
+            let p = sample_params(w, h, &mut rng(id));
+            let frac = p.rect.area() as f64 / (f64::from(w) * f64::from(h));
+            min_frac = min_frac.min(frac);
+            max_frac = max_frac.max(frac);
+        }
+        assert!(min_frac < 0.25, "never drew a small crop: {min_frac}");
+        assert!(max_frac > 0.6, "never drew a large crop: {max_frac}");
+    }
+}

@@ -1,0 +1,44 @@
+//! `Resize`: deterministic shorter-side resize preserving aspect ratio.
+
+use crate::{PipelineError, StageData};
+
+pub(super) fn apply(data: StageData, size: u32) -> Result<StageData, PipelineError> {
+    let StageData::Image(img) = data else { unreachable!("kind checked by caller") };
+    let (w, h) = (img.width(), img.height());
+    let (nw, nh) = if w <= h {
+        let nh = ((u64::from(h) * u64::from(size) + u64::from(w) / 2) / u64::from(w)) as u32;
+        (size, nh.max(1))
+    } else {
+        let nw = ((u64::from(w) * u64::from(size) + u64::from(h) / 2) / u64::from(h)) as u32;
+        (nw.max(1), size)
+    };
+    Ok(StageData::Image(img.resize_bilinear(nw, nh)))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AugmentRng, OpKind, StageData};
+    use imagery::synth::SynthSpec;
+
+    #[test]
+    fn shorter_side_hits_target() {
+        let img = SynthSpec::new(800, 600).complexity(0.2).render(1);
+        let out = OpKind::Resize { size: 256 }
+            .apply(StageData::Image(img), &mut AugmentRng::for_sample(0, 0, 0))
+            .unwrap();
+        let img = out.as_image().unwrap();
+        assert_eq!(img.height(), 256);
+        assert_eq!(img.width(), 341); // 800 * 256 / 600 rounded
+    }
+
+    #[test]
+    fn portrait_orientation() {
+        let img = SynthSpec::new(300, 900).complexity(0.2).render(1);
+        let out = OpKind::Resize { size: 128 }
+            .apply(StageData::Image(img), &mut AugmentRng::for_sample(0, 0, 0))
+            .unwrap();
+        let img = out.as_image().unwrap();
+        assert_eq!(img.width(), 128);
+        assert_eq!(img.height(), 384);
+    }
+}

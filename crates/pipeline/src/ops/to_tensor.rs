@@ -1,0 +1,27 @@
+//! `ToTensor`: `u8` raster → `f32` tensor in `[0, 1]`.
+
+use imagery::Tensor;
+
+use crate::{PipelineError, StageData};
+
+pub(super) fn apply(data: StageData) -> Result<StageData, PipelineError> {
+    let StageData::Image(img) = data else { unreachable!("kind checked by caller") };
+    Ok(StageData::Tensor(Tensor::from_image(&img)))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AugmentRng, OpKind, StageData};
+    use imagery::{RasterImage, Rgb};
+
+    #[test]
+    fn quadruples_byte_size() {
+        let img = RasterImage::filled(224, 224, Rgb::gray(3));
+        let before = img.raw_len() as u64;
+        let out = OpKind::ToTensor
+            .apply(StageData::Image(img), &mut AugmentRng::for_sample(0, 0, 0))
+            .unwrap();
+        assert_eq!(out.byte_len(), before * 4);
+        assert_eq!(out.byte_len(), 602_112);
+    }
+}

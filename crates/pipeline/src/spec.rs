@@ -1,0 +1,313 @@
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SampleKey;
+use crate::{AugmentRng, DataKind, OpKind, PipelineError, StageData, CROP_SIZE};
+
+/// How many leading operations of a pipeline run on the storage node.
+///
+/// `SplitPoint::new(0)` means no offloading; `SplitPoint::new(len)` offloads
+/// the whole pipeline (the paper's `All-Off`). The value a split produces on
+/// the wire is the output of the last offloaded operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SplitPoint(usize);
+
+impl SplitPoint {
+    /// No operations offloaded.
+    pub const NONE: SplitPoint = SplitPoint(0);
+
+    /// Creates a split after the first `offloaded_ops` operations.
+    pub const fn new(offloaded_ops: usize) -> SplitPoint {
+        SplitPoint(offloaded_ops)
+    }
+
+    /// Number of operations that run on the storage node.
+    pub const fn offloaded_ops(self) -> usize {
+        self.0
+    }
+
+    /// Whether anything is offloaded at all.
+    pub const fn is_offloaded(self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl Default for SplitPoint {
+    fn default() -> Self {
+        SplitPoint::NONE
+    }
+}
+
+/// An ordered, type-checked sequence of preprocessing operations.
+///
+/// The first operation must consume [`DataKind::Encoded`] (the stored form),
+/// and each operation's output kind must match the next one's input kind.
+///
+/// ```
+/// use pipeline::{PipelineSpec, OpKind};
+/// // Ill-typed: Normalize cannot consume an image.
+/// let err = PipelineSpec::new(vec![OpKind::Decode, OpKind::Normalize]);
+/// assert!(err.is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    ops: Vec<OpKind>,
+}
+
+impl PipelineSpec {
+    /// Creates a spec, validating the type flow starting from encoded bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidSpec`] naming the first ill-typed
+    /// operation.
+    pub fn new(ops: Vec<OpKind>) -> Result<PipelineSpec, PipelineError> {
+        let mut kind = DataKind::Encoded;
+        for (index, &op) in ops.iter().enumerate() {
+            if op.input_kind() != kind {
+                return Err(PipelineError::InvalidSpec { index, op, incoming: kind });
+            }
+            kind = op.output_kind();
+        }
+        Ok(PipelineSpec { ops })
+    }
+
+    /// The paper's five-operation training pipeline:
+    /// Decode → RandomResizedCrop(224) → RandomHorizontalFlip → ToTensor →
+    /// Normalize.
+    pub fn standard_train() -> PipelineSpec {
+        PipelineSpec {
+            ops: vec![
+                OpKind::Decode,
+                OpKind::RandomResizedCrop { size: CROP_SIZE },
+                OpKind::RandomHorizontalFlip,
+                OpKind::ToTensor,
+                OpKind::Normalize,
+            ],
+        }
+    }
+
+    /// A heavier augmentation pipeline adding `ColorJitter` between the flip
+    /// and `ToTensor` (the common torchvision recipe for contrastive or
+    /// robustness training):
+    /// Decode → RandomResizedCrop(224) → RandomHorizontalFlip →
+    /// ColorJitter(40 %, 40 %, 40 %) → ToTensor → Normalize.
+    pub fn augmented_train() -> PipelineSpec {
+        PipelineSpec {
+            ops: vec![
+                OpKind::Decode,
+                OpKind::RandomResizedCrop { size: CROP_SIZE },
+                OpKind::RandomHorizontalFlip,
+                OpKind::ColorJitter { brightness_pct: 40, contrast_pct: 40, saturation_pct: 40 },
+                OpKind::ToTensor,
+                OpKind::Normalize,
+            ],
+        }
+    }
+
+    /// The deterministic evaluation pipeline:
+    /// Decode → Resize(256) → CenterCrop(224) → ToTensor → Normalize.
+    pub fn standard_eval() -> PipelineSpec {
+        PipelineSpec {
+            ops: vec![
+                OpKind::Decode,
+                OpKind::Resize { size: 256 },
+                OpKind::CenterCrop { size: CROP_SIZE },
+                OpKind::ToTensor,
+                OpKind::Normalize,
+            ],
+        }
+    }
+
+    /// The operations, in order.
+    pub fn ops(&self) -> &[OpKind] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the pipeline has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The data kind flowing *out of* stage `stage` (stage 0 = raw encoded
+    /// input, stage `i` = after op `i-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stage > len()`.
+    pub fn kind_at(&self, stage: usize) -> DataKind {
+        assert!(stage <= self.ops.len(), "stage {stage} beyond pipeline");
+        if stage == 0 {
+            DataKind::Encoded
+        } else {
+            self.ops[stage - 1].output_kind()
+        }
+    }
+
+    fn check_split(&self, split: SplitPoint) -> Result<(), PipelineError> {
+        if split.offloaded_ops() > self.ops.len() {
+            return Err(PipelineError::SplitOutOfRange {
+                split: split.offloaded_ops(),
+                len: self.ops.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn run_range(
+        &self,
+        mut data: StageData,
+        range: std::ops::Range<usize>,
+        key: SampleKey,
+    ) -> Result<StageData, PipelineError> {
+        for idx in range {
+            let mut rng = AugmentRng::for_op(key, idx);
+            data = self.ops[idx].apply(data, &mut rng)?;
+        }
+        Ok(data)
+    }
+
+    /// Runs the full pipeline for the sample identified by `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first operation failure.
+    pub fn run(&self, data: StageData, key: SampleKey) -> Result<StageData, PipelineError> {
+        self.run_range(data, 0..self.ops.len(), key)
+    }
+
+    /// Runs only the offloaded prefix (what the storage node executes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::SplitOutOfRange`] for an invalid split and
+    /// propagates operation failures.
+    pub fn run_prefix(
+        &self,
+        data: StageData,
+        split: SplitPoint,
+        key: SampleKey,
+    ) -> Result<StageData, PipelineError> {
+        self.check_split(split)?;
+        self.run_range(data, 0..split.offloaded_ops(), key)
+    }
+
+    /// Runs the remaining suffix (what the compute node executes after
+    /// receiving partially preprocessed data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::SplitOutOfRange`] for an invalid split and
+    /// propagates operation failures.
+    pub fn run_suffix(
+        &self,
+        data: StageData,
+        split: SplitPoint,
+        key: SampleKey,
+    ) -> Result<StageData, PipelineError> {
+        self.check_split(split)?;
+        self.run_range(data, split.offloaded_ops()..self.ops.len(), key)
+    }
+
+    /// All valid split points, from none to the full pipeline.
+    pub fn split_points(&self) -> impl Iterator<Item = SplitPoint> + '_ {
+        (0..=self.ops.len()).map(SplitPoint::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codec::Quality;
+    use imagery::synth::SynthSpec;
+
+    fn encoded_sample(seed: u64) -> StageData {
+        let img = SynthSpec::new(400, 300).complexity(0.5).render(seed);
+        StageData::Encoded(codec::encode(&img, Quality::default()).into())
+    }
+
+    fn tensors_equal(a: &StageData, b: &StageData) -> bool {
+        match (a, b) {
+            (StageData::Tensor(x), StageData::Tensor(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn standard_train_is_well_typed() {
+        let spec = PipelineSpec::standard_train();
+        assert_eq!(spec.len(), 5);
+        assert_eq!(spec.kind_at(0), DataKind::Encoded);
+        assert_eq!(spec.kind_at(2), DataKind::Image);
+        assert_eq!(spec.kind_at(5), DataKind::Tensor);
+    }
+
+    #[test]
+    fn ill_typed_spec_rejected() {
+        let err = PipelineSpec::new(vec![OpKind::ToTensor]).unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidSpec { index: 0, .. }));
+        let err =
+            PipelineSpec::new(vec![OpKind::Decode, OpKind::Decode]).unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidSpec { index: 1, .. }));
+    }
+
+    #[test]
+    fn run_produces_tensor() {
+        let spec = PipelineSpec::standard_train();
+        let out = spec.run(encoded_sample(1), SampleKey::new(9, 1, 0)).unwrap();
+        let t = out.as_tensor().unwrap();
+        assert_eq!((t.width(), t.height()), (224, 224));
+    }
+
+    #[test]
+    fn every_split_point_reproduces_unsplit_output() {
+        let spec = PipelineSpec::standard_train();
+        let key = SampleKey::new(42, 17, 3);
+        let full = spec.run(encoded_sample(2), key).unwrap();
+        for split in spec.split_points() {
+            let mid = spec.run_prefix(encoded_sample(2), split, key).unwrap();
+            let out = spec.run_suffix(mid, split, key).unwrap();
+            assert!(
+                tensors_equal(&out, &full),
+                "split {split:?} diverged from unsplit execution"
+            );
+        }
+    }
+
+    #[test]
+    fn split_out_of_range_rejected() {
+        let spec = PipelineSpec::standard_train();
+        let err = spec
+            .run_prefix(encoded_sample(1), SplitPoint::new(6), SampleKey::new(0, 0, 0))
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::SplitOutOfRange { split: 6, len: 5 }));
+    }
+
+    #[test]
+    fn eval_pipeline_is_deterministic_across_epochs() {
+        let spec = PipelineSpec::standard_eval();
+        let a = spec.run(encoded_sample(3), SampleKey::new(1, 5, 0)).unwrap();
+        let b = spec.run(encoded_sample(3), SampleKey::new(1, 5, 9)).unwrap();
+        assert!(tensors_equal(&a, &b), "eval pipeline must not vary per epoch");
+    }
+
+    #[test]
+    fn train_pipeline_varies_across_epochs() {
+        let spec = PipelineSpec::standard_train();
+        let a = spec.run(encoded_sample(3), SampleKey::new(1, 5, 0)).unwrap();
+        let b = spec.run(encoded_sample(3), SampleKey::new(1, 5, 1)).unwrap();
+        assert!(!tensors_equal(&a, &b), "train augmentations must vary per epoch");
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let spec = PipelineSpec::new(vec![]).unwrap();
+        assert!(spec.is_empty());
+        let out = spec.run(encoded_sample(1), SampleKey::new(0, 0, 0)).unwrap();
+        assert_eq!(out.kind(), DataKind::Encoded);
+    }
+}

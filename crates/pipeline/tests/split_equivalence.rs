@@ -1,0 +1,159 @@
+//! Property tests for the central correctness invariant of SOPHON:
+//! splitting the pipeline at any point must not change the training data.
+
+use codec::Quality;
+use imagery::synth::SynthSpec;
+use pipeline::{
+    CostModel, PipelineSpec, SampleKey, SampleProfile, SplitPoint, StageData,
+};
+use proptest::prelude::*;
+
+fn encoded(w: u32, h: u32, complexity: f64, seed: u64) -> StageData {
+    let img = SynthSpec::new(w, h).complexity(complexity).render(seed);
+    StageData::Encoded(codec::encode(&img, Quality::default()).into())
+}
+
+fn tensor_bytes(d: &StageData) -> Vec<u8> {
+    d.as_tensor().expect("pipeline output is a tensor").to_le_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Split execution equals unsplit execution for every split point, for
+    /// arbitrary image shapes, contents, and sample keys.
+    #[test]
+    fn split_equals_unsplit(
+        w in 64u32..640,
+        h in 64u32..640,
+        c in 0f64..=1.0,
+        seed in any::<u64>(),
+        ds in any::<u64>(),
+        id in any::<u64>(),
+        epoch in 0u64..100,
+    ) {
+        let spec = PipelineSpec::standard_train();
+        let key = SampleKey::new(ds, id, epoch);
+        let full = tensor_bytes(&spec.run(encoded(w, h, c, seed), key).unwrap());
+        for split in spec.split_points() {
+            let mid = spec.run_prefix(encoded(w, h, c, seed), split, key).unwrap();
+            let out = spec.run_suffix(mid, split, key).unwrap();
+            prop_assert_eq!(&tensor_bytes(&out), &full, "split {:?}", split);
+        }
+    }
+
+    /// Stage sizes obey the structural invariants of the five-op pipeline:
+    /// post-crop stages are constant-size, ToTensor multiplies by exactly 4.
+    #[test]
+    fn stage_size_invariants(
+        w in 64u32..800,
+        h in 64u32..800,
+        c in 0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = PipelineSpec::standard_train();
+        let profile = SampleProfile::measure(
+            &spec,
+            encoded(w, h, c, seed),
+            SampleKey::new(1, 2, 3),
+            &CostModel::realistic(),
+        ).unwrap();
+        prop_assert_eq!(profile.size_at(2), 150_528);
+        prop_assert_eq!(profile.size_at(3), 150_528);
+        prop_assert_eq!(profile.size_at(4), 602_112);
+        prop_assert_eq!(profile.size_at(5), 602_112);
+        // Decode output is the raw raster size.
+        prop_assert_eq!(profile.size_at(1), u64::from(w) * u64::from(h) * 3);
+    }
+
+    /// The minimum stage is never one of the tensor stages, and efficiency is
+    /// zero exactly when the raw form is minimal.
+    #[test]
+    fn min_stage_never_tensor(
+        w in 64u32..800,
+        h in 64u32..800,
+        c in 0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = PipelineSpec::standard_train();
+        let profile = SampleProfile::measure(
+            &spec,
+            encoded(w, h, c, seed),
+            SampleKey::new(1, 2, 3),
+            &CostModel::realistic(),
+        ).unwrap();
+        let (stage, size) = profile.min_stage();
+        prop_assert!(stage < 4, "minimum at tensor stage {stage}");
+        prop_assert!(size <= profile.raw_bytes);
+        prop_assert_eq!(profile.efficiency() == 0.0, stage == 0);
+    }
+
+    /// Profiles are replayable: measuring twice with the same key yields the
+    /// same profile (deterministic augmentation and cost model).
+    #[test]
+    fn profiles_are_deterministic(seed in any::<u64>(), epoch in 0u64..10) {
+        let spec = PipelineSpec::standard_train();
+        let key = SampleKey::new(5, 6, epoch);
+        let model = CostModel::realistic();
+        let a = SampleProfile::measure(&spec, encoded(200, 150, 0.5, seed), key, &model).unwrap();
+        let b = SampleProfile::measure(&spec, encoded(200, 150, 0.5, seed), key, &model).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn augmented_pipeline_split_equivalence() {
+    // ColorJitter draws four values from its substream; splitting around it
+    // must not disturb any op's stream.
+    let spec = PipelineSpec::augmented_train();
+    let key = SampleKey::new(21, 4, 6);
+    let full = tensor_bytes(&spec.run(encoded(400, 260, 0.6, 9), key).unwrap());
+    for split in spec.split_points() {
+        let mid = spec.run_prefix(encoded(400, 260, 0.6, 9), split, key).unwrap();
+        let out = spec.run_suffix(mid, split, key).unwrap();
+        assert_eq!(tensor_bytes(&out), full, "split {split:?}");
+    }
+}
+
+#[test]
+fn augmented_pipeline_min_stage_unchanged_by_jitter() {
+    // ColorJitter preserves sizes, so the minimum stage matches the standard
+    // pipeline's (the decision problem is unchanged, only costs shift).
+    let spec = PipelineSpec::augmented_train();
+    let profile = SampleProfile::measure(
+        &spec,
+        encoded(900, 700, 0.6, 3),
+        SampleKey::new(0, 0, 0),
+        &CostModel::realistic(),
+    )
+    .unwrap();
+    assert_eq!(profile.min_stage().0, 2);
+    assert_eq!(profile.size_at(3), 150_528);
+    assert_eq!(profile.size_at(4), 150_528); // jitter output
+    assert_eq!(profile.size_at(5), 602_112);
+}
+
+#[test]
+fn eval_pipeline_split_equivalence() {
+    let spec = PipelineSpec::standard_eval();
+    let key = SampleKey::new(8, 9, 2);
+    let full = tensor_bytes(&spec.run(encoded(500, 300, 0.5, 4), key).unwrap());
+    for split in spec.split_points() {
+        let mid = spec.run_prefix(encoded(500, 300, 0.5, 4), split, key).unwrap();
+        let out = spec.run_suffix(mid, split, key).unwrap();
+        assert_eq!(tensor_bytes(&out), full, "split {split:?}");
+    }
+}
+
+#[test]
+fn all_off_split_transfers_tensor() {
+    let spec = PipelineSpec::standard_train();
+    let key = SampleKey::new(1, 1, 1);
+    let split = SplitPoint::new(spec.len());
+    let mid = spec.run_prefix(encoded(300, 300, 0.5, 2), split, key).unwrap();
+    // All-Off ships the normalized tensor: 602 112 bytes, the paper's
+    // traffic blow-up.
+    assert_eq!(mid.byte_len(), 602_112);
+    let out = spec.run_suffix(mid, split, key).unwrap();
+    assert_eq!(out.byte_len(), 602_112);
+}

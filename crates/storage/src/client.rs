@@ -1,0 +1,222 @@
+use std::collections::HashMap;
+
+use crossbeam::channel;
+use netsim::PipeReceiver;
+use pipeline::{PipelineSpec, SplitPoint, StageData};
+
+use crate::protocol::{FetchRequest, FetchResponse, Request, Response, SessionConfig};
+use crate::wire::{self, WireError};
+
+/// Errors surfaced to users of [`StorageClient`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The server hung up.
+    Disconnected,
+    /// A response failed to decode.
+    Wire(WireError),
+    /// The server reported a failure.
+    Server {
+        /// The failing sample, when per-sample.
+        sample_id: Option<u64>,
+        /// Server-provided description.
+        message: String,
+    },
+    /// The server sent a response that does not fit the protocol state.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Disconnected => write!(f, "storage server disconnected"),
+            ClientError::Wire(e) => write!(f, "wire decode failed: {e}"),
+            ClientError::Server { sample_id, message } => match sample_id {
+                Some(id) => write!(f, "server error for sample {id}: {message}"),
+                None => write!(f, "server error: {message}"),
+            },
+            ClientError::UnexpectedResponse => write!(f, "unexpected response kind"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Compute-node endpoint of the storage protocol.
+///
+/// Supports both one-at-a-time [`StorageClient::fetch`] and pipelined
+/// [`StorageClient::fetch_many`], which keeps the request queue full so the
+/// server's workers and the throttled link stay busy — the pattern a real
+/// data loader uses.
+#[derive(Debug)]
+pub struct StorageClient {
+    req_tx: channel::Sender<bytes::Bytes>,
+    resp_rx: PipeReceiver,
+    /// Out-of-order responses waiting to be claimed, keyed by sample id.
+    pending: HashMap<u64, FetchResponse>,
+}
+
+impl StorageClient {
+    pub(crate) fn new(req_tx: channel::Sender<bytes::Bytes>, resp_rx: PipeReceiver) -> Self {
+        StorageClient { req_tx, resp_rx, pending: HashMap::new() }
+    }
+
+    fn send(&self, req: &Request) -> Result<(), ClientError> {
+        self.req_tx
+            .send(wire::encode_request(req))
+            .map_err(|_| ClientError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let bytes = self.resp_rx.recv().map_err(|_| ClientError::Disconnected)?;
+        Ok(wire::decode_response(&bytes)?)
+    }
+
+    /// Configures the session pipeline; must precede fetches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on disconnection, malformed responses, or a
+    /// server-side failure.
+    pub fn configure(
+        &mut self,
+        dataset_seed: u64,
+        pipeline: PipelineSpec,
+    ) -> Result<(), ClientError> {
+        self.send(&Request::Configure(SessionConfig { dataset_seed, pipeline }))?;
+        match self.recv()? {
+            Response::Configured => Ok(()),
+            Response::Error { sample_id, message } => {
+                Err(ClientError::Server { sample_id, message })
+            }
+            Response::Data(_) => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches one sample with an offload directive, blocking for its data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on disconnection, malformed responses, or a
+    /// server-reported failure for this sample.
+    pub fn fetch(
+        &mut self,
+        sample_id: u64,
+        epoch: u64,
+        split: SplitPoint,
+    ) -> Result<StageData, ClientError> {
+        self.send(&Request::Fetch(FetchRequest::new(sample_id, epoch, split)))?;
+        if let Some(resp) = self.pending.remove(&sample_id) {
+            return Ok(resp.data);
+        }
+        loop {
+            match self.recv()? {
+                Response::Data(d) if d.sample_id == sample_id => return Ok(d.data),
+                Response::Data(d) => {
+                    self.pending.insert(d.sample_id, d);
+                }
+                Response::Error { sample_id: sid, message } if sid == Some(sample_id) => {
+                    return Err(ClientError::Server { sample_id: sid, message })
+                }
+                Response::Error { sample_id, message } => {
+                    return Err(ClientError::Server { sample_id, message })
+                }
+                Response::Configured => return Err(ClientError::UnexpectedResponse),
+            }
+        }
+    }
+
+    /// Fetches with full request control (offload split plus optional
+    /// transfer-time re-compression), blocking for the response.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as `fetch`.
+    pub fn fetch_request(&mut self, req: FetchRequest) -> Result<FetchResponse, ClientError> {
+        self.send(&Request::Fetch(req))?;
+        if let Some(resp) = self.pending.remove(&req.sample_id) {
+            return Ok(resp);
+        }
+        loop {
+            match self.recv()? {
+                Response::Data(d) if d.sample_id == req.sample_id => return Ok(d),
+                Response::Data(d) => {
+                    self.pending.insert(d.sample_id, d);
+                }
+                Response::Error { sample_id, message } => {
+                    return Err(ClientError::Server { sample_id, message })
+                }
+                Response::Configured => return Err(ClientError::UnexpectedResponse),
+            }
+        }
+    }
+
+    /// Issues all requests up front, then collects every response
+    /// (pipelined; responses may arrive in any order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure; remaining in-flight responses are
+    /// buffered for later calls where possible.
+    pub fn fetch_many(
+        &mut self,
+        requests: &[(u64, u64, SplitPoint)],
+    ) -> Result<Vec<FetchResponse>, ClientError> {
+        for &(sample_id, epoch, split) in requests {
+            self.send(&Request::Fetch(FetchRequest::new(sample_id, epoch, split)))?;
+        }
+        let mut out = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            match self.recv()? {
+                Response::Data(d) => out.push(d),
+                Response::Error { sample_id, message } => {
+                    return Err(ClientError::Server { sample_id, message })
+                }
+                Response::Configured => return Err(ClientError::UnexpectedResponse),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pipelined variant of [`StorageClient::fetch_many`] with full request
+    /// control (splits plus optional re-compression directives).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure.
+    pub fn fetch_many_requests(
+        &mut self,
+        requests: &[FetchRequest],
+    ) -> Result<Vec<FetchResponse>, ClientError> {
+        for req in requests {
+            self.send(&Request::Fetch(*req))?;
+        }
+        let mut out = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            match self.recv()? {
+                Response::Data(d) => out.push(d),
+                Response::Error { sample_id, message } => {
+                    return Err(ClientError::Server { sample_id, message })
+                }
+                Response::Configured => return Err(ClientError::UnexpectedResponse),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Requests a graceful server shutdown (workers drain and exit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Disconnected`] when the server is already
+    /// gone.
+    pub fn shutdown_server(&self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)
+    }
+}

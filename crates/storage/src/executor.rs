@@ -1,0 +1,179 @@
+use pipeline::{PipelineError, SampleKey, StageData};
+
+use crate::protocol::{FetchRequest, FetchResponse, SessionConfig};
+use crate::ObjectStore;
+
+/// Errors from near-storage execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The requested sample is not in the object store.
+    UnknownSample(u64),
+    /// The offloaded prefix failed (bad split, decode failure, …).
+    Pipeline(PipelineError),
+    /// The re-encode directive carried an out-of-range quality.
+    InvalidQuality(u8),
+    /// Re-encoding was requested but the split's output is not an image.
+    ReencodeNotImage,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownSample(id) => write!(f, "unknown sample {id}"),
+            ExecError::Pipeline(e) => write!(f, "offloaded preprocessing failed: {e}"),
+            ExecError::InvalidQuality(q) => write!(f, "re-encode quality {q} out of range"),
+            ExecError::ReencodeNotImage => {
+                write!(f, "re-encode requested but offloaded output is not an image")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for ExecError {
+    fn from(e: PipelineError) -> Self {
+        ExecError::Pipeline(e)
+    }
+}
+
+/// Applies offloaded pipeline prefixes to stored objects.
+///
+/// This is the paper's near-storage processing hook (Ceph object classes /
+/// S3 Object Lambda in their discussion): given a fetch request with an
+/// offload directive, it loads the raw object and runs the directed prefix,
+/// with augmentation streams keyed exactly as the compute node would key
+/// them.
+#[derive(Debug, Clone)]
+pub struct NearStorageExecutor {
+    store: ObjectStore,
+    config: SessionConfig,
+}
+
+impl NearStorageExecutor {
+    /// Creates an executor over a store for one training session.
+    pub fn new(store: ObjectStore, config: SessionConfig) -> NearStorageExecutor {
+        NearStorageExecutor { store, config }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Executes one fetch request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::UnknownSample`] for missing objects and
+    /// [`ExecError::Pipeline`] when the prefix fails.
+    pub fn execute(&self, req: FetchRequest) -> Result<FetchResponse, ExecError> {
+        let bytes = self
+            .store
+            .get(req.sample_id)
+            .ok_or(ExecError::UnknownSample(req.sample_id))?;
+        let key = SampleKey::new(self.config.dataset_seed, req.sample_id, req.epoch);
+        let mut data = self
+            .config
+            .pipeline
+            .run_prefix(StageData::Encoded(bytes), req.split, key)?;
+        if let Some(q) = req.reencode_quality {
+            let quality = codec::Quality::new(q).ok_or(ExecError::InvalidQuality(q))?;
+            let StageData::Image(img) = &data else {
+                return Err(ExecError::ReencodeNotImage);
+            };
+            data = StageData::Encoded(codec::encode(img, quality).into());
+        }
+        Ok(FetchResponse {
+            sample_id: req.sample_id,
+            ops_applied: req.split.offloaded_ops() as u32,
+            data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::{PipelineSpec, SplitPoint};
+
+    fn executor() -> NearStorageExecutor {
+        let ds = datasets::DatasetSpec::mini(3, 4);
+        let store = ObjectStore::materialize_dataset(&ds, 0..3);
+        NearStorageExecutor::new(
+            store,
+            SessionConfig { dataset_seed: 4, pipeline: PipelineSpec::standard_train() },
+        )
+    }
+
+    #[test]
+    fn split_zero_returns_raw_bytes() {
+        let ex = executor();
+        let resp = ex
+            .execute(FetchRequest::new(0, 0, SplitPoint::NONE))
+            .unwrap();
+        assert_eq!(resp.ops_applied, 0);
+        assert!(resp.data.as_encoded().is_some());
+    }
+
+    #[test]
+    fn split_two_returns_cropped_image() {
+        let ex = executor();
+        let resp = ex
+            .execute(FetchRequest::new(1, 0, SplitPoint::new(2)))
+            .unwrap();
+        assert_eq!(resp.ops_applied, 2);
+        assert_eq!(resp.data.byte_len(), 150_528);
+    }
+
+    #[test]
+    fn unknown_sample_reported() {
+        let ex = executor();
+        let err = ex
+            .execute(FetchRequest::new(99, 0, SplitPoint::NONE))
+            .unwrap_err();
+        assert_eq!(err, ExecError::UnknownSample(99));
+    }
+
+    #[test]
+    fn invalid_split_reported() {
+        let ex = executor();
+        let err = ex
+            .execute(FetchRequest::new(0, 0, SplitPoint::new(9)))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Pipeline(_)));
+    }
+
+    #[test]
+    fn prefix_matches_compute_side_execution() {
+        // The executor's output must equal what the compute node would have
+        // produced for the same key — the split-equivalence guarantee across
+        // the wire.
+        let ds = datasets::DatasetSpec::mini(2, 11);
+        let store = ObjectStore::materialize_dataset(&ds, 0..2);
+        let spec = PipelineSpec::standard_train();
+        let ex = NearStorageExecutor::new(
+            store.clone(),
+            SessionConfig { dataset_seed: 11, pipeline: spec.clone() },
+        );
+        let resp = ex
+            .execute(FetchRequest::new(1, 5, SplitPoint::new(2)))
+            .unwrap();
+        let local = spec
+            .run_prefix(
+                StageData::Encoded(store.get(1).unwrap()),
+                SplitPoint::new(2),
+                SampleKey::new(11, 1, 5),
+            )
+            .unwrap();
+        assert_eq!(resp.data.as_image(), local.as_image());
+    }
+}

@@ -1,0 +1,66 @@
+//! The remote storage node: object store, fetch protocol, near-storage
+//! execution, and a live threaded server.
+//!
+//! This crate is the paper's storage server (Figure 2, steps d–e): the
+//! compute node sends **fetch requests carrying offload directives** — which
+//! prefix of the preprocessing pipeline to run near the data — and the
+//! server answers with raw or partially preprocessed bytes.
+//!
+//! * [`ObjectStore`] — the in-memory dataset cache (the paper pins its
+//!   subsets in RAM).
+//! * [`wire`] — a hand-rolled, length-prefixed binary wire format for
+//!   requests, responses, and [`pipeline::StageData`] payloads. Decoding is
+//!   total: corrupt bytes produce errors, never panics.
+//! * [`NearStorageExecutor`] — applies an offloaded pipeline prefix to a
+//!   stored object, reproducing exactly what the compute node would have
+//!   computed (deterministic per-(sample, epoch, op) augmentation streams).
+//! * [`StorageServer`] / [`StorageClient`] — a real multi-threaded server
+//!   and its client, connected by bandwidth-throttled in-process pipes
+//!   ([`netsim::ThrottledPipe`]), so end-to-end examples move real bytes
+//!   through a real 500 Mbps bottleneck.
+//!
+//! # Example
+//!
+//! ```
+//! use storage::{ObjectStore, StorageServer, ServerConfig};
+//! use pipeline::{PipelineSpec, SplitPoint};
+//! use netsim::Bandwidth;
+//!
+//! // Three tiny samples.
+//! let ds = datasets::DatasetSpec::mini(3, 9);
+//! let store = ObjectStore::materialize_dataset(&ds, 0..3);
+//!
+//! let mut server = StorageServer::spawn(store, ServerConfig {
+//!     cores: 2,
+//!     bandwidth: Bandwidth::from_gbps(10.0),
+//!     queue_depth: 16,
+//! });
+//! let mut client = server.client();
+//! client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+//! // Offload Decode + RandomResizedCrop for sample 1, epoch 0.
+//! let data = client.fetch(1, 0, SplitPoint::new(2)).unwrap();
+//! assert_eq!(data.byte_len(), 150_528);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod executor;
+mod object_store;
+pub mod protocol;
+mod retry;
+mod server;
+pub mod tcp;
+mod transport;
+pub mod wire;
+
+pub use client::{ClientError, StorageClient};
+pub use executor::{ExecError, NearStorageExecutor};
+pub use object_store::ObjectStore;
+pub use protocol::{FetchRequest, FetchResponse, Request, Response, SessionConfig};
+pub use retry::RetryingTransport;
+pub use server::{ServerConfig, StorageServer};
+pub use tcp::{TcpStorageClient, TcpStorageServer};
+pub use transport::FetchTransport;

@@ -1,0 +1,178 @@
+use std::collections::HashMap;
+use std::ops::Range;
+
+use bytes::Bytes;
+
+/// An in-memory object store mapping sample ids to encoded bytes.
+///
+/// Mirrors the paper's setup where the dataset subset is cached in the
+/// storage node's RAM so intra-node read bandwidth vastly exceeds the
+/// inter-node link.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    objects: HashMap<u64, Bytes>,
+    total_bytes: u64,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> ObjectStore {
+        ObjectStore::default()
+    }
+
+    /// Builds a store from `(id, bytes)` pairs.
+    pub fn from_objects<I>(objects: I) -> ObjectStore
+    where
+        I: IntoIterator<Item = (u64, Bytes)>,
+    {
+        let mut store = ObjectStore::new();
+        for (id, bytes) in objects {
+            store.insert(id, bytes);
+        }
+        store
+    }
+
+    /// Materializes the given id range of a dataset through the real codec.
+    ///
+    /// Rendering is the expensive path — intended for the modest corpus
+    /// sizes used by functional tests and the live demo.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the dataset length.
+    pub fn materialize_dataset(ds: &datasets::DatasetSpec, ids: Range<u64>) -> ObjectStore {
+        Self::from_objects(ids.map(|id| (id, Bytes::from(ds.materialize(id)))))
+    }
+
+    /// Inserts (or replaces) an object; returns the previous bytes, if any.
+    pub fn insert(&mut self, id: u64, bytes: Bytes) -> Option<Bytes> {
+        self.total_bytes += bytes.len() as u64;
+        let prev = self.objects.insert(id, bytes);
+        if let Some(p) = &prev {
+            self.total_bytes -= p.len() as u64;
+        }
+        prev
+    }
+
+    /// Fetches an object's bytes (cheaply cloned, shared buffer).
+    pub fn get(&self, id: u64) -> Option<Bytes> {
+        self.objects.get(&id).cloned()
+    }
+
+    /// Whether the store holds an object for `id`.
+    pub fn contains(&self, id: u64) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Persists every object to `dir` as `<id>.sjpg` files (creating the
+    /// directory), so a corpus can be served by a cold-started node without
+    /// re-rendering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn persist_dir<P: AsRef<std::path::Path>>(&self, dir: P) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (id, bytes) in &self.objects {
+            std::fs::write(dir.join(format!("{id}.sjpg")), bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Loads a store persisted by [`ObjectStore::persist_dir`]. Files that
+    /// do not match the `<id>.sjpg` pattern are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn load_dir<P: AsRef<std::path::Path>>(dir: P) -> std::io::Result<ObjectStore> {
+        let mut store = ObjectStore::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { continue };
+            if path.extension().and_then(|e| e.to_str()) != Some("sjpg") {
+                continue;
+            }
+            let Ok(id) = stem.parse::<u64>() else { continue };
+            store.insert(id, Bytes::from(std::fs::read(&path)?));
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut s = ObjectStore::new();
+        assert!(s.is_empty());
+        s.insert(7, Bytes::from_static(b"abc"));
+        assert_eq!(s.get(7).unwrap(), Bytes::from_static(b"abc"));
+        assert!(s.get(8).is_none());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 3);
+    }
+
+    #[test]
+    fn replace_updates_accounting() {
+        let mut s = ObjectStore::new();
+        s.insert(1, Bytes::from_static(b"aaaa"));
+        let prev = s.insert(1, Bytes::from_static(b"bb"));
+        assert_eq!(prev.unwrap(), Bytes::from_static(b"aaaa"));
+        assert_eq!(s.total_bytes(), 2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn persist_and_load_roundtrip() {
+        let mut store = ObjectStore::new();
+        store.insert(0, Bytes::from_static(b"alpha"));
+        store.insert(7, Bytes::from_static(b"beta"));
+        let dir = std::env::temp_dir()
+            .join(format!("sophon-store-test-{}", std::process::id()));
+        store.persist_dir(&dir).unwrap();
+        // A stray non-matching file must be ignored.
+        std::fs::write(dir.join("README.txt"), b"not a sample").unwrap();
+        let loaded = ObjectStore::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(0).unwrap(), Bytes::from_static(b"alpha"));
+        assert_eq!(loaded.get(7).unwrap(), Bytes::from_static(b"beta"));
+        assert_eq!(loaded.total_bytes(), store.total_bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        assert!(ObjectStore::load_dir("/nonexistent/sophon-nowhere").is_err());
+    }
+
+    #[test]
+    fn materialize_dataset_stores_decodable_objects() {
+        let ds = datasets::DatasetSpec::mini(4, 3);
+        let store = ObjectStore::materialize_dataset(&ds, 0..4);
+        assert_eq!(store.len(), 4);
+        for id in 0..4 {
+            let bytes = store.get(id).unwrap();
+            assert!(codec::decode(&bytes).is_ok(), "object {id} must decode");
+        }
+        assert!(store.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! Hand-rolled binary wire format for the fetch protocol.
+//!
+//! Every message is a tagged, little-endian structure with explicit lengths;
+//! decoding is *total* — arbitrary byte soup yields a [`WireError`], never a
+//! panic or an over-allocation. (The workspace deliberately carries no
+//! serde format crate, so this module plays the role gRPC plays in the
+//! paper's prototype.)
+//!
+//! Layout summary (all integers little-endian):
+//!
+//! ```text
+//! Request   := 0x01 SessionConfig | 0x02 FetchRequest | 0x03
+//! Response  := 0x11 | 0x12 FetchResponse | 0x13 Error
+//! OpKind    := tag:u8 [size:u32]           (sized ops carry their parameter)
+//! StageData := 0x00 len:u32 bytes          (encoded)
+//!            | 0x01 w:u32 h:u32 bytes      (image, len = w*h*3)
+//!            | 0x02 w:u32 h:u32 bytes      (tensor, len = w*h*12)
+//! ```
+
+use bytes::Bytes;
+use imagery::{RasterImage, Tensor};
+use pipeline::{OpKind, PipelineSpec, SplitPoint, StageData};
+
+use crate::protocol::{FetchRequest, FetchResponse, Request, Response, SessionConfig};
+
+/// Decoding errors. Every malformed input maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// An unknown tag byte.
+    BadTag(u8),
+    /// A declared length or dimension fails validation.
+    Invalid(&'static str),
+    /// Bytes remained after a complete top-level message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte 0x{t:02x}"),
+            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum accepted payload length (64 MiB) — caps allocations from
+/// adversarial length fields.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.data.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.data.get(self.pos..self.pos + 4).ok_or(WireError::Truncated)?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(s.try_into().expect("sliced 4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.data.get(self.pos..self.pos + 8).ok_or(WireError::Truncated)?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(s.try_into().expect("sliced 8 bytes")))
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        let s = self.data.get(self.pos..self.pos + len).ok_or(WireError::Truncated)?;
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let rest = self.data.len() - self.pos;
+        if rest == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(rest))
+        }
+    }
+}
+
+fn checked_len(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    let len = r.u32()?;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Invalid("payload length over cap"));
+    }
+    Ok(len as usize)
+}
+
+// ---------------------------------------------------------------------------
+// OpKind
+// ---------------------------------------------------------------------------
+
+fn encode_op(op: OpKind, out: &mut Vec<u8>) {
+    match op {
+        OpKind::Decode => out.push(0),
+        OpKind::RandomResizedCrop { size } => {
+            out.push(1);
+            out.extend_from_slice(&size.to_le_bytes());
+        }
+        OpKind::RandomHorizontalFlip => out.push(2),
+        OpKind::ToTensor => out.push(3),
+        OpKind::Normalize => out.push(4),
+        OpKind::Resize { size } => {
+            out.push(5);
+            out.extend_from_slice(&size.to_le_bytes());
+        }
+        OpKind::CenterCrop { size } => {
+            out.push(6);
+            out.extend_from_slice(&size.to_le_bytes());
+        }
+        OpKind::ColorJitter { brightness_pct, contrast_pct, saturation_pct } => {
+            out.push(7);
+            out.push(brightness_pct);
+            out.push(contrast_pct);
+            out.push(saturation_pct);
+        }
+        OpKind::Grayscale => out.push(8),
+    }
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<OpKind, WireError> {
+    let tag = r.u8()?;
+    let sized = |r: &mut Reader<'_>| -> Result<u32, WireError> {
+        let size = r.u32()?;
+        if size == 0 || size > 1 << 16 {
+            return Err(WireError::Invalid("op size parameter"));
+        }
+        Ok(size)
+    };
+    Ok(match tag {
+        0 => OpKind::Decode,
+        1 => OpKind::RandomResizedCrop { size: sized(r)? },
+        2 => OpKind::RandomHorizontalFlip,
+        3 => OpKind::ToTensor,
+        4 => OpKind::Normalize,
+        5 => OpKind::Resize { size: sized(r)? },
+        6 => OpKind::CenterCrop { size: sized(r)? },
+        7 => OpKind::ColorJitter {
+            brightness_pct: r.u8()?,
+            contrast_pct: r.u8()?,
+            saturation_pct: r.u8()?,
+        },
+        8 => OpKind::Grayscale,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// StageData
+// ---------------------------------------------------------------------------
+
+/// Serializes a [`StageData`] payload.
+pub fn encode_stage_data(data: &StageData, out: &mut Vec<u8>) {
+    match data {
+        StageData::Encoded(b) => {
+            out.push(0x00);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        StageData::Image(img) => {
+            out.push(0x01);
+            out.extend_from_slice(&img.width().to_le_bytes());
+            out.extend_from_slice(&img.height().to_le_bytes());
+            out.extend_from_slice(img.as_raw());
+        }
+        StageData::Tensor(t) => {
+            out.push(0x02);
+            out.extend_from_slice(&t.width().to_le_bytes());
+            out.extend_from_slice(&t.height().to_le_bytes());
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+}
+
+fn decode_stage_data(r: &mut Reader<'_>) -> Result<StageData, WireError> {
+    let tag = r.u8()?;
+    match tag {
+        0x00 => {
+            let len = checked_len(r)?;
+            Ok(StageData::Encoded(Bytes::copy_from_slice(r.take(len)?)))
+        }
+        0x01 => {
+            let (w, h) = (r.u32()?, r.u32()?);
+            let len = (w as u64)
+                .checked_mul(h as u64)
+                .and_then(|p| p.checked_mul(3))
+                .filter(|&l| l > 0 && l <= u64::from(MAX_PAYLOAD))
+                .ok_or(WireError::Invalid("image dimensions"))? as usize;
+            let raw = r.take(len)?.to_vec();
+            let img = RasterImage::from_raw(w, h, raw)
+                .map_err(|_| WireError::Invalid("image buffer"))?;
+            Ok(StageData::Image(img))
+        }
+        0x02 => {
+            let (w, h) = (r.u32()?, r.u32()?);
+            let len = (w as u64)
+                .checked_mul(h as u64)
+                .and_then(|p| p.checked_mul(12))
+                .filter(|&l| l > 0 && l <= u64::from(MAX_PAYLOAD))
+                .ok_or(WireError::Invalid("tensor dimensions"))? as usize;
+            let bytes = r.take(len)?;
+            let t = Tensor::from_le_bytes(w, h, bytes)
+                .ok_or(WireError::Invalid("tensor buffer"))?;
+            Ok(StageData::Tensor(t))
+        }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Serializes a [`Request`].
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut out = Vec::new();
+    match req {
+        Request::Configure(cfg) => {
+            out.push(0x01);
+            out.extend_from_slice(&cfg.dataset_seed.to_le_bytes());
+            out.push(cfg.pipeline.len() as u8);
+            for &op in cfg.pipeline.ops() {
+                encode_op(op, &mut out);
+            }
+        }
+        Request::Fetch(f) => {
+            out.push(0x02);
+            out.extend_from_slice(&f.sample_id.to_le_bytes());
+            out.extend_from_slice(&f.epoch.to_le_bytes());
+            out.push(f.split.offloaded_ops() as u8);
+            out.push(f.reencode_quality.unwrap_or(0));
+        }
+        Request::Shutdown => out.push(0x03),
+    }
+    Bytes::from(out)
+}
+
+/// Deserializes a [`Request`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for any malformed input, including trailing bytes.
+pub fn decode_request(data: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(data);
+    let req = match r.u8()? {
+        0x01 => {
+            let dataset_seed = r.u64()?;
+            let n = r.u8()? as usize;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(decode_op(&mut r)?);
+            }
+            let pipeline =
+                PipelineSpec::new(ops).map_err(|_| WireError::Invalid("ill-typed pipeline"))?;
+            Request::Configure(SessionConfig { dataset_seed, pipeline })
+        }
+        0x02 => {
+            let sample_id = r.u64()?;
+            let epoch = r.u64()?;
+            let split = SplitPoint::new(r.u8()? as usize);
+            let reencode_quality = match r.u8()? {
+                0 => None,
+                q if (1..=100).contains(&q) => Some(q),
+                _ => return Err(WireError::Invalid("reencode quality")),
+            };
+            Request::Fetch(FetchRequest { sample_id, epoch, split, reencode_quality })
+        }
+        0x03 => Request::Shutdown,
+        t => return Err(WireError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Serializes a [`Response`].
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut out = Vec::new();
+    match resp {
+        Response::Configured => out.push(0x11),
+        Response::Data(d) => {
+            out.push(0x12);
+            out.extend_from_slice(&d.sample_id.to_le_bytes());
+            out.extend_from_slice(&d.ops_applied.to_le_bytes());
+            encode_stage_data(&d.data, &mut out);
+        }
+        Response::Error { sample_id, message } => {
+            out.push(0x13);
+            match sample_id {
+                Some(id) => {
+                    out.push(1);
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+            let msg = message.as_bytes();
+            out.extend_from_slice(&(msg.len().min(u16::MAX as usize) as u16).to_le_bytes());
+            out.extend_from_slice(&msg[..msg.len().min(u16::MAX as usize)]);
+        }
+    }
+    Bytes::from(out)
+}
+
+/// Deserializes a [`Response`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for any malformed input, including trailing bytes.
+pub fn decode_response(data: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(data);
+    let resp = match r.u8()? {
+        0x11 => Response::Configured,
+        0x12 => {
+            let sample_id = r.u64()?;
+            let ops_applied = r.u32()?;
+            let data = decode_stage_data(&mut r)?;
+            Response::Data(FetchResponse { sample_id, ops_applied, data })
+        }
+        0x13 => {
+            let sample_id = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err(WireError::Invalid("error sample flag")),
+            };
+            let len = {
+                let s = r.take(2)?;
+                u16::from_le_bytes(s.try_into().expect("sliced 2 bytes")) as usize
+            };
+            let message = String::from_utf8_lossy(r.take(len)?).into_owned();
+            Response::Error { sample_id, message }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagery::Rgb;
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = [
+            Request::Configure(SessionConfig {
+                dataset_seed: 42,
+                pipeline: PipelineSpec::standard_train(),
+            }),
+            Request::Configure(SessionConfig {
+                dataset_seed: 0,
+                pipeline: PipelineSpec::standard_eval(),
+            }),
+            Request::Fetch(FetchRequest::new(7, 3, SplitPoint::new(2))),
+            Request::Fetch(FetchRequest::new(u64::MAX, 0, SplitPoint::NONE)),
+            Request::Fetch(FetchRequest::new(9, 1, SplitPoint::new(2)).with_reencode(70)),
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            let bytes = encode_request(req);
+            assert_eq!(&decode_request(&bytes).unwrap(), req, "roundtrip {req:?}");
+        }
+    }
+
+    #[test]
+    fn fetch_request_is_compact() {
+        let bytes =
+            encode_request(&Request::Fetch(FetchRequest::new(1, 1, SplitPoint::new(2))));
+        assert!(bytes.len() <= 19, "fetch request is {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn response_roundtrips_all_payload_kinds() {
+        let img = RasterImage::filled(5, 4, Rgb::new(1, 2, 3));
+        let tensor = imagery::Tensor::from_image(&img);
+        let payloads = [
+            StageData::Encoded(Bytes::from_static(b"raw bytes")),
+            StageData::Image(img),
+            StageData::Tensor(tensor),
+        ];
+        for p in payloads {
+            let resp =
+                Response::Data(FetchResponse { sample_id: 9, ops_applied: 2, data: p.clone() });
+            let bytes = encode_response(&resp);
+            match decode_response(&bytes).unwrap() {
+                Response::Data(d) => {
+                    assert_eq!(d.sample_id, 9);
+                    assert_eq!(d.ops_applied, 2);
+                    assert_eq!(d.data.byte_len(), p.byte_len());
+                    assert_eq!(d.data.kind(), p.kind());
+                }
+                other => panic!("wrong decode: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_response_roundtrips() {
+        for sample_id in [None, Some(5u64)] {
+            let resp = Response::Error { sample_id, message: "object not found".into() };
+            let bytes = encode_response(&resp);
+            match decode_response(&bytes).unwrap() {
+                Response::Error { sample_id: s, message } => {
+                    assert_eq!(s, sample_id);
+                    assert_eq!(message, "object not found");
+                }
+                other => panic!("wrong decode: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let resp = Response::Data(FetchResponse {
+            sample_id: 1,
+            ops_applied: 1,
+            data: StageData::Image(RasterImage::filled(8, 8, Rgb::gray(7))),
+        });
+        let bytes = encode_response(&resp);
+        for len in 0..bytes.len() {
+            assert!(
+                decode_response(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_request(&Request::Shutdown).to_vec();
+        bytes.push(0);
+        assert_eq!(decode_request(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn absurd_lengths_rejected_without_allocation() {
+        // Encoded payload claiming 4 GiB.
+        let mut bytes = vec![0x12];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(0x00);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_response(&bytes),
+            Err(WireError::Invalid("payload length over cap"))
+        ));
+    }
+
+    #[test]
+    fn ill_typed_pipeline_rejected() {
+        // Configure with [ToTensor] (cannot consume encoded input).
+        let mut bytes = vec![0x01];
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.push(1); // one op
+        bytes.push(3); // ToTensor
+        assert_eq!(
+            decode_request(&bytes),
+            Err(WireError::Invalid("ill-typed pipeline"))
+        );
+    }
+
+    #[test]
+    fn fuzz_decode_never_panics() {
+        // Deterministic pseudo-random byte soup.
+        let mut state = 0x12345678u64;
+        for len in 0..200usize {
+            let mut buf = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                buf.push((state >> 33) as u8);
+            }
+            let _ = decode_request(&buf);
+            let _ = decode_response(&buf);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the wire format: arbitrary protocol values roundtrip,
+//! arbitrary bytes never panic the decoder.
+
+use pipeline::{OpKind, PipelineSpec, SplitPoint};
+use proptest::prelude::*;
+use storage::wire::{decode_request, decode_response, encode_request, encode_response};
+use storage::{FetchRequest, FetchResponse, Request, Response, SessionConfig};
+
+fn arb_pipeline() -> impl Strategy<Value = PipelineSpec> {
+    prop_oneof![
+        Just(PipelineSpec::standard_train()),
+        Just(PipelineSpec::standard_eval()),
+        Just(PipelineSpec::augmented_train()),
+        Just(PipelineSpec::new(vec![]).expect("empty pipeline is well-typed")),
+        Just(
+            PipelineSpec::new(vec![
+                OpKind::Decode,
+                OpKind::Grayscale,
+                OpKind::Resize { size: 64 },
+                OpKind::ToTensor,
+            ])
+            .expect("well-typed")
+        ),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u64>(), arb_pipeline()).prop_map(|(dataset_seed, pipeline)| {
+            Request::Configure(SessionConfig { dataset_seed, pipeline })
+        }),
+        (any::<u64>(), any::<u64>(), 0usize..=6, proptest::option::of(1u8..=100)).prop_map(
+            |(sample_id, epoch, split, reencode)| {
+                let mut req = FetchRequest::new(sample_id, epoch, SplitPoint::new(split));
+                if let Some(q) = reencode {
+                    req = req.with_reencode(q);
+                }
+                Request::Fetch(req)
+            }
+        ),
+        Just(Request::Shutdown),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every representable request roundtrips bit-exactly.
+    #[test]
+    fn requests_roundtrip(req in arb_request()) {
+        let bytes = encode_request(&req);
+        prop_assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    /// Decoders are total over arbitrary bytes.
+    #[test]
+    fn decoders_never_panic(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_request(&data);
+        let _ = decode_response(&data);
+    }
+
+    /// Truncating a valid request at any point yields an error, never a
+    /// wrong-but-valid message.
+    #[test]
+    fn truncated_requests_error(req in arb_request()) {
+        let bytes = encode_request(&req);
+        for len in 0..bytes.len() {
+            prop_assert!(decode_request(&bytes[..len]).is_err(), "prefix {}", len);
+        }
+    }
+
+    /// Error responses roundtrip with arbitrary messages (including unicode
+    /// truncated to the 64 KiB cap).
+    #[test]
+    fn error_responses_roundtrip(
+        sample_id in proptest::option::of(any::<u64>()),
+        message in ".{0,200}",
+    ) {
+        let resp = Response::Error { sample_id, message: message.clone() };
+        let bytes = encode_response(&resp);
+        match decode_response(&bytes).unwrap() {
+            Response::Error { sample_id: s, message: m } => {
+                prop_assert_eq!(s, sample_id);
+                prop_assert_eq!(m, message);
+            }
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+    }
+
+    /// Data responses preserve payload sizes for arbitrary encoded blobs.
+    #[test]
+    fn data_responses_preserve_len(
+        sample_id in any::<u64>(),
+        ops in 0u32..6,
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+    ) {
+        let resp = Response::Data(FetchResponse {
+            sample_id,
+            ops_applied: ops,
+            data: pipeline::StageData::Encoded(payload.clone().into()),
+        });
+        let bytes = encode_response(&resp);
+        match decode_response(&bytes).unwrap() {
+            Response::Data(d) => {
+                prop_assert_eq!(d.sample_id, sample_id);
+                prop_assert_eq!(d.ops_applied, ops);
+                prop_assert_eq!(d.data.byte_len(), payload.len() as u64);
+            }
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! SOPHON on a second domain: audio.
+//!
+//! Speech-like clips stored as Rice-coded lossless audio, preprocessed with
+//! Decode → Resample → RandomCrop → MelSpectrogram → Normalize. The mel
+//! features are far *smaller* than the PCM, so — unlike images — the
+//! per-clip minimum usually sits at the **end** of the pipeline and SOPHON
+//! offloads the whole front-end (quiet tonal clips, which compress below
+//! their feature size, are the keep-raw exception — see the audio crate's
+//! tests). Same engine, opposite split structure.
+//!
+//! ```sh
+//! cargo run --release --example audio_offloading
+//! ```
+
+use audio::{profile_clip, AudioDatasetSpec, AudioPipeline};
+use cluster::{simulate_epoch, ClusterConfig, EpochSpec, GpuModel};
+use netsim::Bandwidth;
+use pipeline::SampleKey;
+use sophon::engine::{DecisionEngine, PlanningContext};
+use sophon::prelude::*;
+
+const CLIPS: u64 = 256;
+
+fn main() -> Result<(), SophonError> {
+    let ds = AudioDatasetSpec::speech_like(CLIPS, 2025);
+    let spec = AudioPipeline::standard_train();
+    println!("profiling {CLIPS} clips through the audio pipeline...");
+    let profiles: Vec<_> = (0..CLIPS)
+        .map(|id| {
+            profile_clip(&spec, ds.materialize(id), SampleKey::new(ds.seed, id, 0))
+                .expect("clips profile cleanly")
+        })
+        .collect();
+
+    let raw: u64 = profiles.iter().map(|p| p.raw_bytes).sum();
+    let benefiting = profiles.iter().filter(|p| p.efficiency() > 0.0).count();
+    let tail_min = profiles.iter().filter(|p| p.min_stage().0 >= 4).count();
+    println!(
+        "corpus: {:.1} MB encoded; {benefiting}/{CLIPS} clips benefit from offloading, \
+         {tail_min} of them at the feature stage\n",
+        raw as f64 / 1e6
+    );
+
+    let gpu = GpuModel::Custom { seconds_per_image: 1.0 / 2000.0 };
+    let config = ClusterConfig::paper_testbed(16).with_bandwidth(Bandwidth::from_mbps(50.0));
+    let nominal = pipeline::PipelineSpec::standard_train(); // length bookkeeping only
+    let ctx = PlanningContext::new(&profiles, &nominal, &config, gpu, 32);
+    let plan = DecisionEngine::new().plan(&ctx);
+    let summary = plan.summarize(&profiles)?;
+
+    let run = |plan: &OffloadPlan| -> Result<cluster::EpochStats, SophonError> {
+        let works = plan.to_sample_works(&profiles)?;
+        Ok(simulate_epoch(&config, &EpochSpec::new(works, 32, gpu))?)
+    };
+    let baseline = run(&OffloadPlan::none(profiles.len()))?;
+    let sophon = run(&plan)?;
+
+    println!("{:<10} {:>12} {:>14}", "policy", "epoch (s)", "traffic (MB)");
+    println!(
+        "{:<10} {:>12.1} {:>14.1}",
+        "no-off",
+        baseline.epoch_seconds,
+        baseline.traffic_bytes as f64 / 1e6
+    );
+    println!(
+        "{:<10} {:>12.1} {:>14.1}",
+        "sophon",
+        sophon.epoch_seconds,
+        sophon.traffic_bytes as f64 / 1e6
+    );
+    println!(
+        "\n{} clips offloaded; {:.2}x less traffic, {:.2}x faster — same engine, new domain",
+        summary.offloaded_samples,
+        summary.traffic_reduction(),
+        baseline.epoch_seconds / sophon.epoch_seconds
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: evaluate all five offloading policies on an OpenImages-like
+//! corpus over the paper's testbed (48-core storage node, 500 Mbps link).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cluster::{ClusterConfig, GpuModel};
+use datasets::DatasetSpec;
+use sophon::prelude::*;
+
+fn main() -> Result<(), SophonError> {
+    let dataset = DatasetSpec::openimages_like(8_192, 42);
+    println!(
+        "corpus: {} ({} samples, {:.2} GB encoded)",
+        dataset.name,
+        dataset.len,
+        dataset.total_encoded_bytes() as f64 / 1e9
+    );
+
+    let scenario = Scenario::new(
+        dataset,
+        ClusterConfig::paper_testbed(48),
+        GpuModel::AlexNet,
+        256,
+    );
+
+    println!("\n{:<12} {:>12} {:>14} {:>10} {:>12}", "policy", "epoch (s)", "traffic (GB)", "offloaded", "GPU util");
+    let reports = scenario.run_all()?;
+    let no_off_time = reports[0].epoch.epoch_seconds;
+    for r in &reports {
+        println!(
+            "{:<12} {:>12.1} {:>14.2} {:>10} {:>11.1}%",
+            r.policy,
+            r.epoch.epoch_seconds,
+            r.epoch.traffic_bytes as f64 / 1e9,
+            r.summary.offloaded_samples,
+            r.epoch.gpu_utilization() * 100.0
+        );
+    }
+    let sophon = reports.iter().find(|r| r.policy == "sophon").expect("sophon ran");
+    println!(
+        "\nSOPHON: {:.2}x less traffic, {:.2}x faster than No-Off",
+        reports[0].epoch.traffic_bytes as f64 / sophon.epoch.traffic_bytes as f64,
+        no_off_time / sophon.epoch.epoch_seconds
+    );
+    Ok(())
+}

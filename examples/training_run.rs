@@ -1,0 +1,41 @@
+//! Multi-epoch training runs: SOPHON's un-offloaded profiling epoch (its
+//! stage-2 profiler runs "on the fly" during epoch 0) amortized over a
+//! 50-epoch job, versus every baseline.
+//!
+//! ```sh
+//! cargo run --release --example training_run
+//! ```
+
+use cluster::{ClusterConfig, GpuModel};
+use datasets::DatasetSpec;
+use sophon::policy::standard_policies;
+use sophon::prelude::*;
+
+fn main() -> Result<(), SophonError> {
+    let scenario = Scenario::new(
+        DatasetSpec::openimages_like(8_192, 42),
+        ClusterConfig::paper_testbed(48),
+        GpuModel::AlexNet,
+        256,
+    );
+    let epochs = 50;
+    println!("50-epoch training run, OpenImages-like corpus, 48 storage cores\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>20}",
+        "policy", "epoch 0 (s)", "steady (s)", "total (s)", "profiling overhead"
+    );
+    for policy in standard_policies() {
+        let r = scenario.run_training(policy.as_ref(), epochs)?;
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>19.2}%",
+            r.policy,
+            r.stats.first_epoch.epoch_seconds,
+            r.stats.steady_epoch.epoch_seconds,
+            r.stats.total_seconds,
+            r.profiling_overhead() * 100.0
+        );
+    }
+    println!("\nSOPHON pays one un-offloaded epoch for profiling; over 50 epochs the");
+    println!("overhead is ~2% while the run finishes ~2x sooner than No-Off.");
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate re-exporting the entire SOPHON reproduction workspace.
+//!
+//! See the individual crates for details:
+//! [`sophon`] (the contribution), [`pipeline`], [`datasets`], [`cluster`],
+//! [`storage`], [`netsim`], [`codec`], [`imagery`], and [`audio`] (the
+//! second-domain demonstration).
+#![forbid(unsafe_code)]
+
+pub use audio;
+pub use cluster;
+pub use codec;
+pub use datasets;
+pub use imagery;
+pub use netsim;
+pub use pipeline;
+pub use sophon;
+pub use storage;

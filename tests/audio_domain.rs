@@ -1,0 +1,97 @@
+//! Cross-domain integration: SOPHON's engine planning over the **audio**
+//! pipeline, proving the decision machinery is domain-agnostic (it consumes
+//! only per-stage sizes and costs).
+
+use audio::{profile_clip, AudioDatasetSpec, AudioPipeline};
+use cluster::{simulate_epoch, ClusterConfig, EpochSpec, GpuModel};
+use pipeline::{SampleKey, SampleProfile};
+use sophon::engine::{DecisionEngine, PlanningContext};
+use sophon::prelude::*;
+
+fn audio_profiles(n: u64, seed: u64) -> Vec<SampleProfile> {
+    let ds = AudioDatasetSpec::speech_like(n, seed);
+    let spec = AudioPipeline::standard_train();
+    (0..n)
+        .map(|id| {
+            profile_clip(&spec, ds.materialize(id), SampleKey::new(ds.seed, id, 0)).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn audio_corpus_has_selective_structure() {
+    let profiles = audio_profiles(48, 11);
+    let benefiting = profiles.iter().filter(|p| p.efficiency() > 0.0).count();
+    // Most clips benefit (mel features are far smaller than lossless audio),
+    // and for audio the minimum usually sits at the END of the pipeline —
+    // the opposite split structure from images.
+    assert!(benefiting > 24, "only {benefiting} of 48 clips benefit");
+    let deep_min = profiles.iter().filter(|p| p.min_stage().0 >= 4).count();
+    assert!(
+        deep_min * 2 > benefiting,
+        "expected feature-stage minima to dominate: {deep_min} of {benefiting}"
+    );
+}
+
+#[test]
+fn sophon_engine_plans_audio_offloading_unchanged() {
+    // 384 clips over a tight 50 Mbps link: I/O-bound, plenty of storage CPU.
+    let profiles = audio_profiles(384, 7);
+    // The pipeline spec parameter exists for split bookkeeping only; reuse
+    // the image PipelineSpec of the same length (the engine never reads op
+    // identities).
+    let nominal = pipeline::PipelineSpec::standard_train();
+    let config = ClusterConfig::paper_testbed(16)
+        .with_bandwidth(netsim::Bandwidth::from_mbps(50.0));
+    let ctx = PlanningContext::new(
+        &profiles,
+        &nominal,
+        &config,
+        GpuModel::Custom { seconds_per_image: 1.0 / 2000.0 },
+        32,
+    );
+    assert!(ctx.baseline_costs().network_predominant(), "setup must be I/O-bound");
+    let plan = DecisionEngine::new().plan(&ctx);
+    assert!(plan.offloaded_samples() > 0);
+
+    let summary = plan.summarize(&profiles).unwrap();
+    assert!(
+        summary.traffic_reduction() > 1.3,
+        "audio traffic reduction {}",
+        summary.traffic_reduction()
+    );
+    // The simulated epoch beats No-Off.
+    let sophon_works = plan.to_sample_works(&profiles).unwrap();
+    let baseline_works = OffloadPlan::none(profiles.len()).to_sample_works(&profiles).unwrap();
+    let gpu = GpuModel::Custom { seconds_per_image: 1.0 / 2000.0 };
+    let sophon =
+        simulate_epoch(&config, &EpochSpec::new(sophon_works, 32, gpu)).unwrap();
+    let baseline =
+        simulate_epoch(&config, &EpochSpec::new(baseline_works, 32, gpu)).unwrap();
+    assert!(
+        sophon.epoch_seconds < baseline.epoch_seconds,
+        "sophon {} vs baseline {}",
+        sophon.epoch_seconds,
+        baseline.epoch_seconds
+    );
+}
+
+#[test]
+fn audio_split_execution_is_exact_across_the_board() {
+    // The same split-equivalence guarantee the image pipeline has: any
+    // prefix near storage + suffix locally = unsplit execution, per epoch.
+    let ds = AudioDatasetSpec::speech_like(6, 21);
+    let spec = AudioPipeline::standard_train();
+    for id in 0..6 {
+        for epoch in [0u64, 3] {
+            let key = SampleKey::new(ds.seed, id, epoch);
+            let full = spec.run(ds.materialize(id), key).unwrap();
+            for split in 0..=spec.len() {
+                let split = pipeline::SplitPoint::new(split);
+                let mid = spec.run_prefix(ds.materialize(id), split, key).unwrap();
+                let out = spec.run_suffix(mid, split, key).unwrap();
+                assert_eq!(out, full, "clip {id} epoch {epoch} split {split:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Whole-system integration tests spanning every crate: dataset →
+//! profiling → SOPHON plan → (a) live execution through the real storage
+//! server and throttled link, and (b) virtual-time simulation — checking
+//! the two agree where they must.
+
+use cluster::{ClusterConfig, GpuModel};
+use datasets::DatasetSpec;
+use netsim::Bandwidth;
+use pipeline::{CostModel, PipelineSpec, SampleKey, SplitPoint, StageData};
+use sophon::engine::PlanningContext;
+use sophon::prelude::*;
+use storage::{ObjectStore, ServerConfig, StorageServer};
+
+const N: u64 = 12;
+
+fn live_setup() -> (DatasetSpec, ObjectStore, PipelineSpec) {
+    let ds = DatasetSpec::mini(N, 99);
+    let store = ObjectStore::materialize_dataset(&ds, 0..N);
+    (ds, store, PipelineSpec::standard_train())
+}
+
+#[test]
+fn sophon_offloaded_tensors_equal_local_tensors() {
+    // The core correctness claim: whatever split SOPHON chooses, the tensor
+    // the GPU sees is bit-identical to unsplit local preprocessing.
+    let (ds, store, pipeline) = live_setup();
+    let model = CostModel::realistic();
+    let profiles =
+        sophon::profiler::stage2::profile_corpus_live(&ds, &pipeline, &model, 1).unwrap();
+    let config = ClusterConfig::paper_testbed(2).with_bandwidth(Bandwidth::from_mbps(100.0));
+    let ctx = PlanningContext::new(&profiles, &pipeline, &config, GpuModel::AlexNet, 4);
+    let plan = SophonPolicy::without_stage1_gate().plan(&ctx).unwrap();
+    assert!(plan.offloaded_samples() > 0, "mini corpus should offer offload candidates");
+
+    let mut server = StorageServer::spawn(
+        store.clone(),
+        ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 },
+    );
+    let mut client = server.client();
+    client.configure(ds.seed, pipeline.clone()).unwrap();
+
+    let epoch = 1u64;
+    for id in 0..N {
+        let split = plan.split(id as usize);
+        let remote = client.fetch(id, epoch, split).unwrap();
+        let key = SampleKey::new(ds.seed, id, epoch);
+        let via_server = pipeline.run_suffix(remote, split, key).unwrap();
+        let local = pipeline
+            .run(StageData::Encoded(store.get(id).unwrap()), key)
+            .unwrap();
+        assert_eq!(
+            via_server.as_tensor().unwrap().to_le_bytes(),
+            local.as_tensor().unwrap().to_le_bytes(),
+            "sample {id} split {split:?} diverged"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn wire_traffic_matches_plan_prediction() {
+    // Bytes measured on the live link must match the plan's per-sample
+    // `size_at(split)` prediction exactly (payload part; framing adds a
+    // 17-byte header per response).
+    let (ds, store, pipeline) = live_setup();
+    let model = CostModel::realistic();
+    let profiles =
+        sophon::profiler::stage2::profile_corpus_live(&ds, &pipeline, &model, 0).unwrap();
+    let plan = OffloadPlan::from_splits(
+        (0..N as usize)
+            .map(|i| if i % 2 == 0 { SplitPoint::new(2) } else { SplitPoint::NONE })
+            .collect(),
+    );
+    let expected_payload: u64 = profiles
+        .iter()
+        .zip(plan.iter())
+        .map(|(p, s)| p.size_at(s.offloaded_ops()))
+        .sum();
+
+    let mut server = StorageServer::spawn(
+        store,
+        ServerConfig { cores: 3, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 32 },
+    );
+    let mut client = server.client();
+    client.configure(ds.seed, pipeline).unwrap();
+    let reqs: Vec<_> = (0..N).map(|id| (id, 0u64, plan.split(id as usize))).collect();
+    let responses = client.fetch_many(&reqs).unwrap();
+    assert_eq!(responses.len(), N as usize);
+
+    let measured = server.response_bytes();
+    let framing = measured - expected_payload;
+    assert!(
+        framing < N * 32,
+        "framing overhead {framing} bytes is too large for {N} responses"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn simulated_and_predicted_traffic_agree_at_scale() {
+    let ds = DatasetSpec::openimages_like(4_096, 17);
+    let scenario = Scenario::new(ds, ClusterConfig::paper_testbed(48), GpuModel::AlexNet, 256);
+    for report in scenario.run_all().unwrap() {
+        assert_eq!(
+            report.epoch.traffic_bytes, report.summary.transfer_bytes,
+            "{}: simulated vs planned traffic",
+            report.policy
+        );
+        // The cost-vector makespan is a lower bound on the simulated epoch,
+        // and a reasonably tight one for pipelined execution.
+        assert!(
+            report.epoch.epoch_seconds >= report.costs.makespan() * 0.98,
+            "{}: epoch {} below makespan {}",
+            report.policy,
+            report.epoch.epoch_seconds,
+            report.costs.makespan()
+        );
+        assert!(
+            report.epoch.epoch_seconds <= report.costs.makespan() * 1.35 + 1.0,
+            "{}: epoch {} far above makespan {}",
+            report.policy,
+            report.epoch.epoch_seconds,
+            report.costs.makespan()
+        );
+    }
+}
+
+#[test]
+fn augmentations_vary_across_epochs_through_the_server() {
+    // §3.3: offloading must not freeze augmentations. Fetch the same sample
+    // in two epochs with the same split; the crops must differ.
+    let (ds, store, pipeline) = live_setup();
+    let mut server = StorageServer::spawn(
+        store,
+        ServerConfig { cores: 1, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 8 },
+    );
+    let mut client = server.client();
+    client.configure(ds.seed, pipeline).unwrap();
+    let a = client.fetch(3, 0, SplitPoint::new(2)).unwrap();
+    let b = client.fetch(3, 1, SplitPoint::new(2)).unwrap();
+    assert_eq!(a.byte_len(), b.byte_len());
+    assert_ne!(
+        a.as_image().unwrap().as_raw(),
+        b.as_image().unwrap().as_raw(),
+        "epoch 0 and 1 produced identical augmented crops"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn loader_over_tcp_with_retry_and_compression() {
+    // The full adoption stack in one test: SOPHON plan → retrying TCP
+    // transport → offloading loader with wire re-compression → collated
+    // NCHW batches identical in shape to local preprocessing.
+    use sophon::loader::{LoaderConfig, OffloadingLoader};
+    use storage::{RetryingTransport, TcpStorageClient, TcpStorageServer};
+
+    let ds = DatasetSpec::mini(8, 123);
+    let store = ObjectStore::materialize_dataset(&ds, 0..8);
+    let pipeline = PipelineSpec::standard_train();
+    let model = CostModel::realistic();
+    let plan = sophon::OffloadPlan::from_splits(
+        ds.records().map(|r| r.analytic_profile(&pipeline, &model).best_split()).collect(),
+    );
+
+    let server = TcpStorageServer::bind(
+        store,
+        ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let transport = RetryingTransport::new(
+        TcpStorageClient::connect(server.local_addr()).unwrap(),
+        2,
+    );
+    let mut config = LoaderConfig::new(ds.seed, 3);
+    config.reencode_quality = Some(85);
+    let mut loader = OffloadingLoader::new(transport, pipeline, plan, config).unwrap();
+    let mut total_samples = 0usize;
+    let batches = loader
+        .run_epoch(2, |b| {
+            assert_eq!(b.shape(), (224, 224));
+            total_samples += b.len();
+        })
+        .unwrap();
+    assert_eq!(batches, 3);
+    assert_eq!(total_samples, 8);
+    server.shutdown();
+}
+
+#[test]
+fn umbrella_crate_reexports_compile() {
+    // The root crate's re-exports expose the whole workspace.
+    let _ = sophon_repro::imagery::Rgb::BLACK;
+    let _ = sophon_repro::codec::Quality::default();
+    let _ = sophon_repro::pipeline::PipelineSpec::standard_train();
+    let _ = sophon_repro::datasets::DatasetSpec::mini(1, 1);
+    let _ = sophon_repro::netsim::Bandwidth::from_mbps(500.0);
+    let _ = sophon_repro::cluster::ClusterConfig::paper_testbed(48);
+    let _ = sophon_repro::storage::ObjectStore::new();
+    let _ = sophon_repro::sophon::policy::standard_policies();
+}
