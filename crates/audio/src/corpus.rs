@@ -65,14 +65,10 @@ impl AudioDatasetSpec {
         let tonality = (self.tonality_mean + rng.gen_range(-0.35..0.35)).clamp(0.0, 1.0);
         // ~20% of clips are quiet (hushed speech, room tone): these compress
         // below their feature size and are SOPHON's keep-raw cases.
-        let amplitude = if rng.gen_bool(0.2) {
-            rng.gen_range(0.03..0.15)
-        } else {
-            rng.gen_range(0.5..1.0)
-        };
-        let sample_rate = *[16_000u32, 22_050, 44_100]
-            .get(rng.gen_range(0..3usize))
-            .expect("three rates");
+        let amplitude =
+            if rng.gen_bool(0.2) { rng.gen_range(0.03..0.15) } else { rng.gen_range(0.5..1.0) };
+        let sample_rate =
+            *[16_000u32, 22_050, 44_100].get(rng.gen_range(0..3usize)).expect("three rates");
         ClipRecord { id, sample_rate, duration_seconds: duration, tonality, amplitude }
     }
 

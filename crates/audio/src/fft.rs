@@ -57,10 +57,7 @@ pub fn fft_in_place(data: &mut [Complex]) {
 pub fn power_spectrum(frame: &[f64]) -> Vec<f64> {
     let mut data: Vec<Complex> = frame.iter().map(|&v| (v, 0.0)).collect();
     fft_in_place(&mut data);
-    data[..frame.len() / 2 + 1]
-        .iter()
-        .map(|&(re, im)| re * re + im * im)
-        .collect()
+    data[..frame.len() / 2 + 1].iter().map(|&(re, im)| re * re + im * im).collect()
 }
 
 #[cfg(test)]
@@ -105,12 +102,7 @@ mod tests {
             .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).sin())
             .collect();
         let spec = power_spectrum(&frame);
-        let peak = spec
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak = spec.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(peak, k0);
         let total: f64 = spec.iter().sum();
         assert!(spec[k0] / total > 0.95, "energy leaked: {}", spec[k0] / total);
@@ -122,8 +114,7 @@ mod tests {
         let time_energy: f64 = frame.iter().map(|v| v * v).sum();
         let mut data: Vec<Complex> = frame.iter().map(|&v| (v, 0.0)).collect();
         fft_in_place(&mut data);
-        let freq_energy: f64 =
-            data.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 128.0;
+        let freq_energy: f64 = data.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 128.0;
         assert!((time_energy - freq_energy).abs() / time_energy < 1e-9);
     }
 

@@ -29,9 +29,8 @@ pub fn filterbank(n_mels: usize, n_fft: usize, sample_rate: u32) -> Vec<Vec<f64>
     let f_max = f64::from(sample_rate) / 2.0;
     let mel_max = hz_to_mel(f_max);
     // n_mels + 2 equally spaced mel points.
-    let points: Vec<f64> = (0..n_mels + 2)
-        .map(|i| mel_to_hz(mel_max * i as f64 / (n_mels + 1) as f64))
-        .collect();
+    let points: Vec<f64> =
+        (0..n_mels + 2).map(|i| mel_to_hz(mel_max * i as f64 / (n_mels + 1) as f64)).collect();
     let bin_of = |hz: f64| hz / f_max * (n_bins - 1) as f64;
     (0..n_mels)
         .map(|m| {
@@ -95,12 +94,7 @@ impl Spectrogram {
     pub fn normalize(&mut self) {
         let n = self.data.len() as f64;
         let mean = self.data.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
-        let var = self
-            .data
-            .iter()
-            .map(|&v| (f64::from(v) - mean).powi(2))
-            .sum::<f64>()
-            / n;
+        let var = self.data.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
         let std = var.sqrt().max(1e-9);
         for v in &mut self.data {
             *v = ((f64::from(*v) - mean) / std) as f32;
@@ -121,9 +115,7 @@ pub fn mel_spectrogram(w: &Waveform, n_fft: usize, hop: usize, n_mels: usize) ->
     assert!(w.len() >= n_fft, "waveform shorter than one frame");
     let bank = filterbank(n_mels, n_fft, w.sample_rate());
     let window: Vec<f64> = (0..n_fft)
-        .map(|i| {
-            0.5 - 0.5 * (2.0 * std::f64::consts::PI * i as f64 / (n_fft - 1) as f64).cos()
-        })
+        .map(|i| 0.5 - 0.5 * (2.0 * std::f64::consts::PI * i as f64 / (n_fft - 1) as f64).cos())
         .collect();
     let n_frames = (w.len() - n_fft) / hop + 1;
     let mut data = Vec::with_capacity(n_frames * n_mels);
@@ -164,9 +156,7 @@ mod tests {
         for (m, filt) in bank.iter().enumerate() {
             assert!(filt.iter().sum::<f64>() > 0.0, "filter {m} empty");
         }
-        let coverage: Vec<f64> = (0..257)
-            .map(|b| bank.iter().map(|f| f[b]).sum::<f64>())
-            .collect();
+        let coverage: Vec<f64> = (0..257).map(|b| bank.iter().map(|f| f[b]).sum::<f64>()).collect();
         let uncovered = coverage[2..250].iter().filter(|&&c| c == 0.0).count();
         assert!(uncovered < 5, "{uncovered} interior bins uncovered");
     }
@@ -190,22 +180,17 @@ mod tests {
         let sr = 16_000u32;
         let samples: Vec<i16> = (0..16_000)
             .map(|i| {
-                ((2.0 * std::f64::consts::PI * 1000.0 * i as f64 / f64::from(sr)).sin()
-                    * 20_000.0) as i16
+                ((2.0 * std::f64::consts::PI * 1000.0 * i as f64 / f64::from(sr)).sin() * 20_000.0)
+                    as i16
             })
             .collect();
         let w = Waveform::new(sr, samples);
         let s = mel_spectrogram(&w, 512, 256, 40);
         // Average each band over time.
-        let band_energy: Vec<f64> = (0..40)
-            .map(|m| (0..s.frames()).map(|f| f64::from(s.get(m, f))).sum::<f64>())
-            .collect();
-        let peak = band_energy
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let band_energy: Vec<f64> =
+            (0..40).map(|m| (0..s.frames()).map(|f| f64::from(s.get(m, f))).sum::<f64>()).collect();
+        let peak =
+            band_energy.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         // 1 kHz = mel 999.9; with 40 bands to 8 kHz Nyquist (mel 2840), the
         // peak lands in the lower third.
         assert!((8..20).contains(&peak), "peak band {peak}");

@@ -260,9 +260,8 @@ mod tests {
 
     #[test]
     fn full_pipeline_produces_features() {
-        let out = AudioPipeline::standard_train()
-            .run(encoded(1, 0.6), SampleKey::new(9, 1, 0))
-            .unwrap();
+        let out =
+            AudioPipeline::standard_train().run(encoded(1, 0.6), SampleKey::new(9, 1, 0)).unwrap();
         let s = out.as_features().unwrap();
         assert_eq!(s.n_mels(), 64);
         // 2 s at 16 kHz with 512/256: (32000-512)/256+1 = 124 frames.

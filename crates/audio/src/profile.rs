@@ -20,10 +20,7 @@ pub const AUDIO_OP_LABELS: [(AudioOp, OpKind); 5] = [
     (AudioOp::Decode, OpKind::Decode),
     (AudioOp::Resample { to_hz: 16_000 }, OpKind::Resize { size: 16_000 }),
     (AudioOp::RandomCrop { millis: 2_000 }, OpKind::RandomResizedCrop { size: 2_000 }),
-    (
-        AudioOp::MelSpectrogram { n_fft: 512, hop: 256, n_mels: 64 },
-        OpKind::ToTensor,
-    ),
+    (AudioOp::MelSpectrogram { n_fft: 512, hop: 256, n_mels: 64 }, OpKind::ToTensor),
     (AudioOp::Normalize, OpKind::Normalize),
 ];
 
@@ -124,10 +121,7 @@ mod tests {
         // A quiet, highly tonal clip (LPC residuals near zero) compresses
         // below its mel-feature size: raw is minimal, no offloading — the
         // audio analogue of the paper's "Sample B".
-        let w = crate::SynthAudioSpec::new(22_050, 1.5)
-            .tonality(1.0)
-            .amplitude(0.12)
-            .render(3);
+        let w = crate::SynthAudioSpec::new(22_050, 1.5).tonality(1.0).amplitude(0.12).render(3);
         let p = profile_clip(
             &AudioPipeline::standard_train(),
             AudioData::Encoded(codec::encode(&w)),

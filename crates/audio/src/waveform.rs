@@ -70,8 +70,8 @@ impl Waveform {
                 let i0 = pos.floor() as usize;
                 let i1 = (i0 + 1).min(self.samples.len() - 1);
                 let frac = pos - i0 as f64;
-                let v = f64::from(self.samples[i0]) * (1.0 - frac)
-                    + f64::from(self.samples[i1]) * frac;
+                let v =
+                    f64::from(self.samples[i0]) * (1.0 - frac) + f64::from(self.samples[i1]) * frac;
                 v.round().clamp(-32768.0, 32767.0) as i16
             })
             .collect();
@@ -86,7 +86,10 @@ impl Waveform {
     pub fn window(&self, offset: usize, len: usize) -> Waveform {
         assert!(offset + len <= self.samples.len(), "window out of range");
         assert!(len > 0, "window must be non-empty");
-        Waveform { sample_rate: self.sample_rate, samples: self.samples[offset..offset + len].to_vec() }
+        Waveform {
+            sample_rate: self.sample_rate,
+            samples: self.samples[offset..offset + len].to_vec(),
+        }
     }
 }
 

@@ -21,9 +21,7 @@ fn offload_all_beneficial_epoch(ds: &datasets::DatasetSpec, cores: usize) -> f64
         }
     }
     let works = plan.to_sample_works(&profiles).unwrap();
-    simulate_epoch(&s.config, &EpochSpec::new(works, 256, GpuModel::AlexNet))
-        .unwrap()
-        .epoch_seconds
+    simulate_epoch(&s.config, &EpochSpec::new(works, 256, GpuModel::AlexNet)).unwrap().epoch_seconds
 }
 
 fn bench(c: &mut Criterion) {
@@ -34,11 +32,14 @@ fn bench(c: &mut Criterion) {
     let rows: Vec<Variant<'_>> = vec![
         ("efficiency order (paper)", Box::new(|k| epoch_with_ordering(&ds, k, |p| p.efficiency()))),
         ("raw-size order", Box::new(|k| epoch_with_ordering(&ds, k, |p| p.raw_bytes as f64))),
-        ("pseudo-random order", Box::new(|k| {
-            epoch_with_ordering(&ds, k, |p| {
-                (p.sample_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 11) as f64
-            })
-        })),
+        (
+            "pseudo-random order",
+            Box::new(|k| {
+                epoch_with_ordering(&ds, k, |p| {
+                    (p.sample_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 11) as f64
+                })
+            }),
+        ),
         ("no stopping rule", Box::new(|k| offload_all_beneficial_epoch(&ds, k))),
     ];
     for (name, f) in &rows {
@@ -49,13 +50,7 @@ fn bench(c: &mut Criterion) {
     let profiles = s.profiles();
     c.bench_function("ablations/engine_plan_8192", |b| {
         b.iter(|| {
-            let ctx = PlanningContext::new(
-                &profiles,
-                &s.pipeline,
-                &s.config,
-                s.gpu,
-                s.batch_size,
-            );
+            let ctx = PlanningContext::new(&profiles, &s.pipeline, &s.config, s.gpu, s.batch_size);
             std::hint::black_box(DecisionEngine::new().plan(&ctx))
         })
     });

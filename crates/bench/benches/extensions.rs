@@ -17,8 +17,7 @@ fn bench(c: &mut Criterion) {
     let records: Vec<_> = ds.records().collect();
     let pipeline = PipelineSpec::standard_train();
     let model = CostModel::realistic();
-    let profiles: Vec<_> =
-        records.iter().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+    let profiles: Vec<_> = records.iter().map(|r| r.analytic_profile(&pipeline, &model)).collect();
     let config = ClusterConfig::paper_testbed(48);
     let ctx = PlanningContext::new(&profiles, &pipeline, &config, GpuModel::AlexNet, 256);
 
@@ -68,9 +67,7 @@ fn bench(c: &mut Criterion) {
     // --- Time the planners -------------------------------------------
     c.bench_function("ext/compression_plan_4096", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                CompressionExt::default().apply(&ctx, &records, &plan).unwrap(),
-            )
+            std::hint::black_box(CompressionExt::default().apply(&ctx, &records, &plan).unwrap())
         })
     });
     c.bench_function("ext/multitenant_allocate_3x12", |b| {

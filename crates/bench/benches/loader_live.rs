@@ -37,13 +37,9 @@ fn bench(c: &mut Criterion) {
                     let mut config = LoaderConfig::new(ds.seed, 8);
                     config.reencode_quality = reencode;
                     config.workers = 4;
-                    let loader = OffloadingLoader::new(
-                        client,
-                        pipeline.clone(),
-                        plan.clone(),
-                        config,
-                    )
-                    .expect("configure succeeds");
+                    let loader =
+                        OffloadingLoader::new(client, pipeline.clone(), plan.clone(), config)
+                            .expect("configure succeeds");
                     (server, loader)
                 },
                 |(server, mut loader)| {

@@ -16,13 +16,8 @@ fn bench(c: &mut Criterion) {
     for policy in standard_policies() {
         group.bench_function(policy.name(), |b| {
             b.iter(|| {
-                let ctx = PlanningContext::new(
-                    &profiles,
-                    &s.pipeline,
-                    &s.config,
-                    s.gpu,
-                    s.batch_size,
-                );
+                let ctx =
+                    PlanningContext::new(&profiles, &s.pipeline, &s.config, s.gpu, s.batch_size);
                 std::hint::black_box(policy.plan(&ctx).unwrap())
             })
         });

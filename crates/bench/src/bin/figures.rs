@@ -8,8 +8,8 @@
 //! ```
 
 use bench::{
-    discussion_bandwidth_sweep, discussion_gpus, figure_1a, figure_1b, figure_1c, figure_1d, figure_3, figure_4,
-    table1, training_amortization, PAPER_SAMPLES,
+    cache_effectiveness, discussion_bandwidth_sweep, discussion_gpus, figure_1a, figure_1b,
+    figure_1c, figure_1d, figure_3, figure_4, table1, training_amortization, PAPER_SAMPLES,
 };
 
 fn main() {
@@ -37,10 +37,21 @@ fn main() {
     run("bandwidth", &|| discussion_bandwidth_sweep(len));
     run("gpus", &|| discussion_gpus(len));
     run("amortization", &|| training_amortization(len, 50));
+    run("cache", &|| cache_effectiveness(len, 50));
 
     let known = [
-        "all", "table1", "fig1a", "fig1b", "fig1c", "fig1d", "fig3", "fig4", "bandwidth",
-        "gpus", "amortization",
+        "all",
+        "table1",
+        "fig1a",
+        "fig1b",
+        "fig1c",
+        "fig1d",
+        "fig3",
+        "fig4",
+        "bandwidth",
+        "gpus",
+        "amortization",
+        "cache",
     ];
     if !known.contains(&which) {
         eprintln!("unknown artifact '{which}'; use one of: {}", known.join(" "));

@@ -69,10 +69,7 @@ pub fn figure_1a() -> String {
     // Sample A: largest encoded sample (clearly benefits). Sample B: a
     // sample smaller than the post-crop raster (raw is minimal).
     let records: Vec<_> = ds.records().collect();
-    let a = records
-        .iter()
-        .max_by_key(|r| r.encoded_bytes)
-        .expect("non-empty corpus");
+    let a = records.iter().max_by_key(|r| r.encoded_bytes).expect("non-empty corpus");
     let b = records
         .iter()
         .filter(|r| r.encoded_bytes < 100_000)
@@ -90,7 +87,14 @@ pub fn figure_1a() -> String {
     );
     let pa = a.analytic_profile(&spec, &model);
     let pb = b.analytic_profile(&spec, &model);
-    let stage_names = ["raw (encoded)", "decode", "random_resized_crop", "random_horizontal_flip", "to_tensor", "normalize"];
+    let stage_names = [
+        "raw (encoded)",
+        "decode",
+        "random_resized_crop",
+        "random_horizontal_flip",
+        "to_tensor",
+        "normalize",
+    ];
     for (stage, name) in stage_names.iter().enumerate() {
         let _ = writeln!(out, "{:<24} {:>12} {:>12}", name, pa.size_at(stage), pb.size_at(stage));
     }
@@ -284,16 +288,12 @@ pub fn discussion_bandwidth_sweep(len: u64) -> String {
         "bandwidth", "no-off (s)", "sophon (s)", "speedup", "offloaded", "class"
     );
     for mbps in [100.0, 250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 16_000.0] {
-        let config =
-            ClusterConfig::paper_testbed(48).with_bandwidth(Bandwidth::from_mbps(mbps));
+        let config = ClusterConfig::paper_testbed(48).with_bandwidth(Bandwidth::from_mbps(mbps));
         let s = Scenario::new(ds.clone(), config, GpuModel::AlexNet, 256);
         let profiles = s.profiles();
-        let no_off = s
-            .run_with_profiles(&NoOffPolicy, &profiles)
-            .expect("no-off simulates");
-        let sophon = s
-            .run_with_profiles(&SophonPolicy::default(), &profiles)
-            .expect("sophon simulates");
+        let no_off = s.run_with_profiles(&NoOffPolicy, &profiles).expect("no-off simulates");
+        let sophon =
+            s.run_with_profiles(&SophonPolicy::default(), &profiles).expect("sophon simulates");
         let _ = writeln!(
             out,
             "{:<12} {:>12.1} {:>12.1} {:>8.2}x {:>12} {:>11?}",
@@ -305,10 +305,8 @@ pub fn discussion_bandwidth_sweep(len: u64) -> String {
             sophon.class
         );
     }
-    let _ = writeln!(
-        out,
-        "\nSOPHON's gain grows as the link tightens; on fast links the stage-1 gate"
-    );
+    let _ =
+        writeln!(out, "\nSOPHON's gain grows as the link tightens; on fast links the stage-1 gate");
     let _ = writeln!(out, "classifies the job GPU-bound and SOPHON degrades to No-Off.");
     out
 }
@@ -319,10 +317,8 @@ pub fn discussion_bandwidth_sweep(len: u64) -> String {
 pub fn discussion_gpus(len: u64) -> String {
     let ds = imagenet(len);
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Discussion: multi-GPU scaling behind 500 Mbps (ImageNet-like, ResNet50)"
-    );
+    let _ =
+        writeln!(out, "Discussion: multi-GPU scaling behind 500 Mbps (ImageNet-like, ResNet50)");
     let _ = writeln!(
         out,
         "{:<6} {:>12} {:>12} {:>14} {:>14}",
@@ -333,9 +329,8 @@ pub fn discussion_gpus(len: u64) -> String {
         let s = Scenario::new(ds.clone(), config, GpuModel::ResNet50, 256);
         let profiles = s.profiles();
         let no_off = s.run_with_profiles(&NoOffPolicy, &profiles).expect("no-off simulates");
-        let sophon = s
-            .run_with_profiles(&SophonPolicy::default(), &profiles)
-            .expect("sophon simulates");
+        let sophon =
+            s.run_with_profiles(&SophonPolicy::default(), &profiles).expect("sophon simulates");
         let _ = writeln!(
             out,
             "{:<6} {:>12.1} {:>12.1} {:>13.1}% {:>13.1}%",
@@ -408,9 +403,7 @@ where
     // Greedy loop identical to the engine, but ordered by `key`.
     let mut order: Vec<usize> =
         (0..profiles.len()).filter(|&i| profiles[i].efficiency() > 0.0).collect();
-    order.sort_by(|&a, &b| {
-        key(&profiles[b]).partial_cmp(&key(&profiles[a])).expect("finite keys")
-    });
+    order.sort_by(|&a, &b| key(&profiles[b]).partial_cmp(&key(&profiles[a])).expect("finite keys"));
     let mut plan = OffloadPlan::none(profiles.len());
     let mut costs = ctx.baseline_costs();
     let storage_cores_f = s.config.storage_cores.max(1) as f64;
@@ -440,6 +433,80 @@ where
         .epoch_seconds
 }
 
+/// One row of the near-compute cache budget sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSweepRow {
+    /// Cache budget as a percentage of corpus raw bytes.
+    pub budget_pct: u64,
+    /// Selection policy name.
+    pub selection: String,
+    /// Samples pinned under the budget.
+    pub cached_samples: u64,
+    /// Cold-epoch (cache-filling) wire bytes.
+    pub cold_traffic_bytes: u64,
+    /// Steady-state warm-epoch wire bytes.
+    pub warm_traffic_bytes: u64,
+    /// Steady-state warm-epoch time in virtual seconds.
+    pub warm_epoch_seconds: f64,
+}
+
+/// Sweeps the near-compute cache over `budgets_pct` (percent of corpus
+/// bytes) for every selection policy, returning one row per
+/// `(budget, selection)` pair.
+pub fn cache_sweep(len: u64, epochs: u64, budgets_pct: &[u64]) -> Vec<CacheSweepRow> {
+    use sophon::ext::caching::CacheSelection;
+    let s = scenario(openimages(len), 48, GpuModel::AlexNet);
+    let corpus_bytes: u64 = s.profiles().iter().map(|p| p.raw_bytes).sum();
+    let mut rows = Vec::new();
+    for &pct in budgets_pct {
+        for sel in
+            [CacheSelection::Arrival, CacheSelection::SizeAware, CacheSelection::EfficiencyAware]
+        {
+            let r = s
+                .run_training_cached(epochs, corpus_bytes * pct / 100, sel)
+                .expect("cache run simulates");
+            rows.push(CacheSweepRow {
+                budget_pct: pct,
+                selection: r.selection.clone(),
+                cached_samples: r.cached_samples,
+                cold_traffic_bytes: r.stats.cold().traffic_bytes,
+                warm_traffic_bytes: r.warm_traffic_bytes(),
+                warm_epoch_seconds: r.stats.warm().epoch_seconds,
+            });
+        }
+    }
+    rows
+}
+
+/// Cache-effectiveness artifact: cold-vs-warm traffic and epoch time
+/// across cache budgets and selection policies.
+pub fn cache_effectiveness(len: u64, epochs: u64) -> String {
+    let rows = cache_sweep(len, epochs, &[0, 10, 30, 100]);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Near-compute cache effectiveness over {epochs} epochs (OpenImages-like, 48 storage cores)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<18} {:>8} {:>14} {:>14} {:>12}",
+        "budget", "selection", "cached", "cold (GB)", "warm (GB)", "warm (s)"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<18} {:>8} {:>14.2} {:>14.2} {:>12.1}",
+            format!("{}%", r.budget_pct),
+            r.selection,
+            r.cached_samples,
+            r.cold_traffic_bytes as f64 / 1e9,
+            r.warm_traffic_bytes as f64 / 1e9,
+            r.warm_epoch_seconds,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +523,49 @@ mod tests {
         assert!(discussion_bandwidth_sweep(512).contains("Mbps"));
         assert!(discussion_gpus(512).contains("GPUs"));
         assert!(training_amortization(512, 10).contains("overhead"));
+    }
+
+    #[test]
+    fn cache_sweep_holds_its_acceptance_properties() {
+        let rows = cache_sweep(1_024, 10, &[0, 10, 30, 100]);
+        // At 0% budget the warm epoch is just the plain SOPHON plan — all
+        // selections must agree on it; at 100% warm traffic is exactly 0.
+        let zero: Vec<u64> =
+            rows.iter().filter(|r| r.budget_pct == 0).map(|r| r.warm_traffic_bytes).collect();
+        assert!(zero.windows(2).all(|w| w[0] == w[1]), "0% budget must be selection-blind");
+        for r in &rows {
+            match r.budget_pct {
+                0 => assert!(r.warm_traffic_bytes <= r.cold_traffic_bytes),
+                100 => assert_eq!(
+                    r.warm_traffic_bytes, 0,
+                    "{} at 100% budget must zero warm traffic",
+                    r.selection
+                ),
+                _ => assert!(
+                    r.warm_traffic_bytes < zero[0],
+                    "{} at {}% must beat the cache-less plan",
+                    r.selection,
+                    r.budget_pct
+                ),
+            }
+        }
+        // Efficiency-aware never ships more residual traffic than the
+        // LRU/arrival baseline at any intermediate budget.
+        for pct in [10u64, 30] {
+            let at = |name: &str| {
+                rows.iter()
+                    .find(|r| r.budget_pct == pct && r.selection == name)
+                    .unwrap()
+                    .warm_traffic_bytes
+            };
+            assert!(
+                at("efficiency-aware") <= at("lru"),
+                "at {pct}%: efficiency-aware {} vs lru {}",
+                at("efficiency-aware"),
+                at("lru")
+            );
+        }
+        assert!(cache_effectiveness(512, 5).contains("efficiency-aware"));
     }
 
     #[test]

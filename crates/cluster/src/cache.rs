@@ -1,0 +1,133 @@
+//! Warm-cache training model.
+//!
+//! A near-compute sample cache splits a training run into two regimes: the
+//! **cold** epoch (epoch 0, typically also SOPHON's profiling epoch)
+//! fetches everything and fills the cache, and every **warm** epoch after
+//! it fetches only the uncached residual. [`simulate_cached_training`]
+//! wraps [`crate::simulate_training`] with that cold/warm framing and
+//! reports the quantities the cache narrative turns on: traffic per
+//! regime, the steady-state savings rate, and how long until the cold
+//! epoch's extra cost is paid back.
+//!
+//! The module is deliberately mechanism-free — callers supply the cold and
+//! warm [`EpochSpec`]s (built e.g. by `sophon::ext::caching`), and the
+//! docs here define what those must mean: the warm spec's transfers for
+//! cached samples are zero because their bytes were pinned during the cold
+//! epoch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{simulate_training, ClusterConfig, EpochSpec, EpochStats, SimError, TrainingStats};
+
+/// Statistics of a training run over a cold-then-warm cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedTrainingStats {
+    /// The underlying run (first epoch = cold, steady = warm).
+    pub run: TrainingStats,
+}
+
+impl CachedTrainingStats {
+    /// The cold (cache-filling) epoch's stats.
+    pub fn cold(&self) -> &EpochStats {
+        &self.run.first_epoch
+    }
+
+    /// The steady-state warm epoch's stats.
+    pub fn warm(&self) -> &EpochStats {
+        &self.run.steady_epoch
+    }
+
+    /// Wire bytes a warm epoch avoids relative to the cold epoch.
+    pub fn warm_bytes_saved(&self) -> u64 {
+        self.cold().traffic_bytes.saturating_sub(self.warm().traffic_bytes)
+    }
+
+    /// Fraction of cold-epoch traffic a warm epoch avoids (0 when the
+    /// cold epoch moved nothing).
+    pub fn warm_traffic_reduction(&self) -> f64 {
+        if self.cold().traffic_bytes == 0 {
+            0.0
+        } else {
+            self.warm_bytes_saved() as f64 / self.cold().traffic_bytes as f64
+        }
+    }
+
+    /// Warm epochs needed before total traffic drops below an uncached
+    /// run of the same length (`None` when warm epochs save nothing).
+    ///
+    /// The cold epoch costs the same either way in this model, so payback
+    /// is immediate (`Some(1)`) whenever warm epochs save any bytes; the
+    /// method exists to make that explicit in reports.
+    pub fn traffic_payback_epochs(&self) -> Option<u64> {
+        if self.warm_bytes_saved() > 0 {
+            Some(1)
+        } else {
+            None
+        }
+    }
+}
+
+/// Simulates `epochs` of training where epoch 0 runs `cold` (fetch
+/// everything, fill the cache) and all later epochs run `warm` (fetch the
+/// uncached residual only).
+///
+/// # Errors
+///
+/// Propagates epoch-simulation failures.
+///
+/// # Panics
+///
+/// Panics when `epochs == 0`.
+pub fn simulate_cached_training(
+    config: &ClusterConfig,
+    cold: &EpochSpec,
+    warm: &EpochSpec,
+    epochs: u64,
+) -> Result<CachedTrainingStats, SimError> {
+    Ok(CachedTrainingStats { run: simulate_training(config, cold, warm, epochs)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuModel, SampleWork};
+
+    fn spec(transfer: u64, n: usize) -> EpochSpec {
+        EpochSpec::new(vec![SampleWork::new(0.0, transfer, 0.001); n], 64, GpuModel::AlexNet)
+    }
+
+    #[test]
+    fn warm_epochs_cut_total_traffic() {
+        let config = ClusterConfig::paper_testbed(48);
+        let cold = spec(200_000, 512);
+        let warm = spec(50_000, 512);
+        let run = simulate_cached_training(&config, &cold, &warm, 10).unwrap();
+        assert_eq!(
+            run.run.total_traffic_bytes,
+            run.cold().traffic_bytes + run.warm().traffic_bytes * 9
+        );
+        assert!(run.warm_traffic_reduction() > 0.7);
+        assert_eq!(run.traffic_payback_epochs(), Some(1));
+    }
+
+    #[test]
+    fn useless_cache_reports_no_payback() {
+        let config = ClusterConfig::paper_testbed(48);
+        let same = spec(100_000, 256);
+        let run = simulate_cached_training(&config, &same, &same, 5).unwrap();
+        assert_eq!(run.warm_bytes_saved(), 0);
+        assert_eq!(run.traffic_payback_epochs(), None);
+        assert_eq!(run.warm_traffic_reduction(), 0.0);
+    }
+
+    #[test]
+    fn fully_cached_warm_epoch_moves_zero_bytes() {
+        let config = ClusterConfig::paper_testbed(48);
+        let cold = spec(150_000, 256);
+        let warm = spec(0, 256);
+        let run = simulate_cached_training(&config, &cold, &warm, 4).unwrap();
+        assert_eq!(run.warm().traffic_bytes, 0);
+        assert!((run.warm_traffic_reduction() - 1.0).abs() < 1e-12);
+        assert_eq!(run.run.total_traffic_bytes, run.cold().traffic_bytes);
+    }
+}

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
 mod gpu;
 mod resources;
@@ -50,6 +51,7 @@ pub mod trace;
 mod training;
 mod workload;
 
+pub use cache::{simulate_cached_training, CachedTrainingStats};
 pub use config::ClusterConfig;
 pub use gpu::GpuModel;
 pub use resources::{CpuPool, FifoServer};

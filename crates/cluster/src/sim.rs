@@ -112,8 +112,7 @@ fn run_sim(
         } else {
             0.0
         };
-        let in_batch =
-            spec.samples.len().saturating_sub(sample_idx).min(spec.batch_size);
+        let in_batch = spec.samples.len().saturating_sub(sample_idx).min(spec.batch_size);
         let mut batch_ready = gate;
         for _ in 0..in_batch {
             let w = &spec.samples[sample_idx];
@@ -277,8 +276,7 @@ mod tests {
 
     #[test]
     fn traffic_is_exact_sum() {
-        let samples: Vec<_> =
-            (0..100u64).map(|i| SampleWork::new(0.0, 1000 + i, 0.001)).collect();
+        let samples: Vec<_> = (0..100u64).map(|i| SampleWork::new(0.0, 1000 + i, 0.001)).collect();
         let expected: u64 = samples.iter().map(|s| s.transfer_bytes).sum();
         let spec = EpochSpec::new(samples, 16, GpuModel::AlexNet);
         let stats = simulate_epoch(&testbed(), &spec).unwrap();
@@ -295,8 +293,12 @@ mod tests {
         let spec = EpochSpec::new(samples, 16, GpuModel::Custom { seconds_per_image: 0.01 });
         let narrow = simulate_epoch(&config, &spec).unwrap();
         let wide = simulate_epoch(&testbed(), &spec).unwrap();
-        assert!(narrow.epoch_seconds > wide.epoch_seconds * 1.05,
-            "narrow {} wide {}", narrow.epoch_seconds, wide.epoch_seconds);
+        assert!(
+            narrow.epoch_seconds > wide.epoch_seconds * 1.05,
+            "narrow {} wide {}",
+            narrow.epoch_seconds,
+            wide.epoch_seconds
+        );
     }
 
     #[test]

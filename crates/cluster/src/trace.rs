@@ -119,7 +119,12 @@ impl EpochTrace {
             let _ = writeln!(
                 out,
                 "{:>7} {:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
-                t.sample, t.batch, t.read_done, t.offload_done, t.transfer_done, t.local_done,
+                t.sample,
+                t.batch,
+                t.read_done,
+                t.offload_done,
+                t.transfer_done,
+                t.local_done,
                 t.batch_done
             );
         }
@@ -129,7 +134,9 @@ impl EpochTrace {
 
 #[cfg(test)]
 mod tests {
-    use crate::{simulate_epoch, simulate_epoch_traced, ClusterConfig, EpochSpec, GpuModel, SampleWork};
+    use crate::{
+        simulate_epoch, simulate_epoch_traced, ClusterConfig, EpochSpec, GpuModel, SampleWork,
+    };
 
     fn spec() -> EpochSpec {
         let samples: Vec<_> = (0..200u64)
@@ -140,8 +147,7 @@ mod tests {
 
     #[test]
     fn trace_covers_every_sample_in_order() {
-        let trace =
-            simulate_epoch_traced(&ClusterConfig::paper_testbed(4), &spec()).unwrap();
+        let trace = simulate_epoch_traced(&ClusterConfig::paper_testbed(4), &spec()).unwrap();
         assert_eq!(trace.samples().len(), 200);
         for (i, t) in trace.samples().iter().enumerate() {
             assert_eq!(t.sample, i as u64);
@@ -151,8 +157,7 @@ mod tests {
 
     #[test]
     fn causality_holds() {
-        let trace =
-            simulate_epoch_traced(&ClusterConfig::paper_testbed(4), &spec()).unwrap();
+        let trace = simulate_epoch_traced(&ClusterConfig::paper_testbed(4), &spec()).unwrap();
         trace.check_causality().unwrap();
         assert!(trace.mean_latency() > 0.0);
     }
@@ -167,8 +172,7 @@ mod tests {
 
     #[test]
     fn batch_done_filled_for_all_samples() {
-        let trace =
-            simulate_epoch_traced(&ClusterConfig::paper_testbed(4), &spec()).unwrap();
+        let trace = simulate_epoch_traced(&ClusterConfig::paper_testbed(4), &spec()).unwrap();
         for t in trace.samples() {
             assert!(t.batch_done > 0.0, "sample {} has no batch completion", t.sample);
             assert!(t.batch_wait() >= -1e-12);
@@ -177,8 +181,7 @@ mod tests {
 
     #[test]
     fn render_head_is_readable() {
-        let trace =
-            simulate_epoch_traced(&ClusterConfig::paper_testbed(4), &spec()).unwrap();
+        let trace = simulate_epoch_traced(&ClusterConfig::paper_testbed(4), &spec()).unwrap();
         let text = trace.render_head(3);
         assert_eq!(text.lines().count(), 4);
         assert!(text.contains("transfer"));

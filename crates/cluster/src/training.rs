@@ -54,11 +54,7 @@ pub fn simulate_training(
 ) -> Result<TrainingStats, SimError> {
     assert!(epochs > 0, "training needs at least one epoch");
     let first = simulate_epoch(config, first_epoch)?;
-    let steady = if epochs > 1 {
-        simulate_epoch(config, steady_epoch)?
-    } else {
-        first.clone()
-    };
+    let steady = if epochs > 1 { simulate_epoch(config, steady_epoch)? } else { first.clone() };
     let steady_count = epochs - 1;
     Ok(TrainingStats {
         epochs,

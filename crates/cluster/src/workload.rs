@@ -97,8 +97,7 @@ mod tests {
 
     #[test]
     fn batch_count_rounds_up() {
-        let spec =
-            EpochSpec::new(vec![SampleWork::new(0.0, 0, 0.0); 513], 256, GpuModel::AlexNet);
+        let spec = EpochSpec::new(vec![SampleWork::new(0.0, 0, 0.0); 513], 256, GpuModel::AlexNet);
         assert_eq!(spec.batch_count(), 3);
     }
 

@@ -5,8 +5,7 @@ use cluster::{simulate_epoch, ClusterConfig, EpochSpec, GpuModel, SampleWork};
 use proptest::prelude::*;
 
 fn arb_sample() -> impl Strategy<Value = SampleWork> {
-    (0.0f64..0.02, 1_000u64..600_000, 0.0f64..0.01)
-        .prop_map(|(s, b, c)| SampleWork::new(s, b, c))
+    (0.0f64..0.02, 1_000u64..600_000, 0.0f64..0.01).prop_map(|(s, b, c)| SampleWork::new(s, b, c))
 }
 
 proptest! {
@@ -102,8 +101,11 @@ fn paper_scale_epoch_runs_fast_and_matches_io_bound() {
     let stats = simulate_epoch(&ClusterConfig::paper_testbed(48), &spec).unwrap();
     assert!(start.elapsed().as_secs_f64() < 5.0);
     let bound = 40_960.0 * 300_000.0 * 8.0 / 500e6;
-    assert!((stats.epoch_seconds - bound).abs() / bound < 0.1,
-        "epoch {} vs bound {bound}", stats.epoch_seconds);
+    assert!(
+        (stats.epoch_seconds - bound).abs() / bound < 0.1,
+        "epoch {} vs bound {bound}",
+        stats.epoch_seconds
+    );
 }
 
 #[test]
@@ -113,8 +115,7 @@ fn eight_gpus_turn_gpu_bound_into_io_bound() {
     let samples = vec![SampleWork::new(0.0, 120_000, 0.002); 8192];
     let spec = EpochSpec::new(samples, 256, GpuModel::ResNet50);
     let one = simulate_epoch(&ClusterConfig::paper_testbed(48), &spec).unwrap();
-    let eight =
-        simulate_epoch(&ClusterConfig::paper_testbed(48).with_gpus(8), &spec).unwrap();
+    let eight = simulate_epoch(&ClusterConfig::paper_testbed(48).with_gpus(8), &spec).unwrap();
     assert!(one.gpu_utilization() > 0.85, "1 GPU util {}", one.gpu_utilization());
     assert!(eight.gpu_utilization() < 0.35, "8 GPU util {}", eight.gpu_utilization());
     // With 8 GPUs the epoch time is pinned by the link, not the GPUs.

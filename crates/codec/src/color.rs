@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn roundtrip_is_near_lossless() {
-        for &(r, g, b) in &[(12u8, 200u8, 90u8), (255, 0, 0), (0, 255, 0), (0, 0, 255), (73, 73, 73)] {
+        for &(r, g, b) in
+            &[(12u8, 200u8, 90u8), (255, 0, 0), (0, 255, 0), (0, 0, 255), (73, 73, 73)]
+        {
             let [y, cb, cr] = rgb_to_ycbcr(r, g, b);
             let [r2, g2, b2] = ycbcr_to_rgb(y, cb, cr);
             assert!(i16::from(r).abs_diff(i16::from(r2)) <= 1, "r {r} -> {r2}");

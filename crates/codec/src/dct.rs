@@ -141,12 +141,8 @@ mod tests {
         }
         let coeffs = forward(&block);
         let target = coeffs[3].abs();
-        let rest: f32 = coeffs
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != 3)
-            .map(|(_, c)| c.abs())
-            .sum();
+        let rest: f32 =
+            coeffs.iter().enumerate().filter(|&(i, _)| i != 3).map(|(_, c)| c.abs()).sum();
         assert!(target > 100.0, "target coefficient too small: {target}");
         assert!(rest < target * 0.01, "energy leaked: {rest} vs {target}");
     }

@@ -28,8 +28,8 @@ use crate::{
 pub fn decode(data: &[u8]) -> Result<RasterImage, CodecError> {
     let header = Header::parse(data)?;
     let quality = Quality::new(header.quality).expect("validated by Header::parse");
-    let opts = EncodeOptions::from_flags(quality, header.flags)
-        .expect("flags validated by Header::parse");
+    let opts =
+        EncodeOptions::from_flags(quality, header.flags).expect("flags validated by Header::parse");
     let (w, h) = (header.width, header.height);
     let (cw, ch) = chroma_dims(w, h, opts.subsampling);
 
@@ -65,18 +65,14 @@ pub fn decode(data: &[u8]) -> Result<RasterImage, CodecError> {
                 dc: HuffmanTable::parse(data, &mut pos)?,
                 ac: HuffmanTable::parse(data, &mut pos)?,
             };
-            let len_bytes =
-                data.get(pos..pos + 4).ok_or(CodecError::Truncated { offset: pos })?;
+            let len_bytes = data.get(pos..pos + 4).ok_or(CodecError::Truncated { offset: pos })?;
             let stream_len =
                 u32::from_le_bytes(len_bytes.try_into().expect("sliced 4 bytes")) as usize;
             pos += 4;
-            let stream = data
-                .get(pos..pos + stream_len)
-                .ok_or(CodecError::Truncated { offset: pos })?;
+            let stream =
+                data.get(pos..pos + stream_len).ok_or(CodecError::Truncated { offset: pos })?;
             if pos + stream_len != data.len() {
-                return Err(CodecError::TrailingData {
-                    remaining: data.len() - pos - stream_len,
-                });
+                return Err(CodecError::TrailingData { remaining: data.len() - pos - stream_len });
             }
             let mut reader = BitReader::new(stream);
             let y = entropy_huff::decode_plane(&mut reader, &luma, block_counts[0])?;

@@ -49,12 +49,7 @@ pub fn encode_with(img: &RasterImage, opts: &EncodeOptions) -> Vec<u8> {
     let planes = split_planes(img, opts.subsampling);
     let quantized = quantize_planes(&planes, opts.quality);
 
-    let header = Header {
-        width: w,
-        height: h,
-        quality: opts.quality.value(),
-        flags: opts.flags(),
-    };
+    let header = Header { width: w, height: h, quality: opts.quality.value(), flags: opts.flags() };
     let mut out = header.to_bytes().to_vec();
 
     match opts.entropy {
@@ -136,14 +131,16 @@ pub(crate) fn chroma_dims(w: u32, h: u32, subsampling: Subsampling) -> (u32, u32
 }
 
 /// DCT + quantize every block of every plane, in scan order.
-pub(crate) fn quantize_planes(planes: &[Plane; 3], quality: Quality) -> [Vec<[i16; BLOCK_AREA]>; 3] {
+pub(crate) fn quantize_planes(
+    planes: &[Plane; 3],
+    quality: Quality,
+) -> [Vec<[i16; BLOCK_AREA]>; 3] {
     let luma_table = quality.luma_table();
     let chroma_table = quality.chroma_table();
     let mut out: [Vec<[i16; BLOCK_AREA]>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (ch, plane) in planes.iter().enumerate() {
         let table = if ch == 0 { &luma_table } else { &chroma_table };
-        let mut blocks =
-            Vec::with_capacity(plane.blocks_x() as usize * plane.blocks_y() as usize);
+        let mut blocks = Vec::with_capacity(plane.blocks_x() as usize * plane.blocks_y() as usize);
         for by in 0..plane.blocks_y() {
             for bx in 0..plane.blocks_x() {
                 let spatial = plane.extract_block(bx, by);
@@ -189,10 +186,7 @@ mod tests {
                 encode(&img, q).len()
             })
             .collect();
-        assert!(
-            sizes.windows(2).all(|w| w[0] < w[1]),
-            "sizes should be increasing: {sizes:?}"
-        );
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes should be increasing: {sizes:?}");
     }
 
     #[test]
@@ -239,12 +233,7 @@ mod tests {
             &img,
             &EncodeOptions::new(Quality::default()).entropy(EntropyMode::Huffman),
         );
-        assert!(
-            huff.len() < rle.len(),
-            "huffman {} should beat rle {}",
-            huff.len(),
-            rle.len()
-        );
+        assert!(huff.len() < rle.len(), "huffman {} should beat rle {}", huff.len(), rle.len());
         let a = decode(&rle).unwrap();
         let b = decode(&huff).unwrap();
         // Identical quantized data, identical reconstruction.
@@ -281,15 +270,9 @@ mod tests {
         let img = SynthSpec::new(99, 55).complexity(0.7).render(8);
         for sub in [Subsampling::S444, Subsampling::S420] {
             for ent in [EntropyMode::RleVarint, EntropyMode::Huffman] {
-                let opts = EncodeOptions::new(Quality::default())
-                    .subsampling(sub)
-                    .entropy(ent);
+                let opts = EncodeOptions::new(Quality::default()).subsampling(sub).entropy(ent);
                 let back = decode(&encode_with(&img, &opts)).unwrap();
-                assert_eq!(
-                    (back.width(), back.height()),
-                    (99, 55),
-                    "mode {sub:?}/{ent:?}"
-                );
+                assert_eq!((back.width(), back.height()), (99, 55), "mode {sub:?}/{ent:?}");
             }
         }
     }

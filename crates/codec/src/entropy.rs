@@ -132,7 +132,19 @@ mod tests {
     #[test]
     fn varint_roundtrip() {
         let mut buf = Vec::new();
-        let values = [0i64, 1, -1, 63, -64, 127, -128, 300, -12345, i64::from(i16::MAX), i64::from(i16::MIN)];
+        let values = [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            127,
+            -128,
+            300,
+            -12345,
+            i64::from(i16::MAX),
+            i64::from(i16::MIN),
+        ];
         for &v in &values {
             write_varint(&mut buf, v);
         }

@@ -46,11 +46,7 @@ fn decode_magnitude(bits: u32, size: u32) -> i32 {
 
 /// Walks one block emitting `(symbol, value-size, value-bits)` triples to a
 /// visitor — shared by the counting and the writing passes.
-fn visit_block<F: FnMut(u8, u32, u32)>(
-    zz: &[i16; BLOCK_AREA],
-    dc_pred: &mut i16,
-    mut emit: F,
-) {
+fn visit_block<F: FnMut(u8, u32, u32)>(zz: &[i16; BLOCK_AREA], dc_pred: &mut i16, mut emit: F) {
     let diff = i32::from(zz[0]) - i32::from(*dc_pred);
     *dc_pred = zz[0];
     let dc_size = size_category(diff);
@@ -135,11 +131,7 @@ impl TablePairFreq {
 }
 
 /// Writes the blocks of one plane into the bitstream.
-pub fn encode_plane(
-    blocks: &[[i16; BLOCK_AREA]],
-    tables: &TablePair,
-    w: &mut BitWriter,
-) {
+pub fn encode_plane(blocks: &[[i16; BLOCK_AREA]], tables: &TablePair, w: &mut BitWriter) {
     let mut pred = 0i16;
     for zz in blocks {
         let mut first = true;
@@ -329,10 +321,6 @@ mod tests {
         for zz in &blocks {
             crate::entropy::encode_block(zz, &mut pred, &mut rle);
         }
-        assert!(
-            huff_len < rle.len(),
-            "huffman {huff_len} should beat rle {}",
-            rle.len()
-        );
+        assert!(huff_len < rle.len(), "huffman {huff_len} should beat rle {}", rle.len());
     }
 }

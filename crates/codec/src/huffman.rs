@@ -136,9 +136,8 @@ impl HuffmanTable {
     /// Returns [`CodecError::Truncated`] or a validation error for
     /// impossible count vectors.
     pub fn parse(data: &[u8], pos: &mut usize) -> Result<HuffmanTable, CodecError> {
-        let counts_raw = data
-            .get(*pos..*pos + MAX_CODE_LEN)
-            .ok_or(CodecError::Truncated { offset: *pos })?;
+        let counts_raw =
+            data.get(*pos..*pos + MAX_CODE_LEN).ok_or(CodecError::Truncated { offset: *pos })?;
         *pos += MAX_CODE_LEN;
         let mut counts = [0u16; MAX_CODE_LEN + 1];
         let mut total = 0usize;
@@ -152,13 +151,10 @@ impl HuffmanTable {
         if total == 0 || total > 256 || code_space > 1 << MAX_CODE_LEN {
             return Err(CodecError::InvalidDimensions { width: total as u32, height: 0 });
         }
-        let symbols = data
-            .get(*pos..*pos + total)
-            .ok_or(CodecError::Truncated { offset: *pos })?
-            .to_vec();
+        let symbols =
+            data.get(*pos..*pos + total).ok_or(CodecError::Truncated { offset: *pos })?.to_vec();
         *pos += total;
-        let mut table =
-            HuffmanTable { counts, symbols, encode: [(0, 0); 256] };
+        let mut table = HuffmanTable { counts, symbols, encode: [(0, 0); 256] };
         table.rebuild_encode_map();
         Ok(table)
     }
@@ -216,10 +212,7 @@ fn limit_lengths(lengths: &mut [u8; 256], active: &[usize]) {
 }
 
 fn kraft_ok(lengths: &[u8; 256], active: &[usize]) -> bool {
-    let sum: u64 = active
-        .iter()
-        .map(|&s| 1u64 << (MAX_CODE_LEN - usize::from(lengths[s])))
-        .sum();
+    let sum: u64 = active.iter().map(|&s| 1u64 << (MAX_CODE_LEN - usize::from(lengths[s]))).sum();
     sum <= 1 << MAX_CODE_LEN
 }
 

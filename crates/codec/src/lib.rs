@@ -51,9 +51,9 @@ pub mod zigzag;
 
 pub use decoder::decode;
 pub use encoder::{encode, encode_with, worst_case_len};
-pub use options::{EncodeOptions, EntropyMode, Subsampling};
 pub use error::CodecError;
 pub use header::{Header, FORMAT_MAGIC, FORMAT_VERSION};
+pub use options::{EncodeOptions, EntropyMode, Subsampling};
 pub use quant::Quality;
 
 /// Side length of the transform blocks (8, as in JPEG).

@@ -80,12 +80,8 @@ mod tests {
 
     #[test]
     fn curve_is_monotone_in_rate_and_distortion() {
-        let points = rate_curve(
-            &img(),
-            &[20, 40, 60, 80, 95],
-            Subsampling::S444,
-            EntropyMode::RleVarint,
-        );
+        let points =
+            rate_curve(&img(), &[20, 40, 60, 80, 95], Subsampling::S444, EntropyMode::RleVarint);
         for w in points.windows(2) {
             assert!(w[1].bytes >= w[0].bytes, "rate not monotone: {points:?}");
             assert!(w[1].psnr_db >= w[0].psnr_db - 0.2, "distortion not monotone: {points:?}");
@@ -106,17 +102,13 @@ mod tests {
     fn quality_chooser_finds_minimal_quality() {
         let img = img();
         let target = 30.0;
-        let point =
-            min_quality_for_psnr(&img, target, Subsampling::S444, EntropyMode::RleVarint)
-                .expect("30 dB is reachable");
+        let point = min_quality_for_psnr(&img, target, Subsampling::S444, EntropyMode::RleVarint)
+            .expect("30 dB is reachable");
         assert!(point.psnr_db >= target);
         if point.quality > 1 {
-            let below = rate_curve(
-                &img,
-                &[point.quality - 1],
-                Subsampling::S444,
-                EntropyMode::RleVarint,
-            )[0];
+            let below =
+                rate_curve(&img, &[point.quality - 1], Subsampling::S444, EntropyMode::RleVarint)
+                    [0];
             assert!(below.psnr_db < target, "quality not minimal: {point:?} vs {below:?}");
         }
     }

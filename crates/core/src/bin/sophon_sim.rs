@@ -59,9 +59,12 @@ fn main() {
             scenario.batch_size,
         );
         let (_, report) = sophon::explain::ExplainReport::compute(&ctx);
-        println!("
+        println!(
+            "
 SOPHON decision trace:
-{}", report.render());
+{}",
+            report.render()
+        );
     }
 
     if let Some(n) = trace_n {
@@ -78,19 +81,58 @@ SOPHON decision trace:
         let spec = cluster::EpochSpec::new(works, scenario.batch_size, scenario.gpu);
         match cluster::simulate_epoch_traced(&scenario.config, &spec) {
             Ok(trace) => {
-                println!("
-SOPHON epoch timeline (first {n} samples, virtual seconds):");
+                println!(
+                    "
+SOPHON epoch timeline (first {n} samples, virtual seconds):"
+                );
                 println!("{}", trace.render_head(n));
             }
             Err(e) => eprintln!("trace unavailable: {e}"),
         }
     }
 
+    if opts.cache_budget_pct > 0 {
+        let profiles = scenario.profiles();
+        let corpus_bytes: u64 = profiles.iter().map(|p| p.raw_bytes).sum();
+        let budget = corpus_bytes * opts.cache_budget_pct / 100;
+        let epochs = opts.epochs.max(2);
+        println!(
+            "\nnear-compute cache: {:.2} GB budget ({}% of corpus), {} selection, {} epochs",
+            budget as f64 / 1e9,
+            opts.cache_budget_pct,
+            opts.cache_policy.name(),
+            epochs,
+        );
+        match scenario.run_training_cached(epochs, budget, opts.cache_policy) {
+            Ok(r) => {
+                println!("{:<22} {:>14} {:>14}", "", "cold (epoch 0)", "warm (steady)");
+                println!(
+                    "{:<22} {:>14.1} {:>14.1}",
+                    "epoch time (s)",
+                    r.stats.cold().epoch_seconds,
+                    r.stats.warm().epoch_seconds,
+                );
+                println!(
+                    "{:<22} {:>14.2} {:>14.2}",
+                    "traffic (GB)",
+                    r.stats.cold().traffic_bytes as f64 / 1e9,
+                    r.warm_traffic_bytes() as f64 / 1e9,
+                );
+                println!(
+                    "cached {}/{} samples in {:.2} GB; warm epochs avoid {:.1}% of traffic",
+                    r.cached_samples,
+                    r.total_samples,
+                    r.cached_bytes as f64 / 1e9,
+                    r.warm_traffic_reduction() * 100.0,
+                );
+            }
+            Err(e) => println!("cache run failed: {e}"),
+        }
+    }
+
     let policies = standard_policies();
-    let selected: Vec<_> = policies
-        .iter()
-        .filter(|p| opts.policy == "all" || p.name() == opts.policy)
-        .collect();
+    let selected: Vec<_> =
+        policies.iter().filter(|p| opts.policy == "all" || p.name() == opts.policy).collect();
 
     if opts.epochs == 1 {
         println!(

@@ -44,6 +44,11 @@ pub struct CliOptions {
     pub batch: usize,
     /// Training epochs (1 = single-epoch report).
     pub epochs: u64,
+    /// Near-compute cache budget as a percentage of corpus raw bytes
+    /// (0 = no cache).
+    pub cache_budget_pct: u64,
+    /// Cache selection policy.
+    pub cache_policy: crate::ext::caching::CacheSelection,
 }
 
 impl Default for CliOptions {
@@ -60,6 +65,8 @@ impl Default for CliOptions {
             model: GpuModel::AlexNet,
             batch: 256,
             epochs: 1,
+            cache_budget_pct: 0,
+            cache_policy: crate::ext::caching::CacheSelection::EfficiencyAware,
         }
     }
 }
@@ -79,9 +86,7 @@ impl CliOptions {
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let flag = flag.as_ref();
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag {flag} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
             let value = value.as_ref();
             match flag {
                 "--dataset" => {
@@ -122,11 +127,24 @@ impl CliOptions {
                 }
                 "--batch" => opts.batch = parse_num(flag, value)?,
                 "--epochs" => opts.epochs = parse_num(flag, value)?,
+                "--cache-budget-pct" => opts.cache_budget_pct = parse_num(flag, value)?,
+                "--cache-policy" => {
+                    use crate::ext::caching::CacheSelection;
+                    opts.cache_policy = match value {
+                        "lru" => CacheSelection::Arrival,
+                        "size" => CacheSelection::SizeAware,
+                        "efficiency" => CacheSelection::EfficiencyAware,
+                        other => return Err(format!("unknown cache policy '{other}'")),
+                    }
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
         if opts.samples == 0 || opts.batch == 0 || opts.epochs == 0 {
             return Err("samples, batch, and epochs must be positive".to_string());
+        }
+        if opts.cache_budget_pct > 100 {
+            return Err("cache budget must be 0-100 percent of corpus bytes".to_string());
         }
         Ok(opts)
     }
@@ -159,7 +177,8 @@ impl CliOptions {
          \u{20}          [--policy all|no-off|all-off|fastflow|resize-off|sophon]\n\
          \u{20}          [--storage-cores N] [--compute-cores N] [--gpus N]\n\
          \u{20}          [--bandwidth-mbps F] [--model alexnet|resnet18|resnet50]\n\
-         \u{20}          [--batch N] [--epochs N]"
+         \u{20}          [--batch N] [--epochs N]\n\
+         \u{20}          [--cache-budget-pct 0-100] [--cache-policy lru|size|efficiency]"
     }
 }
 
@@ -201,10 +220,20 @@ mod tests {
         assert!(CliOptions::parse(["--policy", "bogus"]).unwrap_err().contains("bogus"));
         assert!(CliOptions::parse(["--samples"]).unwrap_err().contains("needs a value"));
         assert!(CliOptions::parse(["--wat", "1"]).unwrap_err().contains("--wat"));
-        assert!(CliOptions::parse(["--bandwidth-mbps", "-5"])
-            .unwrap_err()
-            .contains("bandwidth"));
+        assert!(CliOptions::parse(["--bandwidth-mbps", "-5"]).unwrap_err().contains("bandwidth"));
         assert!(CliOptions::parse(["--samples", "0"]).unwrap_err().contains("positive"));
+        assert!(CliOptions::parse(["--cache-budget-pct", "150"]).unwrap_err().contains("0-100"));
+        assert!(CliOptions::parse(["--cache-policy", "mru"]).unwrap_err().contains("mru"));
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        use crate::ext::caching::CacheSelection;
+        let opts = CliOptions::parse("--cache-budget-pct 30 --cache-policy lru".split_whitespace())
+            .unwrap();
+        assert_eq!(opts.cache_budget_pct, 30);
+        assert_eq!(opts.cache_policy, CacheSelection::Arrival);
+        assert_eq!(CliOptions::default().cache_budget_pct, 0);
     }
 
     #[test]

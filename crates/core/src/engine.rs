@@ -38,21 +38,13 @@ impl<'a> PlanningContext<'a> {
         gpu: GpuModel,
         batch_size: usize,
     ) -> PlanningContext<'a> {
-        PlanningContext {
-            profiles,
-            pipeline,
-            config,
-            gpu,
-            batch_size,
-            storage_speed_factor: 1.0,
-        }
+        PlanningContext { profiles, pipeline, config, gpu, batch_size, storage_speed_factor: 1.0 }
     }
 
     /// GPU seconds for one epoch (`T_G`), accounting for data-parallel
     /// GPUs.
     pub fn gpu_epoch_seconds(&self) -> f64 {
-        self.profiles.len() as f64 * self.gpu.seconds_per_image()
-            / self.config.gpus.max(1) as f64
+        self.profiles.len() as f64 * self.gpu.seconds_per_image() / self.config.gpus.max(1) as f64
     }
 
     /// The cost vector of an arbitrary plan.
@@ -114,17 +106,35 @@ impl DecisionEngine {
     /// Computes the offload plan and the cost-vector trajectory (one entry
     /// per applied sample, starting with the baseline).
     pub fn plan_with_trace(&self, ctx: &PlanningContext<'_>) -> (OffloadPlan, Vec<CostVector>) {
+        self.plan_residual_with_trace(ctx, ctx.baseline_costs(), &|_| true)
+    }
+
+    /// The greedy pass over an arbitrary starting point: begins from
+    /// `baseline` (rather than the all-local cost vector) and considers
+    /// only samples for which `eligible` returns true.
+    ///
+    /// This is the hook for planners that have already disposed of part of
+    /// the sample set by other means — notably `ext::caching`, where
+    /// cached samples contribute zero network time to the baseline and the
+    /// greedy runs over the residual (uncached) set only. `plan_with_trace`
+    /// is the degenerate case: every sample eligible, baseline =
+    /// [`PlanningContext::baseline_costs`].
+    pub fn plan_residual_with_trace(
+        &self,
+        ctx: &PlanningContext<'_>,
+        baseline: CostVector,
+        eligible: &dyn Fn(usize) -> bool,
+    ) -> (OffloadPlan, Vec<CostVector>) {
         let n = ctx.profiles.len();
         let mut plan = OffloadPlan::none(n);
-        let mut trace = vec![ctx.baseline_costs()];
+        let mut trace = vec![baseline];
         if ctx.config.storage_cores == 0 {
             return (plan, trace);
         }
 
         // Rank candidates by efficiency, descending.
-        let mut candidates: Vec<usize> = (0..n)
-            .filter(|&i| ctx.profiles[i].efficiency() > 0.0)
-            .collect();
+        let mut candidates: Vec<usize> =
+            (0..n).filter(|&i| eligible(i) && ctx.profiles[i].efficiency() > 0.0).collect();
         candidates.sort_by(|&a, &b| {
             ctx.profiles[b]
                 .efficiency()
@@ -200,8 +210,11 @@ mod tests {
         let (plan, trace) = DecisionEngine::new().plan_with_trace(&ctx);
         // Most beneficial samples get offloaded with ample storage CPU.
         let benefiting = ps.iter().filter(|p| p.efficiency() > 0.0).count();
-        assert!(plan.offloaded_samples() * 10 >= benefiting * 9,
-            "offloaded {} of {benefiting}", plan.offloaded_samples());
+        assert!(
+            plan.offloaded_samples() * 10 >= benefiting * 9,
+            "offloaded {} of {benefiting}",
+            plan.offloaded_samples()
+        );
         // Traffic strictly decreases along the trace.
         for w in trace.windows(2) {
             assert!(w[1].t_net < w[0].t_net);
@@ -263,8 +276,8 @@ mod tests {
         let ps = profiles(&ds);
         let pipeline = PipelineSpec::standard_train();
         // ResNet50 on a fast link: GPU predominant, no offloading helps.
-        let config = ClusterConfig::paper_testbed(48)
-            .with_bandwidth(netsim::Bandwidth::from_gbps(100.0));
+        let config =
+            ClusterConfig::paper_testbed(48).with_bandwidth(netsim::Bandwidth::from_gbps(100.0));
         let mut ctx = context(&ps, &pipeline, &config);
         ctx.gpu = GpuModel::ResNet50;
         assert!(!ctx.baseline_costs().network_predominant());

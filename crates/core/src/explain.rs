@@ -46,8 +46,7 @@ pub enum StopReason {
 impl ExplainReport {
     /// Plans with the engine and explains the run.
     pub fn compute(ctx: &PlanningContext<'_>) -> (OffloadPlan, ExplainReport) {
-        let candidates =
-            ctx.profiles.iter().filter(|p| p.efficiency() > 0.0).count() as u64;
+        let candidates = ctx.profiles.iter().filter(|p| p.efficiency() > 0.0).count() as u64;
         let (plan, trace) = DecisionEngine::new().plan_with_trace(ctx);
         let baseline = trace[0];
         let final_costs = *trace.last().expect("trace contains the baseline");
@@ -77,20 +76,26 @@ impl ExplainReport {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "baseline:  {} (bottleneck: {:?})", self.baseline, self.initial_bottleneck);
+        let _ = writeln!(
+            out,
+            "baseline:  {} (bottleneck: {:?})",
+            self.baseline, self.initial_bottleneck
+        );
         let _ = writeln!(
             out,
             "offloaded: {} of {} candidate samples",
             self.offloaded_samples, self.candidates
         );
-        let _ = writeln!(out, "final:     {} (bottleneck: {:?})", self.final_costs, self.final_bottleneck);
+        let _ = writeln!(
+            out,
+            "final:     {} (bottleneck: {:?})",
+            self.final_costs, self.final_bottleneck
+        );
         let reason = match self.stop_reason {
             StopReason::NotIoBound => "workload is not I/O-bound; standard training",
             StopReason::NoStorageCores => "storage node has no preprocessing cores",
             StopReason::CandidatesExhausted => "every beneficial sample is offloaded",
-            StopReason::NetworkNoLongerPredominant => {
-                "network is no longer the predominant cost"
-            }
+            StopReason::NetworkNoLongerPredominant => "network is no longer the predominant cost",
         };
         let _ = writeln!(out, "stopped:   {reason}");
         out
@@ -144,8 +149,8 @@ mod tests {
         let ds = DatasetSpec::imagenet_like(500, 3);
         let ps = profiles(&ds);
         let pipeline = PipelineSpec::standard_train();
-        let config = ClusterConfig::paper_testbed(48)
-            .with_bandwidth(netsim::Bandwidth::from_gbps(100.0));
+        let config =
+            ClusterConfig::paper_testbed(48).with_bandwidth(netsim::Bandwidth::from_gbps(100.0));
         let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::ResNet50, 256);
         let (plan, report) = ExplainReport::compute(&ctx);
         assert_eq!(report.stop_reason, StopReason::NotIoBound);

@@ -59,23 +59,22 @@ pub fn evaluate_drift(
         stale_plan
             .iter()
             .zip(new_ctx.profiles.iter())
-            .map(|(split, p)| {
-                if split.offloaded_ops() <= p.stages.len() {
-                    split
-                } else {
-                    SplitPoint::NONE
-                }
-            })
+            .map(
+                |(split, p)| {
+                    if split.offloaded_ops() <= p.stages.len() {
+                        split
+                    } else {
+                        SplitPoint::NONE
+                    }
+                },
+            )
             .collect(),
     );
     let stale = new_ctx.costs_for_plan(&sanitized)?;
     let fresh_plan = DecisionEngine::new().plan(new_ctx);
     let replanned = new_ctx.costs_for_plan(&fresh_plan)?;
-    let divergent_samples = sanitized
-        .iter()
-        .zip(fresh_plan.iter())
-        .filter(|(a, b)| a != b)
-        .count() as u64;
+    let divergent_samples =
+        sanitized.iter().zip(fresh_plan.iter()).filter(|(a, b)| a != b).count() as u64;
     Ok(DriftReport { stale, replanned, divergent_samples })
 }
 
@@ -222,15 +221,9 @@ mod tests {
         let new_profiles = profiles(&DatasetSpec::imagenet_like(1500, 2));
         let before =
             PlanningContext::new(&old_profiles, &pipeline, &config, GpuModel::AlexNet, 256);
-        let after =
-            PlanningContext::new(&new_profiles, &pipeline, &config, GpuModel::AlexNet, 256);
-        let report =
-            simulate_drifted_run(&before, &after, GpuModel::AlexNet, 256, 50, 10).unwrap();
-        assert!(
-            report.adaptation_gain() > 1.05,
-            "adaptation gain {}",
-            report.adaptation_gain()
-        );
+        let after = PlanningContext::new(&new_profiles, &pipeline, &config, GpuModel::AlexNet, 256);
+        let report = simulate_drifted_run(&before, &after, GpuModel::AlexNet, 256, 50, 10).unwrap();
+        assert!(report.adaptation_gain() > 1.05, "adaptation gain {}", report.adaptation_gain());
     }
 
     #[test]

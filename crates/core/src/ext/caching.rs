@@ -1,0 +1,371 @@
+//! Cache-aware offload planning (the sophon-cache extension).
+//!
+//! The `cache` crate pins epoch-stable sample representations next to the
+//! trainer; this module teaches the decision engine about them. Planning
+//! happens in three moves:
+//!
+//! 1. **Select** — [`choose_cache_contents`] picks which samples to pin
+//!    under a byte budget. A cached sample occupies its *cheapest
+//!    epoch-stable* representation (encoded bytes for the standard
+//!    training pipeline — rasters are bigger) and, in every warm epoch,
+//!    saves the wire bytes the no-cache plan would have shipped for it.
+//! 2. **Re-plan the residual** — [`plan_with_cache`] rebuilds the baseline
+//!    cost vector with cached samples contributing **zero `T_Net`** and
+//!    only suffix compute, then re-runs the greedy engine over the
+//!    uncached residual via
+//!    [`DecisionEngine::plan_residual_with_trace`]. Offload capacity the
+//!    cache frees up flows to samples the cache couldn't afford.
+//! 3. **Simulate** — [`warm_sample_works`] translates the combined plan
+//!    into per-sample demands for the cluster simulator: cached samples
+//!    have no storage time and no transfer; only their local suffix
+//!    remains. Pairing this with the cold (epoch-0, cache-filling) spec in
+//!    `cluster::simulate_cached_training` yields the cold/warm traffic
+//!    split.
+//!
+//! Cache and offload turn out to be complementary: offloading compresses
+//! the transfers of samples whose pipelines shrink data early, while the
+//! cache is most valuable exactly where offloading is weakest — samples
+//! that would ship raw. The efficiency-aware selection encodes that: it
+//! ranks by wire bytes saved per cache byte spent, so cheap-to-pin,
+//! expensive-to-ship samples win the budget.
+
+use cluster::SampleWork;
+use pipeline::SplitPoint;
+
+use crate::engine::{DecisionEngine, PlanningContext};
+use crate::{CostVector, OffloadPlan, SophonError};
+
+/// How [`choose_cache_contents`] ranks samples for the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSelection {
+    /// Value-blind: fill in arrival (id) order. Models what an
+    /// admit-everything LRU cache holds after the cold epoch.
+    Arrival,
+    /// Rank by wire bytes saved per warm epoch, descending.
+    SizeAware,
+    /// Rank by wire bytes saved per cache byte occupied, descending —
+    /// the cache-local analogue of the engine's offloading efficiency.
+    EfficiencyAware,
+}
+
+impl CacheSelection {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheSelection::Arrival => "lru",
+            CacheSelection::SizeAware => "size-aware",
+            CacheSelection::EfficiencyAware => "efficiency-aware",
+        }
+    }
+}
+
+/// Which samples are pinned, and at which pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheAssignment {
+    /// Per-sample cached stage (ops applied before pinning); `None` =
+    /// not cached.
+    cached_stage: Vec<Option<usize>>,
+    /// Cache bytes occupied.
+    pub cached_bytes: u64,
+    /// The budget the selection ran under.
+    pub budget_bytes: u64,
+    /// Wire bytes the cache saves per warm epoch relative to the no-cache
+    /// plan.
+    pub warm_bytes_saved: u64,
+}
+
+impl CacheAssignment {
+    /// Whether sample `i` is cached.
+    pub fn is_cached(&self, i: usize) -> bool {
+        self.cached_stage.get(i).is_some_and(|s| s.is_some())
+    }
+
+    /// The cached stage for sample `i`, when cached.
+    pub fn cached_stage(&self, i: usize) -> Option<usize> {
+        self.cached_stage.get(i).copied().flatten()
+    }
+
+    /// Number of cached samples.
+    pub fn cached_samples(&self) -> usize {
+        self.cached_stage.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of samples covered by the assignment.
+    pub fn len(&self) -> usize {
+        self.cached_stage.len()
+    }
+
+    /// Whether no sample is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cached_samples() == 0
+    }
+}
+
+/// Selects cache contents for `ctx`'s samples under `budget_bytes`.
+///
+/// Every sample's candidate representation is its smallest epoch-stable
+/// stage (resident cost); its value is the wire bytes the engine's
+/// *no-cache* plan would ship for it each epoch. `selection` orders the
+/// candidates; the budget is filled greedily and never exceeded.
+pub fn choose_cache_contents(
+    ctx: &PlanningContext<'_>,
+    budget_bytes: u64,
+    selection: CacheSelection,
+) -> CacheAssignment {
+    let no_cache_plan = DecisionEngine::new().plan(ctx);
+    let stable_ops = ctx.pipeline.deterministic_prefix_ops();
+
+    // Per sample: (index, resident stage, resident bytes, warm wire bytes).
+    let mut candidates: Vec<(usize, usize, u64, u64)> = ctx
+        .profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let stage =
+                (0..=stable_ops.min(p.stage_count())).min_by_key(|&s| p.size_at(s)).unwrap_or(0);
+            let resident = p.size_at(stage);
+            let shipped = p.size_at(no_cache_plan.split(i).offloaded_ops());
+            (i, stage, resident, shipped)
+        })
+        .collect();
+
+    match selection {
+        CacheSelection::Arrival => {}
+        CacheSelection::SizeAware => {
+            candidates.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(&b.0)));
+        }
+        CacheSelection::EfficiencyAware => {
+            candidates.sort_by(|a, b| {
+                let da = a.3 as f64 / a.2.max(1) as f64;
+                let db = b.3 as f64 / b.2.max(1) as f64;
+                db.total_cmp(&da).then(a.0.cmp(&b.0))
+            });
+        }
+    }
+
+    let mut cached_stage = vec![None; ctx.profiles.len()];
+    let mut cached_bytes = 0u64;
+    let mut warm_bytes_saved = 0u64;
+    for (i, stage, resident, shipped) in candidates {
+        if cached_bytes + resident <= budget_bytes {
+            cached_stage[i] = Some(stage);
+            cached_bytes += resident;
+            warm_bytes_saved += shipped;
+        }
+    }
+    CacheAssignment { cached_stage, cached_bytes, budget_bytes, warm_bytes_saved }
+}
+
+/// The warm-epoch baseline: cached samples contribute suffix compute only
+/// (zero transfer, zero storage time); uncached samples ship raw.
+pub fn warm_baseline_costs(ctx: &PlanningContext<'_>, assignment: &CacheAssignment) -> CostVector {
+    let compute_cores = ctx.config.compute_cores.max(1) as f64;
+    let mut compute_seconds = 0.0;
+    let mut net_bytes = 0u64;
+    for (i, p) in ctx.profiles.iter().enumerate() {
+        match assignment.cached_stage(i) {
+            Some(stage) => compute_seconds += p.total_seconds() - p.prefix_seconds(stage),
+            None => {
+                compute_seconds += p.total_seconds();
+                net_bytes += p.raw_bytes;
+            }
+        }
+    }
+    CostVector::new(
+        ctx.gpu_epoch_seconds(),
+        compute_seconds / compute_cores,
+        0.0,
+        net_bytes as f64 * 8.0 / ctx.config.link_bps,
+    )
+}
+
+/// Plans a warm epoch around the cache: greedy offloading over the
+/// uncached residual, cached samples pinned to their cached stage.
+///
+/// The returned plan is directly loadable — a loader driving a
+/// `CachingTransport` will request each cached sample at exactly the split
+/// whose payload the cache holds, so every such fetch is a local hit.
+pub fn plan_with_cache(
+    ctx: &PlanningContext<'_>,
+    assignment: &CacheAssignment,
+) -> (OffloadPlan, Vec<CostVector>) {
+    let baseline = warm_baseline_costs(ctx, assignment);
+    let (mut plan, trace) = DecisionEngine::new()
+        .plan_residual_with_trace(ctx, baseline, &|i| !assignment.is_cached(i));
+    for i in 0..ctx.profiles.len() {
+        if let Some(stage) = assignment.cached_stage(i) {
+            plan.set_split(i, SplitPoint::new(stage));
+        }
+    }
+    (plan, trace)
+}
+
+/// Translates a cache-aware plan into warm-epoch demands for the cluster
+/// simulator: cached samples cost only their local suffix; the residual
+/// follows the plan as usual.
+///
+/// # Errors
+///
+/// Propagates plan/profile mismatches from
+/// [`OffloadPlan::to_sample_works`].
+pub fn warm_sample_works(
+    ctx: &PlanningContext<'_>,
+    plan: &OffloadPlan,
+    assignment: &CacheAssignment,
+) -> Result<Vec<SampleWork>, SophonError> {
+    let mut works = plan.to_sample_works(ctx.profiles)?;
+    for (i, p) in ctx.profiles.iter().enumerate() {
+        if let Some(stage) = assignment.cached_stage(i) {
+            let suffix = (p.total_seconds() - p.prefix_seconds(stage)).max(0.0);
+            works[i] = SampleWork::new(0.0, 0, suffix);
+        }
+    }
+    Ok(works)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{simulate_epoch, ClusterConfig, EpochSpec, GpuModel};
+    use datasets::DatasetSpec;
+    use pipeline::{CostModel, PipelineSpec, SampleProfile};
+
+    fn setup() -> (Vec<SampleProfile>, PipelineSpec, ClusterConfig) {
+        let ds = DatasetSpec::openimages_like(1200, 9);
+        let pipeline = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        let ps: Vec<_> = ds.records().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+        (ps, pipeline, ClusterConfig::paper_testbed(2))
+    }
+
+    fn corpus_bytes(ps: &[SampleProfile]) -> u64 {
+        ps.iter().map(|p| p.raw_bytes).sum()
+    }
+
+    #[test]
+    fn selection_respects_the_budget() {
+        let (ps, pipeline, config) = setup();
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        for pct in [0u64, 10, 30, 100] {
+            let budget = corpus_bytes(&ps) * pct / 100;
+            for sel in [
+                CacheSelection::Arrival,
+                CacheSelection::SizeAware,
+                CacheSelection::EfficiencyAware,
+            ] {
+                let a = choose_cache_contents(&ctx, budget, sel);
+                assert!(a.cached_bytes <= budget, "{sel:?} at {pct}% overflowed");
+                if pct == 0 {
+                    assert!(a.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_budget_caches_everything_and_zeroes_warm_traffic() {
+        let (ps, pipeline, config) = setup();
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let a = choose_cache_contents(&ctx, corpus_bytes(&ps), CacheSelection::EfficiencyAware);
+        assert_eq!(a.cached_samples(), ps.len());
+        let (plan, _) = plan_with_cache(&ctx, &a);
+        let works = warm_sample_works(&ctx, &plan, &a).unwrap();
+        let traffic: u64 = works.iter().map(|w| w.transfer_bytes).sum();
+        assert_eq!(traffic, 0, "a fully-cached corpus must need zero warm wire bytes");
+    }
+
+    #[test]
+    fn cached_stages_are_epoch_stable() {
+        let (ps, pipeline, config) = setup();
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let a = choose_cache_contents(&ctx, corpus_bytes(&ps) / 2, CacheSelection::SizeAware);
+        for i in 0..ps.len() {
+            if let Some(stage) = a.cached_stage(i) {
+                assert!(
+                    pipeline.split_is_epoch_stable(SplitPoint::new(stage)),
+                    "sample {i} pinned at unstable stage {stage}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_aware_beats_arrival_on_residual_traffic() {
+        let (ps, pipeline, config) = setup();
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        for pct in [10u64, 30, 60] {
+            let budget = corpus_bytes(&ps) * pct / 100;
+            let traffic = |sel| {
+                let a = choose_cache_contents(&ctx, budget, sel);
+                let (plan, _) = plan_with_cache(&ctx, &a);
+                let works = warm_sample_works(&ctx, &plan, &a).unwrap();
+                works.iter().map(|w| w.transfer_bytes).sum::<u64>()
+            };
+            let eff = traffic(CacheSelection::EfficiencyAware);
+            let lru = traffic(CacheSelection::Arrival);
+            assert!(eff <= lru, "at {pct}% budget efficiency-aware shipped {eff} vs arrival {lru}");
+        }
+    }
+
+    #[test]
+    fn warm_epoch_is_never_slower_than_no_cache() {
+        let (ps, pipeline, config) = setup();
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let (no_cache_plan, _) = DecisionEngine::new().plan_with_trace(&ctx);
+        let base_works = no_cache_plan.to_sample_works(&ps).unwrap();
+        let base =
+            simulate_epoch(&config, &EpochSpec::new(base_works, 256, GpuModel::AlexNet)).unwrap();
+
+        let a = choose_cache_contents(
+            &ctx,
+            corpus_bytes(&ps) * 30 / 100,
+            CacheSelection::EfficiencyAware,
+        );
+        let (plan, _) = plan_with_cache(&ctx, &a);
+        let works = warm_sample_works(&ctx, &plan, &a).unwrap();
+        let warm = simulate_epoch(&config, &EpochSpec::new(works, 256, GpuModel::AlexNet)).unwrap();
+        assert!(
+            warm.epoch_seconds <= base.epoch_seconds * 1.0001,
+            "warm {} vs no-cache {}",
+            warm.epoch_seconds,
+            base.epoch_seconds
+        );
+        assert!(warm.traffic_bytes < base.traffic_bytes);
+    }
+
+    #[test]
+    fn residual_plan_never_offloads_cached_samples() {
+        let (ps, pipeline, config) = setup();
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let a = choose_cache_contents(
+            &ctx,
+            corpus_bytes(&ps) * 30 / 100,
+            CacheSelection::EfficiencyAware,
+        );
+        let (plan, trace) = plan_with_cache(&ctx, &a);
+        assert!(!trace.is_empty());
+        for i in 0..ps.len() {
+            if let Some(stage) = a.cached_stage(i) {
+                assert_eq!(plan.split(i).offloaded_ops(), stage);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_baseline_reflects_only_uncached_transfers() {
+        let (ps, pipeline, config) = setup();
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let none = CacheAssignment {
+            cached_stage: vec![None; ps.len()],
+            cached_bytes: 0,
+            budget_bytes: 0,
+            warm_bytes_saved: 0,
+        };
+        let cold = warm_baseline_costs(&ctx, &none);
+        let no_cache = ctx.baseline_costs();
+        assert!((cold.t_net - no_cache.t_net).abs() < 1e-9);
+        let all = choose_cache_contents(&ctx, corpus_bytes(&ps), CacheSelection::Arrival);
+        let warm = warm_baseline_costs(&ctx, &all);
+        assert_eq!(warm.t_net, 0.0);
+    }
+}

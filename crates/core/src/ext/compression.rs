@@ -112,8 +112,7 @@ impl CompressionExt {
             // Dimensions of the shipped intermediate.
             let pixels = works[i].transfer_bytes / 3;
             let side = (pixels as f64).sqrt();
-            let compressed =
-                model::encoded_size(rec.complexity, side as u32, side.ceil() as u32);
+            let compressed = model::encoded_size(rec.complexity, side as u32, side.ceil() as u32);
             if compressed >= works[i].transfer_bytes {
                 continue;
             }
@@ -198,8 +197,7 @@ mod tests {
         let records: Vec<_> = ds.records().collect();
         let pipeline = PipelineSpec::standard_train();
         let model = CostModel::realistic();
-        let ps: Vec<_> =
-            records.iter().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+        let ps: Vec<_> = records.iter().map(|r| r.analytic_profile(&pipeline, &model)).collect();
         let config = ClusterConfig::paper_testbed(48);
         let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
         let plan = DecisionEngine::new().plan(&ctx);
@@ -221,8 +219,7 @@ mod tests {
         let records: Vec<_> = ds.records().collect();
         let pipeline = PipelineSpec::standard_train();
         let model = CostModel::realistic();
-        let ps: Vec<_> =
-            records.iter().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+        let ps: Vec<_> = records.iter().map(|r| r.analytic_profile(&pipeline, &model)).collect();
         let config = ClusterConfig::paper_testbed(48);
         let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
         let plan = OffloadPlan::none(ps.len());
@@ -237,11 +234,8 @@ mod tests {
         let records: Vec<_> = ds.records().collect();
         let pipeline = PipelineSpec::standard_train();
         let model = CostModel::realistic();
-        let ps: Vec<_> = records
-            .iter()
-            .take(4)
-            .map(|r| r.analytic_profile(&pipeline, &model))
-            .collect();
+        let ps: Vec<_> =
+            records.iter().take(4).map(|r| r.analytic_profile(&pipeline, &model)).collect();
         let config = ClusterConfig::paper_testbed(48);
         let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 4);
         let plan = OffloadPlan::none(4);

@@ -40,10 +40,7 @@ pub struct GpuSplitConfig {
 
 impl Default for GpuSplitConfig {
     fn default() -> Self {
-        GpuSplitConfig {
-            pcie_bytes_per_sec: 12e9,
-            gpu_convert_seconds_per_pixel: 0.2e-9,
-        }
+        GpuSplitConfig { pcie_bytes_per_sec: 12e9, gpu_convert_seconds_per_pixel: 0.2e-9 }
     }
 }
 
@@ -96,26 +93,20 @@ pub fn plan_gpu_split(profiles: &[SampleProfile], config: &GpuSplitConfig) -> Gp
         // The last image-kind stage is what a GPU-convert pipeline would
         // ship (u8, pre-ToTensor). Pipelines that never reach tensor kind
         // have nothing to move.
-        let image_stage = p
-            .stages
-            .iter()
-            .rposition(|s| s.op.output_kind() == DataKind::Image)
-            .map(|i| i + 1);
+        let image_stage =
+            p.stages.iter().rposition(|s| s.op.output_kind() == DataKind::Image).map(|i| i + 1);
         let (side, shipped) = match image_stage {
             Some(stage) if p.size_at(stage) < final_bytes => {
                 let raster_bytes = p.size_at(stage);
                 let pixels = raster_bytes / 3;
                 let gpu_cost = pixels as f64 * config.gpu_convert_seconds_per_pixel;
-                let pcie_saved_s =
-                    (final_bytes - raster_bytes) as f64 / config.pcie_bytes_per_sec;
+                let pcie_saved_s = (final_bytes - raster_bytes) as f64 / config.pcie_bytes_per_sec;
                 if gpu_cost < pcie_saved_s {
                     // CPU no longer runs the tensor-stage ops.
                     cpu_saved += p
                         .stages
                         .iter()
-                        .filter(|s| {
-                            matches!(s.op, OpKind::ToTensor | OpKind::Normalize)
-                        })
+                        .filter(|s| matches!(s.op, OpKind::ToTensor | OpKind::Normalize))
                         .map(|s| s.seconds)
                         .sum::<f64>();
                     gpu_added += gpu_cost;
@@ -189,10 +180,8 @@ mod tests {
         ])
         .unwrap();
         let model = CostModel::realistic();
-        let ps: Vec<_> = DatasetSpec::mini(20, 1)
-            .records()
-            .map(|r| r.analytic_profile(&spec, &model))
-            .collect();
+        let ps: Vec<_> =
+            DatasetSpec::mini(20, 1).records().map(|r| r.analytic_profile(&spec, &model)).collect();
         let report = plan_gpu_split(&ps, &GpuSplitConfig::default());
         assert_eq!(report.gpu_samples(), 0);
         assert!((report.pcie_reduction() - 1.0).abs() < 1e-9);

@@ -26,10 +26,7 @@ use crate::OffloadPlan;
 /// # Panics
 ///
 /// Panics when `factor` is not strictly positive and finite.
-pub fn with_storage_speed<'a>(
-    ctx: &PlanningContext<'a>,
-    factor: f64,
-) -> PlanningContext<'a> {
+pub fn with_storage_speed<'a>(ctx: &PlanningContext<'a>, factor: f64) -> PlanningContext<'a> {
     assert!(factor.is_finite() && factor > 0.0, "invalid speed factor {factor}");
     let mut out = *ctx;
     out.storage_speed_factor = factor;
@@ -53,11 +50,7 @@ pub fn scale_storage_work(works: &[SampleWork], factor: f64) -> Vec<SampleWork> 
     works
         .iter()
         .map(|w| {
-            SampleWork::new(
-                w.storage_cpu_seconds / factor,
-                w.transfer_bytes,
-                w.compute_cpu_seconds,
-            )
+            SampleWork::new(w.storage_cpu_seconds / factor, w.transfer_bytes, w.compute_cpu_seconds)
         })
         .collect()
 }
@@ -99,8 +92,8 @@ mod tests {
         let factor = 0.5;
         let plan = plan_heterogeneous(&ctx, factor);
         let works = scale_storage_work(&plan.to_sample_works(&ps).unwrap(), factor);
-        let hetero = simulate_epoch(&config, &EpochSpec::new(works, 256, GpuModel::AlexNet))
-            .unwrap();
+        let hetero =
+            simulate_epoch(&config, &EpochSpec::new(works, 256, GpuModel::AlexNet)).unwrap();
         let baseline_works = OffloadPlan::none(ps.len()).to_sample_works(&ps).unwrap();
         let baseline =
             simulate_epoch(&config, &EpochSpec::new(baseline_works, 256, GpuModel::AlexNet))

@@ -9,6 +9,10 @@
 //! * [`multitenant`] — a storage-side CPU scheduler that splits cores among
 //!   concurrent training jobs by marginal epoch-time gain.
 //!
+//! * [`caching`] — cache-aware planning for the near-compute sample cache
+//!   (`cache` crate): cached samples drop out of `T_Net` and the greedy
+//!   engine re-plans the residual set.
+//!
 //! Plus one operator tool that falls out of the same machinery:
 //!
 //! * [`provisioning`] — the smallest storage-core grant meeting a target
@@ -20,6 +24,7 @@
 //!   on-device tensor conversion).
 
 pub mod adaptive;
+pub mod caching;
 pub mod compression;
 pub mod gpu_split;
 pub mod hetero;

@@ -62,13 +62,8 @@ pub fn allocate_storage_cores(
     // makespan under the engine's cost model.
     let predict = |job: &TenantJob, cores: usize| -> Result<(f64, OffloadPlan), SophonError> {
         let config = job.config.with_storage_cores(cores);
-        let ctx = PlanningContext::new(
-            &job.profiles,
-            &job.pipeline,
-            &config,
-            job.gpu,
-            job.batch_size,
-        );
+        let ctx =
+            PlanningContext::new(&job.profiles, &job.pipeline, &config, job.gpu, job.batch_size);
         let plan = DecisionEngine::new().plan(&ctx);
         let costs = ctx.costs_for_plan(&plan)?;
         Ok((costs.makespan(), plan))
@@ -167,24 +162,16 @@ pub fn allocate_cores_and_bandwidth(
             .config
             .with_storage_cores(cores)
             .with_bandwidth(netsim::Bandwidth::from_bps(units as f64 * bandwidth_unit_bps));
-        let ctx = PlanningContext::new(
-            &job.profiles,
-            &job.pipeline,
-            &config,
-            job.gpu,
-            job.batch_size,
-        );
+        let ctx =
+            PlanningContext::new(&job.profiles, &job.pipeline, &config, job.gpu, job.batch_size);
         let plan = DecisionEngine::new().plan(&ctx);
         Ok(ctx.costs_for_plan(&plan)?.makespan())
     };
 
     let mut cores = vec![0usize; jobs.len()];
     let mut units = vec![1usize; jobs.len()];
-    let mut current: Vec<f64> = jobs
-        .iter()
-        .zip(&units)
-        .map(|(j, &u)| predict(j, 0, u))
-        .collect::<Result<_, _>>()?;
+    let mut current: Vec<f64> =
+        jobs.iter().zip(&units).map(|(j, &u)| predict(j, 0, u)).collect::<Result<_, _>>()?;
 
     let mut cores_left = total_cores;
     let mut units_left = total_units - jobs.len();

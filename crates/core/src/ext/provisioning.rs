@@ -45,10 +45,7 @@ pub fn min_storage_cores_for(
     ctx: &PlanningContext<'_>,
     target_seconds: f64,
 ) -> Result<Provisioning, SophonError> {
-    assert!(
-        target_seconds.is_finite() && target_seconds > 0.0,
-        "invalid target {target_seconds}"
-    );
+    assert!(target_seconds.is_finite() && target_seconds > 0.0, "invalid target {target_seconds}");
     if predicted(ctx, 0)? <= target_seconds {
         return Ok(Provisioning::Cores(0));
     }
@@ -121,10 +118,7 @@ mod tests {
         let (ps, pipeline, config) = setup();
         let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
         let baseline = predicted(&ctx, 0).unwrap();
-        assert_eq!(
-            min_storage_cores_for(&ctx, baseline * 2.0).unwrap(),
-            Provisioning::Cores(0)
-        );
+        assert_eq!(min_storage_cores_for(&ctx, baseline * 2.0).unwrap(), Provisioning::Cores(0));
     }
 
     #[test]

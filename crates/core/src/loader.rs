@@ -110,15 +110,25 @@ impl<T: FetchTransport> OffloadingLoader<T> {
         config: LoaderConfig,
     ) -> Result<Self, LoaderError> {
         assert!(config.batch_size > 0, "batch size must be positive");
-        transport
-            .configure(config.dataset_seed, pipeline.clone())
-            .map_err(LoaderError::Client)?;
+        transport.configure(config.dataset_seed, pipeline.clone()).map_err(LoaderError::Client)?;
         Ok(OffloadingLoader { transport, pipeline, plan, config })
     }
 
     /// The plan driving the offload directives.
     pub fn plan(&self) -> &OffloadPlan {
         &self.plan
+    }
+
+    /// The underlying transport (e.g. to read cache or retry counters off
+    /// a decorated transport after an epoch).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable access to the underlying transport (e.g. to attach cache
+    /// admission hints between epochs).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 
     /// The deterministic sample order for `epoch` (Fisher–Yates over all
@@ -165,10 +175,8 @@ impl<T: FetchTransport> OffloadingLoader<T> {
                     req
                 })
                 .collect();
-            let responses = self
-                .transport
-                .fetch_many_requests(&requests)
-                .map_err(LoaderError::Client)?;
+            let responses =
+                self.transport.fetch_many_requests(&requests).map_err(LoaderError::Client)?;
             // Server workers answer out of order; restore request order so
             // batches are deterministic regardless of server parallelism.
             let mut by_id: std::collections::HashMap<u64, storage::FetchResponse> =
@@ -197,13 +205,14 @@ impl<T: FetchTransport> OffloadingLoader<T> {
         // the closure.
         let pipeline = &self.pipeline;
         let dataset_seed = self.config.dataset_seed;
-        let finish_one = move |resp: storage::FetchResponse| -> Result<pipeline::StageData, LoaderError> {
-            let split = SplitPoint::new(resp.ops_applied as usize);
-            let sample_id = resp.sample_id;
-            let data = resp.unpack().map_err(LoaderError::Codec)?;
-            let key = SampleKey::new(dataset_seed, sample_id, epoch);
-            pipeline.run_suffix(data, split, key).map_err(LoaderError::Pipeline)
-        };
+        let finish_one =
+            move |resp: storage::FetchResponse| -> Result<pipeline::StageData, LoaderError> {
+                let split = SplitPoint::new(resp.ops_applied as usize);
+                let sample_id = resp.sample_id;
+                let data = resp.unpack().map_err(LoaderError::Codec)?;
+                let key = SampleKey::new(dataset_seed, sample_id, epoch);
+                pipeline.run_suffix(data, split, key).map_err(LoaderError::Pipeline)
+            };
 
         let workers = self.config.workers.max(1).min(responses.len().max(1));
         if workers <= 1 {
@@ -217,10 +226,7 @@ impl<T: FetchTransport> OffloadingLoader<T> {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results = run_suffixes_parallel(&jobs, &next, workers, &finish_one, &mut slots);
         results?;
-        slots
-            .into_iter()
-            .map(|s| s.expect("every slot filled by a worker"))
-            .collect()
+        slots.into_iter().map(|s| s.expect("every slot filled by a worker")).collect()
     }
 }
 
@@ -245,7 +251,9 @@ where
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some((slot, resp)) = jobs.get(i) else { return };
+                let Some((slot, resp)) = jobs.get(i) else {
+                    return;
+                };
                 let result = finish_one(resp.clone());
                 collected.lock().expect("no panics hold the lock").push((*slot, result));
             });
@@ -296,9 +304,7 @@ mod tests {
         )
         .unwrap();
         let mut shapes = Vec::new();
-        let batches = loader
-            .run_epoch(0, |b| shapes.push((b.len(), b.shape())))
-            .unwrap();
+        let batches = loader.run_epoch(0, |b| shapes.push((b.len(), b.shape()))).unwrap();
         assert_eq!(batches, 3); // 10 samples in batches of 4: 4+4+2
         assert_eq!(shapes, vec![(4, (224, 224)), (4, (224, 224)), (2, (224, 224))]);
         // Order differs between epochs but covers the same ids.
@@ -358,13 +364,9 @@ mod tests {
         let run_with = |workers: usize, client: storage::StorageClient| {
             let mut config = LoaderConfig::new(ds.seed, 5);
             config.workers = workers;
-            let mut loader = OffloadingLoader::new(
-                client,
-                PipelineSpec::standard_train(),
-                plan.clone(),
-                config,
-            )
-            .unwrap();
+            let mut loader =
+                OffloadingLoader::new(client, PipelineSpec::standard_train(), plan.clone(), config)
+                    .unwrap();
             let mut out: Vec<Vec<f32>> = Vec::new();
             loader.run_epoch(1, |b| out.push(b.as_slice().to_vec())).unwrap();
             out
@@ -389,13 +391,9 @@ mod tests {
         let plan = make_plan(&ds);
         let mut config = LoaderConfig::new(ds.seed, 4);
         config.reencode_quality = Some(85);
-        let mut loader = OffloadingLoader::new(
-            server.client(),
-            PipelineSpec::standard_train(),
-            plan,
-            config,
-        )
-        .unwrap();
+        let mut loader =
+            OffloadingLoader::new(server.client(), PipelineSpec::standard_train(), plan, config)
+                .unwrap();
         let mut total = 0usize;
         loader
             .run_epoch(0, |b| {

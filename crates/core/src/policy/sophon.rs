@@ -98,8 +98,8 @@ mod tests {
         let ds = DatasetSpec::openimages_like(1000, 7);
         let ps = profiles(&ds);
         let pipeline = PipelineSpec::standard_train();
-        let config = ClusterConfig::paper_testbed(48)
-            .with_bandwidth(netsim::Bandwidth::from_gbps(100.0));
+        let config =
+            ClusterConfig::paper_testbed(48).with_bandwidth(netsim::Bandwidth::from_gbps(100.0));
         let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::ResNet50, 256);
         let plan = SophonPolicy::default().plan(&ctx).unwrap();
         assert_eq!(plan.offloaded_samples(), 0);

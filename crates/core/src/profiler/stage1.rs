@@ -50,15 +50,11 @@ impl Stage1Probe {
         // (1) GPU-only: synthetic data, no fetch, no preprocessing.
         let gpu_samples = vec![SampleWork::new(0.0, 0, 0.0); take];
         // (2) I/O-only: raw fetches, nothing else.
-        let io_samples: Vec<SampleWork> = probe_profiles
-            .iter()
-            .map(|p| SampleWork::new(0.0, p.raw_bytes, 0.0))
-            .collect();
+        let io_samples: Vec<SampleWork> =
+            probe_profiles.iter().map(|p| SampleWork::new(0.0, p.raw_bytes, 0.0)).collect();
         // (3) CPU-only: full local preprocessing over cached data.
-        let cpu_samples: Vec<SampleWork> = probe_profiles
-            .iter()
-            .map(|p| SampleWork::new(0.0, 0, p.total_seconds()))
-            .collect();
+        let cpu_samples: Vec<SampleWork> =
+            probe_profiles.iter().map(|p| SampleWork::new(0.0, 0, p.total_seconds())).collect();
 
         let run = |samples: Vec<SampleWork>, gpu: GpuModel| -> Result<f64, SophonError> {
             let spec = EpochSpec::new(samples, ctx.batch_size, gpu);
@@ -75,8 +71,7 @@ impl Stage1Probe {
 
     /// Classifies the workload by its scarcest throughput.
     pub fn classify(&self) -> WorkloadClass {
-        if self.io_throughput <= self.gpu_throughput && self.io_throughput <= self.cpu_throughput
-        {
+        if self.io_throughput <= self.gpu_throughput && self.io_throughput <= self.cpu_throughput {
             WorkloadClass::IoBound
         } else if self.gpu_throughput <= self.cpu_throughput {
             WorkloadClass::GpuBound
@@ -126,8 +121,8 @@ mod tests {
     fn resnet50_on_fast_link_is_gpu_bound() {
         let ps = profiles(4_000);
         let pipeline = PipelineSpec::standard_train();
-        let config = ClusterConfig::paper_testbed(48)
-            .with_bandwidth(netsim::Bandwidth::from_gbps(100.0));
+        let config =
+            ClusterConfig::paper_testbed(48).with_bandwidth(netsim::Bandwidth::from_gbps(100.0));
         let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::ResNet50, 256);
         assert_eq!(classify_workload(&ctx).unwrap(), WorkloadClass::GpuBound);
     }

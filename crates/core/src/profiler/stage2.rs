@@ -56,11 +56,8 @@ mod tests {
     #[test]
     fn analytic_profiles_cover_corpus_in_order() {
         let ds = DatasetSpec::openimages_like(300, 4);
-        let ps = profile_corpus_analytic(
-            &ds,
-            &PipelineSpec::standard_train(),
-            &CostModel::realistic(),
-        );
+        let ps =
+            profile_corpus_analytic(&ds, &PipelineSpec::standard_train(), &CostModel::realistic());
         assert_eq!(ps.len(), 300);
         for (i, p) in ps.iter().enumerate() {
             assert_eq!(p.sample_id, i as u64);

@@ -80,13 +80,8 @@ impl Scenario {
         policy: &dyn Policy,
         profiles: &[SampleProfile],
     ) -> Result<RunReport, SophonError> {
-        let ctx = PlanningContext::new(
-            profiles,
-            &self.pipeline,
-            &self.config,
-            self.gpu,
-            self.batch_size,
-        );
+        let ctx =
+            PlanningContext::new(profiles, &self.pipeline, &self.config, self.gpu, self.batch_size);
         let class = Stage1Probe::run(&ctx)?.classify();
         let plan = policy.plan(&ctx)?;
         let summary = plan.summarize(profiles)?;
@@ -163,14 +158,93 @@ impl Scenario {
         let steady_works = plan.to_sample_works(&profiles)?;
         let steady = EpochSpec::new(steady_works, self.batch_size, self.gpu);
         let first = if policy.requires_profiling_epoch() {
-            let baseline =
-                crate::OffloadPlan::none(profiles.len()).to_sample_works(&profiles)?;
+            let baseline = crate::OffloadPlan::none(profiles.len()).to_sample_works(&profiles)?;
             EpochSpec::new(baseline, self.batch_size, self.gpu)
         } else {
             steady.clone()
         };
         let stats = cluster::simulate_training(&self.config, &first, &steady, epochs)?;
         Ok(TrainingReport { policy: policy.name().to_string(), stats })
+    }
+}
+
+/// The outcome of a cache-aware training run: a cold (cache-filling)
+/// epoch followed by warm epochs fetching only the uncached residual.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedTrainingReport {
+    /// Cache selection policy name.
+    pub selection: String,
+    /// Cache byte budget the selection ran under.
+    pub budget_bytes: u64,
+    /// Cache bytes actually occupied.
+    pub cached_bytes: u64,
+    /// Samples pinned in the cache.
+    pub cached_samples: u64,
+    /// Total samples in the corpus.
+    pub total_samples: u64,
+    /// The simulated run (cold first epoch, warm steady epochs).
+    pub stats: cluster::CachedTrainingStats,
+}
+
+impl CachedTrainingReport {
+    /// Wire bytes per warm epoch.
+    pub fn warm_traffic_bytes(&self) -> u64 {
+        self.stats.warm().traffic_bytes
+    }
+
+    /// Fraction of cold-epoch traffic each warm epoch avoids.
+    pub fn warm_traffic_reduction(&self) -> f64 {
+        self.stats.warm_traffic_reduction()
+    }
+}
+
+impl Scenario {
+    /// Simulates a cache-aware training run: epoch 0 fetches every sample
+    /// raw (profiling + cache fill), then `ext::caching` picks cache
+    /// contents under `budget_bytes` with `selection`, re-plans the
+    /// residual, and the remaining epochs run warm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and simulation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epochs == 0`.
+    pub fn run_training_cached(
+        &self,
+        epochs: u64,
+        budget_bytes: u64,
+        selection: crate::ext::caching::CacheSelection,
+    ) -> Result<CachedTrainingReport, SophonError> {
+        use crate::ext::caching;
+
+        let profiles = self.profiles();
+        let ctx = PlanningContext::new(
+            &profiles,
+            &self.pipeline,
+            &self.config,
+            self.gpu,
+            self.batch_size,
+        );
+        let assignment = caching::choose_cache_contents(&ctx, budget_bytes, selection);
+        let (plan, _) = caching::plan_with_cache(&ctx, &assignment);
+        let warm_works = caching::warm_sample_works(&ctx, &plan, &assignment)?;
+        let cold_works = crate::OffloadPlan::none(profiles.len()).to_sample_works(&profiles)?;
+        let stats = cluster::simulate_cached_training(
+            &self.config,
+            &EpochSpec::new(cold_works, self.batch_size, self.gpu),
+            &EpochSpec::new(warm_works, self.batch_size, self.gpu),
+            epochs,
+        )?;
+        Ok(CachedTrainingReport {
+            selection: selection.name().to_string(),
+            budget_bytes,
+            cached_bytes: assignment.cached_bytes,
+            cached_samples: assignment.cached_samples() as u64,
+            total_samples: profiles.len() as u64,
+            stats,
+        })
     }
 }
 
@@ -241,14 +315,33 @@ mod tests {
         let sophon = s.run_training(&SophonPolicy::default(), 50).unwrap();
         let no_off = s.run_training(&NoOffPolicy, 50).unwrap();
         assert!(
-            sophon.stats.first_epoch.epoch_seconds
-                > sophon.stats.steady_epoch.epoch_seconds * 1.5,
+            sophon.stats.first_epoch.epoch_seconds > sophon.stats.steady_epoch.epoch_seconds * 1.5,
             "profiling epoch should be slower than steady epochs"
         );
         let overhead = sophon.profiling_overhead();
         assert!(overhead > 0.0 && overhead < 0.05, "amortized overhead {overhead}");
         assert!(sophon.stats.total_seconds < no_off.stats.total_seconds / 1.8);
         assert!(no_off.profiling_overhead().abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_training_cuts_warm_traffic() {
+        use crate::ext::caching::CacheSelection;
+        let s = scenario(48);
+        let corpus: u64 = s.profiles().iter().map(|p| p.raw_bytes).sum();
+        let report =
+            s.run_training_cached(10, corpus * 30 / 100, CacheSelection::EfficiencyAware).unwrap();
+        assert!(report.cached_samples > 0);
+        assert!(report.cached_bytes <= report.budget_bytes);
+        assert!(
+            report.warm_traffic_bytes() < report.stats.cold().traffic_bytes,
+            "warm epochs must move fewer bytes than the cold epoch"
+        );
+        assert!(report.warm_traffic_reduction() > 0.0);
+        // Full budget: warm epochs move nothing at all.
+        let full = s.run_training_cached(10, corpus, CacheSelection::EfficiencyAware).unwrap();
+        assert_eq!(full.warm_traffic_bytes(), 0);
+        assert_eq!(full.cached_samples, full.total_samples);
     }
 
     #[test]

@@ -85,18 +85,13 @@ pub fn parse_manifest(text: &str) -> Result<Vec<SampleRecord>, ManifestError> {
         let mut parts = line.split(',');
         let mut field = || parts.next().ok_or(ManifestError::BadLine { line: line_no });
         let id: u64 = field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
-        let width: u32 =
-            field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
-        let height: u32 =
-            field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
+        let width: u32 = field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
+        let height: u32 = field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
         let complexity: f64 =
             field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
         let encoded_bytes: u64 =
             field()?.parse().map_err(|_| ManifestError::BadLine { line: line_no })?;
-        if parts.next().is_some()
-            || width == 0
-            || height == 0
-            || !(0.0..=1.0).contains(&complexity)
+        if parts.next().is_some() || width == 0 || height == 0 || !(0.0..=1.0).contains(&complexity)
         {
             return Err(ManifestError::BadLine { line: line_no });
         }
@@ -135,11 +130,11 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         let bad = [
-            format!("{MANIFEST_HEADER}\n0,10,10,0.5\n"),       // missing field
-            format!("{MANIFEST_HEADER}\n0,10,10,0.5,1,9\n"),   // extra field
-            format!("{MANIFEST_HEADER}\n0,10,10,1.5,100\n"),   // complexity > 1
-            format!("{MANIFEST_HEADER}\n0,0,10,0.5,100\n"),    // zero width
-            format!("{MANIFEST_HEADER}\n0,ten,10,0.5,100\n"),  // non-numeric
+            format!("{MANIFEST_HEADER}\n0,10,10,0.5\n"), // missing field
+            format!("{MANIFEST_HEADER}\n0,10,10,0.5,1,9\n"), // extra field
+            format!("{MANIFEST_HEADER}\n0,10,10,1.5,100\n"), // complexity > 1
+            format!("{MANIFEST_HEADER}\n0,0,10,0.5,100\n"), // zero width
+            format!("{MANIFEST_HEADER}\n0,ten,10,0.5,100\n"), // non-numeric
         ];
         for text in &bad {
             assert!(
@@ -157,8 +152,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_skipped() {
-        let text =
-            format!("{MANIFEST_HEADER}\n# comment\n\n0,10,12,0.25,1000\n# more\n1,20,24,0.75,2000\n");
+        let text = format!(
+            "{MANIFEST_HEADER}\n# comment\n\n0,10,12,0.25,1000\n# more\n1,20,24,0.75,2000\n"
+        );
         let parsed = parse_manifest(&text).unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[1].width, 20);

@@ -8,8 +8,7 @@
 
 /// Measured bits-per-pixel of the codec at quality 85 for complexities
 /// `0.0, 0.1, …, 1.0` on large (≥ 0.5 Mpx) images.
-pub const BPP_TABLE: [f64; 11] =
-    [1.0, 2.25, 3.9, 5.03, 6.18, 7.4, 8.38, 9.25, 10.0, 10.82, 11.42];
+pub const BPP_TABLE: [f64; 11] = [1.0, 2.25, 3.9, 5.03, 6.18, 7.4, 8.38, 9.25, 10.0, 10.82, 11.42];
 
 /// Extra bits-per-pixel for small images, modeled as `k(c) / sqrt(pixels)`
 /// with `k` interpolated between these endpoints at complexity 0 and 1.

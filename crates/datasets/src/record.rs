@@ -79,9 +79,7 @@ impl SampleRecord {
                     px = u64::from(nw) * u64::from(nh);
                     bytes = px * 3;
                 }
-                OpKind::RandomHorizontalFlip
-                | OpKind::ColorJitter { .. }
-                | OpKind::Grayscale => {}
+                OpKind::RandomHorizontalFlip | OpKind::ColorJitter { .. } | OpKind::Grayscale => {}
                 OpKind::ToTensor => {
                     bytes = px * 12;
                 }

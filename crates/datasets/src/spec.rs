@@ -201,11 +201,7 @@ impl DatasetSpec {
     /// # Panics
     ///
     /// Panics when `world == 0` or `rank >= world`.
-    pub fn records_shard(
-        &self,
-        rank: u64,
-        world: u64,
-    ) -> impl Iterator<Item = SampleRecord> + '_ {
+    pub fn records_shard(&self, rank: u64, world: u64) -> impl Iterator<Item = SampleRecord> + '_ {
         assert!(world > 0, "world size must be positive");
         assert!(rank < world, "rank {rank} out of range for world {world}");
         (rank..self.len).step_by(world as usize).map(|id| self.record(id))

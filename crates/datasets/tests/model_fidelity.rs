@@ -69,10 +69,7 @@ fn corpus_benefit_decision_agrees_between_model_and_reality() {
         }
     }
     assert!(total >= 10, "too few samples: {total}");
-    assert!(
-        agree as f64 / total as f64 >= 0.7,
-        "model/reality agreement too low: {agree}/{total}"
-    );
+    assert!(agree as f64 / total as f64 >= 0.7, "model/reality agreement too low: {agree}/{total}");
 }
 
 proptest! {

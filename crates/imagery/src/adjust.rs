@@ -21,8 +21,7 @@ impl RasterImage {
     pub fn adjust_brightness(&self, factor: f32) -> RasterImage {
         assert!(factor.is_finite() && factor >= 0.0, "invalid brightness factor {factor}");
         let data = self.as_raw().iter().map(|&v| clamp_u8(f32::from(v) * factor)).collect();
-        RasterImage::from_raw(self.width(), self.height(), data)
-            .expect("same dimensions as source")
+        RasterImage::from_raw(self.width(), self.height(), data).expect("same dimensions as source")
     }
 
     /// Blends toward the image's mean luma (1.0 = unchanged, 0.0 = flat
@@ -45,8 +44,7 @@ impl RasterImage {
             .iter()
             .map(|&v| clamp_u8(mean + (f32::from(v) - mean) * factor))
             .collect();
-        RasterImage::from_raw(self.width(), self.height(), data)
-            .expect("same dimensions as source")
+        RasterImage::from_raw(self.width(), self.height(), data).expect("same dimensions as source")
     }
 
     /// Blends toward the per-pixel grayscale (1.0 = unchanged, 0.0 = fully
@@ -64,8 +62,7 @@ impl RasterImage {
                 data.push(clamp_u8(gray + (f32::from(v) - gray) * factor));
             }
         }
-        RasterImage::from_raw(self.width(), self.height(), data)
-            .expect("same dimensions as source")
+        RasterImage::from_raw(self.width(), self.height(), data).expect("same dimensions as source")
     }
 
     /// Converts to three-channel grayscale (all channels = luma), preserving

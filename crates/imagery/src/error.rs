@@ -38,10 +38,9 @@ impl fmt::Display for ImageError {
             ImageError::BufferSizeMismatch { got, expected } => {
                 write!(f, "pixel buffer has {got} bytes, expected {expected}")
             }
-            ImageError::CropOutOfBounds { rect, width, height } => write!(
-                f,
-                "crop rectangle {rect:?} does not fit in {width}x{height} image"
-            ),
+            ImageError::CropOutOfBounds { rect, width, height } => {
+                write!(f, "crop rectangle {rect:?} does not fit in {width}x{height} image")
+            }
         }
     }
 }

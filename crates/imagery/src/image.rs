@@ -253,14 +253,8 @@ mod tests {
 
     #[test]
     fn new_rejects_zero_dims() {
-        assert!(matches!(
-            RasterImage::new(0, 5),
-            Err(ImageError::InvalidDimensions { .. })
-        ));
-        assert!(matches!(
-            RasterImage::new(5, 0),
-            Err(ImageError::InvalidDimensions { .. })
-        ));
+        assert!(matches!(RasterImage::new(0, 5), Err(ImageError::InvalidDimensions { .. })));
+        assert!(matches!(RasterImage::new(5, 0), Err(ImageError::InvalidDimensions { .. })));
     }
 
     #[test]

@@ -11,11 +11,7 @@ use crate::RasterImage;
 ///
 /// Panics when the dimensions differ.
 pub fn mse(a: &RasterImage, b: &RasterImage) -> f64 {
-    assert_eq!(
-        (a.width(), a.height()),
-        (b.width(), b.height()),
-        "mse requires equal dimensions"
-    );
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "mse requires equal dimensions");
     let sum: u64 = a
         .as_raw()
         .iter()

@@ -226,8 +226,12 @@ fn apply_noise(img: &mut RasterImage, complexity: f64, rng: &mut StdRng) {
             let mut amp = amplitude;
             let mut cell = 8.0f64;
             for o in 0..octaves {
-                n += amp * value_noise(lattice_seed.wrapping_add(u64::from(o)),
-                                       f64::from(x) / cell, f64::from(y) / cell);
+                n += amp
+                    * value_noise(
+                        lattice_seed.wrapping_add(u64::from(o)),
+                        f64::from(x) / cell,
+                        f64::from(y) / cell,
+                    );
                 amp *= 0.55;
                 cell /= 2.0;
             }
@@ -346,23 +350,21 @@ mod tests {
     #[test]
     fn patterns_render_deterministically_and_differ() {
         let base = SynthSpec::new(64, 64).complexity(0.3).blobs(2);
-        let rendered: Vec<RasterImage> = [
-            Pattern::Gradient,
-            Pattern::Stripes,
-            Pattern::Checker,
-            Pattern::Radial,
-        ]
-        .into_iter()
-        .map(|p| base.pattern(p).render(5))
-        .collect();
+        let rendered: Vec<RasterImage> =
+            [Pattern::Gradient, Pattern::Stripes, Pattern::Checker, Pattern::Radial]
+                .into_iter()
+                .map(|p| base.pattern(p).render(5))
+                .collect();
         for (i, img) in rendered.iter().enumerate() {
             // Deterministic per (spec, seed).
-            assert_eq!(img, &[
-                Pattern::Gradient,
-                Pattern::Stripes,
-                Pattern::Checker,
-                Pattern::Radial,
-            ].into_iter().map(|p| base.pattern(p).render(5)).nth(i).unwrap());
+            assert_eq!(
+                img,
+                &[Pattern::Gradient, Pattern::Stripes, Pattern::Checker, Pattern::Radial,]
+                    .into_iter()
+                    .map(|p| base.pattern(p).render(5))
+                    .nth(i)
+                    .unwrap()
+            );
         }
         for i in 0..rendered.len() {
             for j in i + 1..rendered.len() {
@@ -381,9 +383,8 @@ mod tests {
 
     #[test]
     fn checker_has_exactly_two_colors_without_noise() {
-        let img = SynthSpec::new(64, 64).complexity(0.0).blobs(0)
-            .pattern(Pattern::Checker)
-            .render(3);
+        let img =
+            SynthSpec::new(64, 64).complexity(0.0).blobs(0).pattern(Pattern::Checker).render(3);
         let mut colors = std::collections::HashSet::new();
         for y in 0..64 {
             for x in 0..64 {

@@ -46,11 +46,7 @@ impl Tensor {
     /// Panics when either dimension is zero.
     pub fn zeros(width: u32, height: u32) -> Tensor {
         assert!(width > 0 && height > 0, "tensor dimensions must be non-zero");
-        Tensor {
-            width,
-            height,
-            data: vec![0f32; CHANNELS * width as usize * height as usize],
-        }
+        Tensor { width, height, data: vec![0f32; CHANNELS * width as usize * height as usize] }
     }
 
     /// Tensor width in elements.
@@ -84,10 +80,9 @@ impl Tensor {
     /// Panics when any index is out of bounds.
     pub fn get(&self, channel: usize, x: u32, y: u32) -> f32 {
         assert!(channel < CHANNELS && x < self.width && y < self.height);
-        self.data
-            [channel * self.width as usize * self.height as usize
-                + y as usize * self.width as usize
-                + x as usize]
+        self.data[channel * self.width as usize * self.height as usize
+            + y as usize * self.width as usize
+            + x as usize]
     }
 
     /// Normalizes each channel in place: `v = (v - mean[c]) / std[c]`.

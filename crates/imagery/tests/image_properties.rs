@@ -5,17 +5,15 @@ use imagery::{metrics, ppm, RasterImage, Rect, Tensor};
 use proptest::prelude::*;
 
 fn arb_image() -> impl Strategy<Value = RasterImage> {
-    (1u32..120, 1u32..120, 0f64..=1.0, any::<u64>(), 0u8..4).prop_map(
-        |(w, h, c, seed, pat)| {
-            let pattern = match pat {
-                0 => Pattern::Gradient,
-                1 => Pattern::Stripes,
-                2 => Pattern::Checker,
-                _ => Pattern::Radial,
-            };
-            SynthSpec::new(w, h).complexity(c).pattern(pattern).render(seed)
-        },
-    )
+    (1u32..120, 1u32..120, 0f64..=1.0, any::<u64>(), 0u8..4).prop_map(|(w, h, c, seed, pat)| {
+        let pattern = match pat {
+            0 => Pattern::Gradient,
+            1 => Pattern::Stripes,
+            2 => Pattern::Checker,
+            _ => Pattern::Radial,
+        };
+        SynthSpec::new(w, h).complexity(c).pattern(pattern).render(seed)
+    })
 }
 
 proptest! {

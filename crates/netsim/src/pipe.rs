@@ -59,10 +59,7 @@ impl ThrottledPipe {
         // letting large messages bypass the cap.
         let burst = (bandwidth.bytes_per_second() * 0.02).max(1500.0) as usize;
         let bucket = Arc::new(Mutex::new(TokenBucket::new(bandwidth, burst)));
-        (
-            PipeSender { tx, bucket, meter: meter.clone() },
-            PipeReceiver { rx, meter },
-        )
+        (PipeSender { tx, bucket, meter: meter.clone() }, PipeReceiver { rx, meter })
     }
 }
 

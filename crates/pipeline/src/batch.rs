@@ -47,10 +47,9 @@ impl std::fmt::Display for CollateError {
             CollateError::NotATensor { index } => {
                 write!(f, "sample {index} is not a tensor")
             }
-            CollateError::ShapeMismatch { index, expected, got } => write!(
-                f,
-                "sample {index} has shape {got:?}, batch expects {expected:?}"
-            ),
+            CollateError::ShapeMismatch { index, expected, got } => {
+                write!(f, "sample {index} has shape {got:?}, batch expects {expected:?}")
+            }
         }
     }
 }
@@ -73,8 +72,7 @@ impl TensorBatch {
         let per_sample = first_t.element_count();
         let mut data = Vec::with_capacity(per_sample * samples.len());
         for (index, s) in samples.iter().enumerate() {
-            let t: &Tensor =
-                s.as_tensor().ok_or(CollateError::NotATensor { index })?;
+            let t: &Tensor = s.as_tensor().ok_or(CollateError::NotATensor { index })?;
             if (t.width(), t.height()) != (w, h) {
                 return Err(CollateError::ShapeMismatch {
                     index,
@@ -206,10 +204,7 @@ mod tests {
     fn non_tensor_rejected_with_index() {
         let img = RasterImage::filled(8, 8, imagery::Rgb::BLACK);
         let samples = vec![tensor_of(1), StageData::Image(img)];
-        assert_eq!(
-            TensorBatch::collate(&samples),
-            Err(CollateError::NotATensor { index: 1 })
-        );
+        assert_eq!(TensorBatch::collate(&samples), Err(CollateError::NotATensor { index: 1 }));
     }
 
     #[test]
@@ -231,9 +226,7 @@ mod tests {
                 let enc = codec::encode(&img, Quality::default());
                 let key = SampleKey::new(9, id, 2);
                 let split = SplitPoint::new(2);
-                let mid = spec
-                    .run_prefix(StageData::Encoded(enc.into()), split, key)
-                    .unwrap();
+                let mid = spec.run_prefix(StageData::Encoded(enc.into()), split, key).unwrap();
                 (key, split, mid)
             })
             .collect();

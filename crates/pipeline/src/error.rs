@@ -43,7 +43,10 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "operation {op:?} expects {expected:?} input, got {got:?}")
             }
             PipelineError::InvalidSpec { index, op, incoming } => {
-                write!(f, "ill-typed pipeline: op {op:?} at index {index} cannot consume {incoming:?}")
+                write!(
+                    f,
+                    "ill-typed pipeline: op {op:?} at index {index} cannot consume {incoming:?}"
+                )
             }
             PipelineError::SplitOutOfRange { split, len } => {
                 write!(f, "split point {split} out of range for {len}-op pipeline")

@@ -155,10 +155,7 @@ pub fn measure_corpus<I>(
 where
     I: IntoIterator<Item = (SampleKey, StageData)>,
 {
-    samples
-        .into_iter()
-        .map(|(key, data)| SampleProfile::measure(spec, data, key, model))
-        .collect()
+    samples.into_iter().map(|(key, data)| SampleProfile::measure(spec, data, key, model)).collect()
 }
 
 #[cfg(test)]

@@ -10,11 +10,8 @@ pub(super) fn apply(data: StageData, size: u32) -> Result<StageData, PipelineErr
     // Images smaller than the crop are upscaled first (torchvision pads;
     // upscaling keeps the implementation pad-free with equivalent shape
     // semantics for this workspace's pipelines).
-    let img = if w < size || h < size {
-        img.resize_bilinear(w.max(size), h.max(size))
-    } else {
-        img
-    };
+    let img =
+        if w < size || h < size { img.resize_bilinear(w.max(size), h.max(size)) } else { img };
     let (w, h) = (img.width(), img.height());
     let rect = Rect::new((w - size) / 2, (h - size) / 2, size, size);
     Ok(StageData::Image(img.crop(rect)?))

@@ -62,9 +62,7 @@ mod tests {
     fn size_is_preserved() {
         let img = SynthSpec::new(48, 32).complexity(0.5).render(1);
         let before = img.raw_len() as u64;
-        let out = op()
-            .apply(StageData::Image(img), &mut AugmentRng::for_sample(0, 0, 0))
-            .unwrap();
+        let out = op().apply(StageData::Image(img), &mut AugmentRng::for_sample(0, 0, 0)).unwrap();
         assert_eq!(out.byte_len(), before);
     }
 

@@ -170,7 +170,11 @@ mod tests {
         let err = OpKind::Decode.apply(StageData::Image(img), &mut rng()).unwrap_err();
         assert!(matches!(
             err,
-            PipelineError::KindMismatch { op: OpKind::Decode, expected: DataKind::Encoded, got: DataKind::Image }
+            PipelineError::KindMismatch {
+                op: OpKind::Decode,
+                expected: DataKind::Encoded,
+                got: DataKind::Image
+            }
         ));
     }
 

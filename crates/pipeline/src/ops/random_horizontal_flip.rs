@@ -46,9 +46,7 @@ mod tests {
         let img = SynthSpec::new(32, 32).complexity(0.8).render(2);
         let run = |id| {
             let mut rng = AugmentRng::for_sample(5, id, 3);
-            OpKind::RandomHorizontalFlip
-                .apply(StageData::Image(img.clone()), &mut rng)
-                .unwrap()
+            OpKind::RandomHorizontalFlip.apply(StageData::Image(img.clone()), &mut rng).unwrap()
         };
         for id in 0..10 {
             assert_eq!(run(id).as_image(), run(id).as_image());

@@ -59,8 +59,7 @@ impl AugmentRng {
     pub fn for_sample(dataset_seed: u64, sample_id: u64, epoch: u64) -> AugmentRng {
         // Mix the three keys through distinct odd multipliers so that
         // (seed, id, epoch) collisions cannot alias.
-        let mixed = dataset_seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        let mixed = dataset_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ sample_id.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
             ^ epoch.wrapping_mul(0x1656_67b1_9e37_79f9);
         AugmentRng { inner: StdRng::seed_from_u64(mixed) }

@@ -217,6 +217,32 @@ impl PipelineSpec {
     pub fn split_points(&self) -> impl Iterator<Item = SplitPoint> + '_ {
         (0..=self.ops.len()).map(SplitPoint::new)
     }
+
+    /// Number of leading ops before the first randomized one — the longest
+    /// prefix whose output is identical in every epoch. Augmentation streams
+    /// are keyed by `(dataset seed, sample, epoch)`, so anything at or past
+    /// the first [`OpKind::is_random`] op varies across epochs and must
+    /// never be reused between them.
+    pub fn deterministic_prefix_ops(&self) -> usize {
+        self.ops.iter().position(|op| op.is_random()).unwrap_or(self.ops.len())
+    }
+
+    /// Whether the intermediate produced by running `split.offloaded_ops()`
+    /// leading ops is bit-identical across epochs, and therefore safe to
+    /// cache near compute and replay in later epochs. Splits past the
+    /// deterministic prefix embed per-epoch augmentation randomness and are
+    /// rejected. Out-of-range splits are also rejected.
+    pub fn split_is_epoch_stable(&self, split: SplitPoint) -> bool {
+        split.offloaded_ops() <= self.deterministic_prefix_ops()
+            && split.offloaded_ops() <= self.ops.len()
+    }
+
+    /// The epoch-stable split points: raw bytes plus every deterministic
+    /// prefix. These are exactly the representations a cross-epoch sample
+    /// cache may hold.
+    pub fn stable_split_points(&self) -> impl Iterator<Item = SplitPoint> + '_ {
+        (0..=self.deterministic_prefix_ops()).map(SplitPoint::new)
+    }
 }
 
 #[cfg(test)]
@@ -250,8 +276,7 @@ mod tests {
     fn ill_typed_spec_rejected() {
         let err = PipelineSpec::new(vec![OpKind::ToTensor]).unwrap_err();
         assert!(matches!(err, PipelineError::InvalidSpec { index: 0, .. }));
-        let err =
-            PipelineSpec::new(vec![OpKind::Decode, OpKind::Decode]).unwrap_err();
+        let err = PipelineSpec::new(vec![OpKind::Decode, OpKind::Decode]).unwrap_err();
         assert!(matches!(err, PipelineError::InvalidSpec { index: 1, .. }));
     }
 
@@ -271,10 +296,7 @@ mod tests {
         for split in spec.split_points() {
             let mid = spec.run_prefix(encoded_sample(2), split, key).unwrap();
             let out = spec.run_suffix(mid, split, key).unwrap();
-            assert!(
-                tensors_equal(&out, &full),
-                "split {split:?} diverged from unsplit execution"
-            );
+            assert!(tensors_equal(&out, &full), "split {split:?} diverged from unsplit execution");
         }
     }
 
@@ -301,6 +323,55 @@ mod tests {
         let a = spec.run(encoded_sample(3), SampleKey::new(1, 5, 0)).unwrap();
         let b = spec.run(encoded_sample(3), SampleKey::new(1, 5, 1)).unwrap();
         assert!(!tensors_equal(&a, &b), "train augmentations must vary per epoch");
+    }
+
+    #[test]
+    fn deterministic_prefix_stops_at_first_random_op() {
+        // standard_train: Decode, RandomResizedCrop, Flip, ToTensor,
+        // Normalize — only the decode output is epoch-stable.
+        let train = PipelineSpec::standard_train();
+        assert_eq!(train.deterministic_prefix_ops(), 1);
+        assert!(train.split_is_epoch_stable(SplitPoint::NONE));
+        assert!(train.split_is_epoch_stable(SplitPoint::new(1)));
+        for split in 2..=train.len() {
+            assert!(
+                !train.split_is_epoch_stable(SplitPoint::new(split)),
+                "split {split} is past an augmentation and must not be stable"
+            );
+        }
+        assert!(!train.split_is_epoch_stable(SplitPoint::new(train.len() + 1)));
+        assert_eq!(
+            train.stable_split_points().collect::<Vec<_>>(),
+            vec![SplitPoint::NONE, SplitPoint::new(1)]
+        );
+    }
+
+    #[test]
+    fn eval_pipeline_is_stable_at_every_split() {
+        let eval = PipelineSpec::standard_eval();
+        assert_eq!(eval.deterministic_prefix_ops(), eval.len());
+        for split in eval.split_points() {
+            assert!(eval.split_is_epoch_stable(split));
+        }
+    }
+
+    #[test]
+    fn stable_splits_reproduce_across_epochs() {
+        // The semantic claim behind `split_is_epoch_stable`: a stable
+        // prefix's output computed in epoch 0 can replace the fetch in any
+        // later epoch without changing the final tensor.
+        let spec = PipelineSpec::standard_train();
+        let key_e0 = SampleKey::new(7, 4, 0);
+        let key_e5 = SampleKey::new(7, 4, 5);
+        let direct = spec.run(encoded_sample(4), key_e5).unwrap();
+        for split in spec.stable_split_points() {
+            let cached = spec.run_prefix(encoded_sample(4), split, key_e0).unwrap();
+            let replayed = spec.run_suffix(cached, split, key_e5).unwrap();
+            assert!(
+                tensors_equal(&replayed, &direct),
+                "stable split {split:?} diverged when replayed in a later epoch"
+            );
+        }
     }
 
     #[test]

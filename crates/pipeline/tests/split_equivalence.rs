@@ -3,9 +3,7 @@
 
 use codec::Quality;
 use imagery::synth::SynthSpec;
-use pipeline::{
-    CostModel, PipelineSpec, SampleKey, SampleProfile, SplitPoint, StageData,
-};
+use pipeline::{CostModel, PipelineSpec, SampleKey, SampleProfile, SplitPoint, StageData};
 use proptest::prelude::*;
 
 fn encoded(w: u32, h: u32, complexity: f64, seed: u64) -> StageData {

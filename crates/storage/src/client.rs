@@ -68,9 +68,7 @@ impl StorageClient {
     }
 
     fn send(&self, req: &Request) -> Result<(), ClientError> {
-        self.req_tx
-            .send(wire::encode_request(req))
-            .map_err(|_| ClientError::Disconnected)
+        self.req_tx.send(wire::encode_request(req)).map_err(|_| ClientError::Disconnected)
     }
 
     fn recv(&mut self) -> Result<Response, ClientError> {

@@ -76,15 +76,10 @@ impl NearStorageExecutor {
     /// Returns [`ExecError::UnknownSample`] for missing objects and
     /// [`ExecError::Pipeline`] when the prefix fails.
     pub fn execute(&self, req: FetchRequest) -> Result<FetchResponse, ExecError> {
-        let bytes = self
-            .store
-            .get(req.sample_id)
-            .ok_or(ExecError::UnknownSample(req.sample_id))?;
+        let bytes = self.store.get(req.sample_id).ok_or(ExecError::UnknownSample(req.sample_id))?;
         let key = SampleKey::new(self.config.dataset_seed, req.sample_id, req.epoch);
-        let mut data = self
-            .config
-            .pipeline
-            .run_prefix(StageData::Encoded(bytes), req.split, key)?;
+        let mut data =
+            self.config.pipeline.run_prefix(StageData::Encoded(bytes), req.split, key)?;
         if let Some(q) = req.reencode_quality {
             let quality = codec::Quality::new(q).ok_or(ExecError::InvalidQuality(q))?;
             let StageData::Image(img) = &data else {
@@ -117,9 +112,7 @@ mod tests {
     #[test]
     fn split_zero_returns_raw_bytes() {
         let ex = executor();
-        let resp = ex
-            .execute(FetchRequest::new(0, 0, SplitPoint::NONE))
-            .unwrap();
+        let resp = ex.execute(FetchRequest::new(0, 0, SplitPoint::NONE)).unwrap();
         assert_eq!(resp.ops_applied, 0);
         assert!(resp.data.as_encoded().is_some());
     }
@@ -127,9 +120,7 @@ mod tests {
     #[test]
     fn split_two_returns_cropped_image() {
         let ex = executor();
-        let resp = ex
-            .execute(FetchRequest::new(1, 0, SplitPoint::new(2)))
-            .unwrap();
+        let resp = ex.execute(FetchRequest::new(1, 0, SplitPoint::new(2))).unwrap();
         assert_eq!(resp.ops_applied, 2);
         assert_eq!(resp.data.byte_len(), 150_528);
     }
@@ -137,18 +128,14 @@ mod tests {
     #[test]
     fn unknown_sample_reported() {
         let ex = executor();
-        let err = ex
-            .execute(FetchRequest::new(99, 0, SplitPoint::NONE))
-            .unwrap_err();
+        let err = ex.execute(FetchRequest::new(99, 0, SplitPoint::NONE)).unwrap_err();
         assert_eq!(err, ExecError::UnknownSample(99));
     }
 
     #[test]
     fn invalid_split_reported() {
         let ex = executor();
-        let err = ex
-            .execute(FetchRequest::new(0, 0, SplitPoint::new(9)))
-            .unwrap_err();
+        let err = ex.execute(FetchRequest::new(0, 0, SplitPoint::new(9))).unwrap_err();
         assert!(matches!(err, ExecError::Pipeline(_)));
     }
 
@@ -164,9 +151,7 @@ mod tests {
             store.clone(),
             SessionConfig { dataset_seed: 11, pipeline: spec.clone() },
         );
-        let resp = ex
-            .execute(FetchRequest::new(1, 5, SplitPoint::new(2)))
-            .unwrap();
+        let resp = ex.execute(FetchRequest::new(1, 5, SplitPoint::new(2))).unwrap();
         let local = spec
             .run_prefix(
                 StageData::Encoded(store.get(1).unwrap()),

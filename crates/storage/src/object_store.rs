@@ -105,11 +105,15 @@ impl ObjectStore {
         let mut store = ObjectStore::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
-            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { continue };
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
             if path.extension().and_then(|e| e.to_str()) != Some("sjpg") {
                 continue;
             }
-            let Ok(id) = stem.parse::<u64>() else { continue };
+            let Ok(id) = stem.parse::<u64>() else {
+                continue;
+            };
             store.insert(id, Bytes::from(std::fs::read(&path)?));
         }
         Ok(store)
@@ -146,8 +150,7 @@ mod tests {
         let mut store = ObjectStore::new();
         store.insert(0, Bytes::from_static(b"alpha"));
         store.insert(7, Bytes::from_static(b"beta"));
-        let dir = std::env::temp_dir()
-            .join(format!("sophon-store-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("sophon-store-test-{}", std::process::id()));
         store.persist_dir(&dir).unwrap();
         // A stray non-matching file must be ignored.
         std::fs::write(dir.join("README.txt"), b"not a sample").unwrap();

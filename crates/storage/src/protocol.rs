@@ -83,9 +83,7 @@ impl FetchResponse {
     /// Propagates codec failures for corrupt re-compressed payloads.
     pub fn unpack(self) -> Result<StageData, codec::CodecError> {
         match (&self.data, self.ops_applied) {
-            (StageData::Encoded(bytes), n) if n > 0 => {
-                Ok(StageData::Image(codec::decode(bytes)?))
-            }
+            (StageData::Encoded(bytes), n) if n > 0 => Ok(StageData::Image(codec::decode(bytes)?)),
             _ => Ok(self.data),
         }
     }

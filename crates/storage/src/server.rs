@@ -141,8 +141,7 @@ fn worker_loop(
         req_meter.record(msg.len() as u64);
         let response = match wire::decode_request(&msg) {
             Ok(Request::Configure(cfg)) => {
-                *session.write() =
-                    Some(NearStorageExecutor::new(ObjectStore::clone(store), cfg));
+                *session.write() = Some(NearStorageExecutor::new(ObjectStore::clone(store), cfg));
                 Response::Configured
             }
             Ok(Request::Fetch(req)) => {

@@ -217,8 +217,7 @@ fn serve_connection(
         let frame = match read_frame(&mut reader) {
             Ok(f) => f,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue
             }
@@ -227,8 +226,10 @@ fn serve_connection(
         let response_or_job = match wire::decode_request(&frame) {
             Ok(request) => Job { request, session: Arc::clone(&session), reply: reply_tx.clone() },
             Err(e) => {
-                let _ = reply_tx
-                    .send(Response::Error { sample_id: None, message: format!("bad request: {e}") });
+                let _ = reply_tx.send(Response::Error {
+                    sample_id: None,
+                    message: format!("bad request: {e}"),
+                });
                 continue;
             }
         };

@@ -16,11 +16,7 @@ pub trait FetchTransport {
     /// # Errors
     ///
     /// Returns [`ClientError`] on transport or server failures.
-    fn configure(
-        &mut self,
-        dataset_seed: u64,
-        pipeline: PipelineSpec,
-    ) -> Result<(), ClientError>;
+    fn configure(&mut self, dataset_seed: u64, pipeline: PipelineSpec) -> Result<(), ClientError>;
 
     /// Issues all requests up front and collects every response (any
     /// order).
@@ -35,11 +31,7 @@ pub trait FetchTransport {
 }
 
 impl FetchTransport for StorageClient {
-    fn configure(
-        &mut self,
-        dataset_seed: u64,
-        pipeline: PipelineSpec,
-    ) -> Result<(), ClientError> {
+    fn configure(&mut self, dataset_seed: u64, pipeline: PipelineSpec) -> Result<(), ClientError> {
         StorageClient::configure(self, dataset_seed, pipeline)
     }
 
@@ -52,11 +44,7 @@ impl FetchTransport for StorageClient {
 }
 
 impl FetchTransport for TcpStorageClient {
-    fn configure(
-        &mut self,
-        dataset_seed: u64,
-        pipeline: PipelineSpec,
-    ) -> Result<(), ClientError> {
+    fn configure(&mut self, dataset_seed: u64, pipeline: PipelineSpec) -> Result<(), ClientError> {
         TcpStorageClient::configure(self, dataset_seed, pipeline)
     }
 

@@ -207,8 +207,8 @@ fn decode_stage_data(r: &mut Reader<'_>) -> Result<StageData, WireError> {
                 .filter(|&l| l > 0 && l <= u64::from(MAX_PAYLOAD))
                 .ok_or(WireError::Invalid("image dimensions"))? as usize;
             let raw = r.take(len)?.to_vec();
-            let img = RasterImage::from_raw(w, h, raw)
-                .map_err(|_| WireError::Invalid("image buffer"))?;
+            let img =
+                RasterImage::from_raw(w, h, raw).map_err(|_| WireError::Invalid("image buffer"))?;
             Ok(StageData::Image(img))
         }
         0x02 => {
@@ -219,8 +219,8 @@ fn decode_stage_data(r: &mut Reader<'_>) -> Result<StageData, WireError> {
                 .filter(|&l| l > 0 && l <= u64::from(MAX_PAYLOAD))
                 .ok_or(WireError::Invalid("tensor dimensions"))? as usize;
             let bytes = r.take(len)?;
-            let t = Tensor::from_le_bytes(w, h, bytes)
-                .ok_or(WireError::Invalid("tensor buffer"))?;
+            let t =
+                Tensor::from_le_bytes(w, h, bytes).ok_or(WireError::Invalid("tensor buffer"))?;
             Ok(StageData::Tensor(t))
         }
         t => Err(WireError::BadTag(t)),
@@ -387,8 +387,7 @@ mod tests {
 
     #[test]
     fn fetch_request_is_compact() {
-        let bytes =
-            encode_request(&Request::Fetch(FetchRequest::new(1, 1, SplitPoint::new(2))));
+        let bytes = encode_request(&Request::Fetch(FetchRequest::new(1, 1, SplitPoint::new(2))));
         assert!(bytes.len() <= 19, "fetch request is {} bytes", bytes.len());
     }
 
@@ -476,10 +475,7 @@ mod tests {
         bytes.extend_from_slice(&0u64.to_le_bytes());
         bytes.push(1); // one op
         bytes.push(3); // ToTensor
-        assert_eq!(
-            decode_request(&bytes),
-            Err(WireError::Invalid("ill-typed pipeline"))
-        );
+        assert_eq!(decode_request(&bytes), Err(WireError::Invalid("ill-typed pipeline")));
     }
 
     #[test]

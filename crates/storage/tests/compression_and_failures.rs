@@ -23,9 +23,8 @@ fn reencoded_transfer_shrinks_and_reconstructs() {
         SessionConfig { dataset_seed: ds.seed, pipeline: PipelineSpec::standard_train() },
     );
     let plain = ex.execute(FetchRequest::new(0, 1, SplitPoint::new(2))).unwrap();
-    let compressed = ex
-        .execute(FetchRequest::new(0, 1, SplitPoint::new(2)).with_reencode(85))
-        .unwrap();
+    let compressed =
+        ex.execute(FetchRequest::new(0, 1, SplitPoint::new(2)).with_reencode(85)).unwrap();
     assert_eq!(plain.data.byte_len(), 150_528);
     assert!(
         compressed.data.byte_len() < plain.data.byte_len() / 2,
@@ -53,9 +52,7 @@ fn reencoded_suffix_still_produces_training_tensor() {
         store,
         SessionConfig { dataset_seed: ds.seed, pipeline: pipeline.clone() },
     );
-    let resp = ex
-        .execute(FetchRequest::new(1, 0, SplitPoint::new(2)).with_reencode(90))
-        .unwrap();
+    let resp = ex.execute(FetchRequest::new(1, 0, SplitPoint::new(2)).with_reencode(90)).unwrap();
     let split = SplitPoint::new(resp.ops_applied as usize);
     let data = resp.unpack().unwrap();
     let key = SampleKey::new(ds.seed, 1, 0);
@@ -71,14 +68,11 @@ fn reencode_on_raw_split_is_rejected() {
         SessionConfig { dataset_seed: ds.seed, pipeline: PipelineSpec::standard_train() },
     );
     // Split 0 ships encoded bytes already; re-encoding is nonsensical.
-    let err = ex
-        .execute(FetchRequest::new(0, 0, SplitPoint::NONE).with_reencode(85))
-        .unwrap_err();
+    let err = ex.execute(FetchRequest::new(0, 0, SplitPoint::NONE).with_reencode(85)).unwrap_err();
     assert_eq!(err.to_string(), "re-encode requested but offloaded output is not an image");
     // Splits past ToTensor: also not an image.
-    let err = ex
-        .execute(FetchRequest::new(0, 0, SplitPoint::new(4)).with_reencode(85))
-        .unwrap_err();
+    let err =
+        ex.execute(FetchRequest::new(0, 0, SplitPoint::new(4)).with_reencode(85)).unwrap_err();
     assert!(matches!(err, storage::ExecError::ReencodeNotImage));
 }
 

@@ -1,0 +1,157 @@
+//! Live two-node demo of the near-compute sample cache.
+//!
+//! Real bytes, real codec, real bandwidth-throttled link: a storage server
+//! streams a mini corpus to a loader whose transport is wrapped in a
+//! [`cache::CachingTransport`] holding ~30% of the corpus. Epoch 0 runs
+//! cold (every sample crosses the wire, the cache fills); later epochs run
+//! warm, fetching only the uncached residual. Two cache configurations are
+//! compared at the same budget:
+//!
+//! * **LRU** — admit everything, evict the coldest (arrival-order
+//!   selection in the planner);
+//! * **efficiency-aware** — admission ranked by wire bytes saved per cache
+//!   byte spent, seeded with the decision engine's per-sample hints.
+//!
+//! The efficiency-aware cache ends each warm epoch with less residual
+//! wire traffic than LRU at the same budget — the cache-aware analogue of
+//! SOPHON's data-selective offloading argument.
+//!
+//! ```sh
+//! cargo run --release --example cached_two_node
+//! ```
+
+use cache::{AdmissionHint, CachingTransport, SampleCache};
+use cluster::{ClusterConfig, GpuModel};
+use datasets::DatasetSpec;
+use netsim::Bandwidth;
+use pipeline::{CostModel, PipelineSpec, SampleProfile};
+use sophon::engine::PlanningContext;
+use sophon::ext::caching::{self, CacheSelection};
+use sophon::loader::{LoaderConfig, OffloadingLoader};
+use sophon::OffloadPlan;
+use storage::{ObjectStore, ServerConfig, StorageServer};
+
+const SAMPLES: u64 = 48;
+const BATCH: usize = 8;
+const WARM_EPOCHS: u64 = 2;
+
+struct CacheRun {
+    label: &'static str,
+    cold_wire: u64,
+    warm_wire: u64,
+    hit_rate: f64,
+    cached_entries: usize,
+}
+
+fn run_with_cache(
+    ds: &DatasetSpec,
+    profiles: &[SampleProfile],
+    plan: &OffloadPlan,
+    cache: SampleCache,
+    hints: bool,
+    label: &'static str,
+) -> Result<CacheRun, Box<dyn std::error::Error>> {
+    let pipeline = PipelineSpec::standard_train();
+    let store = ObjectStore::materialize_dataset(ds, 0..SAMPLES);
+    let server = StorageServer::spawn(
+        store,
+        ServerConfig { cores: 4, bandwidth: Bandwidth::from_mbps(40.0), queue_depth: 32 },
+    );
+    let mut server = server;
+
+    let mut transport = CachingTransport::new(server.client(), cache);
+    if hints {
+        transport.set_hints(profiles.iter().enumerate().map(|(i, p)| {
+            let shipped = p.size_at(plan.split(i).offloaded_ops());
+            (p.sample_id, AdmissionHint { saved_bytes: shipped, efficiency: p.efficiency() })
+        }));
+    }
+    let mut loader = OffloadingLoader::new(
+        transport,
+        pipeline,
+        plan.clone(),
+        LoaderConfig::new(ds.seed, BATCH),
+    )?;
+
+    // Cold epoch: everything crosses the wire, the cache fills.
+    loader.run_epoch(0, |_| {})?;
+    let cold_wire = server.response_bytes();
+
+    // Warm epochs: only the uncached residual is fetched.
+    for epoch in 1..=WARM_EPOCHS {
+        loader.run_epoch(epoch, |_| {})?;
+    }
+    let warm_wire = (server.response_bytes() - cold_wire) / WARM_EPOCHS;
+
+    let stats = loader.transport().cache_stats();
+    let run = CacheRun {
+        label,
+        cold_wire,
+        warm_wire,
+        hit_rate: stats.hit_rate(),
+        cached_entries: loader.transport().cache().len(),
+    };
+    server.shutdown();
+    Ok(run)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = DatasetSpec::mini(SAMPLES, 2024);
+    println!("materializing {SAMPLES} samples through the real codec...");
+    let store = ObjectStore::materialize_dataset(&ds, 0..SAMPLES);
+    let corpus_bytes = store.total_bytes();
+    let budget = corpus_bytes * 30 / 100;
+    println!(
+        "corpus: {:.1} MB encoded; cache budget {:.1} MB (30%)\n",
+        corpus_bytes as f64 / 1e6,
+        budget as f64 / 1e6
+    );
+
+    let pipeline = PipelineSpec::standard_train();
+    let model = CostModel::realistic();
+    let profiles = sophon::profiler::stage2::profile_corpus_live(&ds, &pipeline, &model, 0)?;
+    let config = ClusterConfig::paper_testbed(4).with_bandwidth(Bandwidth::from_mbps(40.0));
+    let ctx = PlanningContext::new(&profiles, &pipeline, &config, GpuModel::AlexNet, BATCH);
+
+    // Plan once per selection policy; the plan pins cached samples at
+    // their cached (epoch-stable) split so every warm fetch is a hit.
+    let lru_assign = caching::choose_cache_contents(&ctx, budget, CacheSelection::Arrival);
+    let (lru_plan, _) = caching::plan_with_cache(&ctx, &lru_assign);
+    let eff_assign = caching::choose_cache_contents(&ctx, budget, CacheSelection::EfficiencyAware);
+    let (eff_plan, _) = caching::plan_with_cache(&ctx, &eff_assign);
+    println!(
+        "planner pinned {} (lru) vs {} (efficiency-aware) of {SAMPLES} samples\n",
+        lru_assign.cached_samples(),
+        eff_assign.cached_samples()
+    );
+
+    let lru = run_with_cache(&ds, &profiles, &lru_plan, SampleCache::lru(budget), false, "lru")?;
+    let eff = run_with_cache(
+        &ds,
+        &profiles,
+        &eff_plan,
+        SampleCache::efficiency_aware(budget),
+        true,
+        "efficiency",
+    )?;
+
+    println!(
+        "{:<12} {:>14} {:>16} {:>10} {:>9}",
+        "cache", "cold wire (MB)", "warm wire (MB)", "hit rate", "entries"
+    );
+    for run in [&lru, &eff] {
+        println!(
+            "{:<12} {:>14.2} {:>16.2} {:>9.1}% {:>9}",
+            run.label,
+            run.cold_wire as f64 / 1e6,
+            run.warm_wire as f64 / 1e6,
+            run.hit_rate * 100.0,
+            run.cached_entries
+        );
+    }
+    println!(
+        "\nefficiency-aware admission cut residual warm traffic {:.2}x vs LRU at the same budget",
+        lru.warm_wire as f64 / eff.warm_wire.max(1) as f64
+    );
+    Ok(())
+}

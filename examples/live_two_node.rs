@@ -72,13 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ClusterConfig::paper_testbed(4).with_bandwidth(Bandwidth::from_mbps(40.0));
     let ctx = PlanningContext::new(&profiles, &pipeline, &config, GpuModel::AlexNet, 8);
     let plan = SophonPolicy::without_stage1_gate().plan(&ctx)?;
-    println!(
-        "SOPHON plan: offloading {} of {SAMPLES} samples\n",
-        plan.offloaded_samples()
-    );
+    println!("SOPHON plan: offloading {} of {SAMPLES} samples\n", plan.offloaded_samples());
 
-    let (t_none, wire_none) =
-        run_epoch(&ds, ObjectStore::materialize_dataset(&ds, 0..SAMPLES), &OffloadPlan::none(SAMPLES as usize), "no-off")?;
+    let (t_none, wire_none) = run_epoch(
+        &ds,
+        ObjectStore::materialize_dataset(&ds, 0..SAMPLES),
+        &OffloadPlan::none(SAMPLES as usize),
+        "no-off",
+    )?;
     let (t_sophon, wire_sophon) =
         run_epoch(&ds, ObjectStore::materialize_dataset(&ds, 0..SAMPLES), &plan, "sophon")?;
 

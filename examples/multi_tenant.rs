@@ -54,9 +54,7 @@ fn main() -> Result<(), sophon::SophonError> {
     // Joint cores + egress-bandwidth allocation (the cluster-level view:
     // many jobs share one egress pipe).
     println!("\njoint allocation of 16 cores + 2 Gbps egress (100 Mbps units):");
-    let joint = sophon::ext::multitenant::allocate_cores_and_bandwidth(
-        &jobs, 16, 2_000e6, 100e6,
-    )?;
+    let joint = sophon::ext::multitenant::allocate_cores_and_bandwidth(&jobs, 16, 2_000e6, 100e6)?;
     println!("{:<18} {:>6} {:>12} {:>14}", "job", "cores", "bandwidth", "epoch (s)");
     for a in &joint {
         println!(

@@ -18,14 +18,12 @@ fn main() -> Result<(), SophonError> {
         dataset.total_encoded_bytes() as f64 / 1e9
     );
 
-    let scenario = Scenario::new(
-        dataset,
-        ClusterConfig::paper_testbed(48),
-        GpuModel::AlexNet,
-        256,
-    );
+    let scenario = Scenario::new(dataset, ClusterConfig::paper_testbed(48), GpuModel::AlexNet, 256);
 
-    println!("\n{:<12} {:>12} {:>14} {:>10} {:>12}", "policy", "epoch (s)", "traffic (GB)", "offloaded", "GPU util");
+    println!(
+        "\n{:<12} {:>12} {:>14} {:>10} {:>12}",
+        "policy", "epoch (s)", "traffic (GB)", "offloaded", "GPU util"
+    );
     let reports = scenario.run_all()?;
     let no_off_time = reports[0].epoch.epoch_seconds;
     for r in &reports {

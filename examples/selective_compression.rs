@@ -25,21 +25,17 @@ fn main() -> Result<(), sophon::SophonError> {
     let plan = DecisionEngine::new().plan(&ctx);
     let (compressed_works, report) = CompressionExt::default().apply(&ctx, &records, &plan)?;
 
-    let run = |works: Vec<cluster::SampleWork>| -> Result<cluster::EpochStats, sophon::SophonError> {
-        Ok(simulate_epoch(&config, &EpochSpec::new(works, 256, GpuModel::AlexNet))?)
-    };
+    let run =
+        |works: Vec<cluster::SampleWork>| -> Result<cluster::EpochStats, sophon::SophonError> {
+            Ok(simulate_epoch(&config, &EpochSpec::new(works, 256, GpuModel::AlexNet))?)
+        };
     let base = run(no_off.to_sample_works(&profiles)?)?;
     let sophon = run(plan.to_sample_works(&profiles)?)?;
     let stacked = run(compressed_works)?;
 
     println!("{:<22} {:>12} {:>14}", "configuration", "epoch (s)", "traffic (GB)");
     for (name, s) in [("no-off", &base), ("sophon", &sophon), ("sophon+compress", &stacked)] {
-        println!(
-            "{:<22} {:>12.1} {:>14.2}",
-            name,
-            s.epoch_seconds,
-            s.traffic_bytes as f64 / 1e9
-        );
+        println!("{:<22} {:>12.1} {:>14.2}", name, s.epoch_seconds, s.traffic_bytes as f64 / 1e9);
     }
     println!(
         "\ncompression re-encoded {} samples, shrinking SOPHON's traffic another {:.2}x",

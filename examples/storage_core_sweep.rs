@@ -37,7 +37,9 @@ fn main() -> Result<(), SophonError> {
         }
         println!();
     }
-    println!("\nShapes to observe (paper Figure 4): All-Off worst everywhere and terrible at 1 core;");
+    println!(
+        "\nShapes to observe (paper Figure 4): All-Off worst everywhere and terrible at 1 core;"
+    );
     println!("Resize-Off slower than No-Off at <=2 cores; SOPHON fastest at every core count,");
     println!("with diminishing returns as cores grow.");
     Ok(())

@@ -54,14 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut batches = 0usize;
         loader.run_epoch(epoch, |batch| {
             let sum: f64 = batch.as_slice().iter().map(|&v| f64::from(v)).sum();
-            running_mean = (running_mean * seen as f64 + sum)
-                / (seen as f64 + batch.element_count() as f64);
+            running_mean =
+                (running_mean * seen as f64 + sum) / (seen as f64 + batch.element_count() as f64);
             seen += batch.element_count();
             batches += 1;
         })?;
-        println!(
-            "epoch {epoch}: {batches} batches, running activation mean {running_mean:+.4}"
-        );
+        println!("epoch {epoch}: {batches} batches, running activation mean {running_mean:+.4}");
     }
     let elapsed = start.elapsed().as_secs_f64();
     println!(

@@ -1,0 +1,254 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset the
+//! `bench` crate uses: [`Criterion::bench_function`], benchmark groups
+//! with `sample_size`/`throughput`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. No statistical analysis, plots, or saved
+//! baselines — each benchmark is warmed up once and timed over a small,
+//! bounded number of iterations, reporting mean wall-clock time (and
+//! throughput when configured).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup (ignored by the shim's timer; each
+/// batch is one setup + one timed routine call regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One setup per timed iteration.
+    PerIteration,
+}
+
+/// Units for reporting throughput alongside time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(max_samples: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            max_samples: max_samples.max(2),
+            budget: Duration::from_millis(300),
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    fn run(&mut self, mut timed_once: impl FnMut() -> Duration) {
+        // Warm-up (uncounted), then sample until the count or time budget
+        // is exhausted, whichever comes first.
+        let _ = timed_once();
+        let began = Instant::now();
+        while self.samples.len() < self.max_samples && began.elapsed() < self.budget {
+            let d = timed_once();
+            self.samples.push(d);
+        }
+        if self.samples.is_empty() {
+            self.samples.push(timed_once());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        let total: Duration = self.samples.iter().sum();
+        total / self.samples.len().max(1) as u32
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(id: &str, mean: Duration, samples: usize, throughput: Option<Throughput>) {
+    let rate = throughput.map_or(String::new(), |t| {
+        let secs = mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(b) => format!("  {:.1} MiB/s", b as f64 / secs / (1 << 20) as f64),
+            Throughput::Elements(n) => format!("  {:.1} elem/s", n as f64 / secs),
+        }
+    });
+    println!("{id:<48} time: {:>12}  ({samples} samples){rate}", format_duration(mean));
+}
+
+/// Top-level benchmark registry for one harness run.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // The real default (100 samples) makes whole-epoch benches take
+        // minutes; the shim trades precision for wall-clock sanity.
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.default_sample_size);
+        f(&mut b);
+        report(&id, b.mean(), b.samples.len(), None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Reports throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        report(&id, b.mean(), b.samples.len(), self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting is immediate in the shim; this is a
+    /// no-op kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the harness `main`, mirroring criterion's macro. CLI
+/// arguments (`--bench`, filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs >= 2, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn groups_apply_settings() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        let mut batches = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 7u64, |x| x * 2, BatchSize::PerIteration)
+        });
+        group.bench_function("plain", |b| {
+            b.iter(|| {
+                batches += 1;
+            })
+        });
+        group.finish();
+        assert!(batches >= 2);
+    }
+}

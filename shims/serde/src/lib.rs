@@ -1,0 +1,47 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report and spec
+//! types but never serializes through serde at runtime (the wire format in
+//! `storage::wire` is hand-rolled). This shim therefore reduces the traits
+//! to markers and the derives to empty impls, keeping every `#[derive(...)]`
+//! and trait bound compiling without the real crate. Swapping the real serde
+//! back in requires no source changes.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized (no-op in this shim).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (no-op in this shim).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl Serialize for &str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}

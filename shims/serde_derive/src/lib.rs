@@ -1,0 +1,56 @@
+//! Offline shim for `serde_derive`: emits empty marker-trait impls.
+//!
+//! The companion `serde` shim defines `Serialize`/`Deserialize` as
+//! marker traits, so the derive only needs the type's name. The parser
+//! below handles plain (non-generic) structs and enums, which covers
+//! every derived type in this workspace; generic types fail loudly.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following the first `struct` or `enum` keyword,
+/// plus whether the type has generics (unsupported).
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut saw_keyword = false;
+    for tree in input {
+        match tree {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_keyword {
+                    return Ok(s);
+                }
+                if s == "struct" || s == "enum" {
+                    saw_keyword = true;
+                }
+            }
+            TokenTree::Punct(p) if saw_keyword && p.as_char() == '<' => {
+                return Err("generic types".into());
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum keyword found".into())
+}
+
+fn emit(input: TokenStream, template: &str) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template.replace("__NAME__", &name).parse().expect("valid impl tokens"),
+        Err(why) => format!(
+            "compile_error!(\"serde shim derive cannot handle this item ({why}); \
+             extend shims/serde_derive\");"
+        )
+        .parse()
+        .expect("valid error tokens"),
+    }
+}
+
+/// Derives the shim's marker `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the shim's marker `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl<'de> serde::Deserialize<'de> for __NAME__ {}")
+}

@@ -12,9 +12,7 @@ fn audio_profiles(n: u64, seed: u64) -> Vec<SampleProfile> {
     let ds = AudioDatasetSpec::speech_like(n, seed);
     let spec = AudioPipeline::standard_train();
     (0..n)
-        .map(|id| {
-            profile_clip(&spec, ds.materialize(id), SampleKey::new(ds.seed, id, 0)).unwrap()
-        })
+        .map(|id| profile_clip(&spec, ds.materialize(id), SampleKey::new(ds.seed, id, 0)).unwrap())
         .collect()
 }
 
@@ -41,8 +39,8 @@ fn sophon_engine_plans_audio_offloading_unchanged() {
     // the image PipelineSpec of the same length (the engine never reads op
     // identities).
     let nominal = pipeline::PipelineSpec::standard_train();
-    let config = ClusterConfig::paper_testbed(16)
-        .with_bandwidth(netsim::Bandwidth::from_mbps(50.0));
+    let config =
+        ClusterConfig::paper_testbed(16).with_bandwidth(netsim::Bandwidth::from_mbps(50.0));
     let ctx = PlanningContext::new(
         &profiles,
         &nominal,
@@ -64,10 +62,8 @@ fn sophon_engine_plans_audio_offloading_unchanged() {
     let sophon_works = plan.to_sample_works(&profiles).unwrap();
     let baseline_works = OffloadPlan::none(profiles.len()).to_sample_works(&profiles).unwrap();
     let gpu = GpuModel::Custom { seconds_per_image: 1.0 / 2000.0 };
-    let sophon =
-        simulate_epoch(&config, &EpochSpec::new(sophon_works, 32, gpu)).unwrap();
-    let baseline =
-        simulate_epoch(&config, &EpochSpec::new(baseline_works, 32, gpu)).unwrap();
+    let sophon = simulate_epoch(&config, &EpochSpec::new(sophon_works, 32, gpu)).unwrap();
+    let baseline = simulate_epoch(&config, &EpochSpec::new(baseline_works, 32, gpu)).unwrap();
     assert!(
         sophon.epoch_seconds < baseline.epoch_seconds,
         "sophon {} vs baseline {}",

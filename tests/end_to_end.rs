@@ -45,9 +45,7 @@ fn sophon_offloaded_tensors_equal_local_tensors() {
         let remote = client.fetch(id, epoch, split).unwrap();
         let key = SampleKey::new(ds.seed, id, epoch);
         let via_server = pipeline.run_suffix(remote, split, key).unwrap();
-        let local = pipeline
-            .run(StageData::Encoded(store.get(id).unwrap()), key)
-            .unwrap();
+        let local = pipeline.run(StageData::Encoded(store.get(id).unwrap()), key).unwrap();
         assert_eq!(
             via_server.as_tensor().unwrap().to_le_bytes(),
             local.as_tensor().unwrap().to_le_bytes(),
@@ -71,11 +69,8 @@ fn wire_traffic_matches_plan_prediction() {
             .map(|i| if i % 2 == 0 { SplitPoint::new(2) } else { SplitPoint::NONE })
             .collect(),
     );
-    let expected_payload: u64 = profiles
-        .iter()
-        .zip(plan.iter())
-        .map(|(p, s)| p.size_at(s.offloaded_ops()))
-        .sum();
+    let expected_payload: u64 =
+        profiles.iter().zip(plan.iter()).map(|(p, s)| p.size_at(s.offloaded_ops())).sum();
 
     let mut server = StorageServer::spawn(
         store,
@@ -89,10 +84,7 @@ fn wire_traffic_matches_plan_prediction() {
 
     let measured = server.response_bytes();
     let framing = measured - expected_payload;
-    assert!(
-        framing < N * 32,
-        "framing overhead {framing} bytes is too large for {N} responses"
-    );
+    assert!(framing < N * 32, "framing overhead {framing} bytes is too large for {N} responses");
     server.shutdown();
 }
 
@@ -169,10 +161,8 @@ fn loader_over_tcp_with_retry_and_compression() {
         "127.0.0.1:0",
     )
     .unwrap();
-    let transport = RetryingTransport::new(
-        TcpStorageClient::connect(server.local_addr()).unwrap(),
-        2,
-    );
+    let transport =
+        RetryingTransport::new(TcpStorageClient::connect(server.local_addr()).unwrap(), 2);
     let mut config = LoaderConfig::new(ds.seed, 3);
     config.reencode_quality = Some(85);
     let mut loader = OffloadingLoader::new(transport, pipeline, plan, config).unwrap();
@@ -186,6 +176,101 @@ fn loader_over_tcp_with_retry_and_compression() {
     assert_eq!(batches, 3);
     assert_eq!(total_samples, 8);
     server.shutdown();
+}
+
+#[test]
+fn warm_cache_epochs_are_bit_identical_to_cold_fetches() {
+    // The cache correctness claim: serving a sample's epoch-stable prefix
+    // from the near-compute cache must yield bit-identical TensorBatches
+    // to fetching it fresh — in *every* epoch, because the suffix (the
+    // random ops) still reruns with that epoch's RNG. And caching must not
+    // freeze augmentations: consecutive warm epochs still differ.
+    use cache::{CachingTransport, SampleCache};
+    use sophon::engine::PlanningContext;
+    use sophon::ext::caching::{self, CacheSelection};
+    use sophon::loader::{LoaderConfig, OffloadingLoader};
+
+    let (ds, store, pipeline) = live_setup();
+    let model = CostModel::realistic();
+    let profiles =
+        sophon::profiler::stage2::profile_corpus_live(&ds, &pipeline, &model, 0).unwrap();
+    let config = ClusterConfig::paper_testbed(2).with_bandwidth(Bandwidth::from_mbps(100.0));
+    let ctx = PlanningContext::new(&profiles, &pipeline, &config, GpuModel::AlexNet, 4);
+    // Full budget: every sample is pinned at an epoch-stable split.
+    let assign =
+        caching::choose_cache_contents(&ctx, u64::MAX / 2, CacheSelection::EfficiencyAware);
+    assert_eq!(assign.cached_samples(), N as usize);
+    let (plan, _) = caching::plan_with_cache(&ctx, &assign);
+
+    let run_epochs = |cache: Option<SampleCache>, epochs: &[u64]| {
+        let mut server = StorageServer::spawn(
+            store.clone(),
+            ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 },
+        );
+        let mut batches: Vec<Vec<pipeline::TensorBatch>> = Vec::new();
+        let wire = match cache {
+            Some(cache) => {
+                let transport = CachingTransport::new(server.client(), cache);
+                let mut loader = OffloadingLoader::new(
+                    transport,
+                    pipeline.clone(),
+                    plan.clone(),
+                    LoaderConfig::new(ds.seed, 4),
+                )
+                .unwrap();
+                for &e in epochs {
+                    let mut got = Vec::new();
+                    loader.run_epoch(e, |b| got.push(b.clone())).unwrap();
+                    batches.push(got);
+                }
+                server.response_bytes()
+            }
+            None => {
+                let mut loader = OffloadingLoader::new(
+                    server.client(),
+                    pipeline.clone(),
+                    plan.clone(),
+                    LoaderConfig::new(ds.seed, 4),
+                )
+                .unwrap();
+                for &e in epochs {
+                    let mut got = Vec::new();
+                    loader.run_epoch(e, |b| got.push(b.clone())).unwrap();
+                    batches.push(got);
+                }
+                server.response_bytes()
+            }
+        };
+        server.shutdown();
+        (batches, wire)
+    };
+
+    // Cached run: epoch 0 cold (fills the cache), epochs 3 and 4 warm.
+    let (cached, cached_wire) =
+        run_epochs(Some(SampleCache::efficiency_aware(u64::MAX / 2)), &[0, 3, 4]);
+    // Reference run without any cache, fetching epochs 3 and 4 fresh.
+    let (fresh, fresh_wire) = run_epochs(None, &[3, 4]);
+
+    assert_eq!(cached[1], fresh[0], "warm epoch 3 diverged from a fresh fetch");
+    assert_eq!(cached[2], fresh[1], "warm epoch 4 diverged from a fresh fetch");
+    assert_ne!(cached[1], cached[2], "caching must not freeze augmentations across epochs");
+    assert!(
+        cached_wire < fresh_wire,
+        "two warm epochs ({cached_wire} wire bytes incl. cold fill) should move \
+         less than two fresh epochs ({fresh_wire})"
+    );
+}
+
+#[test]
+fn caching_and_retrying_transports_compose_either_way() {
+    // Compile-time check: the decorators stack in either order under the
+    // loader's `FetchTransport` bound.
+    use cache::CachingTransport;
+    use storage::{FetchTransport, RetryingTransport, StorageClient, TcpStorageClient};
+
+    fn assert_transport<X: FetchTransport>() {}
+    assert_transport::<CachingTransport<RetryingTransport<StorageClient>>>();
+    assert_transport::<RetryingTransport<CachingTransport<TcpStorageClient>>>();
 }
 
 #[test]
