@@ -9,7 +9,8 @@
 
 use bench::{
     cache_effectiveness, discussion_bandwidth_sweep, discussion_gpus, figure_1a, figure_1b,
-    figure_1c, figure_1d, figure_3, figure_4, table1, training_amortization, PAPER_SAMPLES,
+    figure_1c, figure_1d, figure_3, figure_4, fleet_scaling_table, table1, training_amortization,
+    PAPER_SAMPLES,
 };
 
 fn main() {
@@ -38,6 +39,7 @@ fn main() {
     run("gpus", &|| discussion_gpus(len));
     run("amortization", &|| training_amortization(len, 50));
     run("cache", &|| cache_effectiveness(len, 50));
+    run("fleet", &|| fleet_scaling_table(len));
 
     let known = [
         "all",
@@ -52,6 +54,7 @@ fn main() {
         "gpus",
         "amortization",
         "cache",
+        "fleet",
     ];
     if !known.contains(&which) {
         eprintln!("unknown artifact '{which}'; use one of: {}", known.join(" "));

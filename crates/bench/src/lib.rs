@@ -507,6 +507,82 @@ pub fn cache_effectiveness(len: u64, epochs: u64) -> String {
     out
 }
 
+/// One row of the fleet shard-count sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScalingRow {
+    /// Storage nodes in the fleet.
+    pub shards: usize,
+    /// Replicas per sample.
+    pub replication: usize,
+    /// Steady-state epoch time in virtual seconds.
+    pub epoch_seconds: f64,
+    /// Steady-state epoch bytes over all links.
+    pub traffic_bytes: u64,
+    /// Busiest node's share of served samples.
+    pub peak_node_share: f64,
+    /// Busiest node's offloaded CPU core-seconds under the sharded plan.
+    pub peak_storage_cpu_seconds: f64,
+}
+
+/// Sweeps the storage fleet over `shard_counts` (replication capped at the
+/// shard count), planning per shard and simulating a steady epoch.
+pub fn fleet_scaling(len: u64, replication: usize, shard_counts: &[usize]) -> Vec<FleetScalingRow> {
+    let s = scenario(openimages(len), 8, GpuModel::AlexNet);
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let rep = replication.min(shards).max(1);
+            let r = s.run_training_fleet(2, shards, rep, SEED, &[]).expect("fleet simulates");
+            FleetScalingRow {
+                shards,
+                replication: rep,
+                epoch_seconds: r.stats.steady_epoch.total.epoch_seconds,
+                traffic_bytes: r.stats.steady_epoch.total.traffic_bytes,
+                peak_node_share: r.peak_node_share(),
+                peak_storage_cpu_seconds: r
+                    .per_shard
+                    .iter()
+                    .map(|p| p.storage_cpu_seconds)
+                    .fold(0.0, f64::max),
+            }
+        })
+        .collect()
+}
+
+/// Fleet-scaling artifact: epoch time, traffic, and load balance as the
+/// shard count grows.
+pub fn fleet_scaling_table(len: u64) -> String {
+    let rows = fleet_scaling(len, 2, &[1, 2, 4, 8]);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fleet scaling: sharded storage, per-shard planning (OpenImages-like, 8 cores/node)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>11} {:>14} {:>12} {:>16}",
+        "shards", "replication", "epoch (s)", "traffic (GB)", "peak share", "peak CPU (s)"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>11.1} {:>14.2} {:>11.0}% {:>16.1}",
+            r.shards,
+            r.replication,
+            r.epoch_seconds,
+            r.traffic_bytes as f64 / 1e9,
+            r.peak_node_share * 100.0,
+            r.peak_storage_cpu_seconds,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nAggregate link capacity grows with the shard count, so epoch time falls until"
+    );
+    let _ = writeln!(out, "compute-side resources (GPU, local CPU) take over as the bottleneck.");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +642,31 @@ mod tests {
             );
         }
         assert!(cache_effectiveness(512, 5).contains("efficiency-aware"));
+    }
+
+    #[test]
+    fn fleet_scaling_monotonically_relieves_the_link() {
+        let rows = fleet_scaling(2_048, 2, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        // Replication is capped by the shard count.
+        assert_eq!(rows[0].replication, 1);
+        assert_eq!(rows[1].replication, 2);
+        // More shards never slow the epoch on this I/O-bound corpus, and
+        // four shards give a clear win over one.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].epoch_seconds <= w[0].epoch_seconds * 1.0001,
+                "{} shards {} vs {} shards {}",
+                w[1].shards,
+                w[1].epoch_seconds,
+                w[0].shards,
+                w[0].epoch_seconds
+            );
+        }
+        assert!(rows[2].epoch_seconds < rows[0].epoch_seconds * 0.6);
+        // Placement keeps the busiest node's share near 1/n.
+        assert!(rows[2].peak_node_share < 0.5);
+        assert!(fleet_scaling_table(512).contains("shards"));
     }
 
     #[test]

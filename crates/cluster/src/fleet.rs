@@ -1,0 +1,507 @@
+//! Fleet-of-storage-nodes epoch model.
+//!
+//! Extends the two-node testbed to N storage nodes, each with its own CPU
+//! pool, read path, and storage→compute link. The module is deliberately
+//! mechanism-free, like [`crate::simulate_cached_training`]: callers supply
+//! the per-sample **owner lists** (ordered replica sets, primary first —
+//! built e.g. by `fleet::ShardMap::owners`), and this module only schedules
+//! the resulting per-node queues. Placement policy, hashing, and transport
+//! hedging live in the `fleet` crate; the simulator answers "what does this
+//! placement cost" questions:
+//!
+//! * **Per-node links and cores** — each node is a [`FleetNodeConfig`]; a
+//!   sample is read, offload-preprocessed, and transferred on *its serving
+//!   node's* resources, so one hot shard becomes visible as one saturated
+//!   link or CPU pool.
+//! * **Node-kill events** — a [`KillEvent`] marks a node dead after a
+//!   fraction of the epoch's samples have been issued; later samples fail
+//!   over to the next surviving owner in their list (counted in
+//!   [`FleetEpochStats::failovers`]), and samples with no surviving owner
+//!   make the epoch fail with [`SimError::SampleUnreachable`].
+//! * **Straggler distributions** — a node's `speed` scales its read and
+//!   preprocessing service rate, so a seeded vector of speeds models a
+//!   straggler distribution without any randomness inside the simulator.
+
+use netsim::VirtualLink;
+use serde::{Deserialize, Serialize};
+
+use crate::resources::{CpuPool, FifoServer};
+use crate::{ClusterConfig, EpochSpec, EpochStats, SimError};
+
+/// One storage node's resources in a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetNodeConfig {
+    /// CPU cores available for offloaded preprocessing on this node.
+    pub storage_cores: usize,
+    /// This node's link to the compute node, in bits per second.
+    pub link_bps: f64,
+    /// Service-rate multiplier: `1.0` is nominal, `0.5` is a straggler
+    /// running reads and preprocessing at half speed.
+    pub speed: f64,
+}
+
+impl FleetNodeConfig {
+    /// A node matching the storage side of `config` at nominal speed.
+    pub fn nominal(config: &ClusterConfig) -> FleetNodeConfig {
+        FleetNodeConfig {
+            storage_cores: config.storage_cores,
+            link_bps: config.link_bps,
+            speed: 1.0,
+        }
+    }
+
+    /// Returns a copy with a different speed multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `speed` is not finite and positive.
+    #[must_use]
+    pub fn with_speed(mut self, speed: f64) -> FleetNodeConfig {
+        assert!(speed.is_finite() && speed > 0.0, "invalid node speed {speed}");
+        self.speed = speed;
+        self
+    }
+}
+
+/// A storage node dying partway through an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KillEvent {
+    /// The node that dies.
+    pub node: usize,
+    /// Fraction of the epoch's samples issued before the death; samples
+    /// from that point on cannot use the node. `0.0` means dead from the
+    /// start (e.g. steady-state epochs after a mid-run failure).
+    pub after_fraction: f64,
+}
+
+impl KillEvent {
+    /// Creates a kill event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `after_fraction` is outside `[0, 1]`.
+    pub fn new(node: usize, after_fraction: f64) -> KillEvent {
+        assert!(
+            (0.0..=1.0).contains(&after_fraction),
+            "kill fraction {after_fraction} outside [0, 1]"
+        );
+        KillEvent { node, after_fraction }
+    }
+}
+
+/// One node's share of an epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeEpochStats {
+    /// Samples this node served.
+    pub samples_served: u64,
+    /// Bytes this node pushed over its link.
+    pub traffic_bytes: u64,
+    /// Core-seconds of offloaded preprocessing executed here.
+    pub storage_cpu_busy_seconds: f64,
+    /// Seconds this node's link spent transferring.
+    pub link_busy_seconds: f64,
+}
+
+/// Results of simulating one epoch over a storage fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetEpochStats {
+    /// Fleet-wide aggregate. `traffic_bytes`, `storage_cpu_busy_seconds`,
+    /// and `link_busy_seconds` sum over nodes, so
+    /// [`EpochStats::link_utilization`] on this value measures utilization
+    /// of the *aggregate* link capacity and can exceed 1.0 only if the
+    /// per-node figures do.
+    pub total: EpochStats,
+    /// Per-node breakdown, in node order.
+    pub per_node: Vec<NodeEpochStats>,
+    /// Samples that were rerouted past a dead owner.
+    pub failovers: u64,
+}
+
+impl FleetEpochStats {
+    /// The busiest node's share of served samples — `1/n` is perfectly
+    /// balanced, `1.0` means one node served everything.
+    pub fn peak_node_share(&self) -> f64 {
+        if self.total.samples == 0 {
+            return 0.0;
+        }
+        let peak = self.per_node.iter().map(|n| n.samples_served).max().unwrap_or(0);
+        peak as f64 / self.total.samples as f64
+    }
+}
+
+/// Statistics of a multi-epoch training run over a fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTrainingStats {
+    /// Total epochs executed.
+    pub epochs: u64,
+    /// The first epoch (where mid-epoch kill events land).
+    pub first_epoch: FleetEpochStats,
+    /// Steady-state epochs (killed nodes stay dead throughout).
+    pub steady_epoch: FleetEpochStats,
+    /// Total wall-clock (virtual) seconds.
+    pub total_seconds: f64,
+    /// Total bytes moved over all links.
+    pub total_traffic_bytes: u64,
+}
+
+/// Simulates one epoch over a fleet of storage nodes.
+///
+/// `owners[i]` is sample `i`'s ordered replica set (primary first); the
+/// sample is served by its first owner still alive when it is issued.
+/// `base` supplies the compute side (cores, GPUs, prefetch window) and the
+/// nominal storage read rate; each node's read and preprocessing service
+/// times are divided by its `speed`.
+///
+/// # Errors
+///
+/// * [`SimError::SampleUnreachable`] — a sample's owners are all dead.
+/// * [`SimError::NoStorageCores`] — offloaded work routed to a node with
+///   zero cores.
+/// * [`SimError::NoComputeCores`] / [`SimError::NoGpus`] — as
+///   [`crate::simulate_epoch`].
+///
+/// # Panics
+///
+/// Panics when `nodes` is empty, `owners` is not parallel to
+/// `spec.samples`, or an owner index is out of range.
+pub fn simulate_fleet_epoch(
+    base: &ClusterConfig,
+    nodes: &[FleetNodeConfig],
+    spec: &EpochSpec,
+    owners: &[Vec<usize>],
+    kills: &[KillEvent],
+) -> Result<FleetEpochStats, SimError> {
+    assert!(!nodes.is_empty(), "fleet needs at least one node");
+    assert_eq!(owners.len(), spec.samples.len(), "owners must be parallel to samples");
+    for event in kills {
+        assert!(event.node < nodes.len(), "kill names node {} of {}", event.node, nodes.len());
+    }
+
+    let needs_compute_cpu = spec.samples.iter().any(|s| s.compute_cpu_seconds > 0.0);
+    if needs_compute_cpu && base.compute_cores == 0 {
+        return Err(SimError::NoComputeCores);
+    }
+    if base.gpus == 0 {
+        return Err(SimError::NoGpus);
+    }
+
+    // Each node dies at an index threshold: samples issued at or after it
+    // cannot use the node.
+    let total = spec.samples.len();
+    let mut dead_from = vec![usize::MAX; nodes.len()];
+    for event in kills {
+        let at = (event.after_fraction * total as f64).floor() as usize;
+        dead_from[event.node] = dead_from[event.node].min(at);
+    }
+
+    let mut reads: Vec<FifoServer> = nodes.iter().map(|_| FifoServer::new()).collect();
+    let mut cpus: Vec<CpuPool> =
+        nodes.iter().map(|n| CpuPool::new(n.storage_cores.max(1))).collect();
+    let mut links: Vec<VirtualLink> = nodes
+        .iter()
+        .map(|n| {
+            VirtualLink::with_latency(netsim::Bandwidth::from_bps(n.link_bps), base.link_latency)
+        })
+        .collect();
+    let mut compute_cpu = CpuPool::new(base.compute_cores.max(usize::from(!needs_compute_cpu)));
+    let mut gpu = CpuPool::new(base.gpus);
+    let mut served = vec![0u64; nodes.len()];
+    let mut failovers = 0u64;
+
+    let batch_count = spec.batch_count();
+    let mut batch_done = vec![0.0f64; batch_count];
+    let gpu_seconds_per_image = spec.gpu.seconds_per_image();
+
+    let mut sample_idx = 0usize;
+    for batch in 0..batch_count {
+        let gate = if batch >= base.prefetch_batches {
+            batch_done[batch - base.prefetch_batches]
+        } else {
+            0.0
+        };
+        let in_batch = spec.samples.len().saturating_sub(sample_idx).min(spec.batch_size);
+        let mut batch_ready = gate;
+        for _ in 0..in_batch {
+            let w = &spec.samples[sample_idx];
+            let replicas = &owners[sample_idx];
+            // Route: first owner alive when this sample is issued.
+            let mut node = None;
+            for &owner in replicas {
+                assert!(
+                    owner < nodes.len(),
+                    "owner {owner} out of range for {} nodes",
+                    nodes.len()
+                );
+                if sample_idx < dead_from[owner] {
+                    node = Some(owner);
+                    break;
+                }
+                failovers += 1;
+            }
+            let Some(node) = node else {
+                return Err(SimError::SampleUnreachable { sample: sample_idx as u64 });
+            };
+            sample_idx += 1;
+            served[node] += 1;
+            let cfg = &nodes[node];
+            // 1. storage read on the serving node (scaled by its speed).
+            let read_s = w.transfer_bytes as f64 / (base.storage_read_bytes_per_sec * cfg.speed);
+            let read_done = reads[node].run(gate, read_s);
+            // 2. offloaded preprocessing on the serving node.
+            let offload_done = if w.storage_cpu_seconds > 0.0 {
+                if cfg.storage_cores == 0 {
+                    return Err(SimError::NoStorageCores);
+                }
+                cpus[node].run(read_done, w.storage_cpu_seconds / cfg.speed)
+            } else {
+                read_done
+            };
+            // 3. transfer over the serving node's own link.
+            let transfer_done = links[node].transfer(offload_done, w.transfer_bytes);
+            // 4. local preprocessing on the shared compute node.
+            let local_done = if w.compute_cpu_seconds > 0.0 {
+                compute_cpu.run(transfer_done, w.compute_cpu_seconds)
+            } else {
+                transfer_done
+            };
+            batch_ready = batch_ready.max(local_done);
+        }
+        // 5. GPU step for the batch.
+        let gpu_s = gpu_seconds_per_image * in_batch as f64;
+        batch_done[batch] = gpu.run(batch_ready, gpu_s);
+    }
+
+    let per_node: Vec<NodeEpochStats> = (0..nodes.len())
+        .map(|n| NodeEpochStats {
+            samples_served: served[n],
+            traffic_bytes: links[n].total_bytes(),
+            storage_cpu_busy_seconds: cpus[n].busy_seconds(),
+            link_busy_seconds: links[n].busy_seconds(),
+        })
+        .collect();
+    let epoch_seconds = batch_done.last().copied().unwrap_or(0.0);
+    let total = EpochStats {
+        epoch_seconds,
+        traffic_bytes: per_node.iter().map(|n| n.traffic_bytes).sum(),
+        gpu_busy_seconds: gpu.busy_seconds(),
+        storage_cpu_busy_seconds: per_node.iter().map(|n| n.storage_cpu_busy_seconds).sum(),
+        compute_cpu_busy_seconds: compute_cpu.busy_seconds(),
+        link_busy_seconds: per_node.iter().map(|n| n.link_busy_seconds).sum(),
+        samples: spec.samples.len() as u64,
+        batches: batch_count as u64,
+        gpus: base.gpus as u64,
+    };
+    Ok(FleetEpochStats { total, per_node, failovers })
+}
+
+/// Simulates `epochs` of training over a fleet. Kill events land in the
+/// first epoch at their given fraction; every later epoch runs with those
+/// nodes dead from the start (a mid-run death is permanent).
+///
+/// # Errors
+///
+/// Propagates [`simulate_fleet_epoch`] failures.
+///
+/// # Panics
+///
+/// Panics when `epochs == 0` or on the conditions of
+/// [`simulate_fleet_epoch`].
+pub fn simulate_fleet_training(
+    base: &ClusterConfig,
+    nodes: &[FleetNodeConfig],
+    spec: &EpochSpec,
+    owners: &[Vec<usize>],
+    kills: &[KillEvent],
+    epochs: u64,
+) -> Result<FleetTrainingStats, SimError> {
+    assert!(epochs > 0, "training needs at least one epoch");
+    let first = simulate_fleet_epoch(base, nodes, spec, owners, kills)?;
+    let steady = if epochs > 1 {
+        let permanent: Vec<KillEvent> = kills.iter().map(|k| KillEvent::new(k.node, 0.0)).collect();
+        simulate_fleet_epoch(base, nodes, spec, owners, &permanent)?
+    } else {
+        first.clone()
+    };
+    let steady_count = epochs - 1;
+    Ok(FleetTrainingStats {
+        epochs,
+        total_seconds: first.total.epoch_seconds + steady.total.epoch_seconds * steady_count as f64,
+        total_traffic_bytes: first.total.traffic_bytes + steady.total.traffic_bytes * steady_count,
+        first_epoch: first,
+        steady_epoch: steady,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuModel, SampleWork};
+
+    fn base() -> ClusterConfig {
+        ClusterConfig::paper_testbed(48)
+    }
+
+    fn nominal_nodes(n: usize) -> Vec<FleetNodeConfig> {
+        vec![FleetNodeConfig::nominal(&base()); n]
+    }
+
+    /// Round-robin primaries with `replication` successors.
+    fn owners(samples: usize, nodes: usize, replication: usize) -> Vec<Vec<usize>> {
+        (0..samples).map(|i| (0..replication).map(|r| (i + r) % nodes).collect()).collect()
+    }
+
+    fn io_bound_spec(n: usize) -> EpochSpec {
+        EpochSpec::new(vec![SampleWork::new(0.0, 300_000, 0.001); n], 256, GpuModel::AlexNet)
+    }
+
+    #[test]
+    fn one_nominal_node_matches_the_two_node_sim() {
+        let spec = io_bound_spec(2048);
+        let fleet =
+            simulate_fleet_epoch(&base(), &nominal_nodes(1), &spec, &owners(2048, 1, 1), &[])
+                .unwrap();
+        let single = crate::simulate_epoch(&base(), &spec).unwrap();
+        assert!(
+            (fleet.total.epoch_seconds - single.epoch_seconds).abs() < 1e-9,
+            "fleet {} vs single {}",
+            fleet.total.epoch_seconds,
+            single.epoch_seconds
+        );
+        assert_eq!(fleet.total.traffic_bytes, single.traffic_bytes);
+    }
+
+    #[test]
+    fn more_nodes_relieve_a_network_bottleneck() {
+        let spec = io_bound_spec(4096);
+        let run = |n: usize| {
+            simulate_fleet_epoch(&base(), &nominal_nodes(n), &spec, &owners(4096, n, 1), &[])
+                .unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four.total.epoch_seconds < one.total.epoch_seconds / 2.5,
+            "4 nodes {} vs 1 node {}",
+            four.total.epoch_seconds,
+            one.total.epoch_seconds
+        );
+        // Same bytes, spread across four links.
+        assert_eq!(four.total.traffic_bytes, one.total.traffic_bytes);
+        assert!(four.peak_node_share() < 0.3);
+    }
+
+    #[test]
+    fn replicated_kill_loses_no_samples() {
+        let spec = io_bound_spec(1024);
+        let stats = simulate_fleet_epoch(
+            &base(),
+            &nominal_nodes(4),
+            &spec,
+            &owners(1024, 4, 2),
+            &[KillEvent::new(1, 0.5)],
+        )
+        .unwrap();
+        assert_eq!(stats.total.samples, 1024);
+        assert_eq!(stats.per_node.iter().map(|n| n.samples_served).sum::<u64>(), 1024);
+        assert!(stats.failovers > 0);
+        // The dead node served only its pre-kill share.
+        assert!(stats.per_node[1].samples_served < 1024 / 4 + 1);
+        // Healthy run has no failovers and is no slower.
+        let healthy =
+            simulate_fleet_epoch(&base(), &nominal_nodes(4), &spec, &owners(1024, 4, 2), &[])
+                .unwrap();
+        assert_eq!(healthy.failovers, 0);
+        assert!(stats.total.epoch_seconds >= healthy.total.epoch_seconds);
+    }
+
+    #[test]
+    fn unreplicated_kill_is_an_error() {
+        let spec = io_bound_spec(64);
+        let err = simulate_fleet_epoch(
+            &base(),
+            &nominal_nodes(2),
+            &spec,
+            &owners(64, 2, 1),
+            &[KillEvent::new(0, 0.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::SampleUnreachable { .. }));
+    }
+
+    #[test]
+    fn a_straggler_node_slows_the_epoch() {
+        // Storage-CPU-bound workload (2 cores per node): quartering one
+        // node's speed makes it the epoch's critical path.
+        let spec = EpochSpec::new(
+            vec![SampleWork::new(0.020, 120_000, 0.001); 2048],
+            256,
+            GpuModel::AlexNet,
+        );
+        let cpu_bound: Vec<FleetNodeConfig> = nominal_nodes(4)
+            .into_iter()
+            .map(|mut n| {
+                n.storage_cores = 2;
+                n
+            })
+            .collect();
+        let mut slow = cpu_bound.clone();
+        slow[2] = slow[2].with_speed(0.25);
+        let own = owners(2048, 4, 1);
+        let nominal = simulate_fleet_epoch(&base(), &cpu_bound, &spec, &own, &[]).unwrap();
+        let degraded = simulate_fleet_epoch(&base(), &slow, &spec, &own, &[]).unwrap();
+        assert!(
+            degraded.total.epoch_seconds > nominal.total.epoch_seconds * 1.5,
+            "straggler {} vs nominal {}",
+            degraded.total.epoch_seconds,
+            nominal.total.epoch_seconds
+        );
+    }
+
+    #[test]
+    fn fleet_training_keeps_killed_nodes_dead() {
+        let spec = io_bound_spec(512);
+        let run = simulate_fleet_training(
+            &base(),
+            &nominal_nodes(3),
+            &spec,
+            &owners(512, 3, 2),
+            &[KillEvent::new(0, 0.75)],
+            5,
+        )
+        .unwrap();
+        assert_eq!(run.epochs, 5);
+        // First epoch: node 0 served its pre-kill share. Steady: nothing.
+        assert!(run.first_epoch.per_node[0].samples_served > 0);
+        assert_eq!(run.steady_epoch.per_node[0].samples_served, 0);
+        assert_eq!(
+            run.total_traffic_bytes,
+            run.first_epoch.total.traffic_bytes + run.steady_epoch.total.traffic_bytes * 4
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = io_bound_spec(777);
+        let own = owners(777, 3, 2);
+        let kills = [KillEvent::new(2, 0.3)];
+        let a = simulate_fleet_epoch(&base(), &nominal_nodes(3), &spec, &own, &kills).unwrap();
+        let b = simulate_fleet_epoch(&base(), &nominal_nodes(3), &spec, &own, &kills).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel to samples")]
+    fn mismatched_owners_panic() {
+        let spec = io_bound_spec(8);
+        let _ = simulate_fleet_epoch(&base(), &nominal_nodes(2), &spec, &owners(7, 2, 1), &[]);
+    }
+
+    #[test]
+    fn offloaded_work_on_a_zero_core_node_errors() {
+        let spec = EpochSpec::new(vec![SampleWork::new(0.01, 1000, 0.0); 16], 4, GpuModel::AlexNet);
+        let mut nodes = nominal_nodes(2);
+        nodes[1].storage_cores = 0;
+        let err = simulate_fleet_epoch(&base(), &nodes, &spec, &owners(16, 2, 1), &[]).unwrap_err();
+        assert_eq!(err, SimError::NoStorageCores);
+    }
+}

@@ -43,6 +43,7 @@
 
 mod cache;
 mod config;
+mod fleet;
 mod gpu;
 mod resources;
 mod sim;
@@ -53,6 +54,10 @@ mod workload;
 
 pub use cache::{simulate_cached_training, CachedTrainingStats};
 pub use config::ClusterConfig;
+pub use fleet::{
+    simulate_fleet_epoch, simulate_fleet_training, FleetEpochStats, FleetNodeConfig,
+    FleetTrainingStats, KillEvent, NodeEpochStats,
+};
 pub use gpu::GpuModel;
 pub use resources::{CpuPool, FifoServer};
 pub use sim::{simulate_epoch, simulate_epoch_traced, SimError};

@@ -15,6 +15,11 @@ pub enum SimError {
     NoComputeCores,
     /// The compute node has zero GPUs.
     NoGpus,
+    /// A fleet sample's owners are all dead (no surviving replica).
+    SampleUnreachable {
+        /// Index of the unreachable sample in loading order.
+        sample: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -27,6 +32,9 @@ impl std::fmt::Display for SimError {
                 write!(f, "workload needs local preprocessing but compute node has 0 cores")
             }
             SimError::NoGpus => write!(f, "compute node has 0 GPUs"),
+            SimError::SampleUnreachable { sample } => {
+                write!(f, "sample {sample} has no surviving replica")
+            }
         }
     }
 }

@@ -130,6 +130,51 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
         }
     }
 
+    if opts.shards > 1 {
+        println!(
+            "\nstorage fleet: {} shards, {}-way replication{}",
+            opts.shards,
+            opts.replication,
+            if opts.hedge_after_ms > 0 {
+                format!(", hedging after {} ms (live transport only)", opts.hedge_after_ms)
+            } else {
+                String::new()
+            },
+        );
+        match scenario.run_training_fleet(
+            opts.epochs,
+            opts.shards,
+            opts.replication,
+            opts.seed,
+            &[],
+        ) {
+            Ok(r) => {
+                println!(
+                    "{:<8} {:>9} {:>11} {:>13} {:>14}",
+                    "shard", "samples", "offloaded", "traffic (GB)", "storage CPU (s)"
+                );
+                for s in &r.per_shard {
+                    println!(
+                        "{:<8} {:>9} {:>11} {:>13.2} {:>14.1}",
+                        format!("node{}", s.shard),
+                        s.samples,
+                        s.offloaded_samples,
+                        s.transfer_bytes as f64 / 1e9,
+                        s.storage_cpu_seconds,
+                    );
+                }
+                println!(
+                    "fleet epoch: {:.1} s, {:.2} GB across {} links; peak node share {:.0}%",
+                    r.stats.steady_epoch.total.epoch_seconds,
+                    r.stats.steady_epoch.total.traffic_bytes as f64 / 1e9,
+                    r.shards,
+                    r.peak_node_share() * 100.0,
+                );
+            }
+            Err(e) => println!("fleet run failed: {e}"),
+        }
+    }
+
     let policies = standard_policies();
     let selected: Vec<_> =
         policies.iter().filter(|p| opts.policy == "all" || p.name() == opts.policy).collect();

@@ -49,6 +49,13 @@ pub struct CliOptions {
     pub cache_budget_pct: u64,
     /// Cache selection policy.
     pub cache_policy: crate::ext::caching::CacheSelection,
+    /// Storage nodes the corpus is sharded across (1 = single node).
+    pub shards: usize,
+    /// Replicas per sample across the fleet.
+    pub replication: usize,
+    /// Hedge a slow fetch to a replica after this many milliseconds
+    /// (0 = never hedge).
+    pub hedge_after_ms: u64,
 }
 
 impl Default for CliOptions {
@@ -67,6 +74,9 @@ impl Default for CliOptions {
             epochs: 1,
             cache_budget_pct: 0,
             cache_policy: crate::ext::caching::CacheSelection::EfficiencyAware,
+            shards: 1,
+            replication: 1,
+            hedge_after_ms: 0,
         }
     }
 }
@@ -137,6 +147,9 @@ impl CliOptions {
                         other => return Err(format!("unknown cache policy '{other}'")),
                     }
                 }
+                "--shards" => opts.shards = parse_num(flag, value)?,
+                "--replication" => opts.replication = parse_num(flag, value)?,
+                "--hedge-after" => opts.hedge_after_ms = parse_num(flag, value)?,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -145,6 +158,15 @@ impl CliOptions {
         }
         if opts.cache_budget_pct > 100 {
             return Err("cache budget must be 0-100 percent of corpus bytes".to_string());
+        }
+        if opts.shards == 0 {
+            return Err("shards must be positive".to_string());
+        }
+        if opts.replication == 0 || opts.replication > opts.shards {
+            return Err(format!(
+                "replication must be between 1 and the shard count ({})",
+                opts.shards
+            ));
         }
         Ok(opts)
     }
@@ -178,7 +200,8 @@ impl CliOptions {
          \u{20}          [--storage-cores N] [--compute-cores N] [--gpus N]\n\
          \u{20}          [--bandwidth-mbps F] [--model alexnet|resnet18|resnet50]\n\
          \u{20}          [--batch N] [--epochs N]\n\
-         \u{20}          [--cache-budget-pct 0-100] [--cache-policy lru|size|efficiency]"
+         \u{20}          [--cache-budget-pct 0-100] [--cache-policy lru|size|efficiency]\n\
+         \u{20}          [--shards N] [--replication N] [--hedge-after MS]"
     }
 }
 
@@ -224,6 +247,23 @@ mod tests {
         assert!(CliOptions::parse(["--samples", "0"]).unwrap_err().contains("positive"));
         assert!(CliOptions::parse(["--cache-budget-pct", "150"]).unwrap_err().contains("0-100"));
         assert!(CliOptions::parse(["--cache-policy", "mru"]).unwrap_err().contains("mru"));
+        assert!(CliOptions::parse(["--shards", "0"]).unwrap_err().contains("shards"));
+        assert!(CliOptions::parse(["--replication", "2"]).unwrap_err().contains("replication"));
+        assert!(CliOptions::parse("--shards 4 --replication 5".split_whitespace())
+            .unwrap_err()
+            .contains("replication"));
+    }
+
+    #[test]
+    fn fleet_flags_parse() {
+        let opts =
+            CliOptions::parse("--shards 4 --replication 2 --hedge-after 15".split_whitespace())
+                .unwrap();
+        assert_eq!(opts.shards, 4);
+        assert_eq!(opts.replication, 2);
+        assert_eq!(opts.hedge_after_ms, 15);
+        let d = CliOptions::default();
+        assert_eq!((d.shards, d.replication, d.hedge_after_ms), (1, 1, 0));
     }
 
     #[test]

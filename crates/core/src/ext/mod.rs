@@ -12,6 +12,9 @@
 //! * [`caching`] — cache-aware planning for the near-compute sample cache
 //!   (`cache` crate): cached samples drop out of `T_Net` and the greedy
 //!   engine re-plans the residual set.
+//! * [`sharding`] — fleet-aware planning for sharded storage (`fleet`
+//!   crate): the greedy engine runs per shard against each node's own
+//!   cores and link.
 //!
 //! Plus one operator tool that falls out of the same machinery:
 //!
@@ -30,3 +33,4 @@ pub mod gpu_split;
 pub mod hetero;
 pub mod multitenant;
 pub mod provisioning;
+pub mod sharding;

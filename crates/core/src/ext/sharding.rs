@@ -1,0 +1,220 @@
+//! Fleet-aware offload planning (the sophon-fleet extension).
+//!
+//! With a single storage node, the greedy engine's `T_CS` guard protects
+//! *that node's* cores. Sharding the corpus across N nodes (placed by
+//! [`fleet::ShardMap`]) changes the resource picture: each node has its own
+//! preprocessing cores and its own link, so a plan computed against the
+//! aggregate fleet could pile every offloaded sample onto one hot shard.
+//! [`plan_for_fleet`] instead runs the greedy engine **once per shard**,
+//! over that shard's primary samples against that node's own cores and
+//! link. Each shard stops offloading exactly when *its* link stops being
+//! the predominant cost, so no single node's preprocessing cores become
+//! the fleet's bottleneck.
+//!
+//! The per-shard contexts reuse the job-wide compute-node and GPU
+//! capacities: those resources are shared by all shards, so each shard's
+//! view of `T_CC`/`T_G` covers only its own samples and understates the
+//! contention slightly. The bias is conservative for the stopping rule —
+//! it can only keep `T_Net` predominant longer — and vanishes as shards
+//! balance.
+//!
+//! The module also bridges planning to the fleet simulator: [`owner_lists`]
+//! materializes per-sample replica sets for
+//! [`cluster::simulate_fleet_epoch`], and [`fleet_nodes`] derives the
+//! per-node resource vector from the planning config.
+
+use cluster::{ClusterConfig, FleetNodeConfig};
+use fleet::ShardMap;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{DecisionEngine, PlanningContext};
+use crate::{OffloadPlan, SophonError};
+
+/// One shard's slice of a fleet plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardPlanStats {
+    /// The shard (storage node) index.
+    pub shard: usize,
+    /// Samples whose primary owner is this shard.
+    pub samples: u64,
+    /// How many of them offload at least one op.
+    pub offloaded_samples: u64,
+    /// Bytes this shard ships per epoch under the plan.
+    pub transfer_bytes: u64,
+    /// Offloaded single-core CPU seconds this shard executes per epoch.
+    pub storage_cpu_seconds: f64,
+}
+
+/// A fleet-wide offload plan with its per-shard decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedPlan {
+    /// The merged plan, indexed like the corpus.
+    pub plan: OffloadPlan,
+    /// Per-sample primary shard (parallel to the corpus).
+    pub primaries: Vec<usize>,
+    /// Per-shard aggregates, in shard order.
+    pub per_shard: Vec<ShardPlanStats>,
+}
+
+impl ShardedPlan {
+    /// The busiest shard's offloaded CPU seconds — the quantity per-shard
+    /// planning bounds.
+    pub fn peak_storage_cpu_seconds(&self) -> f64 {
+        self.per_shard.iter().map(|s| s.storage_cpu_seconds).fold(0.0, f64::max)
+    }
+
+    /// Total bytes on all wires per epoch.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.transfer_bytes).sum()
+    }
+}
+
+/// Plans offloading for a corpus sharded by `map`: the greedy engine runs
+/// independently over each shard's primary samples, against that node's
+/// own cores and link.
+///
+/// # Errors
+///
+/// Propagates plan/profile mismatches (impossible for well-formed
+/// contexts, but kept total).
+pub fn plan_for_fleet(
+    ctx: &PlanningContext<'_>,
+    map: &ShardMap,
+) -> Result<ShardedPlan, SophonError> {
+    let n = ctx.profiles.len();
+    let primaries: Vec<usize> = (0..n).map(|i| map.primary(i as u64)).collect();
+    let mut plan = OffloadPlan::none(n);
+    let mut per_shard = Vec::with_capacity(map.nodes());
+    let engine = DecisionEngine::new();
+
+    for shard in 0..map.nodes() {
+        let indices: Vec<usize> = (0..n).filter(|&i| primaries[i] == shard).collect();
+        let profiles: Vec<_> = indices.iter().map(|&i| ctx.profiles[i].clone()).collect();
+        let mut sub =
+            PlanningContext::new(&profiles, ctx.pipeline, ctx.config, ctx.gpu, ctx.batch_size);
+        sub.storage_speed_factor = ctx.storage_speed_factor;
+        let shard_plan = engine.plan(&sub);
+        for (local, &global) in indices.iter().enumerate() {
+            plan.set_split(global, shard_plan.split(local));
+        }
+        let summary = shard_plan.summarize(&profiles)?;
+        per_shard.push(ShardPlanStats {
+            shard,
+            samples: summary.samples,
+            offloaded_samples: summary.offloaded_samples,
+            transfer_bytes: summary.transfer_bytes,
+            storage_cpu_seconds: summary.storage_cpu_seconds,
+        });
+    }
+    Ok(ShardedPlan { plan, primaries, per_shard })
+}
+
+/// Per-sample ordered replica sets for `samples` sequential sample ids —
+/// the `owners` input of [`cluster::simulate_fleet_epoch`].
+pub fn owner_lists(map: &ShardMap, samples: usize) -> Vec<Vec<usize>> {
+    (0..samples).map(|i| map.owners(i as u64)).collect()
+}
+
+/// A fleet of `shards` identical nodes, each matching the storage side of
+/// `config` at nominal speed.
+pub fn fleet_nodes(config: &ClusterConfig, shards: usize) -> Vec<FleetNodeConfig> {
+    vec![FleetNodeConfig::nominal(config); shards]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{simulate_fleet_epoch, EpochSpec, GpuModel};
+    use datasets::DatasetSpec;
+    use pipeline::{CostModel, PipelineSpec, SampleProfile};
+
+    fn setup(storage_cores: usize) -> (Vec<SampleProfile>, PipelineSpec, ClusterConfig) {
+        let ds = DatasetSpec::openimages_like(1600, 11);
+        let pipeline = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        let ps: Vec<_> = ds.records().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+        (ps, pipeline, ClusterConfig::paper_testbed(storage_cores))
+    }
+
+    #[test]
+    fn single_shard_matches_the_global_engine() {
+        let (ps, pipeline, config) = setup(48);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let sharded = plan_for_fleet(&ctx, &ShardMap::new(1, 1, 2024)).unwrap();
+        let global = DecisionEngine::new().plan(&ctx);
+        assert_eq!(sharded.plan, global);
+        assert_eq!(sharded.per_shard.len(), 1);
+        assert!(sharded.primaries.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn shards_partition_the_corpus() {
+        let (ps, pipeline, config) = setup(4);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(4, 2, 7);
+        let sharded = plan_for_fleet(&ctx, &map).unwrap();
+        assert_eq!(sharded.plan.len(), ps.len());
+        assert_eq!(sharded.per_shard.iter().map(|s| s.samples).sum::<u64>(), ps.len() as u64);
+        for (i, &p) in sharded.primaries.iter().enumerate() {
+            assert_eq!(p, map.primary(i as u64));
+        }
+        // Every shard got a meaningful slice of a 1600-sample corpus.
+        for s in &sharded.per_shard {
+            assert!(s.samples > 100, "shard {} got {}", s.shard, s.samples);
+        }
+    }
+
+    #[test]
+    fn per_shard_offload_load_is_balanced() {
+        // Few cores per node: the greedy must stop per shard, so no node
+        // carries a disproportionate offloaded-CPU burden.
+        let (ps, pipeline, config) = setup(2);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let sharded = plan_for_fleet(&ctx, &ShardMap::new(4, 2, 99)).unwrap();
+        let loads: Vec<f64> = sharded.per_shard.iter().map(|s| s.storage_cpu_seconds).collect();
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        assert!(mean > 0.0, "no offloading happened at all");
+        for (shard, load) in loads.iter().enumerate() {
+            assert!(*load < mean * 2.0, "shard {shard} carries {load} vs mean {mean} core-seconds");
+        }
+        assert!(sharded.peak_storage_cpu_seconds() < mean * 2.0);
+    }
+
+    #[test]
+    fn sharded_plan_feeds_the_fleet_simulator() {
+        let (ps, pipeline, config) = setup(8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(4, 2, 41);
+        let sharded = plan_for_fleet(&ctx, &map).unwrap();
+        let works = sharded.plan.to_sample_works(&ps).unwrap();
+        let spec = EpochSpec::new(works, 256, GpuModel::AlexNet);
+        let stats = simulate_fleet_epoch(
+            &config,
+            &fleet_nodes(&config, 4),
+            &spec,
+            &owner_lists(&map, ps.len()),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(stats.total.samples, ps.len() as u64);
+        assert_eq!(stats.total.traffic_bytes, sharded.total_transfer_bytes());
+        // Four links: the sharded epoch beats the same plan on one node.
+        let single = cluster::simulate_epoch(&config, &spec).unwrap();
+        assert!(
+            stats.total.epoch_seconds < single.epoch_seconds,
+            "fleet {} vs single {}",
+            stats.total.epoch_seconds,
+            single.epoch_seconds
+        );
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let (ps, pipeline, config) = setup(4);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(3, 2, 5);
+        let a = plan_for_fleet(&ctx, &map).unwrap();
+        let b = plan_for_fleet(&ctx, &map).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -248,6 +248,76 @@ impl Scenario {
     }
 }
 
+/// The outcome of a training run over a sharded storage fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTrainingReport {
+    /// Storage nodes in the fleet.
+    pub shards: usize,
+    /// Replicas per sample.
+    pub replication: usize,
+    /// Per-shard plan aggregates.
+    pub per_shard: Vec<crate::ext::sharding::ShardPlanStats>,
+    /// The simulated run (kill events land in the first epoch).
+    pub stats: cluster::FleetTrainingStats,
+}
+
+impl FleetTrainingReport {
+    /// The busiest node's share of steady-state samples (`1/shards` is
+    /// perfectly balanced).
+    pub fn peak_node_share(&self) -> f64 {
+        self.stats.steady_epoch.peak_node_share()
+    }
+}
+
+impl Scenario {
+    /// Simulates `epochs` of training over a fleet of `shards` storage
+    /// nodes with `replication`-way placement keyed by `placement_seed`.
+    /// Planning runs per shard (`ext::sharding`); `kills` inject node
+    /// deaths into the first epoch (dead nodes stay dead afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and simulation failures — notably
+    /// [`cluster::SimError::SampleUnreachable`] when `kills` exceed what
+    /// `replication` can absorb.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epochs == 0`, `shards == 0`, or `replication` is not
+    /// in `1..=shards`.
+    pub fn run_training_fleet(
+        &self,
+        epochs: u64,
+        shards: usize,
+        replication: usize,
+        placement_seed: u64,
+        kills: &[cluster::KillEvent],
+    ) -> Result<FleetTrainingReport, SophonError> {
+        use crate::ext::sharding;
+
+        let profiles = self.profiles();
+        let ctx = PlanningContext::new(
+            &profiles,
+            &self.pipeline,
+            &self.config,
+            self.gpu,
+            self.batch_size,
+        );
+        let map = fleet::ShardMap::new(shards, replication, placement_seed);
+        let sharded = sharding::plan_for_fleet(&ctx, &map)?;
+        let works = sharded.plan.to_sample_works(&profiles)?;
+        let stats = cluster::simulate_fleet_training(
+            &self.config,
+            &sharding::fleet_nodes(&self.config, shards),
+            &EpochSpec::new(works, self.batch_size, self.gpu),
+            &sharding::owner_lists(&map, profiles.len()),
+            kills,
+            epochs,
+        )?;
+        Ok(FleetTrainingReport { shards, replication, per_shard: sharded.per_shard, stats })
+    }
+}
+
 /// The outcome of one policy run on one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -342,6 +412,27 @@ mod tests {
         let full = s.run_training_cached(10, corpus, CacheSelection::EfficiencyAware).unwrap();
         assert_eq!(full.warm_traffic_bytes(), 0);
         assert_eq!(full.cached_samples, full.total_samples);
+    }
+
+    #[test]
+    fn fleet_training_survives_a_replicated_kill() {
+        let s = scenario(8);
+        let healthy = s.run_training_fleet(5, 4, 2, 2024, &[]).unwrap();
+        assert_eq!(healthy.shards, 4);
+        assert_eq!(healthy.stats.first_epoch.failovers, 0);
+        assert!(healthy.peak_node_share() < 0.5, "share {}", healthy.peak_node_share());
+
+        let kills = [cluster::KillEvent::new(1, 0.5)];
+        let degraded = s.run_training_fleet(5, 4, 2, 2024, &kills).unwrap();
+        // No sample lost, survivors picked up the dead node's share.
+        assert_eq!(degraded.stats.steady_epoch.total.samples, 2048);
+        assert!(degraded.stats.first_epoch.failovers > 0);
+        assert_eq!(degraded.stats.steady_epoch.per_node[1].samples_served, 0);
+        assert!(degraded.stats.total_seconds >= healthy.stats.total_seconds);
+
+        // Without replication the same kill is fatal.
+        let err = s.run_training_fleet(5, 4, 1, 2024, &kills).unwrap_err();
+        assert!(matches!(err, SophonError::Sim(cluster::SimError::SampleUnreachable { .. })));
     }
 
     #[test]

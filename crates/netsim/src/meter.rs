@@ -49,6 +49,54 @@ impl TrafficMeter {
         self.inner.bytes.store(0, Ordering::Relaxed);
         self.inner.messages.store(0, Ordering::Relaxed);
     }
+
+    /// Captures the current counters under `label` (e.g. a storage-node
+    /// name). The snapshot is a plain value — it does not keep counting.
+    pub fn snapshot(&self, label: impl Into<String>) -> MeterSnapshot {
+        MeterSnapshot { label: label.into(), bytes: self.bytes(), messages: self.messages() }
+    }
+}
+
+/// A point-in-time, labeled reading of one [`TrafficMeter`].
+///
+/// Fleet deployments run one meter per storage node; snapshots let the
+/// per-node readings be reported side by side and summed into a fleet-wide
+/// bytes-on-the-wire total with [`MeterSnapshot::merge`].
+///
+/// ```
+/// use netsim::{MeterSnapshot, TrafficMeter};
+/// let a = TrafficMeter::new();
+/// let b = TrafficMeter::new();
+/// a.record(100);
+/// b.record(250);
+/// b.record(50);
+/// let total = MeterSnapshot::merge("fleet", [a.snapshot("node0"), b.snapshot("node1")]);
+/// assert_eq!(total.bytes, 400);
+/// assert_eq!(total.messages, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeterSnapshot {
+    /// Which link or node this reading came from.
+    pub label: String,
+    /// Bytes recorded at snapshot time.
+    pub bytes: u64,
+    /// Messages recorded at snapshot time.
+    pub messages: u64,
+}
+
+impl MeterSnapshot {
+    /// Sums a set of snapshots into one aggregate reading under `label`.
+    pub fn merge(
+        label: impl Into<String>,
+        parts: impl IntoIterator<Item = MeterSnapshot>,
+    ) -> MeterSnapshot {
+        let mut total = MeterSnapshot { label: label.into(), bytes: 0, messages: 0 };
+        for p in parts {
+            total.bytes += p.bytes;
+            total.messages += p.messages;
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -74,6 +122,23 @@ mod tests {
         }
         assert_eq!(meter.bytes(), 24_000);
         assert_eq!(meter.messages(), 8_000);
+    }
+
+    #[test]
+    fn snapshots_freeze_and_merge() {
+        let meter = TrafficMeter::new();
+        meter.record(64);
+        let snap = meter.snapshot("node0");
+        meter.record(64); // later traffic does not change the snapshot
+        assert_eq!(snap, MeterSnapshot { label: "node0".into(), bytes: 64, messages: 1 });
+
+        let other = MeterSnapshot { label: "node1".into(), bytes: 36, messages: 4 };
+        let fleet = MeterSnapshot::merge("fleet", [snap, other]);
+        assert_eq!(fleet.label, "fleet");
+        assert_eq!(fleet.bytes, 100);
+        assert_eq!(fleet.messages, 5);
+        // Merging nothing is the zero reading.
+        assert_eq!(MeterSnapshot::merge("empty", []).bytes, 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub enum DataKind {
 /// let data = StageData::Image(img);
 /// assert_eq!(data.byte_len(), 150_528);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StageData {
     /// Compressed bytes.
     Encoded(bytes::Bytes),

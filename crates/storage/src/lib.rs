@@ -48,6 +48,7 @@
 
 mod client;
 mod executor;
+pub mod multi;
 mod object_store;
 pub mod protocol;
 mod retry;
@@ -58,6 +59,7 @@ pub mod wire;
 
 pub use client::{ClientError, StorageClient};
 pub use executor::{ExecError, NearStorageExecutor};
+pub use multi::MultiServerHarness;
 pub use object_store::ObjectStore;
 pub use protocol::{FetchRequest, FetchResponse, Request, Response, SessionConfig};
 pub use retry::RetryingTransport;

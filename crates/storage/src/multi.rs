@@ -1,0 +1,217 @@
+//! A harness running several live TCP storage servers as one fleet.
+//!
+//! [`MultiServerHarness`] partitions an [`ObjectStore`] across N nodes by a
+//! caller-supplied placement function (each node stores the samples it owns
+//! as primary *or* replica), binds one [`TcpStorageServer`] per node on an
+//! ephemeral loopback port, and exposes per-node addresses, clients, byte
+//! meters, and a `kill` switch for failover experiments. The placement
+//! function is deliberately a plain closure — the `fleet` crate's
+//! `ShardMap::owners` slots straight in without this crate depending on it.
+
+use std::io;
+use std::net::SocketAddr;
+
+use netsim::MeterSnapshot;
+
+use netsim::TrafficMeter;
+
+use crate::tcp::{TcpStorageClient, TcpStorageServer};
+use crate::{ObjectStore, ServerConfig};
+
+/// One node of a [`MultiServerHarness`].
+#[derive(Debug)]
+struct Node {
+    server: Option<TcpStorageServer>,
+    addr: SocketAddr,
+    meter: TrafficMeter,
+    stored: usize,
+}
+
+/// Several live TCP storage servers, each holding one shard of a corpus.
+#[derive(Debug)]
+pub struct MultiServerHarness {
+    nodes: Vec<Node>,
+}
+
+impl MultiServerHarness {
+    /// Splits `store` across `nodes` servers and starts them all.
+    ///
+    /// `owners(sample_id)` returns the ordered node list holding that
+    /// sample (primary first); the sample's bytes are replicated onto each
+    /// node in the list. Every server runs `config` (cores, bandwidth cap,
+    /// queue depth).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is zero or `owners` names a node out of range.
+    pub fn spawn<F>(
+        store: &ObjectStore,
+        nodes: usize,
+        config: ServerConfig,
+        owners: F,
+    ) -> io::Result<MultiServerHarness>
+    where
+        F: Fn(u64) -> Vec<usize>,
+    {
+        assert!(nodes > 0, "fleet needs at least one node");
+        let mut shards: Vec<ObjectStore> = (0..nodes).map(|_| ObjectStore::new()).collect();
+        for (id, bytes) in store.iter() {
+            for node in owners(id) {
+                assert!(node < nodes, "owner {node} out of range for {nodes} nodes");
+                shards[node].insert(id, bytes.clone());
+            }
+        }
+        let mut out = Vec::with_capacity(nodes);
+        for shard in shards {
+            let stored = shard.len();
+            let server = TcpStorageServer::bind(shard, config, "127.0.0.1:0")?;
+            out.push(Node {
+                addr: server.local_addr(),
+                meter: server.meter(),
+                server: Some(server),
+                stored,
+            });
+        }
+        Ok(MultiServerHarness { nodes: out })
+    }
+
+    /// Number of nodes (killed ones included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the harness has no nodes (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The bound address of `node`.
+    pub fn addr(&self, node: usize) -> SocketAddr {
+        self.nodes[node].addr
+    }
+
+    /// Samples stored on `node` (as primary or replica).
+    pub fn stored_samples(&self, node: usize) -> usize {
+        self.nodes[node].stored
+    }
+
+    /// Connects a fresh client to `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (e.g. the node was killed).
+    pub fn client(&self, node: usize) -> io::Result<TcpStorageClient> {
+        TcpStorageClient::connect(self.nodes[node].addr)
+    }
+
+    /// Connects one client per node, in node order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first connection failure.
+    pub fn clients(&self) -> io::Result<Vec<TcpStorageClient>> {
+        (0..self.len()).map(|n| self.client(n)).collect()
+    }
+
+    /// Response bytes `node` has written so far (survives a kill).
+    pub fn response_bytes(&self, node: usize) -> u64 {
+        self.nodes[node].meter.bytes()
+    }
+
+    /// Labeled per-node traffic readings (`node0`, `node1`, …), taken now.
+    pub fn traffic(&self) -> Vec<MeterSnapshot> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(n, node)| node.meter.snapshot(format!("node{n}")))
+            .collect()
+    }
+
+    /// Fleet-wide aggregate of every node's response traffic.
+    pub fn traffic_total(&self) -> MeterSnapshot {
+        MeterSnapshot::merge("fleet", self.traffic())
+    }
+
+    /// Whether `node` is still serving.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.nodes[node].server.is_some()
+    }
+
+    /// Kills `node`: stops its server and closes its connections. Clients
+    /// observe `Disconnected` on their next request. Idempotent.
+    pub fn kill(&mut self, node: usize) {
+        if let Some(server) = self.nodes[node].server.take() {
+            server.shutdown();
+        }
+    }
+
+    /// Shuts every surviving node down.
+    pub fn shutdown(mut self) {
+        for node in &mut self.nodes {
+            if let Some(server) = node.server.take() {
+                server.shutdown();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Bandwidth;
+    use pipeline::{PipelineSpec, SplitPoint};
+
+    fn config() -> ServerConfig {
+        ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 }
+    }
+
+    #[test]
+    fn shards_partition_and_replicate_the_corpus() {
+        let ds = datasets::DatasetSpec::mini(12, 31);
+        let store = ObjectStore::materialize_dataset(&ds, 0..12);
+        // Placement: primary = id % 3, replica = (id + 1) % 3.
+        let harness = MultiServerHarness::spawn(&store, 3, config(), |id| {
+            vec![(id % 3) as usize, ((id + 1) % 3) as usize]
+        })
+        .unwrap();
+        // Each node holds its primaries plus its predecessors' replicas.
+        for node in 0..3 {
+            assert_eq!(harness.stored_samples(node), 8, "node {node}");
+        }
+        // A client of node 1 can fetch anything node 1 stores.
+        let mut client = harness.client(1).unwrap();
+        client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        let reqs = vec![crate::FetchRequest::new(1, 0, SplitPoint::NONE)];
+        assert_eq!(client.fetch_many_requests(&reqs).unwrap().len(), 1);
+        harness.shutdown();
+    }
+
+    #[test]
+    fn killed_node_disconnects_its_clients() {
+        let ds = datasets::DatasetSpec::mini(4, 32);
+        let store = ObjectStore::materialize_dataset(&ds, 0..4);
+        let mut harness =
+            MultiServerHarness::spawn(&store, 2, config(), |id| vec![(id % 2) as usize]).unwrap();
+        let mut client = harness.client(0).unwrap();
+        client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        assert!(harness.is_alive(0));
+        harness.kill(0);
+        assert!(!harness.is_alive(0));
+        let reqs = vec![crate::FetchRequest::new(0, 0, SplitPoint::NONE)];
+        let err = client.fetch_many_requests(&reqs).unwrap_err();
+        assert!(matches!(err, crate::ClientError::Disconnected));
+        // Survivor keeps serving, and the meter of the corpse still reads.
+        let mut ok = harness.client(1).unwrap();
+        ok.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        let reqs = vec![crate::FetchRequest::new(1, 0, SplitPoint::NONE)];
+        assert_eq!(ok.fetch_many_requests(&reqs).unwrap().len(), 1);
+        let total = harness.traffic_total();
+        assert_eq!(total.bytes, harness.response_bytes(0) + harness.response_bytes(1));
+        assert!(total.bytes > 0);
+        harness.shutdown();
+    }
+}

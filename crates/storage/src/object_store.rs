@@ -79,6 +79,12 @@ impl ObjectStore {
         self.total_bytes
     }
 
+    /// Iterates `(id, bytes)` pairs (arbitrary order; bytes are cheaply
+    /// cloned shared buffers).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Bytes)> + '_ {
+        self.objects.iter().map(|(&id, b)| (id, b.clone()))
+    }
+
     /// Persists every object to `dir` as `<id>.sjpg` files (creating the
     /// directory), so a corpus can be served by a cold-started node without
     /// re-rendering.

@@ -61,7 +61,7 @@ pub enum Request {
 }
 
 /// A successful fetch result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FetchResponse {
     /// The sample this data belongs to.
     pub sample_id: u64,
@@ -90,7 +90,7 @@ impl FetchResponse {
 }
 
 /// Messages from server to client.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Session configured.
     Configured,

@@ -130,6 +130,12 @@ impl TcpStorageServer {
         self.meter.bytes()
     }
 
+    /// A clone of the response-byte meter (keeps counting after the
+    /// server is consumed by `shutdown`).
+    pub fn meter(&self) -> TrafficMeter {
+        self.meter.clone()
+    }
+
     /// Stops accepting, drains workers, and joins all threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);

@@ -404,15 +404,9 @@ mod tests {
             let resp =
                 Response::Data(FetchResponse { sample_id: 9, ops_applied: 2, data: p.clone() });
             let bytes = encode_response(&resp);
-            match decode_response(&bytes).unwrap() {
-                Response::Data(d) => {
-                    assert_eq!(d.sample_id, 9);
-                    assert_eq!(d.ops_applied, 2);
-                    assert_eq!(d.data.byte_len(), p.byte_len());
-                    assert_eq!(d.data.kind(), p.kind());
-                }
-                other => panic!("wrong decode: {other:?}"),
-            }
+            // Responses are `PartialEq`, so the roundtrip asserts every
+            // field (payload bytes included) in one exhaustive comparison.
+            assert_eq!(decode_response(&bytes).unwrap(), resp, "roundtrip {:?}", p.kind());
         }
     }
 
@@ -421,13 +415,7 @@ mod tests {
         for sample_id in [None, Some(5u64)] {
             let resp = Response::Error { sample_id, message: "object not found".into() };
             let bytes = encode_response(&resp);
-            match decode_response(&bytes).unwrap() {
-                Response::Error { sample_id: s, message } => {
-                    assert_eq!(s, sample_id);
-                    assert_eq!(message, "object not found");
-                }
-                other => panic!("wrong decode: {other:?}"),
-            }
+            assert_eq!(decode_response(&bytes).unwrap(), resp, "roundtrip {sample_id:?}");
         }
     }
 

@@ -1,7 +1,8 @@
 //! Property tests for the wire format: arbitrary protocol values roundtrip,
 //! arbitrary bytes never panic the decoder.
 
-use pipeline::{OpKind, PipelineSpec, SplitPoint};
+use imagery::{RasterImage, Rgb, Tensor};
+use pipeline::{OpKind, PipelineSpec, SplitPoint, StageData};
 use proptest::prelude::*;
 use storage::wire::{decode_request, decode_response, encode_request, encode_response};
 use storage::{FetchRequest, FetchResponse, Request, Response, SessionConfig};
@@ -21,6 +22,28 @@ fn arb_pipeline() -> impl Strategy<Value = PipelineSpec> {
             ])
             .expect("well-typed")
         ),
+    ]
+}
+
+fn arb_stage_data() -> impl Strategy<Value = StageData> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..400).prop_map(|v| StageData::Encoded(v.into())),
+        (1u32..24, 1u32..24, any::<u8>())
+            .prop_map(|(w, h, g)| { StageData::Image(RasterImage::filled(w, h, Rgb::gray(g))) }),
+        (1u32..24, 1u32..24, any::<u8>()).prop_map(|(w, h, g)| {
+            StageData::Tensor(Tensor::from_image(&RasterImage::filled(w, h, Rgb::gray(g))))
+        }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Configured),
+        (any::<u64>(), 0u32..8, arb_stage_data()).prop_map(|(sample_id, ops_applied, data)| {
+            Response::Data(FetchResponse { sample_id, ops_applied, data })
+        }),
+        (proptest::option::of(any::<u64>()), ".{0,200}")
+            .prop_map(|(sample_id, message)| Response::Error { sample_id, message }),
     ]
 }
 
@@ -69,27 +92,28 @@ proptest! {
         }
     }
 
-    /// Error responses roundtrip with arbitrary messages (including unicode
-    /// truncated to the 64 KiB cap).
+    /// Every representable response — configured, data carrying any payload
+    /// kind (encoded bytes, raster image, float tensor), or error — decodes
+    /// back to a value equal to the original.
     #[test]
-    fn error_responses_roundtrip(
-        sample_id in proptest::option::of(any::<u64>()),
-        message in ".{0,200}",
-    ) {
-        let resp = Response::Error { sample_id, message: message.clone() };
+    fn responses_roundtrip(resp in arb_response()) {
         let bytes = encode_response(&resp);
-        match decode_response(&bytes).unwrap() {
-            Response::Error { sample_id: s, message: m } => {
-                prop_assert_eq!(s, sample_id);
-                prop_assert_eq!(m, message);
-            }
-            other => prop_assert!(false, "wrong decode: {:?}", other),
+        prop_assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    /// Truncating a valid response at any point yields an error, never a
+    /// wrong-but-valid message.
+    #[test]
+    fn truncated_responses_error(resp in arb_response()) {
+        let bytes = encode_response(&resp);
+        for len in 0..bytes.len() {
+            prop_assert!(decode_response(&bytes[..len]).is_err(), "prefix {}", len);
         }
     }
 
-    /// Data responses preserve payload sizes for arbitrary encoded blobs.
+    /// Data responses roundtrip whole for arbitrary encoded blobs.
     #[test]
-    fn data_responses_preserve_len(
+    fn data_responses_preserve_payloads(
         sample_id in any::<u64>(),
         ops in 0u32..6,
         payload in proptest::collection::vec(any::<u8>(), 0..2000),
@@ -97,16 +121,9 @@ proptest! {
         let resp = Response::Data(FetchResponse {
             sample_id,
             ops_applied: ops,
-            data: pipeline::StageData::Encoded(payload.clone().into()),
+            data: pipeline::StageData::Encoded(payload.into()),
         });
         let bytes = encode_response(&resp);
-        match decode_response(&bytes).unwrap() {
-            Response::Data(d) => {
-                prop_assert_eq!(d.sample_id, sample_id);
-                prop_assert_eq!(d.ops_applied, ops);
-                prop_assert_eq!(d.data.byte_len(), payload.len() as u64);
-            }
-            other => prop_assert!(false, "wrong decode: {:?}", other),
-        }
+        prop_assert_eq!(decode_response(&bytes).unwrap(), resp);
     }
 }
