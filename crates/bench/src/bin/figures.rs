@@ -8,9 +8,9 @@
 //! ```
 
 use bench::{
-    cache_effectiveness, discussion_bandwidth_sweep, discussion_gpus, figure_1a, figure_1b,
-    figure_1c, figure_1d, figure_3, figure_4, fleet_scaling_table, table1, training_amortization,
-    PAPER_SAMPLES,
+    cache_effectiveness, cached_fleet_table, discussion_bandwidth_sweep, discussion_gpus,
+    figure_1a, figure_1b, figure_1c, figure_1d, figure_3, figure_4, fleet_scaling_table, table1,
+    training_amortization, PAPER_SAMPLES,
 };
 
 fn main() {
@@ -40,6 +40,7 @@ fn main() {
     run("amortization", &|| training_amortization(len, 50));
     run("cache", &|| cache_effectiveness(len, 50));
     run("fleet", &|| fleet_scaling_table(len));
+    run("cached-fleet", &|| cached_fleet_table(len));
 
     let known = [
         "all",
@@ -55,6 +56,7 @@ fn main() {
         "amortization",
         "cache",
         "fleet",
+        "cached-fleet",
     ];
     if !known.contains(&which) {
         eprintln!("unknown artifact '{which}'; use one of: {}", known.join(" "));

@@ -583,6 +583,99 @@ pub fn fleet_scaling_table(len: u64) -> String {
     out
 }
 
+/// One row of the cache × fleet composition sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedFleetRow {
+    /// Cache budget as a percentage of corpus raw bytes.
+    pub budget_pct: u64,
+    /// Storage nodes in the fleet.
+    pub shards: usize,
+    /// Samples pinned in the near-compute cache.
+    pub cached_samples: u64,
+    /// Cold-epoch (profiling + cache-filling) fleet wire bytes.
+    pub cold_traffic_bytes: u64,
+    /// Steady-state warm-epoch fleet wire bytes.
+    pub warm_traffic_bytes: u64,
+    /// Steady-state warm-epoch time in virtual seconds.
+    pub warm_epoch_seconds: f64,
+    /// Busiest node's share of warm-epoch served samples.
+    pub peak_node_share: f64,
+}
+
+/// Sweeps the cache × fleet composition over `budgets_pct` (percent of
+/// corpus bytes) at a fixed shard count, planning each shard's uncached
+/// residual against that node's own cores and link.
+pub fn cached_fleet_sweep(
+    len: u64,
+    epochs: u64,
+    shards: usize,
+    replication: usize,
+    budgets_pct: &[u64],
+) -> Vec<CachedFleetRow> {
+    use sophon::ext::caching::CacheSelection;
+    let s = scenario(openimages(len), 8, GpuModel::AlexNet);
+    let corpus_bytes: u64 = s.profiles().iter().map(|p| p.raw_bytes).sum();
+    budgets_pct
+        .iter()
+        .map(|&pct| {
+            let r = s
+                .run_training_fleet_cached(
+                    epochs,
+                    shards,
+                    replication,
+                    SEED,
+                    corpus_bytes * pct / 100,
+                    CacheSelection::EfficiencyAware,
+                    &[],
+                )
+                .expect("cached fleet simulates");
+            CachedFleetRow {
+                budget_pct: pct,
+                shards,
+                cached_samples: r.cached_samples,
+                cold_traffic_bytes: r.stats.cold().total.traffic_bytes,
+                warm_traffic_bytes: r.warm_traffic_bytes(),
+                warm_epoch_seconds: r.stats.warm().total.epoch_seconds,
+                peak_node_share: r.stats.warm().peak_node_share(),
+            }
+        })
+        .collect()
+}
+
+/// Cache × fleet artifact: warm-epoch traffic and time across cache
+/// budgets over a sharded fleet.
+pub fn cached_fleet_table(len: u64) -> String {
+    let rows = cached_fleet_sweep(len, 10, 4, 2, &[0, 10, 30, 100]);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Cache x fleet: warm epochs over 4 shards, 2-way replication (OpenImages-like, 8 cores/node)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>14} {:>14} {:>12} {:>12}",
+        "budget", "cached", "cold (GB)", "warm (GB)", "warm (s)", "peak share"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>14.2} {:>14.2} {:>12.1} {:>11.0}%",
+            format!("{}%", r.budget_pct),
+            r.cached_samples,
+            r.cold_traffic_bytes as f64 / 1e9,
+            r.warm_traffic_bytes as f64 / 1e9,
+            r.warm_epoch_seconds,
+            r.peak_node_share * 100.0,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nThe cache removes whole samples from every shard's warm traffic while each"
+    );
+    let _ = writeln!(out, "shard's own cores keep offloading the residual it still serves.");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,6 +760,37 @@ mod tests {
         // Placement keeps the busiest node's share near 1/n.
         assert!(rows[2].peak_node_share < 0.5);
         assert!(fleet_scaling_table(512).contains("shards"));
+    }
+
+    #[test]
+    fn cached_fleet_sweep_composes_both_savings() {
+        let rows = cached_fleet_sweep(1_024, 5, 4, 2, &[0, 30, 100]);
+        assert_eq!(rows.len(), 3);
+        // More cache budget never increases warm fleet traffic.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].warm_traffic_bytes <= w[0].warm_traffic_bytes,
+                "{}% budget {} vs {}% budget {}",
+                w[1].budget_pct,
+                w[1].warm_traffic_bytes,
+                w[0].budget_pct,
+                w[0].warm_traffic_bytes
+            );
+        }
+        // A real budget strictly beats the cache-less fleet; a full budget
+        // zeroes the wires entirely.
+        assert!(rows[1].warm_traffic_bytes < rows[0].warm_traffic_bytes);
+        assert_eq!(rows[2].warm_traffic_bytes, 0);
+        for r in &rows {
+            assert!(r.warm_traffic_bytes <= r.cold_traffic_bytes);
+            assert!(
+                r.peak_node_share < 0.5,
+                "{}% budget share {}",
+                r.budget_pct,
+                r.peak_node_share
+            );
+        }
+        assert!(cached_fleet_table(512).contains("Cache x fleet"));
     }
 
     #[test]

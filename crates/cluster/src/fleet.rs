@@ -1,7 +1,9 @@
 //! Fleet-of-storage-nodes epoch model.
 //!
 //! Extends the two-node testbed to N storage nodes, each with its own CPU
-//! pool, read path, and storage→compute link. The module is deliberately
+//! pool, read path, and storage→compute link — a thin configuration of the
+//! unified [`crate::stagegraph`] core with
+//! [`SampleRouting::ReplicaFailover`] routing. The module is deliberately
 //! mechanism-free, like [`crate::simulate_cached_training`]: callers supply
 //! the per-sample **owner lists** (ordered replica sets, primary first —
 //! built e.g. by `fleet::ShardMap::owners`), and this module only schedules
@@ -21,86 +23,20 @@
 //! * **Straggler distributions** — a node's `speed` scales its read and
 //!   preprocessing service rate, so a seeded vector of speeds models a
 //!   straggler distribution without any randomness inside the simulator.
+//!
+//! [`simulate_fleet_cached_training`] composes this model with the warm
+//! near-compute cache of [`crate::simulate_cached_training`]: the cold
+//! epoch fetches everything from the fleet and fills the cache, warm epochs
+//! fetch only the uncached residual — still routed through each sample's
+//! owners, so per-node hotspots and failovers remain visible.
 
-use netsim::VirtualLink;
 use serde::{Deserialize, Serialize};
 
-use crate::resources::{CpuPool, FifoServer};
-use crate::{ClusterConfig, EpochSpec, EpochStats, SimError};
+use crate::stagegraph::{kill_thresholds, run_stage_graph, SampleRouting};
+use crate::training::{drive_training, EpochOutcome, TrainingPhase};
+use crate::{ClusterConfig, EpochSpec, EpochStats, FleetNodeConfig, KillEvent, SimError};
 
-/// One storage node's resources in a fleet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct FleetNodeConfig {
-    /// CPU cores available for offloaded preprocessing on this node.
-    pub storage_cores: usize,
-    /// This node's link to the compute node, in bits per second.
-    pub link_bps: f64,
-    /// Service-rate multiplier: `1.0` is nominal, `0.5` is a straggler
-    /// running reads and preprocessing at half speed.
-    pub speed: f64,
-}
-
-impl FleetNodeConfig {
-    /// A node matching the storage side of `config` at nominal speed.
-    pub fn nominal(config: &ClusterConfig) -> FleetNodeConfig {
-        FleetNodeConfig {
-            storage_cores: config.storage_cores,
-            link_bps: config.link_bps,
-            speed: 1.0,
-        }
-    }
-
-    /// Returns a copy with a different speed multiplier.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `speed` is not finite and positive.
-    #[must_use]
-    pub fn with_speed(mut self, speed: f64) -> FleetNodeConfig {
-        assert!(speed.is_finite() && speed > 0.0, "invalid node speed {speed}");
-        self.speed = speed;
-        self
-    }
-}
-
-/// A storage node dying partway through an epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct KillEvent {
-    /// The node that dies.
-    pub node: usize,
-    /// Fraction of the epoch's samples issued before the death; samples
-    /// from that point on cannot use the node. `0.0` means dead from the
-    /// start (e.g. steady-state epochs after a mid-run failure).
-    pub after_fraction: f64,
-}
-
-impl KillEvent {
-    /// Creates a kill event.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `after_fraction` is outside `[0, 1]`.
-    pub fn new(node: usize, after_fraction: f64) -> KillEvent {
-        assert!(
-            (0.0..=1.0).contains(&after_fraction),
-            "kill fraction {after_fraction} outside [0, 1]"
-        );
-        KillEvent { node, after_fraction }
-    }
-}
-
-/// One node's share of an epoch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct NodeEpochStats {
-    /// Samples this node served.
-    pub samples_served: u64,
-    /// Bytes this node pushed over its link.
-    pub traffic_bytes: u64,
-    /// Core-seconds of offloaded preprocessing executed here.
-    pub storage_cpu_busy_seconds: f64,
-    /// Seconds this node's link spent transferring.
-    pub link_busy_seconds: f64,
-}
+pub use crate::stagegraph::NodeEpochStats;
 
 /// Results of simulating one epoch over a storage fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -129,6 +65,15 @@ impl FleetEpochStats {
     }
 }
 
+impl EpochOutcome for FleetEpochStats {
+    fn epoch_seconds(&self) -> f64 {
+        self.total.epoch_seconds
+    }
+    fn traffic_bytes(&self) -> u64 {
+        self.total.traffic_bytes
+    }
+}
+
 /// Statistics of a multi-epoch training run over a fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetTrainingStats {
@@ -144,6 +89,42 @@ pub struct FleetTrainingStats {
     pub total_traffic_bytes: u64,
 }
 
+/// Statistics of a cached training run over a fleet: epoch 0 is the cold
+/// (cache-filling) fleet epoch, every later epoch fetches only the uncached
+/// residual through the same fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCachedTrainingStats {
+    /// The underlying run (first epoch = cold, steady = warm).
+    pub run: FleetTrainingStats,
+}
+
+impl FleetCachedTrainingStats {
+    /// The cold (cache-filling) fleet epoch's stats.
+    pub fn cold(&self) -> &FleetEpochStats {
+        &self.run.first_epoch
+    }
+
+    /// The steady-state warm fleet epoch's stats.
+    pub fn warm(&self) -> &FleetEpochStats {
+        &self.run.steady_epoch
+    }
+
+    /// Wire bytes a warm epoch avoids relative to the cold epoch.
+    pub fn warm_bytes_saved(&self) -> u64 {
+        self.cold().total.traffic_bytes.saturating_sub(self.warm().total.traffic_bytes)
+    }
+
+    /// Fraction of cold-epoch fleet traffic a warm epoch avoids (0 when
+    /// the cold epoch moved nothing).
+    pub fn warm_traffic_reduction(&self) -> f64 {
+        if self.cold().total.traffic_bytes == 0 {
+            0.0
+        } else {
+            self.warm_bytes_saved() as f64 / self.cold().total.traffic_bytes as f64
+        }
+    }
+}
+
 /// Simulates one epoch over a fleet of storage nodes.
 ///
 /// `owners[i]` is sample `i`'s ordered replica set (primary first); the
@@ -154,16 +135,16 @@ pub struct FleetTrainingStats {
 ///
 /// # Errors
 ///
+/// * [`SimError::EmptyFleet`] — `nodes` is empty.
+/// * [`SimError::OwnersMismatch`] — `owners` is not parallel to
+///   `spec.samples`.
+/// * [`SimError::OwnerOutOfRange`] / [`SimError::KillOutOfRange`] — an
+///   owner list or kill event names a node outside the fleet.
 /// * [`SimError::SampleUnreachable`] — a sample's owners are all dead.
 /// * [`SimError::NoStorageCores`] — offloaded work routed to a node with
 ///   zero cores.
 /// * [`SimError::NoComputeCores`] / [`SimError::NoGpus`] — as
 ///   [`crate::simulate_epoch`].
-///
-/// # Panics
-///
-/// Panics when `nodes` is empty, `owners` is not parallel to
-/// `spec.samples`, or an owner index is out of range.
 pub fn simulate_fleet_epoch(
     base: &ClusterConfig,
     nodes: &[FleetNodeConfig],
@@ -171,127 +152,17 @@ pub fn simulate_fleet_epoch(
     owners: &[Vec<usize>],
     kills: &[KillEvent],
 ) -> Result<FleetEpochStats, SimError> {
-    assert!(!nodes.is_empty(), "fleet needs at least one node");
-    assert_eq!(owners.len(), spec.samples.len(), "owners must be parallel to samples");
-    for event in kills {
-        assert!(event.node < nodes.len(), "kill names node {} of {}", event.node, nodes.len());
+    if nodes.is_empty() {
+        return Err(SimError::EmptyFleet);
     }
-
-    let needs_compute_cpu = spec.samples.iter().any(|s| s.compute_cpu_seconds > 0.0);
-    if needs_compute_cpu && base.compute_cores == 0 {
-        return Err(SimError::NoComputeCores);
-    }
-    if base.gpus == 0 {
-        return Err(SimError::NoGpus);
-    }
-
-    // Each node dies at an index threshold: samples issued at or after it
-    // cannot use the node.
-    let total = spec.samples.len();
-    let mut dead_from = vec![usize::MAX; nodes.len()];
-    for event in kills {
-        let at = (event.after_fraction * total as f64).floor() as usize;
-        dead_from[event.node] = dead_from[event.node].min(at);
-    }
-
-    let mut reads: Vec<FifoServer> = nodes.iter().map(|_| FifoServer::new()).collect();
-    let mut cpus: Vec<CpuPool> =
-        nodes.iter().map(|n| CpuPool::new(n.storage_cores.max(1))).collect();
-    let mut links: Vec<VirtualLink> = nodes
-        .iter()
-        .map(|n| {
-            VirtualLink::with_latency(netsim::Bandwidth::from_bps(n.link_bps), base.link_latency)
-        })
-        .collect();
-    let mut compute_cpu = CpuPool::new(base.compute_cores.max(usize::from(!needs_compute_cpu)));
-    let mut gpu = CpuPool::new(base.gpus);
-    let mut served = vec![0u64; nodes.len()];
-    let mut failovers = 0u64;
-
-    let batch_count = spec.batch_count();
-    let mut batch_done = vec![0.0f64; batch_count];
-    let gpu_seconds_per_image = spec.gpu.seconds_per_image();
-
-    let mut sample_idx = 0usize;
-    for batch in 0..batch_count {
-        let gate = if batch >= base.prefetch_batches {
-            batch_done[batch - base.prefetch_batches]
-        } else {
-            0.0
-        };
-        let in_batch = spec.samples.len().saturating_sub(sample_idx).min(spec.batch_size);
-        let mut batch_ready = gate;
-        for _ in 0..in_batch {
-            let w = &spec.samples[sample_idx];
-            let replicas = &owners[sample_idx];
-            // Route: first owner alive when this sample is issued.
-            let mut node = None;
-            for &owner in replicas {
-                assert!(
-                    owner < nodes.len(),
-                    "owner {owner} out of range for {} nodes",
-                    nodes.len()
-                );
-                if sample_idx < dead_from[owner] {
-                    node = Some(owner);
-                    break;
-                }
-                failovers += 1;
-            }
-            let Some(node) = node else {
-                return Err(SimError::SampleUnreachable { sample: sample_idx as u64 });
-            };
-            sample_idx += 1;
-            served[node] += 1;
-            let cfg = &nodes[node];
-            // 1. storage read on the serving node (scaled by its speed).
-            let read_s = w.transfer_bytes as f64 / (base.storage_read_bytes_per_sec * cfg.speed);
-            let read_done = reads[node].run(gate, read_s);
-            // 2. offloaded preprocessing on the serving node.
-            let offload_done = if w.storage_cpu_seconds > 0.0 {
-                if cfg.storage_cores == 0 {
-                    return Err(SimError::NoStorageCores);
-                }
-                cpus[node].run(read_done, w.storage_cpu_seconds / cfg.speed)
-            } else {
-                read_done
-            };
-            // 3. transfer over the serving node's own link.
-            let transfer_done = links[node].transfer(offload_done, w.transfer_bytes);
-            // 4. local preprocessing on the shared compute node.
-            let local_done = if w.compute_cpu_seconds > 0.0 {
-                compute_cpu.run(transfer_done, w.compute_cpu_seconds)
-            } else {
-                transfer_done
-            };
-            batch_ready = batch_ready.max(local_done);
-        }
-        // 5. GPU step for the batch.
-        let gpu_s = gpu_seconds_per_image * in_batch as f64;
-        batch_done[batch] = gpu.run(batch_ready, gpu_s);
-    }
-
-    let per_node: Vec<NodeEpochStats> = (0..nodes.len())
-        .map(|n| NodeEpochStats {
-            samples_served: served[n],
-            traffic_bytes: links[n].total_bytes(),
-            storage_cpu_busy_seconds: cpus[n].busy_seconds(),
-            link_busy_seconds: links[n].busy_seconds(),
-        })
-        .collect();
-    let epoch_seconds = batch_done.last().copied().unwrap_or(0.0);
-    let total = EpochStats {
-        epoch_seconds,
-        traffic_bytes: per_node.iter().map(|n| n.traffic_bytes).sum(),
-        gpu_busy_seconds: gpu.busy_seconds(),
-        storage_cpu_busy_seconds: per_node.iter().map(|n| n.storage_cpu_busy_seconds).sum(),
-        compute_cpu_busy_seconds: compute_cpu.busy_seconds(),
-        link_busy_seconds: per_node.iter().map(|n| n.link_busy_seconds).sum(),
-        samples: spec.samples.len() as u64,
-        batches: batch_count as u64,
-        gpus: base.gpus as u64,
-    };
-    Ok(FleetEpochStats { total, per_node, failovers })
+    let dead_from = kill_thresholds(kills, nodes.len(), spec.samples.len())?;
+    let routing = SampleRouting::ReplicaFailover { owners, dead_from: &dead_from };
+    let run = run_stage_graph(base, nodes, spec, routing, None)?;
+    Ok(FleetEpochStats {
+        total: run.total_stats(),
+        per_node: run.per_node,
+        failovers: run.failovers,
+    })
 }
 
 /// Simulates `epochs` of training over a fleet. Kill events land in the
@@ -304,8 +175,7 @@ pub fn simulate_fleet_epoch(
 ///
 /// # Panics
 ///
-/// Panics when `epochs == 0` or on the conditions of
-/// [`simulate_fleet_epoch`].
+/// Panics when `epochs == 0`.
 pub fn simulate_fleet_training(
     base: &ClusterConfig,
     nodes: &[FleetNodeConfig],
@@ -314,21 +184,68 @@ pub fn simulate_fleet_training(
     kills: &[KillEvent],
     epochs: u64,
 ) -> Result<FleetTrainingStats, SimError> {
-    assert!(epochs > 0, "training needs at least one epoch");
-    let first = simulate_fleet_epoch(base, nodes, spec, owners, kills)?;
-    let steady = if epochs > 1 {
-        let permanent: Vec<KillEvent> = kills.iter().map(|k| KillEvent::new(k.node, 0.0)).collect();
-        simulate_fleet_epoch(base, nodes, spec, owners, &permanent)?
-    } else {
-        first.clone()
-    };
-    let steady_count = epochs - 1;
+    let permanent: Vec<KillEvent> = kills.iter().map(|k| KillEvent::new(k.node, 0.0)).collect();
+    let totals = drive_training(epochs, |phase| {
+        let epoch_kills = match phase {
+            TrainingPhase::First => kills,
+            TrainingPhase::Steady => &permanent,
+        };
+        simulate_fleet_epoch(base, nodes, spec, owners, epoch_kills)
+    })?;
     Ok(FleetTrainingStats {
         epochs,
-        total_seconds: first.total.epoch_seconds + steady.total.epoch_seconds * steady_count as f64,
-        total_traffic_bytes: first.total.traffic_bytes + steady.total.traffic_bytes * steady_count,
-        first_epoch: first,
-        steady_epoch: steady,
+        first_epoch: totals.first,
+        steady_epoch: totals.steady,
+        total_seconds: totals.total_seconds,
+        total_traffic_bytes: totals.total_traffic_bytes,
+    })
+}
+
+/// Simulates `epochs` of cached training over a fleet: epoch 0 runs `cold`
+/// (fetch everything through the fleet, fill the near-compute cache) and
+/// all later epochs run `warm` (fetch the uncached residual only). Kill
+/// events land in the cold epoch at their given fraction and are permanent
+/// for warm epochs, mirroring [`simulate_fleet_training`].
+///
+/// Cached samples still appear in the warm spec (with zero transfer
+/// bytes) and are still routed through their owner lists, so a warm epoch
+/// keeps per-node accounting honest: a dead fleet cannot serve even a
+/// fully cached corpus in this conservative model.
+///
+/// # Errors
+///
+/// Propagates [`simulate_fleet_epoch`] failures; additionally
+/// [`SimError::OwnersMismatch`] when `cold` and `warm` disagree on sample
+/// count.
+///
+/// # Panics
+///
+/// Panics when `epochs == 0`.
+pub fn simulate_fleet_cached_training(
+    base: &ClusterConfig,
+    nodes: &[FleetNodeConfig],
+    cold: &EpochSpec,
+    warm: &EpochSpec,
+    owners: &[Vec<usize>],
+    kills: &[KillEvent],
+    epochs: u64,
+) -> Result<FleetCachedTrainingStats, SimError> {
+    if warm.samples.len() != cold.samples.len() {
+        return Err(SimError::OwnersMismatch { owners: owners.len(), samples: cold.samples.len() });
+    }
+    let permanent: Vec<KillEvent> = kills.iter().map(|k| KillEvent::new(k.node, 0.0)).collect();
+    let totals = drive_training(epochs, |phase| match phase {
+        TrainingPhase::First => simulate_fleet_epoch(base, nodes, cold, owners, kills),
+        TrainingPhase::Steady => simulate_fleet_epoch(base, nodes, warm, owners, &permanent),
+    })?;
+    Ok(FleetCachedTrainingStats {
+        run: FleetTrainingStats {
+            epochs,
+            first_epoch: totals.first,
+            steady_epoch: totals.steady,
+            total_seconds: totals.total_seconds,
+            total_traffic_bytes: totals.total_traffic_bytes,
+        },
     })
 }
 
@@ -490,10 +407,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "parallel to samples")]
-    fn mismatched_owners_panic() {
+    fn malformed_inputs_are_typed_errors_not_panics() {
         let spec = io_bound_spec(8);
-        let _ = simulate_fleet_epoch(&base(), &nominal_nodes(2), &spec, &owners(7, 2, 1), &[]);
+        // Owner lists not parallel to samples.
+        let err = simulate_fleet_epoch(&base(), &nominal_nodes(2), &spec, &owners(7, 2, 1), &[])
+            .unwrap_err();
+        assert_eq!(err, SimError::OwnersMismatch { owners: 7, samples: 8 });
+        // Empty fleet.
+        let err = simulate_fleet_epoch(&base(), &[], &spec, &owners(8, 2, 1), &[]).unwrap_err();
+        assert_eq!(err, SimError::EmptyFleet);
+        // Owner index beyond the node vector.
+        let mut bad = owners(8, 2, 1);
+        bad[3] = vec![5];
+        let err = simulate_fleet_epoch(&base(), &nominal_nodes(2), &spec, &bad, &[]).unwrap_err();
+        assert_eq!(err, SimError::OwnerOutOfRange { sample: 3, owner: 5, nodes: 2 });
+        // Kill event naming a node outside the fleet.
+        let err = simulate_fleet_epoch(
+            &base(),
+            &nominal_nodes(2),
+            &spec,
+            &owners(8, 2, 1),
+            &[KillEvent::new(9, 0.5)],
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::KillOutOfRange { node: 9, nodes: 2 });
     }
 
     #[test]
@@ -503,5 +440,71 @@ mod tests {
         nodes[1].storage_cores = 0;
         let err = simulate_fleet_epoch(&base(), &nodes, &spec, &owners(16, 2, 1), &[]).unwrap_err();
         assert_eq!(err, SimError::NoStorageCores);
+    }
+
+    #[test]
+    fn cached_fleet_training_composes_cold_and_warm_epochs() {
+        let cold = io_bound_spec(512);
+        // Warm epoch: half the corpus cached (zero transfer bytes).
+        let warm_samples: Vec<SampleWork> = (0..512)
+            .map(|i| {
+                if i % 2 == 0 {
+                    SampleWork::new(0.0, 0, 0.001)
+                } else {
+                    SampleWork::new(0.0, 300_000, 0.001)
+                }
+            })
+            .collect();
+        let warm = EpochSpec::new(warm_samples, 256, GpuModel::AlexNet);
+        let own = owners(512, 4, 2);
+        let run =
+            simulate_fleet_cached_training(&base(), &nominal_nodes(4), &cold, &warm, &own, &[], 6)
+                .unwrap();
+        assert_eq!(run.cold().total.traffic_bytes, 512 * 300_000);
+        assert_eq!(run.warm().total.traffic_bytes, 256 * 300_000);
+        assert!((run.warm_traffic_reduction() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            run.run.total_traffic_bytes,
+            run.cold().total.traffic_bytes + run.warm().total.traffic_bytes * 5
+        );
+        // Warm epochs still route through the fleet: every node serves.
+        assert!(run.warm().per_node.iter().all(|n| n.samples_served > 0));
+    }
+
+    #[test]
+    fn cached_fleet_training_with_a_kill_keeps_the_node_dead_when_warm() {
+        let cold = io_bound_spec(512);
+        let warm =
+            EpochSpec::new(vec![SampleWork::new(0.0, 30_000, 0.001); 512], 256, GpuModel::AlexNet);
+        let run = simulate_fleet_cached_training(
+            &base(),
+            &nominal_nodes(3),
+            &cold,
+            &warm,
+            &owners(512, 3, 2),
+            &[KillEvent::new(1, 0.5)],
+            4,
+        )
+        .unwrap();
+        assert!(run.cold().per_node[1].samples_served > 0);
+        assert_eq!(run.warm().per_node[1].samples_served, 0);
+        assert!(run.warm().failovers > 0);
+    }
+
+    #[test]
+    fn cached_fleet_training_rejects_mismatched_specs() {
+        let cold = io_bound_spec(512);
+        let warm = io_bound_spec(256);
+        let err = simulate_fleet_cached_training(
+            &base(),
+            &nominal_nodes(2),
+            &cold,
+            &warm,
+            &owners(512, 2, 2),
+            &[],
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::OwnersMismatch { .. }));
     }
 }

@@ -1,6 +1,8 @@
-use netsim::VirtualLink;
+//! Single-node (paper testbed) epoch simulation — a thin configuration of
+//! the unified [`crate::stagegraph`] core: one nominal storage node, every
+//! sample routed to it.
 
-use crate::resources::{CpuPool, FifoServer};
+use crate::stagegraph::{run_stage_graph, FleetNodeConfig, SampleRouting};
 use crate::{ClusterConfig, EpochSpec, EpochStats};
 
 /// Errors from epoch simulation.
@@ -20,6 +22,31 @@ pub enum SimError {
         /// Index of the unreachable sample in loading order.
         sample: u64,
     },
+    /// A fleet simulation was given an empty node vector.
+    EmptyFleet,
+    /// A fleet's owner lists are not parallel to the epoch's samples.
+    OwnersMismatch {
+        /// Number of owner lists supplied.
+        owners: usize,
+        /// Number of samples in the epoch.
+        samples: usize,
+    },
+    /// An owner list names a node outside the fleet.
+    OwnerOutOfRange {
+        /// The sample whose owner list is malformed.
+        sample: u64,
+        /// The offending owner index.
+        owner: usize,
+        /// Number of nodes in the fleet.
+        nodes: usize,
+    },
+    /// A kill event names a node outside the fleet.
+    KillOutOfRange {
+        /// The node the kill event names.
+        node: usize,
+        /// Number of nodes in the fleet.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -34,6 +61,16 @@ impl std::fmt::Display for SimError {
             SimError::NoGpus => write!(f, "compute node has 0 GPUs"),
             SimError::SampleUnreachable { sample } => {
                 write!(f, "sample {sample} has no surviving replica")
+            }
+            SimError::EmptyFleet => write!(f, "fleet needs at least one node"),
+            SimError::OwnersMismatch { owners, samples } => {
+                write!(f, "{owners} owner lists for {samples} samples (must be parallel)")
+            }
+            SimError::OwnerOutOfRange { sample, owner, nodes } => {
+                write!(f, "sample {sample} names owner {owner}, but the fleet has {nodes} nodes")
+            }
+            SimError::KillOutOfRange { node, nodes } => {
+                write!(f, "kill event names node {node}, but the fleet has {nodes} nodes")
             }
         }
     }
@@ -59,12 +96,17 @@ impl std::error::Error for SimError {}
 /// `b - prefetch_batches` has left the GPU, like a real `DataLoader` with a
 /// bounded queue.
 ///
+/// This is the degenerate configuration of [`crate::stagegraph`]: a single
+/// nominal node serving every sample.
+///
 /// # Errors
 ///
 /// Returns [`SimError::NoStorageCores`] /
 /// [`SimError::NoComputeCores`] when work is routed to an empty pool.
 pub fn simulate_epoch(config: &ClusterConfig, spec: &EpochSpec) -> Result<EpochStats, SimError> {
-    run_sim(config, spec, None)
+    let nodes = [FleetNodeConfig::nominal(config)];
+    let run = run_stage_graph(config, &nodes, spec, SampleRouting::SingleNode, None)?;
+    Ok(run.total_stats())
 }
 
 /// Like [`simulate_epoch`] but also returns the per-sample timeline — when
@@ -78,116 +120,10 @@ pub fn simulate_epoch_traced(
     config: &ClusterConfig,
     spec: &EpochSpec,
 ) -> Result<crate::trace::EpochTrace, SimError> {
+    let nodes = [FleetNodeConfig::nominal(config)];
     let mut samples = Vec::with_capacity(spec.samples.len());
-    let stats = run_sim(config, spec, Some(&mut samples))?;
-    Ok(crate::trace::EpochTrace::new(samples, stats))
-}
-
-fn run_sim(
-    config: &ClusterConfig,
-    spec: &EpochSpec,
-    mut trace: Option<&mut Vec<crate::trace::SampleTrace>>,
-) -> Result<EpochStats, SimError> {
-    let needs_storage_cpu = spec.samples.iter().any(|s| s.storage_cpu_seconds > 0.0);
-    if needs_storage_cpu && config.storage_cores == 0 {
-        return Err(SimError::NoStorageCores);
-    }
-    let needs_compute_cpu = spec.samples.iter().any(|s| s.compute_cpu_seconds > 0.0);
-    if needs_compute_cpu && config.compute_cores == 0 {
-        return Err(SimError::NoComputeCores);
-    }
-    if config.gpus == 0 {
-        return Err(SimError::NoGpus);
-    }
-
-    let mut storage_cpu = CpuPool::new(config.storage_cores.max(usize::from(!needs_storage_cpu)));
-    let mut compute_cpu = CpuPool::new(config.compute_cores.max(usize::from(!needs_compute_cpu)));
-    let mut link = VirtualLink::with_latency(config.bandwidth(), config.link_latency);
-    let mut storage_disk = FifoServer::new();
-    // Data-parallel GPUs: each batch occupies one GPU; batches may overlap
-    // across GPUs (gradient sync is folded into the per-batch time).
-    let mut gpu = CpuPool::new(config.gpus);
-
-    let batch_count = spec.batch_count();
-    let mut batch_done = vec![0.0f64; batch_count];
-    let gpu_seconds_per_image = spec.gpu.seconds_per_image();
-
-    let mut sample_idx = 0usize;
-    for batch in 0..batch_count {
-        // Prefetch gate: wait for batch `batch - window` to leave the GPU.
-        let gate = if batch >= config.prefetch_batches {
-            batch_done[batch - config.prefetch_batches]
-        } else {
-            0.0
-        };
-        let in_batch = spec.samples.len().saturating_sub(sample_idx).min(spec.batch_size);
-        let mut batch_ready = gate;
-        for _ in 0..in_batch {
-            let w = &spec.samples[sample_idx];
-            sample_idx += 1;
-            // 1. storage read (RAM-cached).
-            let read_s = w.transfer_bytes as f64 / config.storage_read_bytes_per_sec;
-            let read_done = storage_disk.run(gate, read_s);
-            // 2. offloaded preprocessing.
-            let offload_done = if w.storage_cpu_seconds > 0.0 {
-                storage_cpu.run(read_done, w.storage_cpu_seconds)
-            } else {
-                read_done
-            };
-            // 3. link transfer.
-            let transfer_done = {
-                let t = link.transfer(offload_done, w.transfer_bytes);
-                // `VirtualLink::transfer` serializes from submission order;
-                // ready-time ordering is preserved because samples are
-                // submitted in loading order and offload_done is produced by
-                // FIFO pools.
-                t
-            };
-            // 4. local preprocessing.
-            let local_done = if w.compute_cpu_seconds > 0.0 {
-                compute_cpu.run(transfer_done, w.compute_cpu_seconds)
-            } else {
-                transfer_done
-            };
-            batch_ready = batch_ready.max(local_done);
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(crate::trace::SampleTrace {
-                    sample: (sample_idx - 1) as u64,
-                    batch: batch as u64,
-                    gate,
-                    read_done,
-                    offload_done,
-                    transfer_done,
-                    local_done,
-                    batch_done: 0.0, // filled once the batch's GPU step ends
-                });
-            }
-        }
-        // 5. GPU step for the batch.
-        let gpu_s = gpu_seconds_per_image * in_batch as f64;
-        batch_done[batch] = gpu.run(batch_ready, gpu_s);
-        if let Some(t) = trace.as_deref_mut() {
-            for entry in t.iter_mut().rev() {
-                if entry.batch != batch as u64 {
-                    break;
-                }
-                entry.batch_done = batch_done[batch];
-            }
-        }
-    }
-
-    let epoch_seconds = batch_done.last().copied().unwrap_or(0.0);
-    Ok(EpochStats {
-        epoch_seconds,
-        traffic_bytes: link.total_bytes(),
-        gpu_busy_seconds: gpu.busy_seconds(),
-        storage_cpu_busy_seconds: storage_cpu.busy_seconds(),
-        compute_cpu_busy_seconds: compute_cpu.busy_seconds(),
-        link_busy_seconds: link.busy_seconds(),
-        samples: spec.samples.len() as u64,
-        batches: batch_count as u64,
-        gpus: config.gpus as u64,
-    })
+    let run = run_stage_graph(config, &nodes, spec, SampleRouting::SingleNode, Some(&mut samples))?;
+    Ok(crate::trace::EpochTrace::new(samples, run.total_stats()))
 }
 
 #[cfg(test)]

@@ -6,10 +6,78 @@
 //! epoch**: its stage-2 profiler runs the first epoch without offloading, so
 //! a SOPHON training run pays one `No-Off` epoch up front and reaps the
 //! optimized epochs afterwards. This module quantifies that amortization.
+//!
+//! Every multi-epoch entry point in the crate — [`simulate_training`],
+//! [`crate::simulate_cached_training`], [`crate::simulate_fleet_training`],
+//! and [`crate::simulate_fleet_cached_training`] — shares the same
+//! first-then-steady aggregation through [`drive_training`]; only the
+//! per-epoch simulation differs.
 
 use serde::{Deserialize, Serialize};
 
 use crate::{simulate_epoch, ClusterConfig, EpochSpec, EpochStats, SimError};
+
+/// One epoch's contribution to a training run's totals.
+pub(crate) trait EpochOutcome: Clone {
+    /// Virtual seconds the epoch took.
+    fn epoch_seconds(&self) -> f64;
+    /// Bytes moved over all links during the epoch.
+    fn traffic_bytes(&self) -> u64;
+}
+
+impl EpochOutcome for EpochStats {
+    fn epoch_seconds(&self) -> f64 {
+        self.epoch_seconds
+    }
+    fn traffic_bytes(&self) -> u64 {
+        self.traffic_bytes
+    }
+}
+
+/// Which epoch of a training run is being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TrainingPhase {
+    /// Epoch 0 (profiling / cold / where mid-epoch kills land).
+    First,
+    /// Every epoch after the first.
+    Steady,
+}
+
+/// Aggregate of a first-then-steady training run.
+pub(crate) struct TrainingTotals<S> {
+    /// The first epoch's outcome.
+    pub first: S,
+    /// The steady-state epochs' outcome (equals `first` for 1-epoch runs).
+    pub steady: S,
+    /// `first + steady * (epochs - 1)` seconds.
+    pub total_seconds: f64,
+    /// `first + steady * (epochs - 1)` bytes.
+    pub total_traffic_bytes: u64,
+}
+
+/// The shared cold/steady aggregation behind every training simulator: run
+/// the first epoch, run one steady epoch when the run has more than one
+/// (otherwise reuse the first), and total seconds and traffic as
+/// `first + steady × (epochs − 1)`.
+///
+/// # Panics
+///
+/// Panics when `epochs == 0`.
+pub(crate) fn drive_training<S: EpochOutcome, E>(
+    epochs: u64,
+    mut run_epoch: impl FnMut(TrainingPhase) -> Result<S, E>,
+) -> Result<TrainingTotals<S>, E> {
+    assert!(epochs > 0, "training needs at least one epoch");
+    let first = run_epoch(TrainingPhase::First)?;
+    let steady = if epochs > 1 { run_epoch(TrainingPhase::Steady)? } else { first.clone() };
+    let steady_count = epochs - 1;
+    Ok(TrainingTotals {
+        total_seconds: first.epoch_seconds() + steady.epoch_seconds() * steady_count as f64,
+        total_traffic_bytes: first.traffic_bytes() + steady.traffic_bytes() * steady_count,
+        first,
+        steady,
+    })
+}
 
 /// Statistics of a full training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,16 +120,19 @@ pub fn simulate_training(
     steady_epoch: &EpochSpec,
     epochs: u64,
 ) -> Result<TrainingStats, SimError> {
-    assert!(epochs > 0, "training needs at least one epoch");
-    let first = simulate_epoch(config, first_epoch)?;
-    let steady = if epochs > 1 { simulate_epoch(config, steady_epoch)? } else { first.clone() };
-    let steady_count = epochs - 1;
+    let totals = drive_training(epochs, |phase| {
+        let spec = match phase {
+            TrainingPhase::First => first_epoch,
+            TrainingPhase::Steady => steady_epoch,
+        };
+        simulate_epoch(config, spec)
+    })?;
     Ok(TrainingStats {
         epochs,
-        total_seconds: first.epoch_seconds + steady.epoch_seconds * steady_count as f64,
-        total_traffic_bytes: first.traffic_bytes + steady.traffic_bytes * steady_count,
-        first_epoch: first,
-        steady_epoch: steady,
+        first_epoch: totals.first,
+        steady_epoch: totals.steady,
+        total_seconds: totals.total_seconds,
+        total_traffic_bytes: totals.total_traffic_bytes,
     })
 }
 
@@ -108,5 +179,20 @@ mod tests {
     fn zero_epochs_panics() {
         let config = ClusterConfig::paper_testbed(48);
         let _ = simulate_training(&config, &spec(1), &spec(1), 0);
+    }
+
+    #[test]
+    fn driver_runs_steady_epoch_once() {
+        let mut calls = Vec::new();
+        let totals = drive_training::<EpochStats, SimError>(5, |phase| {
+            calls.push(phase);
+            simulate_epoch(&ClusterConfig::paper_testbed(48), &spec(10_000))
+        })
+        .unwrap();
+        assert_eq!(calls, vec![TrainingPhase::First, TrainingPhase::Steady]);
+        assert_eq!(
+            totals.total_traffic_bytes,
+            totals.first.traffic_bytes + totals.steady.traffic_bytes * 4
+        );
     }
 }

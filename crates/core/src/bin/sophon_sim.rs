@@ -91,7 +91,71 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
         }
     }
 
-    if opts.cache_budget_pct > 0 {
+    if opts.cache_budget_pct > 0 && opts.shards > 1 {
+        let profiles = scenario.profiles();
+        let corpus_bytes: u64 = profiles.iter().map(|p| p.raw_bytes).sum();
+        let budget = corpus_bytes * opts.cache_budget_pct / 100;
+        let epochs = opts.epochs.max(2);
+        println!(
+            "\ncache x fleet: {:.2} GB cache ({}%, {} selection) over {} shards, \
+             {}-way replication, {} epochs",
+            budget as f64 / 1e9,
+            opts.cache_budget_pct,
+            opts.cache_policy.name(),
+            opts.shards,
+            opts.replication,
+            epochs,
+        );
+        match scenario.run_training_fleet_cached(
+            epochs,
+            opts.shards,
+            opts.replication,
+            opts.seed,
+            budget,
+            opts.cache_policy,
+            &[],
+        ) {
+            Ok(r) => {
+                println!(
+                    "{:<8} {:>9} {:>8} {:>11} {:>18} {:>16}",
+                    "shard",
+                    "residual",
+                    "cached",
+                    "offloaded",
+                    "warm traffic (GB)",
+                    "storage CPU (s)"
+                );
+                for s in &r.per_shard {
+                    println!(
+                        "{:<8} {:>9} {:>8} {:>11} {:>18.2} {:>16.1}",
+                        format!("node{}", s.residual.shard),
+                        s.residual.samples,
+                        s.cached_samples,
+                        s.residual.offloaded_samples,
+                        s.residual.transfer_bytes as f64 / 1e9,
+                        s.residual.storage_cpu_seconds,
+                    );
+                }
+                println!(
+                    "cold epoch: {:.1} s, {:.2} GB | warm epoch: {:.1} s, {:.2} GB \
+                     (avoids {:.1}% of cold traffic)",
+                    r.stats.cold().total.epoch_seconds,
+                    r.stats.cold().total.traffic_bytes as f64 / 1e9,
+                    r.stats.warm().total.epoch_seconds,
+                    r.warm_traffic_bytes() as f64 / 1e9,
+                    r.warm_traffic_reduction() * 100.0,
+                );
+                println!(
+                    "cached {}/{} samples in {:.2} GB; peak warm node share {:.0}%",
+                    r.cached_samples,
+                    r.total_samples,
+                    r.cached_bytes as f64 / 1e9,
+                    r.stats.warm().peak_node_share() * 100.0,
+                );
+            }
+            Err(e) => println!("cache x fleet run failed: {e}"),
+        }
+    } else if opts.cache_budget_pct > 0 {
         let profiles = scenario.profiles();
         let corpus_bytes: u64 = profiles.iter().map(|p| p.raw_bytes).sum();
         let budget = corpus_bytes * opts.cache_budget_pct / 100;
@@ -128,9 +192,7 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
             }
             Err(e) => println!("cache run failed: {e}"),
         }
-    }
-
-    if opts.shards > 1 {
+    } else if opts.shards > 1 {
         println!(
             "\nstorage fleet: {} shards, {}-way replication{}",
             opts.shards,

@@ -201,7 +201,9 @@ impl CliOptions {
          \u{20}          [--bandwidth-mbps F] [--model alexnet|resnet18|resnet50]\n\
          \u{20}          [--batch N] [--epochs N]\n\
          \u{20}          [--cache-budget-pct 0-100] [--cache-policy lru|size|efficiency]\n\
-         \u{20}          [--shards N] [--replication N] [--hedge-after MS]"
+         \u{20}          [--shards N] [--replication N] [--hedge-after MS]\n\
+         \u{20}(--cache-budget-pct with --shards composes: a warm near-compute cache\n\
+         \u{20} over a sharded storage fleet, planned per shard on the residual)"
     }
 }
 

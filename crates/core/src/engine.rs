@@ -1,6 +1,23 @@
 //! The decision engine (paper §3.2): efficiency-ordered greedy offloading.
+//!
+//! One greedy pass is parameterized by two orthogonal inputs, mirroring the
+//! simulator's stage-graph core (`cluster::stagegraph`):
+//!
+//! * a [`SampleUniverse`] — *which* samples the pass may decide (the full
+//!   corpus, the uncached residual, one shard's primaries, …);
+//! * a [`ResourceBudget`] — *what* the offloaded work runs against (the
+//!   single storage node of the paper testbed, or one fleet node's own
+//!   cores and link).
+//!
+//! [`DecisionEngine::plan_scoped_with_trace`] is the general entry point;
+//! [`DecisionEngine::plan_with_trace`] (full universe, config budget) and
+//! [`DecisionEngine::plan_residual_with_trace`] (filtered universe, config
+//! budget) are the historical configurations of it, and the `ext` planners
+//! compose universes with budgets: `ext::sharding` runs one pass per shard
+//! slice against that node's budget, `ext::caching` one pass over the
+//! uncached residual, and `ext::fleet_caching` both at once.
 
-use cluster::{ClusterConfig, GpuModel};
+use cluster::{ClusterConfig, FleetNodeConfig, GpuModel};
 use pipeline::{PipelineSpec, SampleProfile};
 
 use crate::{CostVector, OffloadPlan, SophonError};
@@ -9,6 +26,88 @@ use crate::{CostVector, OffloadPlan, SophonError};
 /// zero-core storage node. Large enough that no feasible plan ever loses a
 /// comparison to an infeasible one, finite so arithmetic stays well-formed.
 pub const INFEASIBLE_SECONDS: f64 = 1e18;
+
+/// The resources one greedy pass plans offloaded work against.
+///
+/// Decouples the planner from `ClusterConfig`: a pass can run against the
+/// whole storage side of the testbed ([`ResourceBudget::of_context`]) or
+/// against a single fleet node's own cores and link
+/// ([`ResourceBudget::of_node`]), while the sample set is chosen
+/// independently via [`SampleUniverse`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceBudget {
+    /// Effective storage cores available to offloaded work — physical
+    /// cores scaled by node speed and the context's
+    /// `storage_speed_factor`. Zero disables offloading.
+    pub storage_cores: f64,
+    /// Compute-node cores the residual preprocessing shares (already
+    /// clamped to at least 1).
+    pub compute_cores: f64,
+    /// The storage→compute link this universe's transfers traverse, in
+    /// bits per second.
+    pub link_bps: f64,
+}
+
+impl ResourceBudget {
+    /// The budget of the context's single storage node (the paper
+    /// testbed).
+    pub fn of_context(ctx: &PlanningContext<'_>) -> ResourceBudget {
+        ResourceBudget {
+            storage_cores: ctx.config.storage_cores as f64 * ctx.storage_speed_factor,
+            compute_cores: ctx.config.compute_cores.max(1) as f64,
+            link_bps: ctx.config.link_bps,
+        }
+    }
+
+    /// The budget of one fleet node: its own cores (scaled by its speed
+    /// and the context's `storage_speed_factor`) and its own link; the
+    /// compute side stays the job-wide one, since all shards share it.
+    pub fn of_node(node: &FleetNodeConfig, ctx: &PlanningContext<'_>) -> ResourceBudget {
+        ResourceBudget {
+            storage_cores: node.storage_cores as f64 * node.speed * ctx.storage_speed_factor,
+            compute_cores: ctx.config.compute_cores.max(1) as f64,
+            link_bps: node.link_bps,
+        }
+    }
+}
+
+/// The slice of the corpus one greedy pass may decide.
+///
+/// Index-based variants must be ascending for the engine's tie-breaking to
+/// stay deterministic (equal-efficiency samples are taken in index order).
+#[derive(Clone, Copy)]
+pub enum SampleUniverse<'a> {
+    /// Every sample of the context.
+    All,
+    /// An explicit ascending index set — e.g. one shard's primaries.
+    Indices(&'a [usize]),
+    /// Samples for which the predicate holds — e.g. the uncached residual.
+    Filtered(&'a dyn Fn(usize) -> bool),
+}
+
+impl SampleUniverse<'_> {
+    /// Materializes the universe's members over a corpus of `n` samples,
+    /// in ascending index order.
+    pub fn members(&self, n: usize) -> Vec<usize> {
+        match self {
+            SampleUniverse::All => (0..n).collect(),
+            SampleUniverse::Indices(ix) => ix.to_vec(),
+            SampleUniverse::Filtered(f) => (0..n).filter(|&i| f(i)).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SampleUniverse<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleUniverse::All => write!(f, "SampleUniverse::All"),
+            SampleUniverse::Indices(ix) => {
+                write!(f, "SampleUniverse::Indices({} samples)", ix.len())
+            }
+            SampleUniverse::Filtered(_) => write!(f, "SampleUniverse::Filtered(..)"),
+        }
+    }
+}
 
 /// Everything a policy needs to decide a plan for one training job.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +174,34 @@ impl<'a> PlanningContext<'a> {
         self.costs_for_plan(&OffloadPlan::none(self.profiles.len()))
             .expect("none-plan always matches profiles")
     }
+
+    /// The `No-Off` baseline over an arbitrary universe and budget: only
+    /// the universe's samples contribute GPU, compute-CPU, and network
+    /// time, and the network time is priced against the budget's link.
+    ///
+    /// `baseline_costs` is the `All`-universe, context-budget case.
+    pub fn baseline_costs_scoped(
+        &self,
+        universe: SampleUniverse<'_>,
+        budget: &ResourceBudget,
+    ) -> CostVector {
+        let members = universe.members(self.profiles.len());
+        let t_g =
+            members.len() as f64 * self.gpu.seconds_per_image() / self.config.gpus.max(1) as f64;
+        let mut compute_seconds = 0.0;
+        let mut net_bytes = 0u64;
+        for &i in &members {
+            let p = &self.profiles[i];
+            compute_seconds += p.total_seconds();
+            net_bytes += p.size_at(0);
+        }
+        CostVector::new(
+            t_g,
+            compute_seconds / budget.compute_cores,
+            0.0,
+            net_bytes as f64 * 8.0 / budget.link_bps,
+        )
+    }
 }
 
 /// The SOPHON decision engine.
@@ -125,16 +252,42 @@ impl DecisionEngine {
         baseline: CostVector,
         eligible: &dyn Fn(usize) -> bool,
     ) -> (OffloadPlan, Vec<CostVector>) {
+        self.plan_scoped_with_trace(
+            ctx,
+            SampleUniverse::Filtered(eligible),
+            baseline,
+            &ResourceBudget::of_context(ctx),
+        )
+    }
+
+    /// The fully general greedy pass: decides only `universe`'s samples,
+    /// prices offloads against `budget`, and starts from `baseline`.
+    ///
+    /// All other planning entry points are configurations of this one —
+    /// the universe and the budget vary independently, which is what lets
+    /// caching (residual universe) and sharding (per-shard universe,
+    /// per-node budget) compose.
+    pub fn plan_scoped_with_trace(
+        &self,
+        ctx: &PlanningContext<'_>,
+        universe: SampleUniverse<'_>,
+        baseline: CostVector,
+        budget: &ResourceBudget,
+    ) -> (OffloadPlan, Vec<CostVector>) {
         let n = ctx.profiles.len();
         let mut plan = OffloadPlan::none(n);
         let mut trace = vec![baseline];
-        if ctx.config.storage_cores == 0 {
+        if budget.storage_cores <= 0.0 {
             return (plan, trace);
         }
 
-        // Rank candidates by efficiency, descending.
-        let mut candidates: Vec<usize> =
-            (0..n).filter(|&i| eligible(i) && ctx.profiles[i].efficiency() > 0.0).collect();
+        // Rank candidates by efficiency, descending; the sort is stable, so
+        // ties keep the universe's ascending index order.
+        let mut candidates: Vec<usize> = universe
+            .members(n)
+            .into_iter()
+            .filter(|&i| ctx.profiles[i].efficiency() > 0.0)
+            .collect();
         candidates.sort_by(|&a, &b| {
             ctx.profiles[b]
                 .efficiency()
@@ -142,9 +295,9 @@ impl DecisionEngine {
                 .expect("efficiencies are finite")
         });
 
-        let storage_cores = ctx.config.storage_cores as f64 * ctx.storage_speed_factor;
-        let compute_cores = ctx.config.compute_cores.max(1) as f64;
-        let bw = ctx.config.link_bps;
+        let storage_cores = budget.storage_cores;
+        let compute_cores = budget.compute_cores;
+        let bw = budget.link_bps;
 
         let mut current = *trace.last().expect("trace seeded with baseline");
         for &i in &candidates {

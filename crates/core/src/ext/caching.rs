@@ -32,7 +32,7 @@
 use cluster::SampleWork;
 use pipeline::SplitPoint;
 
-use crate::engine::{DecisionEngine, PlanningContext};
+use crate::engine::{DecisionEngine, PlanningContext, ResourceBudget, SampleUniverse};
 use crate::{CostVector, OffloadPlan, SophonError};
 
 /// How [`choose_cache_contents`] ranks samples for the budget.
@@ -159,10 +159,30 @@ pub fn choose_cache_contents(
 /// The warm-epoch baseline: cached samples contribute suffix compute only
 /// (zero transfer, zero storage time); uncached samples ship raw.
 pub fn warm_baseline_costs(ctx: &PlanningContext<'_>, assignment: &CacheAssignment) -> CostVector {
-    let compute_cores = ctx.config.compute_cores.max(1) as f64;
+    warm_baseline_costs_scoped(
+        ctx,
+        assignment,
+        SampleUniverse::All,
+        &ResourceBudget::of_context(ctx),
+    )
+}
+
+/// [`warm_baseline_costs`] over an arbitrary universe and budget — e.g.
+/// one shard's primaries against that node's own link, the building block
+/// of `ext::fleet_caching`. Only the universe's samples contribute GPU,
+/// compute, and network time.
+pub fn warm_baseline_costs_scoped(
+    ctx: &PlanningContext<'_>,
+    assignment: &CacheAssignment,
+    universe: SampleUniverse<'_>,
+    budget: &ResourceBudget,
+) -> CostVector {
+    let members = universe.members(ctx.profiles.len());
+    let t_g = members.len() as f64 * ctx.gpu.seconds_per_image() / ctx.config.gpus.max(1) as f64;
     let mut compute_seconds = 0.0;
     let mut net_bytes = 0u64;
-    for (i, p) in ctx.profiles.iter().enumerate() {
+    for &i in &members {
+        let p = &ctx.profiles[i];
         match assignment.cached_stage(i) {
             Some(stage) => compute_seconds += p.total_seconds() - p.prefix_seconds(stage),
             None => {
@@ -172,10 +192,10 @@ pub fn warm_baseline_costs(ctx: &PlanningContext<'_>, assignment: &CacheAssignme
         }
     }
     CostVector::new(
-        ctx.gpu_epoch_seconds(),
-        compute_seconds / compute_cores,
+        t_g,
+        compute_seconds / budget.compute_cores,
         0.0,
-        net_bytes as f64 * 8.0 / ctx.config.link_bps,
+        net_bytes as f64 * 8.0 / budget.link_bps,
     )
 }
 

@@ -1,0 +1,325 @@
+//! Cache × fleet composition: warm-epoch planning for a sharded storage
+//! fleet fronted by a near-compute sample cache.
+//!
+//! This is the configuration a production disaggregated input service
+//! runs — the corpus sharded across N storage nodes *and* its hottest
+//! samples pinned next to the trainer — and it is exactly a composition of
+//! the two orthogonal planner inputs introduced by the engine refactor:
+//!
+//! * the **universe** of each greedy pass is one shard's primaries minus
+//!   the cached samples (the shard's *residual*);
+//! * the **budget** of each pass is that node's own cores and link.
+//!
+//! [`plan_for_fleet_with_cache`] therefore runs `ext::caching`'s global
+//! selection once, then `ext::sharding`'s per-shard greedy over each
+//! shard's residual with `ext::caching`'s warm baseline — no new planning
+//! logic, just composition. Compared to cache-only planning, each shard
+//! brings its *own* preprocessing cores, so the fleet can afford strictly
+//! more offloading of the residual when storage cores are the binding
+//! constraint; compared to fleet-only planning, cached samples drop out of
+//! every shard's `T_Net` entirely.
+//!
+//! The result feeds [`cluster::simulate_fleet_cached_training`]: cold
+//! epoch = fetch everything through the fleet and fill the cache; warm
+//! epochs = only each shard's residual crosses its link.
+
+use cluster::FleetNodeConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{DecisionEngine, PlanningContext, ResourceBudget, SampleUniverse};
+use crate::ext::caching::{self, CacheAssignment, CacheSelection};
+use crate::ext::sharding::ShardPlanStats;
+use crate::{OffloadPlan, SophonError};
+use fleet::ShardMap;
+use pipeline::SplitPoint;
+
+/// A fleet-wide, cache-aware warm-epoch plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCachedPlan {
+    /// The merged warm-epoch plan: residual samples at their greedy split,
+    /// cached samples pinned at their cached stage.
+    pub plan: OffloadPlan,
+    /// The global cache selection the residual was planned around.
+    pub assignment: CacheAssignment,
+    /// Per-sample primary shard (parallel to the corpus).
+    pub primaries: Vec<usize>,
+    /// Warm-epoch per-shard aggregates, in shard order.
+    pub per_shard: Vec<ShardCacheStats>,
+}
+
+/// One shard's warm-epoch slice of a [`FleetCachedPlan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCacheStats {
+    /// The residual (uncached) slice this shard plans and serves warm.
+    pub residual: ShardPlanStats,
+    /// Samples of this shard held by the near-compute cache.
+    pub cached_samples: u64,
+    /// Warm wire bytes the cache saves this shard per epoch (the raw
+    /// bytes of its cached samples).
+    pub cached_bytes_saved: u64,
+}
+
+impl FleetCachedPlan {
+    /// Warm-epoch bytes on all wires per epoch (residual transfers only).
+    pub fn warm_transfer_bytes(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.residual.transfer_bytes).sum()
+    }
+
+    /// The busiest shard's warm-epoch offloaded CPU seconds.
+    pub fn peak_storage_cpu_seconds(&self) -> f64 {
+        self.per_shard.iter().map(|s| s.residual.storage_cpu_seconds).fold(0.0, f64::max)
+    }
+}
+
+/// Plans a warm epoch for a corpus sharded by `map` and cached under
+/// `budget_bytes`: the cache selection is global (the cache sits next to
+/// the trainer and sees the whole corpus), then the greedy engine runs
+/// once per shard over that shard's uncached residual, against the shard
+/// node's own cores and link, starting from the shard's warm baseline.
+///
+/// Pass `nodes` to describe heterogeneous fleets; it must be parallel to
+/// `map`'s shards. Cached samples are pinned at their cached stage in the
+/// merged plan, exactly as in [`caching::plan_with_cache`].
+///
+/// # Errors
+///
+/// Propagates plan/profile mismatches; returns
+/// [`SophonError::PlanMismatch`] when `nodes` is not parallel to the
+/// shard map.
+pub fn plan_for_fleet_with_cache(
+    ctx: &PlanningContext<'_>,
+    map: &ShardMap,
+    nodes: &[FleetNodeConfig],
+    budget_bytes: u64,
+    selection: CacheSelection,
+) -> Result<FleetCachedPlan, SophonError> {
+    if nodes.len() != map.nodes() {
+        return Err(SophonError::PlanMismatch { profiles: map.nodes(), plan: nodes.len() });
+    }
+    let n = ctx.profiles.len();
+    let assignment = caching::choose_cache_contents(ctx, budget_bytes, selection);
+    let primaries: Vec<usize> = (0..n).map(|i| map.primary(i as u64)).collect();
+    let mut plan = OffloadPlan::none(n);
+    let mut per_shard = Vec::with_capacity(map.nodes());
+    let engine = DecisionEngine::new();
+
+    for (shard, node) in nodes.iter().enumerate() {
+        // The shard's residual: its primaries the cache could not afford.
+        let residual: Vec<usize> =
+            (0..n).filter(|&i| primaries[i] == shard && !assignment.is_cached(i)).collect();
+        let shard_members: Vec<usize> = (0..n).filter(|&i| primaries[i] == shard).collect();
+        let budget = ResourceBudget::of_node(node, ctx);
+        // Warm baseline over the WHOLE shard (cached samples contribute
+        // suffix compute and zero net), greedy over the residual only.
+        let baseline = caching::warm_baseline_costs_scoped(
+            ctx,
+            &assignment,
+            SampleUniverse::Indices(&shard_members),
+            &budget,
+        );
+        let (shard_plan, _) = engine.plan_scoped_with_trace(
+            ctx,
+            SampleUniverse::Indices(&residual),
+            baseline,
+            &budget,
+        );
+        for &i in &residual {
+            plan.set_split(i, shard_plan.split(i));
+        }
+        per_shard.push(shard_cache_stats(shard, &shard_plan, ctx, &assignment, &shard_members)?);
+    }
+    // Pin cached samples at their cached stage, as in plan_with_cache.
+    for i in 0..n {
+        if let Some(stage) = assignment.cached_stage(i) {
+            plan.set_split(i, SplitPoint::new(stage));
+        }
+    }
+    Ok(FleetCachedPlan { plan, assignment, primaries, per_shard })
+}
+
+fn shard_cache_stats(
+    shard: usize,
+    shard_plan: &OffloadPlan,
+    ctx: &PlanningContext<'_>,
+    assignment: &CacheAssignment,
+    shard_members: &[usize],
+) -> Result<ShardCacheStats, SophonError> {
+    let mut residual_samples = 0u64;
+    let mut offloaded = 0u64;
+    let mut transfer_bytes = 0u64;
+    let mut storage_cpu_seconds = 0.0f64;
+    let mut cached_samples = 0u64;
+    let mut cached_bytes_saved = 0u64;
+    for &i in shard_members {
+        let p = &ctx.profiles[i];
+        if assignment.is_cached(i) {
+            cached_samples += 1;
+            cached_bytes_saved += p.raw_bytes;
+            continue;
+        }
+        let split = shard_plan.split(i);
+        let k = split.offloaded_ops();
+        if k > p.stages.len() {
+            return Err(SophonError::BadSplit {
+                sample_id: p.sample_id,
+                split: k,
+                len: p.stages.len(),
+            });
+        }
+        residual_samples += 1;
+        if split.is_offloaded() {
+            offloaded += 1;
+        }
+        transfer_bytes += p.size_at(k);
+        storage_cpu_seconds += p.prefix_seconds(k);
+    }
+    Ok(ShardCacheStats {
+        residual: ShardPlanStats {
+            shard,
+            samples: residual_samples,
+            offloaded_samples: offloaded,
+            transfer_bytes,
+            storage_cpu_seconds,
+        },
+        cached_samples,
+        cached_bytes_saved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ext::sharding;
+    use cluster::{ClusterConfig, GpuModel};
+    use datasets::DatasetSpec;
+    use pipeline::{CostModel, PipelineSpec, SampleProfile};
+
+    fn setup(storage_cores: usize) -> (Vec<SampleProfile>, PipelineSpec, ClusterConfig) {
+        let ds = DatasetSpec::openimages_like(1600, 11);
+        let pipeline = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        let ps: Vec<_> = ds.records().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+        (ps, pipeline, ClusterConfig::paper_testbed(storage_cores))
+    }
+
+    fn corpus_bytes(ps: &[SampleProfile]) -> u64 {
+        ps.iter().map(|p| p.raw_bytes).sum()
+    }
+
+    #[test]
+    fn zero_budget_reduces_to_plain_fleet_planning() {
+        let (ps, pipeline, config) = setup(4);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(4, 2, 7);
+        let nodes = sharding::fleet_nodes(&config, 4);
+        let cached =
+            plan_for_fleet_with_cache(&ctx, &map, &nodes, 0, CacheSelection::EfficiencyAware)
+                .unwrap();
+        let plain = sharding::plan_for_fleet(&ctx, &map).unwrap();
+        assert!(cached.assignment.is_empty());
+        assert_eq!(cached.plan, plain.plan);
+        assert_eq!(cached.warm_transfer_bytes(), plain.total_transfer_bytes());
+    }
+
+    #[test]
+    fn full_budget_zeroes_warm_traffic() {
+        let (ps, pipeline, config) = setup(4);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(4, 2, 7);
+        let nodes = sharding::fleet_nodes(&config, 4);
+        let cached = plan_for_fleet_with_cache(
+            &ctx,
+            &map,
+            &nodes,
+            corpus_bytes(&ps),
+            CacheSelection::Arrival,
+        )
+        .unwrap();
+        assert_eq!(cached.warm_transfer_bytes(), 0);
+        assert_eq!(cached.assignment.cached_samples(), ps.len());
+        for s in &cached.per_shard {
+            assert_eq!(s.residual.samples, 0);
+        }
+    }
+
+    #[test]
+    fn composition_beats_both_single_extensions_when_cores_are_tight() {
+        // 2 storage cores per node, 4 shards sharing the trainer's ingress
+        // link: aggregate bandwidth matches the single node, so the fleet's
+        // edge is purely aggregate preprocessing CPU. Per-shard planning can
+        // then offload the residual 4x deeper than one node, and the cache
+        // removes the residual's worst samples — cache x fleet must ship
+        // strictly fewer warm bytes than either alone.
+        let (ps, pipeline, config) = setup(2);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(4, 2, 7);
+        let nodes = sharding::fleet_nodes_sharing_link(&config, 4);
+        let budget = corpus_bytes(&ps) * 30 / 100;
+
+        let both =
+            plan_for_fleet_with_cache(&ctx, &map, &nodes, budget, CacheSelection::EfficiencyAware)
+                .unwrap();
+
+        // Cache-only: single node, same budget.
+        let assignment =
+            caching::choose_cache_contents(&ctx, budget, CacheSelection::EfficiencyAware);
+        let (cache_plan, _) = caching::plan_with_cache(&ctx, &assignment);
+        let cache_works = caching::warm_sample_works(&ctx, &cache_plan, &assignment).unwrap();
+        let cache_only: u64 = cache_works.iter().map(|w| w.transfer_bytes).sum();
+
+        // Fleet-only: the same fleet hardware, no cache.
+        let fleet_only =
+            sharding::plan_for_fleet_with_nodes(&ctx, &map, &nodes).unwrap().total_transfer_bytes();
+
+        let composed = both.warm_transfer_bytes();
+        assert!(composed < cache_only, "composed {composed} not below cache-only {cache_only}");
+        assert!(composed < fleet_only, "composed {composed} not below fleet-only {fleet_only}");
+    }
+
+    #[test]
+    fn cached_samples_stay_pinned_and_residual_partitions() {
+        let (ps, pipeline, config) = setup(2);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(3, 2, 41);
+        let nodes = sharding::fleet_nodes(&config, 3);
+        let budget = corpus_bytes(&ps) / 2;
+        let fc = plan_for_fleet_with_cache(&ctx, &map, &nodes, budget, CacheSelection::SizeAware)
+            .unwrap();
+        for i in 0..ps.len() {
+            if let Some(stage) = fc.assignment.cached_stage(i) {
+                assert_eq!(fc.plan.split(i).offloaded_ops(), stage, "sample {i} not pinned");
+            }
+        }
+        let residual_total: u64 = fc.per_shard.iter().map(|s| s.residual.samples).sum();
+        let cached_total: u64 = fc.per_shard.iter().map(|s| s.cached_samples).sum();
+        assert_eq!(residual_total + cached_total, ps.len() as u64);
+        assert_eq!(cached_total, fc.assignment.cached_samples() as u64);
+    }
+
+    #[test]
+    fn mismatched_nodes_are_rejected() {
+        let (ps, pipeline, config) = setup(4);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(4, 2, 7);
+        let nodes = sharding::fleet_nodes(&config, 3);
+        let err =
+            plan_for_fleet_with_cache(&ctx, &map, &nodes, 0, CacheSelection::Arrival).unwrap_err();
+        assert!(matches!(err, SophonError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let (ps, pipeline, config) = setup(2);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(4, 2, 99);
+        let nodes = sharding::fleet_nodes(&config, 4);
+        let budget = corpus_bytes(&ps) / 4;
+        let a =
+            plan_for_fleet_with_cache(&ctx, &map, &nodes, budget, CacheSelection::EfficiencyAware)
+                .unwrap();
+        let b =
+            plan_for_fleet_with_cache(&ctx, &map, &nodes, budget, CacheSelection::EfficiencyAware)
+                .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`sharding`] — fleet-aware planning for sharded storage (`fleet`
 //!   crate): the greedy engine runs per shard against each node's own
 //!   cores and link.
+//! * [`fleet_caching`] — the composition of the two: a warm near-compute
+//!   cache over a sharded fleet, planned as per-shard residual greedy
+//!   passes with warm/cold cost vectors.
 //!
 //! Plus one operator tool that falls out of the same machinery:
 //!
@@ -29,6 +32,7 @@
 pub mod adaptive;
 pub mod caching;
 pub mod compression;
+pub mod fleet_caching;
 pub mod gpu_split;
 pub mod hetero;
 pub mod multitenant;

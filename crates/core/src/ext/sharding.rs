@@ -11,12 +11,13 @@
 //! the predominant cost, so no single node's preprocessing cores become
 //! the fleet's bottleneck.
 //!
-//! The per-shard contexts reuse the job-wide compute-node and GPU
-//! capacities: those resources are shared by all shards, so each shard's
-//! view of `T_CC`/`T_G` covers only its own samples and understates the
-//! contention slightly. The bias is conservative for the stopping rule —
-//! it can only keep `T_Net` predominant longer — and vanishes as shards
-//! balance.
+//! Each shard's pass is one [`SampleUniverse::Indices`] slice planned
+//! against a per-node [`ResourceBudget`] — no sub-contexts or profile
+//! clones. The budget reuses the job-wide compute-node and GPU capacities:
+//! those resources are shared by all shards, so each shard's view of
+//! `T_CC`/`T_G` covers only its own samples and understates the contention
+//! slightly. The bias is conservative for the stopping rule — it can only
+//! keep `T_Net` predominant longer — and vanishes as shards balance.
 //!
 //! The module also bridges planning to the fleet simulator: [`owner_lists`]
 //! materializes per-sample replica sets for
@@ -25,9 +26,10 @@
 
 use cluster::{ClusterConfig, FleetNodeConfig};
 use fleet::ShardMap;
+use pipeline::SampleProfile;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{DecisionEngine, PlanningContext};
+use crate::engine::{DecisionEngine, PlanningContext, ResourceBudget, SampleUniverse};
 use crate::{OffloadPlan, SophonError};
 
 /// One shard's slice of a fleet plan.
@@ -81,32 +83,80 @@ pub fn plan_for_fleet(
     ctx: &PlanningContext<'_>,
     map: &ShardMap,
 ) -> Result<ShardedPlan, SophonError> {
+    plan_for_fleet_with_nodes(ctx, map, &fleet_nodes(ctx.config, map.nodes()))
+}
+
+/// [`plan_for_fleet`] over an explicit, possibly heterogeneous fleet:
+/// shard `i`'s greedy pass uses `nodes[i]`'s cores, speed, and link as its
+/// [`ResourceBudget`]. `nodes` must be parallel to `map`'s shards.
+///
+/// # Errors
+///
+/// Returns [`SophonError::PlanMismatch`] when `nodes` is not parallel to
+/// the shard map, and propagates plan/profile mismatches.
+pub fn plan_for_fleet_with_nodes(
+    ctx: &PlanningContext<'_>,
+    map: &ShardMap,
+    nodes: &[FleetNodeConfig],
+) -> Result<ShardedPlan, SophonError> {
+    if nodes.len() != map.nodes() {
+        return Err(SophonError::PlanMismatch { profiles: map.nodes(), plan: nodes.len() });
+    }
     let n = ctx.profiles.len();
     let primaries: Vec<usize> = (0..n).map(|i| map.primary(i as u64)).collect();
     let mut plan = OffloadPlan::none(n);
     let mut per_shard = Vec::with_capacity(map.nodes());
     let engine = DecisionEngine::new();
 
-    for shard in 0..map.nodes() {
+    for (shard, node) in nodes.iter().enumerate() {
         let indices: Vec<usize> = (0..n).filter(|&i| primaries[i] == shard).collect();
-        let profiles: Vec<_> = indices.iter().map(|&i| ctx.profiles[i].clone()).collect();
-        let mut sub =
-            PlanningContext::new(&profiles, ctx.pipeline, ctx.config, ctx.gpu, ctx.batch_size);
-        sub.storage_speed_factor = ctx.storage_speed_factor;
-        let shard_plan = engine.plan(&sub);
-        for (local, &global) in indices.iter().enumerate() {
-            plan.set_split(global, shard_plan.split(local));
+        let universe = SampleUniverse::Indices(&indices);
+        let budget = ResourceBudget::of_node(node, ctx);
+        let baseline = ctx.baseline_costs_scoped(universe, &budget);
+        let (shard_plan, _) = engine.plan_scoped_with_trace(ctx, universe, baseline, &budget);
+        for &i in &indices {
+            plan.set_split(i, shard_plan.split(i));
         }
-        let summary = shard_plan.summarize(&profiles)?;
-        per_shard.push(ShardPlanStats {
-            shard,
-            samples: summary.samples,
-            offloaded_samples: summary.offloaded_samples,
-            transfer_bytes: summary.transfer_bytes,
-            storage_cpu_seconds: summary.storage_cpu_seconds,
-        });
+        per_shard.push(shard_stats(shard, &shard_plan, ctx.profiles, &indices)?);
     }
     Ok(ShardedPlan { plan, primaries, per_shard })
+}
+
+/// Aggregates one shard's slice of a plan, summing in ascending index
+/// order (the same order `OffloadPlan::summarize` uses over a sub-corpus).
+fn shard_stats(
+    shard: usize,
+    plan: &OffloadPlan,
+    profiles: &[SampleProfile],
+    indices: &[usize],
+) -> Result<ShardPlanStats, SophonError> {
+    let mut offloaded = 0u64;
+    let mut transfer_bytes = 0u64;
+    let mut storage_cpu_seconds = 0.0f64;
+    for &i in indices {
+        let split = plan.split(i);
+        let p = &profiles[i];
+        let k = split.offloaded_ops();
+        if k > p.stages.len() {
+            return Err(SophonError::BadSplit {
+                sample_id: p.sample_id,
+                split: k,
+                len: p.stages.len(),
+            });
+        }
+        if split.is_offloaded() {
+            offloaded += 1;
+        }
+        transfer_bytes += p.size_at(k);
+        storage_cpu_seconds += p.prefix_seconds(k);
+    }
+    Ok(ShardPlanStats {
+        shard,
+        samples: indices.len() as u64,
+        offloaded_samples: offloaded,
+        transfer_bytes,
+        storage_cpu_seconds,
+    })
 }
 
 /// Per-sample ordered replica sets for `samples` sequential sample ids —
@@ -119,6 +169,28 @@ pub fn owner_lists(map: &ShardMap, samples: usize) -> Vec<Vec<usize>> {
 /// `config` at nominal speed.
 pub fn fleet_nodes(config: &ClusterConfig, shards: usize) -> Vec<FleetNodeConfig> {
     vec![FleetNodeConfig::nominal(config); shards]
+}
+
+/// A fleet of `shards` nodes that split `config`'s link evenly but each
+/// keep the full preprocessing core count — the deployment where the
+/// trainer's fixed ingress bandwidth is shared by every storage node and
+/// sharding buys *aggregate preprocessing CPU*, not aggregate bandwidth.
+///
+/// Under this fleet each shard's `T_Net` stays as predominant as the
+/// single-node plan's (same bytes-per-bandwidth ratio in aggregate) while
+/// its `T_CS` guard relaxes by the node count, so per-shard planning
+/// offloads strictly deeper than one node ever could.
+///
+/// # Panics
+///
+/// Panics when `shards` is zero.
+pub fn fleet_nodes_sharing_link(config: &ClusterConfig, shards: usize) -> Vec<FleetNodeConfig> {
+    assert!(shards > 0, "a fleet needs at least one node");
+    let node = FleetNodeConfig {
+        link_bps: config.link_bps / shards as f64,
+        ..FleetNodeConfig::nominal(config)
+    };
+    vec![node; shards]
 }
 
 #[cfg(test)]

@@ -318,6 +318,111 @@ impl Scenario {
     }
 }
 
+/// The outcome of a training run composing the near-compute cache with a
+/// sharded storage fleet (`ext::fleet_caching`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCachedTrainingReport {
+    /// Storage nodes in the fleet.
+    pub shards: usize,
+    /// Replicas per sample.
+    pub replication: usize,
+    /// Cache selection policy name.
+    pub selection: String,
+    /// Cache byte budget the selection ran under.
+    pub budget_bytes: u64,
+    /// Cache bytes actually occupied.
+    pub cached_bytes: u64,
+    /// Samples pinned in the cache.
+    pub cached_samples: u64,
+    /// Total samples in the corpus.
+    pub total_samples: u64,
+    /// Warm-epoch per-shard aggregates.
+    pub per_shard: Vec<crate::ext::fleet_caching::ShardCacheStats>,
+    /// The simulated run (cold fleet epoch, then warm fleet epochs).
+    pub stats: cluster::FleetCachedTrainingStats,
+}
+
+impl FleetCachedTrainingReport {
+    /// Fleet wire bytes per warm epoch.
+    pub fn warm_traffic_bytes(&self) -> u64 {
+        self.stats.warm().total.traffic_bytes
+    }
+
+    /// Fraction of cold-epoch fleet traffic each warm epoch avoids.
+    pub fn warm_traffic_reduction(&self) -> f64 {
+        self.stats.warm_traffic_reduction()
+    }
+}
+
+impl Scenario {
+    /// Simulates a training run over a fleet of `shards` storage nodes
+    /// fronted by a near-compute cache of `budget_bytes`: epoch 0 fetches
+    /// every sample raw through the fleet (profiling + cache fill), then
+    /// `ext::fleet_caching` plans each shard's uncached residual against
+    /// that node's own cores and link, and the remaining epochs run warm.
+    /// `kills` inject node deaths into the first epoch (dead nodes stay
+    /// dead afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and simulation failures — notably
+    /// [`cluster::SimError::SampleUnreachable`] when `kills` exceed what
+    /// `replication` can absorb.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epochs == 0`, `shards == 0`, or `replication` is not
+    /// in `1..=shards`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_training_fleet_cached(
+        &self,
+        epochs: u64,
+        shards: usize,
+        replication: usize,
+        placement_seed: u64,
+        budget_bytes: u64,
+        selection: crate::ext::caching::CacheSelection,
+        kills: &[cluster::KillEvent],
+    ) -> Result<FleetCachedTrainingReport, SophonError> {
+        use crate::ext::{caching, fleet_caching, sharding};
+
+        let profiles = self.profiles();
+        let ctx = PlanningContext::new(
+            &profiles,
+            &self.pipeline,
+            &self.config,
+            self.gpu,
+            self.batch_size,
+        );
+        let map = fleet::ShardMap::new(shards, replication, placement_seed);
+        let nodes = sharding::fleet_nodes(&self.config, shards);
+        let fc =
+            fleet_caching::plan_for_fleet_with_cache(&ctx, &map, &nodes, budget_bytes, selection)?;
+        let warm_works = caching::warm_sample_works(&ctx, &fc.plan, &fc.assignment)?;
+        let cold_works = crate::OffloadPlan::none(profiles.len()).to_sample_works(&profiles)?;
+        let stats = cluster::simulate_fleet_cached_training(
+            &self.config,
+            &nodes,
+            &EpochSpec::new(cold_works, self.batch_size, self.gpu),
+            &EpochSpec::new(warm_works, self.batch_size, self.gpu),
+            &sharding::owner_lists(&map, profiles.len()),
+            kills,
+            epochs,
+        )?;
+        Ok(FleetCachedTrainingReport {
+            shards,
+            replication,
+            selection: selection.name().to_string(),
+            budget_bytes,
+            cached_bytes: fc.assignment.cached_bytes,
+            cached_samples: fc.assignment.cached_samples() as u64,
+            total_samples: profiles.len() as u64,
+            per_shard: fc.per_shard,
+            stats,
+        })
+    }
+}
+
 /// The outcome of one policy run on one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -433,6 +538,41 @@ mod tests {
         // Without replication the same kill is fatal.
         let err = s.run_training_fleet(5, 4, 1, 2024, &kills).unwrap_err();
         assert!(matches!(err, SophonError::Sim(cluster::SimError::SampleUnreachable { .. })));
+    }
+
+    #[test]
+    fn cached_fleet_training_composes_cache_and_shards() {
+        use crate::ext::caching::CacheSelection;
+        let s = scenario(8);
+        let corpus: u64 = s.profiles().iter().map(|p| p.raw_bytes).sum();
+        let budget = corpus * 30 / 100;
+        let report = s
+            .run_training_fleet_cached(10, 4, 2, 2024, budget, CacheSelection::EfficiencyAware, &[])
+            .unwrap();
+        assert_eq!(report.shards, 4);
+        assert!(report.cached_samples > 0);
+        assert!(report.cached_bytes <= report.budget_bytes);
+        assert!(report.warm_traffic_bytes() < report.stats.cold().total.traffic_bytes);
+        assert!(report.warm_traffic_reduction() > 0.0);
+        // Per-shard warm aggregates match the simulated warm epoch.
+        let planned: u64 = report.per_shard.iter().map(|p| p.residual.transfer_bytes).sum();
+        assert_eq!(planned, report.warm_traffic_bytes());
+        // The cache survives a replicated node kill: warm epochs still run.
+        let kills = [cluster::KillEvent::new(2, 0.25)];
+        let degraded = s
+            .run_training_fleet_cached(
+                10,
+                4,
+                2,
+                2024,
+                budget,
+                CacheSelection::EfficiencyAware,
+                &kills,
+            )
+            .unwrap();
+        assert!(degraded.stats.cold().failovers > 0);
+        assert_eq!(degraded.stats.warm().per_node[2].samples_served, 0);
+        assert_eq!(degraded.stats.warm().total.samples, report.total_samples);
     }
 
     #[test]

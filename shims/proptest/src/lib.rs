@@ -3,7 +3,7 @@
 //! Implements the subset of the proptest API this workspace's property
 //! tests use: the [`proptest!`] macro, [`strategy::Strategy`] with
 //! `prop_map`/`boxed`, range and tuple strategies, [`arbitrary::any`],
-//! [`collection::vec`], [`option::of`], [`prop_oneof!`], `Just`, a tiny
+//! [`collection::vec`], [`option::of`], `prop_oneof!`, `Just`, a tiny
 //! `".{lo,hi}"` string pattern strategy, and panic-based `prop_assert*`
 //! macros.
 //!
@@ -164,7 +164,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives (see [`prop_oneof!`]).
+    /// Uniform choice between boxed alternatives (see `prop_oneof!`).
     pub struct OneOf<V> {
         arms: Vec<BoxedStrategy<V>>,
     }
@@ -375,7 +375,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`vec()`](fn@vec).
     pub trait SizeRange {
         /// Inclusive `(lo, hi)` length bounds.
         fn bounds(&self) -> (usize, usize);
