@@ -28,7 +28,12 @@ fn live_transport(c: &mut Criterion) {
     let store = ObjectStore::materialize_dataset(&ds, 0..n);
     let mut server = StorageServer::spawn(
         store,
-        ServerConfig { cores: 3, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 32 },
+        ServerConfig {
+            cores: 3,
+            bandwidth: Bandwidth::from_gbps(10.0),
+            queue_depth: 32,
+            ..ServerConfig::default()
+        },
     );
     let mut transport =
         CachingTransport::new(server.client(), SampleCache::efficiency_aware(1 << 30));

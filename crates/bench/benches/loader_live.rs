@@ -31,6 +31,7 @@ fn bench(c: &mut Criterion) {
                             cores: 4,
                             bandwidth: Bandwidth::from_gbps(10.0),
                             queue_depth: 32,
+                            ..ServerConfig::default()
                         },
                     );
                     let client = server.client();

@@ -56,13 +56,13 @@ mod workload;
 pub use cache::{simulate_cached_training, CachedTrainingStats};
 pub use config::ClusterConfig;
 pub use fleet::{
-    simulate_fleet_cached_training, simulate_fleet_epoch, simulate_fleet_training,
-    FleetCachedTrainingStats, FleetEpochStats, FleetTrainingStats,
+    simulate_fleet_cached_training, simulate_fleet_epoch, simulate_fleet_epoch_observed,
+    simulate_fleet_training, FleetCachedTrainingStats, FleetEpochStats, FleetTrainingStats,
 };
 pub use gpu::GpuModel;
 pub use resources::{CpuPool, FifoServer};
 pub use sim::{simulate_epoch, simulate_epoch_traced, SimError};
-pub use stagegraph::{FleetNodeConfig, KillEvent, NodeEpochStats};
+pub use stagegraph::{FaultEvent, FleetNodeConfig, KillEvent, NodeEpochStats};
 pub use stats::EpochStats;
 pub use training::{simulate_training, TrainingStats};
 pub use workload::{EpochSpec, SampleWork};

@@ -120,6 +120,23 @@ pub fn kill_thresholds(
     Ok(dead_from)
 }
 
+/// A fault observed while routing samples through the stage graph.
+///
+/// Emitted through the observer hook of [`run_stage_graph_observed`] the
+/// moment the router works around a failure, so callers (degraded-mode
+/// replanners, chaos harnesses) can react mid-epoch instead of reading
+/// aggregate counters after the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A sample skipped a dead owner and failed over to a later replica.
+    Failover {
+        /// The sample being routed (its index in the epoch).
+        sample: u64,
+        /// The dead node that was skipped.
+        dead_node: usize,
+    },
+}
+
 /// One node's share of an epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeEpochStats {
@@ -268,7 +285,27 @@ pub fn run_stage_graph(
     nodes: &[FleetNodeConfig],
     spec: &EpochSpec,
     routing: SampleRouting<'_>,
+    trace: Option<&mut Vec<SampleTrace>>,
+) -> Result<StageGraphRun, SimError> {
+    run_stage_graph_observed(base, nodes, spec, routing, trace, None)
+}
+
+/// [`run_stage_graph`] with a fault observer: `hook` is invoked once per
+/// [`FaultEvent`], in sample-issue order, as the router encounters each
+/// fault. The hook sees events *before* the run returns, which is what a
+/// degraded-mode replanner needs — by the time aggregate counters exist the
+/// epoch is already over.
+///
+/// # Errors
+///
+/// Same conditions as [`run_stage_graph`].
+pub fn run_stage_graph_observed(
+    base: &ClusterConfig,
+    nodes: &[FleetNodeConfig],
+    spec: &EpochSpec,
+    routing: SampleRouting<'_>,
     mut trace: Option<&mut Vec<SampleTrace>>,
+    mut hook: Option<&mut dyn FnMut(FaultEvent)>,
 ) -> Result<StageGraphRun, SimError> {
     if nodes.is_empty() {
         return Err(SimError::EmptyFleet);
@@ -343,6 +380,12 @@ pub fn run_stage_graph(
                             break;
                         }
                         failovers += 1;
+                        if let Some(observe) = hook.as_deref_mut() {
+                            observe(FaultEvent::Failover {
+                                sample: sample_idx as u64,
+                                dead_node: owner,
+                            });
+                        }
                     }
                     match chosen {
                         Some(node) => node,
@@ -496,6 +539,33 @@ mod tests {
         assert_eq!(err, SimError::KillOutOfRange { node: 3, nodes: 2 });
         let ok = kill_thresholds(&[KillEvent::new(1, 0.5)], 2, 100).unwrap();
         assert_eq!(ok, vec![usize::MAX, 50]);
+    }
+
+    #[test]
+    fn fault_hook_sees_every_failover_in_issue_order() {
+        let nodes = vec![FleetNodeConfig::nominal(&base()); 2];
+        // Primary node 1, replica node 0; node 1 dead from sample 2.
+        let owners = vec![vec![1usize, 0]; 4];
+        let dead = [usize::MAX, 2];
+        let mut events = Vec::new();
+        let mut hook = |e: FaultEvent| events.push(e);
+        let run = run_stage_graph_observed(
+            &base(),
+            &nodes,
+            &spec(4),
+            SampleRouting::ReplicaFailover { owners: &owners, dead_from: &dead },
+            None,
+            Some(&mut hook),
+        )
+        .unwrap();
+        assert_eq!(run.failovers, 2);
+        assert_eq!(
+            events,
+            vec![
+                FaultEvent::Failover { sample: 2, dead_node: 1 },
+                FaultEvent::Failover { sample: 3, dead_node: 1 },
+            ]
+        );
     }
 
     #[test]

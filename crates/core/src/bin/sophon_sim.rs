@@ -91,6 +91,21 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
         }
     }
 
+    let kills = opts.chaos_kills();
+    if !kills.is_empty() {
+        println!(
+            "\nchaos: {} profile, seed {} — killing {} node(s): {}",
+            opts.chaos_profile.name(),
+            opts.chaos_seed,
+            kills.len(),
+            kills
+                .iter()
+                .map(|k| format!("node{} at {:.0}% of the epoch", k.node, k.after_fraction * 100.0))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+
     if opts.cache_budget_pct > 0 && opts.shards > 1 {
         let profiles = scenario.profiles();
         let corpus_bytes: u64 = profiles.iter().map(|p| p.raw_bytes).sum();
@@ -113,7 +128,7 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
             opts.seed,
             budget,
             opts.cache_policy,
-            &[],
+            &kills,
         ) {
             Ok(r) => {
                 println!(
@@ -208,7 +223,7 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
             opts.shards,
             opts.replication,
             opts.seed,
-            &[],
+            &kills,
         ) {
             Ok(r) => {
                 println!(
@@ -232,6 +247,13 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
                     r.shards,
                     r.peak_node_share() * 100.0,
                 );
+                if !kills.is_empty() {
+                    println!(
+                        "chaos outcome: {} failovers in the kill epoch, {} steady-state; \
+                         zero samples lost",
+                        r.stats.first_epoch.failovers, r.stats.steady_epoch.failovers,
+                    );
+                }
             }
             Err(e) => println!("fleet run failed: {e}"),
         }

@@ -3,10 +3,32 @@
 //! Hand-rolled (`--flag value` pairs) to keep the workspace dependency-free;
 //! the parser is a pure function so every path is unit-testable.
 
-use cluster::{ClusterConfig, GpuModel};
+use cluster::{ClusterConfig, GpuModel, KillEvent};
 use datasets::DatasetSpec;
 
 use crate::runner::Scenario;
+
+/// How much deterministic fault injection a run asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosProfile {
+    /// No injected faults.
+    None,
+    /// One mid-epoch node kill.
+    Light,
+    /// As many node kills as replication tolerates.
+    Aggressive,
+}
+
+impl ChaosProfile {
+    /// The profile's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosProfile::None => "none",
+            ChaosProfile::Light => "light",
+            ChaosProfile::Aggressive => "aggressive",
+        }
+    }
+}
 
 /// Which corpus to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +78,10 @@ pub struct CliOptions {
     /// Hedge a slow fetch to a replica after this many milliseconds
     /// (0 = never hedge).
     pub hedge_after_ms: u64,
+    /// Fault-injection intensity for fleet runs.
+    pub chaos_profile: ChaosProfile,
+    /// Seed driving the deterministic fault schedule.
+    pub chaos_seed: u64,
 }
 
 impl Default for CliOptions {
@@ -77,6 +103,8 @@ impl Default for CliOptions {
             shards: 1,
             replication: 1,
             hedge_after_ms: 0,
+            chaos_profile: ChaosProfile::None,
+            chaos_seed: 0,
         }
     }
 }
@@ -150,6 +178,15 @@ impl CliOptions {
                 "--shards" => opts.shards = parse_num(flag, value)?,
                 "--replication" => opts.replication = parse_num(flag, value)?,
                 "--hedge-after" => opts.hedge_after_ms = parse_num(flag, value)?,
+                "--chaos-profile" => {
+                    opts.chaos_profile = match value {
+                        "none" => ChaosProfile::None,
+                        "light" => ChaosProfile::Light,
+                        "aggressive" => ChaosProfile::Aggressive,
+                        other => return Err(format!("unknown chaos profile '{other}'")),
+                    }
+                }
+                "--chaos-seed" => opts.chaos_seed = parse_num(flag, value)?,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -193,6 +230,43 @@ impl CliOptions {
         Scenario::new(self.dataset_spec(), self.cluster_config(), self.model, self.batch)
     }
 
+    /// The deterministic node-kill schedule the chaos profile asks for.
+    ///
+    /// Empty unless a profile is set *and* the fleet can survive a kill
+    /// (at least two shards and replication ≥ 2 — an unreplicated corpus
+    /// has nowhere to fail over, and injecting a guaranteed
+    /// `SampleUnreachable` teaches nothing). Kills are capped at
+    /// `replication - 1` dead nodes so every sample keeps one live owner,
+    /// and the whole schedule is a pure function of `chaos_seed`.
+    pub fn chaos_kills(&self) -> Vec<KillEvent> {
+        if self.chaos_profile == ChaosProfile::None || self.shards < 2 || self.replication < 2 {
+            return Vec::new();
+        }
+        let want = match self.chaos_profile {
+            ChaosProfile::None => 0,
+            ChaosProfile::Light => 1,
+            ChaosProfile::Aggressive => self.replication - 1,
+        }
+        .min(self.shards - 1);
+        let mut kills = Vec::with_capacity(want);
+        let mut used = vec![false; self.shards];
+        let mut draw = 0u64;
+        while kills.len() < want {
+            let h = splitmix(self.chaos_seed ^ 0xc4a0_5a11, draw);
+            draw += 1;
+            let node = (h % self.shards as u64) as usize;
+            if used[node] {
+                continue; // deterministic rejection sampling for distinctness
+            }
+            used[node] = true;
+            // Kill somewhere in the middle half of the epoch: late enough
+            // that the node did real work, early enough that failover does.
+            let fraction = 0.25 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64);
+            kills.push(KillEvent::new(node, fraction));
+        }
+        kills
+    }
+
     /// One line per flag, for `--help`-style output.
     pub fn usage() -> &'static str {
         "sophon-sim [--dataset openimages|imagenet|mini] [--samples N] [--seed N]\n\
@@ -202,13 +276,25 @@ impl CliOptions {
          \u{20}          [--batch N] [--epochs N]\n\
          \u{20}          [--cache-budget-pct 0-100] [--cache-policy lru|size|efficiency]\n\
          \u{20}          [--shards N] [--replication N] [--hedge-after MS]\n\
+         \u{20}          [--chaos-profile none|light|aggressive] [--chaos-seed N]\n\
          \u{20}(--cache-budget-pct with --shards composes: a warm near-compute cache\n\
-         \u{20} over a sharded storage fleet, planned per shard on the residual)"
+         \u{20} over a sharded storage fleet, planned per shard on the residual;\n\
+         \u{20} --chaos-profile injects seeded mid-epoch node kills into fleet runs)"
     }
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value.parse().map_err(|_| format!("invalid value '{value}' for {flag}"))
+}
+
+/// SplitMix64 over `(seed, i)` — the same finalizer the storage crate's
+/// chaos schedules use, re-derived here so planning stays dependency-light.
+fn splitmix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -276,6 +362,52 @@ mod tests {
         assert_eq!(opts.cache_budget_pct, 30);
         assert_eq!(opts.cache_policy, CacheSelection::Arrival);
         assert_eq!(CliOptions::default().cache_budget_pct, 0);
+    }
+
+    #[test]
+    fn chaos_flags_parse() {
+        let opts = CliOptions::parse(
+            "--shards 4 --replication 2 --chaos-profile aggressive --chaos-seed 99"
+                .split_whitespace(),
+        )
+        .unwrap();
+        assert_eq!(opts.chaos_profile, ChaosProfile::Aggressive);
+        assert_eq!(opts.chaos_seed, 99);
+        assert_eq!(CliOptions::default().chaos_profile, ChaosProfile::None);
+        assert!(CliOptions::parse(["--chaos-profile", "wild"]).unwrap_err().contains("wild"));
+    }
+
+    #[test]
+    fn chaos_kills_are_deterministic_and_survivable() {
+        let parse = |s: &str| CliOptions::parse(s.split_whitespace()).unwrap();
+        let opts = parse("--shards 4 --replication 3 --chaos-profile aggressive --chaos-seed 7");
+        let a = opts.chaos_kills();
+        let b = opts.chaos_kills();
+        assert_eq!(a, b, "schedule must be a pure function of the seed");
+        // Aggressive with replication 3 kills exactly 2 distinct nodes.
+        assert_eq!(a.len(), 2);
+        assert_ne!(a[0].node, a[1].node);
+        for k in &a {
+            assert!(k.node < 4);
+            assert!((0.25..=0.75).contains(&k.after_fraction));
+        }
+        // Different seed, different schedule.
+        let other = parse("--shards 4 --replication 3 --chaos-profile aggressive --chaos-seed 8");
+        assert_ne!(a, other.chaos_kills());
+        // Light kills one node.
+        let light = parse("--shards 4 --replication 3 --chaos-profile light --chaos-seed 7");
+        assert_eq!(light.chaos_kills().len(), 1);
+    }
+
+    #[test]
+    fn chaos_kills_guard_unsurvivable_fleets() {
+        let parse = |s: &str| CliOptions::parse(s.split_whitespace()).unwrap();
+        // No profile, single shard, or no replication: never inject.
+        assert!(parse("--shards 4 --replication 2").chaos_kills().is_empty());
+        assert!(parse("--chaos-profile light").chaos_kills().is_empty());
+        assert!(parse("--shards 4 --replication 1 --chaos-profile aggressive")
+            .chaos_kills()
+            .is_empty());
     }
 
     #[test]

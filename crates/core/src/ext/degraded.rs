@@ -1,0 +1,260 @@
+//! Degraded-mode replanning (the chaos-layer extension).
+//!
+//! When a storage node's circuit breaker opens mid-run
+//! ([`storage::NodeHealthHandle::is_degraded`]), the placement the offload
+//! plan was computed against is no longer true: samples whose primary
+//! shard is degraded will be served by a replica (the fleet transport's
+//! breaker reroute), and that replica's cores and link — not the sick
+//! node's — now carry their offloaded work. [`plan_degraded`] recomputes
+//! the plan for that reality:
+//!
+//! * each sample's **effective primary** is its first non-degraded owner
+//!   under the [`fleet::ShardMap`];
+//! * each alive shard gets its own greedy pass (the
+//!   [`crate::ext::sharding`] discipline) over the samples it now fronts,
+//!   against its own cores and link — a shard absorbing a sick neighbour's
+//!   samples stops offloading earlier, exactly as its enlarged load
+//!   dictates;
+//! * samples with **no alive owner** fall back to `SplitPoint::NONE`
+//!   full-raw fetches from their nominal primary. "Degraded" means unfit
+//!   for offloaded preprocessing (the breaker opened on timeouts or
+//!   overload), not necessarily unreachable: a raw read is the cheapest
+//!   thing the sick node can serve, and the transport's retry/breaker
+//!   machinery still guards the actual fetch.
+//!
+//! The module is pure planning — it never touches a socket — so the
+//! runtime can call it between batches (via
+//! [`crate::loader::OffloadingLoader::run_epoch_with_replan`]) with
+//! whatever health picture the transport's [`storage::NodeHealthHandle`]s
+//! report at that moment.
+
+use fleet::ShardMap;
+use pipeline::SplitPoint;
+use storage::NodeHealthHandle;
+
+use cluster::FleetNodeConfig;
+
+use crate::engine::{DecisionEngine, PlanningContext, ResourceBudget, SampleUniverse};
+use crate::{OffloadPlan, SophonError};
+
+/// A plan recomputed for a partially degraded fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedPlan {
+    /// The replanned offload plan, indexed like the corpus.
+    pub plan: OffloadPlan,
+    /// Per-sample effective primary (first non-degraded owner, or the
+    /// nominal primary when every owner is degraded), parallel to the
+    /// corpus.
+    pub primaries: Vec<usize>,
+    /// Samples now fronted by a replica because their nominal primary is
+    /// degraded.
+    pub reassigned: u64,
+    /// Samples with no alive owner, pinned to `SplitPoint::NONE` raw
+    /// fetches.
+    pub raw_fallbacks: u64,
+}
+
+impl DegradedPlan {
+    /// Whether the degradation forced any change of serving shard.
+    pub fn is_disturbed(&self) -> bool {
+        self.reassigned > 0 || self.raw_fallbacks > 0
+    }
+}
+
+/// Maps per-node health handles to the `degraded` vector
+/// [`plan_degraded`] consumes (true = that node's breaker is open).
+pub fn degraded_nodes(handles: &[NodeHealthHandle]) -> Vec<bool> {
+    handles.iter().map(NodeHealthHandle::is_degraded).collect()
+}
+
+/// Replans offloading for a fleet in which `degraded[n]` marks node `n`'s
+/// breaker open. With nothing degraded this reduces exactly to
+/// [`crate::ext::sharding::plan_for_fleet_with_nodes`].
+///
+/// # Errors
+///
+/// Returns [`SophonError::PlanMismatch`] when `nodes` or `degraded` is not
+/// parallel to the shard map, and propagates plan/profile mismatches.
+pub fn plan_degraded(
+    ctx: &PlanningContext<'_>,
+    map: &ShardMap,
+    nodes: &[FleetNodeConfig],
+    degraded: &[bool],
+) -> Result<DegradedPlan, SophonError> {
+    if nodes.len() != map.nodes() {
+        return Err(SophonError::PlanMismatch { profiles: map.nodes(), plan: nodes.len() });
+    }
+    if degraded.len() != map.nodes() {
+        return Err(SophonError::PlanMismatch { profiles: map.nodes(), plan: degraded.len() });
+    }
+    let n = ctx.profiles.len();
+    let mut primaries = Vec::with_capacity(n);
+    let mut reassigned = 0u64;
+    let mut raw_fallbacks = 0u64;
+    let mut plan = OffloadPlan::none(n);
+    // Effective primary: first alive owner; orphans keep their nominal
+    // primary but are excluded from every shard's planning pass.
+    let mut orphans: Vec<bool> = vec![false; n];
+    for (i, orphan) in orphans.iter_mut().enumerate() {
+        let nominal = map.primary(i as u64);
+        match map.owners(i as u64).into_iter().find(|&o| !degraded[o]) {
+            Some(owner) => {
+                if owner != nominal {
+                    reassigned += 1;
+                }
+                primaries.push(owner);
+            }
+            None => {
+                raw_fallbacks += 1;
+                *orphan = true;
+                primaries.push(nominal);
+            }
+        }
+    }
+
+    let engine = DecisionEngine::new();
+    for (shard, node) in nodes.iter().enumerate() {
+        if degraded[shard] {
+            continue; // an open breaker gets no offloaded work at all
+        }
+        let indices: Vec<usize> =
+            (0..n).filter(|&i| primaries[i] == shard && !orphans[i]).collect();
+        if indices.is_empty() {
+            continue;
+        }
+        let universe = SampleUniverse::Indices(&indices);
+        let budget = ResourceBudget::of_node(node, ctx);
+        let baseline = ctx.baseline_costs_scoped(universe, &budget);
+        let (shard_plan, _) = engine.plan_scoped_with_trace(ctx, universe, baseline, &budget);
+        for &i in &indices {
+            plan.set_split(i, shard_plan.split(i));
+        }
+    }
+    // Orphans stay at SplitPoint::NONE — `OffloadPlan::none` already put
+    // them there; assert the invariant cheaply in debug builds.
+    debug_assert!((0..n).filter(|&i| orphans[i]).all(|i| plan.split(i) == SplitPoint::NONE));
+    Ok(DegradedPlan { plan, primaries, reassigned, raw_fallbacks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ext::sharding::{fleet_nodes, plan_for_fleet};
+    use cluster::{ClusterConfig, GpuModel};
+    use datasets::DatasetSpec;
+    use pipeline::{CostModel, PipelineSpec, SampleProfile};
+
+    fn setup(storage_cores: usize) -> (Vec<SampleProfile>, PipelineSpec, ClusterConfig) {
+        let ds = DatasetSpec::openimages_like(800, 23);
+        let pipeline = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        let ps: Vec<_> = ds.records().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+        (ps, pipeline, ClusterConfig::paper_testbed(storage_cores))
+    }
+
+    #[test]
+    fn healthy_fleet_reduces_to_the_sharded_plan() {
+        let (ps, pipeline, config) = setup(8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(3, 2, 17);
+        let nodes = fleet_nodes(&config, 3);
+        let healthy = plan_degraded(&ctx, &map, &nodes, &[false, false, false]).unwrap();
+        let sharded = plan_for_fleet(&ctx, &map).unwrap();
+        assert_eq!(healthy.plan, sharded.plan);
+        assert_eq!(healthy.primaries, sharded.primaries);
+        assert_eq!(healthy.reassigned, 0);
+        assert_eq!(healthy.raw_fallbacks, 0);
+        assert!(!healthy.is_disturbed());
+    }
+
+    #[test]
+    fn degraded_primary_hands_its_samples_to_replicas() {
+        let (ps, pipeline, config) = setup(8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(3, 2, 17);
+        let nodes = fleet_nodes(&config, 3);
+        let sick = 1usize;
+        let plan = plan_degraded(&ctx, &map, &nodes, &[false, true, false]).unwrap();
+        assert!(plan.reassigned > 0, "node 1 fronted samples that must move");
+        assert_eq!(plan.raw_fallbacks, 0, "replication 2 covers a single death");
+        for (i, &p) in plan.primaries.iter().enumerate() {
+            assert_ne!(p, sick, "sample {i} still fronted by the degraded node");
+            assert!(map.owners(i as u64).contains(&p), "sample {i} moved off its replica set");
+            // Everything the sick node used to front now plans against its
+            // replica's budget — but never offloads *to* the sick node.
+        }
+        // The plan still offloads (the surviving shards absorbed the work).
+        assert!((0..ps.len()).any(|i| plan.plan.split(i).is_offloaded()));
+    }
+
+    #[test]
+    fn unreplicated_degradation_falls_back_to_raw_fetches() {
+        let (ps, pipeline, config) = setup(8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(2, 1, 9);
+        let nodes = fleet_nodes(&config, 2);
+        let plan = plan_degraded(&ctx, &map, &nodes, &[true, false]).unwrap();
+        assert!(plan.raw_fallbacks > 0);
+        assert_eq!(plan.reassigned, 0, "replication 1 leaves nowhere to reassign");
+        for i in 0..ps.len() {
+            if map.primary(i as u64) == 0 {
+                assert_eq!(plan.plan.split(i), SplitPoint::NONE, "orphan {i} must fetch raw");
+                assert_eq!(plan.primaries[i], 0, "orphan keeps its nominal primary");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_degraded_fleet_is_all_raw() {
+        let (ps, pipeline, config) = setup(8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(2, 2, 9);
+        let nodes = fleet_nodes(&config, 2);
+        let plan = plan_degraded(&ctx, &map, &nodes, &[true, true]).unwrap();
+        assert_eq!(plan.raw_fallbacks, ps.len() as u64);
+        assert_eq!(plan.plan, OffloadPlan::none(ps.len()));
+    }
+
+    #[test]
+    fn mismatched_inputs_are_typed_errors() {
+        let (ps, pipeline, config) = setup(8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(3, 2, 17);
+        let err = plan_degraded(&ctx, &map, &fleet_nodes(&config, 2), &[false; 3]).unwrap_err();
+        assert!(matches!(err, SophonError::PlanMismatch { .. }));
+        let err = plan_degraded(&ctx, &map, &fleet_nodes(&config, 3), &[false; 2]).unwrap_err();
+        assert!(matches!(err, SophonError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn handles_map_to_the_degraded_vector() {
+        use storage::{BreakerConfig, HealthTrackingTransport};
+
+        struct NeverServes;
+        impl storage::FetchTransport for NeverServes {
+            fn configure(&mut self, _: u64, _: PipelineSpec) -> Result<(), storage::ClientError> {
+                Ok(())
+            }
+            fn fetch_many_requests(
+                &mut self,
+                _: &[storage::FetchRequest],
+            ) -> Result<Vec<storage::FetchResponse>, storage::ClientError> {
+                Err(storage::ClientError::Disconnected)
+            }
+        }
+
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: std::time::Duration::from_secs(60),
+            cooldown_cap: std::time::Duration::from_secs(60),
+        };
+        let healthy = HealthTrackingTransport::new(NeverServes, cfg);
+        let mut sick = HealthTrackingTransport::new(NeverServes, cfg);
+        let handles = vec![healthy.handle(), sick.handle()];
+        assert_eq!(degraded_nodes(&handles), vec![false, false]);
+        // One failure trips the threshold-1 breaker on the sick node.
+        let _ = storage::FetchTransport::fetch_many_requests(&mut sick, &[]);
+        assert_eq!(degraded_nodes(&handles), vec![false, true]);
+        drop(healthy);
+    }
+}

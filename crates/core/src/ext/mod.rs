@@ -25,6 +25,9 @@
 //!   epoch time (the inverse of the paper's Figure 4).
 //! * [`adaptive`] — replanning under dataset drift: the cost of a stale
 //!   plan and the payoff of re-profiling mid-run.
+//! * [`degraded`] — replanning under node degradation: when a storage
+//!   node's circuit breaker opens mid-run, its samples re-plan against
+//!   their replica shards (or fall back to raw fetches).
 //! * [`gpu_split`] — the paper's §5 "new opportunity": the same selective
 //!   minimum-size logic applied to the CPU→GPU PCIe hop (DALI-style
 //!   on-device tensor conversion).
@@ -32,6 +35,7 @@
 pub mod adaptive;
 pub mod caching;
 pub mod compression;
+pub mod degraded;
 pub mod fleet_caching;
 pub mod gpu_split;
 pub mod hetero;

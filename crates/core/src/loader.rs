@@ -68,6 +68,17 @@ pub enum LoaderError {
     Pipeline(pipeline::PipelineError),
     /// Batch collation failed.
     Collate(pipeline::CollateError),
+    /// The transport reported success but a requested sample is missing
+    /// from its responses (a protocol violation, not a transient fault).
+    MissingSample(u64),
+    /// A replacement plan swapped in mid-epoch covers a different corpus
+    /// size than the one it replaces.
+    ReplanMismatch {
+        /// Samples the active plan covers.
+        expected: usize,
+        /// Samples the replacement covers.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for LoaderError {
@@ -77,6 +88,12 @@ impl std::fmt::Display for LoaderError {
             LoaderError::Codec(e) => write!(f, "transfer decompress failed: {e}"),
             LoaderError::Pipeline(e) => write!(f, "pipeline suffix failed: {e}"),
             LoaderError::Collate(e) => write!(f, "collate failed: {e}"),
+            LoaderError::MissingSample(id) => {
+                write!(f, "transport omitted sample {id} from a successful batch")
+            }
+            LoaderError::ReplanMismatch { expected, got } => {
+                write!(f, "replacement plan covers {got} samples, epoch has {expected}")
+            }
         }
     }
 }
@@ -151,13 +168,51 @@ impl<T: FetchTransport> OffloadingLoader<T> {
     /// # Errors
     ///
     /// Stops at the first failing batch.
-    pub fn run_epoch<F>(&mut self, epoch: u64, mut consume: F) -> Result<usize, LoaderError>
+    pub fn run_epoch<F>(&mut self, epoch: u64, consume: F) -> Result<usize, LoaderError>
     where
         F: FnMut(TensorBatch),
+    {
+        self.run_epoch_with_replan(epoch, consume, |_| None)
+    }
+
+    /// [`OffloadingLoader::run_epoch`] with mid-epoch replanning: before
+    /// each batch, `replan(batch_index)` may hand back a replacement
+    /// [`OffloadPlan`] that takes effect from that batch on (and stays the
+    /// loader's plan afterwards). This is the degraded-mode hook — when a
+    /// node's breaker opens partway through an epoch, the runtime swaps in
+    /// a [`crate::ext::degraded::plan_degraded`] plan and the remaining
+    /// batches route their offloads around the sick node.
+    ///
+    /// Splits only choose *where* preprocessing runs, never *what* it
+    /// computes, so a mid-epoch swap keeps batches bit-identical to an
+    /// unswapped run.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing batch; a replacement plan of the wrong
+    /// length is [`LoaderError::ReplanMismatch`].
+    pub fn run_epoch_with_replan<F, R>(
+        &mut self,
+        epoch: u64,
+        mut consume: F,
+        mut replan: R,
+    ) -> Result<usize, LoaderError>
+    where
+        F: FnMut(TensorBatch),
+        R: FnMut(usize) -> Option<OffloadPlan>,
     {
         let order = self.epoch_order(epoch);
         let mut batches = 0usize;
         for chunk in order.chunks(self.config.batch_size) {
+            if let Some(next_plan) = replan(batches) {
+                if next_plan.len() != self.plan.len() {
+                    return Err(LoaderError::ReplanMismatch {
+                        expected: self.plan.len(),
+                        got: next_plan.len(),
+                    });
+                }
+                self.plan = next_plan;
+            }
             let requests: Vec<FetchRequest> = chunk
                 .iter()
                 .map(|&id| {
@@ -183,8 +238,8 @@ impl<T: FetchTransport> OffloadingLoader<T> {
                 responses.into_iter().map(|r| (r.sample_id, r)).collect();
             let responses: Vec<storage::FetchResponse> = chunk
                 .iter()
-                .map(|id| by_id.remove(id).expect("server answered every request"))
-                .collect();
+                .map(|id| by_id.remove(id).ok_or(LoaderError::MissingSample(*id)))
+                .collect::<Result<_, _>>()?;
 
             let tensors = self.finish_suffixes(responses, epoch)?;
             consume(TensorBatch::collate(&tensors).map_err(LoaderError::Collate)?);
@@ -279,7 +334,12 @@ mod tests {
         let store = ObjectStore::materialize_dataset(&ds, 0..N);
         let server = StorageServer::spawn(
             store.clone(),
-            ServerConfig { cores: 3, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 32 },
+            ServerConfig {
+                cores: 3,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 32,
+                ..ServerConfig::default()
+            },
         );
         (ds, store, server)
     }
@@ -358,6 +418,63 @@ mod tests {
     }
 
     #[test]
+    fn mid_epoch_replan_keeps_batches_bit_identical() {
+        // Swapping the plan between batches changes only *where* prefixes
+        // run; the tensors must not move by a single bit.
+        let (ds, _store, mut server) = live_parts();
+        let plan = make_plan(&ds);
+        let run = |client: storage::StorageClient,
+                   replan: &mut dyn FnMut(usize) -> Option<OffloadPlan>| {
+            let mut loader = OffloadingLoader::new(
+                client,
+                PipelineSpec::standard_train(),
+                plan.clone(),
+                LoaderConfig::new(ds.seed, 4),
+            )
+            .unwrap();
+            let mut out: Vec<Vec<f32>> = Vec::new();
+            loader.run_epoch_with_replan(2, |b| out.push(b.as_slice().to_vec()), replan).unwrap();
+            out
+        };
+        let steady = run(server.client(), &mut |_| None);
+        // Second server for a second client (single-consumer pipes).
+        let store2 = ObjectStore::materialize_dataset(&ds, 0..N);
+        let mut server2 = StorageServer::spawn(
+            store2,
+            ServerConfig {
+                cores: 3,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 32,
+                ..ServerConfig::default()
+            },
+        );
+        // Degraded-mode analogue: from batch 1 on, stop offloading.
+        let raw_from_batch_1 =
+            run(server2.client(), &mut |batch| (batch == 1).then(|| OffloadPlan::none(N as usize)));
+        assert_eq!(steady, raw_from_batch_1, "replan changed batch contents");
+        server.shutdown();
+        server2.shutdown();
+    }
+
+    #[test]
+    fn replan_of_the_wrong_length_is_rejected() {
+        let (ds, _store, mut server) = live_parts();
+        let plan = make_plan(&ds);
+        let mut loader = OffloadingLoader::new(
+            server.client(),
+            PipelineSpec::standard_train(),
+            plan,
+            LoaderConfig::new(ds.seed, 4),
+        )
+        .unwrap();
+        let err =
+            loader.run_epoch_with_replan(0, |_| {}, |_| Some(OffloadPlan::none(3))).unwrap_err();
+        assert!(matches!(err, LoaderError::ReplanMismatch { expected, got: 3 }
+            if expected == N as usize));
+        server.shutdown();
+    }
+
+    #[test]
     fn worker_count_does_not_change_batches() {
         let (ds, _store, mut server) = live_parts();
         let plan = make_plan(&ds);
@@ -377,7 +494,12 @@ mod tests {
         let store2 = ObjectStore::materialize_dataset(&ds2, 0..N);
         let mut server2 = StorageServer::spawn(
             store2,
-            ServerConfig { cores: 3, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 32 },
+            ServerConfig {
+                cores: 3,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 32,
+                ..ServerConfig::default()
+            },
         );
         let parallel = run_with(4, server2.client());
         assert_eq!(serial, parallel, "worker count changed batch contents");

@@ -16,6 +16,11 @@
 //!   marked permanently dead; its in-flight samples re-route to the next
 //!   alive owner, and later batches never touch it again. Only when a
 //!   sample has no alive owner left does the error surface.
+//! * **breaker reroutes** — a node that reports
+//!   [`ClientError::CircuitOpen`] (its `HealthTrackingTransport` breaker
+//!   tripped) is *temporarily* unusable, not dead: the group's unfinished
+//!   samples re-route to replicas for this batch, but the node stays in
+//!   the map so the breaker's half-open probe can readmit it later.
 //!
 //! The decorator composes like the others: wrap each per-node client in
 //! `RetryingTransport` before handing it to the fleet (retries stay
@@ -81,6 +86,9 @@ pub struct FleetStats {
     pub hedge_wins: u64,
     /// Node-death events that forced in-flight samples to re-route.
     pub failovers: u64,
+    /// Samples rerouted past a node whose circuit breaker was open (the
+    /// node stays routable for later batches, unlike a failover).
+    pub breaker_reroutes: u64,
 }
 
 /// A group of requests in flight on one node.
@@ -379,6 +387,40 @@ impl FetchTransport for FleetTransport {
                                 }
                             }
                         }
+                        ReplyBody::Fetched(Err(ClientError::CircuitOpen)) if known => {
+                            // The node's breaker is open: unusable right
+                            // now, but not dead. Reroute this group past it
+                            // (its `tried` entry keeps it excluded for the
+                            // rest of the batch) and leave it in the map so
+                            // the half-open probe can readmit it.
+                            let mut stranded: Vec<(u64, FetchRequest, Vec<usize>)> = Vec::new();
+                            if let Some(g) = group {
+                                for s in g.samples {
+                                    if pending.contains_key(&s) {
+                                        let tried = pending[&s].clone();
+                                        stranded.push((s, req_by_sample[&s], tried));
+                                    }
+                                }
+                            }
+                            self.stats.breaker_reroutes += stranded.len() as u64;
+                            let unroutable =
+                                self.dispatch(&stranded, false, &mut groups, &mut issued);
+                            for g in groups.values() {
+                                for &s in &g.samples {
+                                    if let Some(tried) = pending.get_mut(&s) {
+                                        if !tried.contains(&g.node) {
+                                            tried.push(g.node);
+                                        }
+                                    }
+                                }
+                            }
+                            for s in unroutable {
+                                let covered = groups.values().any(|g| g.samples.contains(&s));
+                                if !covered {
+                                    return Err(ClientError::CircuitOpen);
+                                }
+                            }
+                        }
                         ReplyBody::Fetched(Err(e)) if known => return Err(e),
                         _ => {} // stale ticket or configure reply: ignore
                     }
@@ -456,6 +498,8 @@ mod tests {
         delay: Duration,
         calls: Arc<AtomicU64>,
         dead: Arc<AtomicBool>,
+        open: Arc<AtomicBool>,
+        sick: Arc<AtomicBool>,
     }
 
     impl Stub {
@@ -465,6 +509,8 @@ mod tests {
                 delay: Duration::ZERO,
                 calls: Arc::new(AtomicU64::new(0)),
                 dead: Arc::new(AtomicBool::new(false)),
+                open: Arc::new(AtomicBool::new(false)),
+                sick: Arc::new(AtomicBool::new(false)),
             }
         }
     }
@@ -484,6 +530,16 @@ mod tests {
             self.calls.fetch_add(1, Ordering::SeqCst);
             if self.dead.load(Ordering::SeqCst) {
                 return Err(ClientError::Disconnected);
+            }
+            if self.open.load(Ordering::SeqCst) {
+                return Err(ClientError::CircuitOpen);
+            }
+            if self.sick.load(Ordering::SeqCst) {
+                // A retryable (non-fatal) server-side failure.
+                return Err(ClientError::Server {
+                    sample_id: requests.first().map(|r| r.sample_id),
+                    message: "stub sick".to_string(),
+                });
             }
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
@@ -582,6 +638,81 @@ mod tests {
         assert!(out.iter().all(|r| r.ops_applied == 1), "survivor must serve everything");
         assert!(fleet.is_dead(0));
         assert_eq!(fleet.stats().failovers, 1);
+    }
+
+    #[test]
+    fn open_breaker_reroutes_without_declaring_the_node_dead() {
+        let map = ShardMap::new(2, 2, 5);
+        let stubs: Vec<Stub> = (0..2).map(Stub::healthy).collect();
+        let breaker = Arc::clone(&stubs[0].open);
+        let calls: Vec<Arc<AtomicU64>> = stubs.iter().map(|s| Arc::clone(&s.calls)).collect();
+        let mut fleet = FleetTransport::new(stubs, map, None);
+        fleet.configure(1, PipelineSpec::standard_train()).unwrap();
+        // Node 0's breaker trips: the batch still completes off node 1.
+        breaker.store(true, Ordering::SeqCst);
+        let ids: Vec<u64> = (0..16).collect();
+        let out = fleet.fetch_many_requests(&reqs(&ids)).unwrap();
+        assert_eq!(out.len(), 16);
+        assert!(out.iter().all(|r| r.ops_applied == 1), "replica must cover the open node");
+        assert!(fleet.stats().breaker_reroutes > 0);
+        // Crucially: not a failover — the node stays routable.
+        assert!(!fleet.is_dead(0));
+        assert_eq!(fleet.stats().failovers, 0);
+        assert_eq!(fleet.alive_nodes(), 2);
+        // Breaker closes (half-open probe succeeded): node 0 serves again.
+        breaker.store(false, Ordering::SeqCst);
+        let before = calls[0].load(Ordering::SeqCst);
+        fleet.fetch_many_requests(&reqs(&ids)).unwrap();
+        assert!(calls[0].load(Ordering::SeqCst) > before, "recovered node must be retried");
+    }
+
+    #[test]
+    fn unreplicated_open_breaker_surfaces_circuit_open() {
+        let map = ShardMap::new(2, 1, 5);
+        let stubs: Vec<Stub> = (0..2).map(Stub::healthy).collect();
+        stubs[0].open.store(true, Ordering::SeqCst);
+        let mut fleet = FleetTransport::new(stubs, map.clone(), None);
+        fleet.configure(1, PipelineSpec::standard_train()).unwrap();
+        let victim_sample = (0..100u64).find(|&id| map.primary(id) == 0).unwrap();
+        let err = fleet.fetch_many_requests(&reqs(&[victim_sample])).unwrap_err();
+        // CircuitOpen (retryable upstream), not Disconnected (permanent).
+        assert!(matches!(err, ClientError::CircuitOpen));
+        assert!(!fleet.is_dead(0));
+    }
+
+    #[test]
+    fn health_tracked_nodes_compose_under_the_fleet() {
+        use storage::{BackoffConfig, BreakerConfig, HealthTrackingTransport, RetryingTransport};
+
+        let map = ShardMap::new(2, 2, 9);
+        // Node 0 persistently errors; its breaker (threshold 2, long
+        // cooldown) opens mid-retry, the retry budget drains against the
+        // open breaker, and CircuitOpen reaches the fleet — which reroutes.
+        let stubs: Vec<Stub> = (0..2).map(Stub::healthy).collect();
+        let sick = Arc::clone(&stubs[0].sick);
+        let cfg = BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(30),
+            cooldown_cap: Duration::from_secs(30),
+        };
+        let mut handles = Vec::new();
+        let stack: Vec<_> = stubs
+            .into_iter()
+            .map(|s| {
+                let tracked = HealthTrackingTransport::new(s, cfg);
+                handles.push(tracked.handle());
+                RetryingTransport::with_backoff(tracked, 4, BackoffConfig::none())
+            })
+            .collect();
+        let mut fleet = FleetTransport::new(stack, map, None);
+        fleet.configure(1, PipelineSpec::standard_train()).unwrap();
+        sick.store(true, Ordering::SeqCst);
+        let ids: Vec<u64> = (0..8).collect();
+        let out = fleet.fetch_many_requests(&reqs(&ids)).unwrap();
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|r| r.ops_applied == 1));
+        assert!(handles[0].is_degraded(), "node 0's breaker must have opened");
+        assert!(!handles[1].is_degraded());
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub enum ClientError {
     },
     /// The server sent a response that does not fit the protocol state.
     UnexpectedResponse,
+    /// A frame arrived bit-corrupted (CRC32 mismatch). Retryable: the
+    /// payload on the server is intact, only the transfer was damaged.
+    Corrupted,
+    /// The per-request [`Deadline`](crate::Deadline) expired before the
+    /// response arrived. Retryable with a fresh budget.
+    DeadlineExceeded,
+    /// The node's circuit breaker is open: requests fail fast without
+    /// touching the wire until the cooldown elapses and a probe succeeds.
+    CircuitOpen,
 }
 
 impl std::fmt::Display for ClientError {
@@ -36,6 +45,9 @@ impl std::fmt::Display for ClientError {
                 None => write!(f, "server error: {message}"),
             },
             ClientError::UnexpectedResponse => write!(f, "unexpected response kind"),
+            ClientError::Corrupted => write!(f, "frame corrupted in transit (checksum mismatch)"),
+            ClientError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ClientError::CircuitOpen => write!(f, "node circuit breaker is open"),
         }
     }
 }
@@ -44,7 +56,10 @@ impl std::error::Error for ClientError {}
 
 impl From<WireError> for ClientError {
     fn from(e: WireError) -> Self {
-        ClientError::Wire(e)
+        match e {
+            WireError::ChecksumMismatch => ClientError::Corrupted,
+            other => ClientError::Wire(other),
+        }
     }
 }
 

@@ -19,6 +19,18 @@
 //!   ([`netsim::ThrottledPipe`]), so end-to-end examples move real bytes
 //!   through a real 500 Mbps bottleneck.
 //!
+//! The failure-handling layer (this crate's chaos era):
+//!
+//! * [`wire`] frames carry a CRC32 trailer; bit corruption surfaces as
+//!   [`wire::WireError::ChecksumMismatch`] → [`ClientError::Corrupted`].
+//! * [`Deadline`] — per-exchange time budgets on [`TcpStorageClient`],
+//!   replacing the old hardcoded read timeout.
+//! * [`chaos`] — seeded, deterministic fault injection (client decorator
+//!   and server-side injector) over `(sample, epoch, attempt)` keys.
+//! * [`health`] — a circuit breaker per node:
+//!   [`HealthTrackingTransport`] fails fast while a node is degraded and
+//!   probes it back to health after a deterministic cooldown schedule.
+//!
 //! # Example
 //!
 //! ```
@@ -34,6 +46,7 @@
 //!     cores: 2,
 //!     bandwidth: Bandwidth::from_gbps(10.0),
 //!     queue_depth: 16,
+//!     ..ServerConfig::default()
 //! });
 //! let mut client = server.client();
 //! client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
@@ -46,8 +59,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod client;
+mod deadline;
 mod executor;
+pub mod health;
 pub mod multi;
 mod object_store;
 pub mod protocol;
@@ -57,12 +73,17 @@ pub mod tcp;
 mod transport;
 pub mod wire;
 
+pub use chaos::{FaultInjectingTransport, FaultKind, FaultPlan, FaultRecord, ServerFaultInjector};
 pub use client::{ClientError, StorageClient};
+pub use deadline::Deadline;
 pub use executor::{ExecError, NearStorageExecutor};
+pub use health::{
+    BreakerConfig, BreakerState, HealthSnapshot, HealthTrackingTransport, NodeHealthHandle,
+};
 pub use multi::MultiServerHarness;
 pub use object_store::ObjectStore;
 pub use protocol::{FetchRequest, FetchResponse, Request, Response, SessionConfig};
-pub use retry::RetryingTransport;
+pub use retry::{BackoffConfig, RetryingTransport};
 pub use server::{ServerConfig, StorageServer};
 pub use tcp::{TcpStorageClient, TcpStorageServer};
 pub use transport::FetchTransport;

@@ -10,11 +10,13 @@
 
 use std::io;
 use std::net::SocketAddr;
+use std::sync::Arc;
 
 use netsim::MeterSnapshot;
 
 use netsim::TrafficMeter;
 
+use crate::chaos::{FaultPlan, FaultRecord, ServerFaultInjector};
 use crate::tcp::{TcpStorageClient, TcpStorageServer};
 use crate::{ObjectStore, ServerConfig};
 
@@ -25,6 +27,7 @@ struct Node {
     addr: SocketAddr,
     meter: TrafficMeter,
     stored: usize,
+    injector: Option<Arc<ServerFaultInjector>>,
 }
 
 /// Several live TCP storage servers, each holding one shard of a corpus.
@@ -43,11 +46,8 @@ impl MultiServerHarness {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `nodes` is zero or `owners` names a node out of range.
+    /// Propagates bind failures; a zero-node fleet or an out-of-range
+    /// owner surfaces as `InvalidInput`.
     pub fn spawn<F>(
         store: &ObjectStore,
         nodes: usize,
@@ -57,23 +57,82 @@ impl MultiServerHarness {
     where
         F: Fn(u64) -> Vec<usize>,
     {
-        assert!(nodes > 0, "fleet needs at least one node");
+        Self::spawn_inner(store, nodes, config, owners, None)
+    }
+
+    /// Like [`MultiServerHarness::spawn`], but every node injects faults
+    /// from `plan`. Each node's injector runs the same schedule under a
+    /// seed derived deterministically from the plan seed and node index,
+    /// so a fleet-wide chaos run reproduces exactly from one seed. Read
+    /// the injected-fault history back with
+    /// [`MultiServerHarness::fault_log`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as `spawn`.
+    pub fn spawn_with_chaos<F>(
+        store: &ObjectStore,
+        nodes: usize,
+        config: ServerConfig,
+        owners: F,
+        plan: &FaultPlan,
+    ) -> io::Result<MultiServerHarness>
+    where
+        F: Fn(u64) -> Vec<usize>,
+    {
+        Self::spawn_inner(store, nodes, config, owners, Some(plan))
+    }
+
+    fn spawn_inner<F>(
+        store: &ObjectStore,
+        nodes: usize,
+        config: ServerConfig,
+        owners: F,
+        plan: Option<&FaultPlan>,
+    ) -> io::Result<MultiServerHarness>
+    where
+        F: Fn(u64) -> Vec<usize>,
+    {
+        if nodes == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "fleet needs at least one node",
+            ));
+        }
         let mut shards: Vec<ObjectStore> = (0..nodes).map(|_| ObjectStore::new()).collect();
         for (id, bytes) in store.iter() {
             for node in owners(id) {
-                assert!(node < nodes, "owner {node} out of range for {nodes} nodes");
+                if node >= nodes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("owner {node} out of range for {nodes} nodes"),
+                    ));
+                }
                 shards[node].insert(id, bytes.clone());
             }
         }
         let mut out = Vec::with_capacity(nodes);
-        for shard in shards {
+        for (n, shard) in shards.into_iter().enumerate() {
             let stored = shard.len();
-            let server = TcpStorageServer::bind(shard, config, "127.0.0.1:0")?;
+            let injector = plan.map(|p| {
+                // Domain-separated per-node seed: same fleet seed, distinct
+                // per-node schedules, fully reproducible.
+                let node_seed =
+                    p.seed() ^ (0x6e6f_6465 + n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                Arc::new(ServerFaultInjector::new(n, p.clone().reseeded(node_seed)))
+            });
+            let server = TcpStorageServer::bind_with_injector(
+                shard,
+                config,
+                "127.0.0.1:0",
+                injector.clone(),
+            )?;
             out.push(Node {
                 addr: server.local_addr(),
                 meter: server.meter(),
                 server: Some(server),
                 stored,
+                injector,
             });
         }
         Ok(MultiServerHarness { nodes: out })
@@ -136,6 +195,26 @@ impl MultiServerHarness {
         MeterSnapshot::merge("fleet", self.traffic())
     }
 
+    /// Faults injected by `node` so far, sorted by
+    /// `(sample, epoch, attempt)` (empty without chaos).
+    pub fn fault_log(&self, node: usize) -> Vec<FaultRecord> {
+        self.nodes[node].injector.as_ref().map(|i| i.log()).unwrap_or_default()
+    }
+
+    /// Every node's injected faults merged, sorted by
+    /// `(node, sample, epoch, attempt)` — the canonical sequence to
+    /// compare across same-seed chaos runs.
+    pub fn fault_logs(&self) -> Vec<FaultRecord> {
+        let mut all: Vec<FaultRecord> = (0..self.len()).flat_map(|n| self.fault_log(n)).collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Total faults injected fleet-wide so far.
+    pub fn faults_injected(&self) -> usize {
+        self.nodes.iter().filter_map(|n| n.injector.as_ref()).map(|i| i.injected()).sum()
+    }
+
     /// Whether `node` is still serving.
     pub fn is_alive(&self, node: usize) -> bool {
         self.nodes[node].server.is_some()
@@ -166,7 +245,61 @@ mod tests {
     use pipeline::{PipelineSpec, SplitPoint};
 
     fn config() -> ServerConfig {
-        ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 }
+        ServerConfig {
+            cores: 2,
+            bandwidth: Bandwidth::from_gbps(10.0),
+            queue_depth: 16,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn chaos_harness_logs_reproduce_per_seed() {
+        use crate::chaos::FaultPlan;
+        use crate::Deadline;
+        use pipeline::PipelineSpec;
+
+        let ds = datasets::DatasetSpec::mini(8, 33);
+        let store = ObjectStore::materialize_dataset(&ds, 0..8);
+        let run = |seed: u64| {
+            let plan = FaultPlan::quiet(seed).with_errors(0.5);
+            let harness = MultiServerHarness::spawn_with_chaos(
+                &store,
+                2,
+                config(),
+                |id| vec![(id % 2) as usize],
+                &plan,
+            )
+            .unwrap();
+            for node in 0..2 {
+                let mut client = harness
+                    .client(node)
+                    .unwrap()
+                    .with_deadline(Deadline::after(std::time::Duration::from_secs(5)));
+                client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+                for id in 0..8u64 {
+                    if (id % 2) as usize != node {
+                        continue;
+                    }
+                    let reqs = vec![crate::FetchRequest::new(id, 0, pipeline::SplitPoint::NONE)];
+                    // Injected errors are transient: one retry converges.
+                    for _ in 0..3 {
+                        if client.fetch_many_requests(&reqs).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let log = harness.fault_logs();
+            harness.shutdown();
+            log
+        };
+        let a = run(5);
+        let b = run(5);
+        let c = run(6);
+        assert!(!a.is_empty(), "a 50% error rate over 8 samples must fire");
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert_ne!(a, c, "different seed, different fault sequence");
     }
 
     #[test]

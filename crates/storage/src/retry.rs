@@ -222,6 +222,21 @@ mod tests {
     }
 
     #[test]
+    fn corruption_and_deadline_and_breaker_errors_are_retried() {
+        // The chaos-era transient errors: a corrupted frame, an expired
+        // deadline, and an open breaker all deserve another attempt.
+        for transient in
+            [ClientError::Corrupted, ClientError::DeadlineExceeded, ClientError::CircuitOpen]
+        {
+            let scripted = Scripted::new(vec![Err(transient.clone()), Ok(())]);
+            let mut t = RetryingTransport::new(scripted, 2);
+            let out = t.fetch_many_requests(&reqs()).unwrap();
+            assert_eq!(out.len(), 1, "{transient:?} must be retryable");
+            assert_eq!(t.retries_used(), 1);
+        }
+    }
+
+    #[test]
     fn disconnection_is_not_retried() {
         let scripted = Scripted::new(vec![Err(ClientError::Disconnected)]);
         let mut t = RetryingTransport::new(scripted, 5);

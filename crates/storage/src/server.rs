@@ -21,6 +21,21 @@ pub struct ServerConfig {
     pub bandwidth: Bandwidth,
     /// Response queue depth in messages.
     pub queue_depth: usize,
+    /// How often connection readers wake to check for shutdown — the
+    /// socket read timeout (formerly a hardcoded 50 ms constant).
+    pub read_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    /// Two cores behind a 1 Gbps link, depth-16 queue, default poll.
+    fn default() -> Self {
+        ServerConfig {
+            cores: 2,
+            bandwidth: Bandwidth::from_gbps(1.0),
+            queue_depth: 16,
+            read_poll: crate::Deadline::DEFAULT_POLL,
+        }
+    }
 }
 
 /// A live, multi-threaded storage server.
@@ -182,7 +197,12 @@ mod tests {
         let store = ObjectStore::materialize_dataset(&ds, 0..n);
         let server = StorageServer::spawn(
             store,
-            ServerConfig { cores, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 32 },
+            ServerConfig {
+                cores,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 32,
+                ..ServerConfig::default()
+            },
         );
         (server, ds)
     }
@@ -231,7 +251,12 @@ mod tests {
         server.shutdown();
         let _ = StorageServer::spawn(
             ObjectStore::new(),
-            ServerConfig { cores: 0, bandwidth: Bandwidth::from_gbps(1.0), queue_depth: 1 },
+            ServerConfig {
+                cores: 0,
+                bandwidth: Bandwidth::from_gbps(1.0),
+                queue_depth: 1,
+                ..ServerConfig::default()
+            },
         );
     }
 }

@@ -16,24 +16,28 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use netsim::{TokenBucket, TrafficMeter};
 use parking_lot::{Mutex, RwLock};
 use pipeline::{PipelineSpec, SplitPoint, StageData};
 
+use crate::chaos::{FaultDirective, FaultKind, ServerFaultInjector};
 use crate::protocol::{FetchRequest, FetchResponse, Request, Response};
-use crate::wire;
-use crate::{ClientError, NearStorageExecutor, ObjectStore, ServerConfig};
+use crate::wire::{self, WireError};
+use crate::{chaos, ClientError, Deadline, NearStorageExecutor, ObjectStore, ServerConfig};
 
 /// Writes one length-prefixed frame.
 ///
 /// # Errors
 ///
-/// Propagates socket errors.
+/// Propagates socket errors; an over-cap payload surfaces as
+/// `InvalidInput` before any bytes hit the wire.
 pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> io::Result<()> {
-    assert!(payload.len() as u64 <= u64::from(wire::MAX_PAYLOAD), "frame over cap");
+    if payload.len() as u64 > u64::from(wire::MAX_PAYLOAD) {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame over cap"));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -57,10 +61,16 @@ pub fn read_frame<R: Read>(mut r: R) -> io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// A response paired with the fault (if any) the writer must apply to it.
+struct Reply {
+    response: Response,
+    fault: Option<FaultDirective>,
+}
+
 struct Job {
     request: Request,
     session: Arc<RwLock<Option<NearStorageExecutor>>>,
-    reply: channel::Sender<Response>,
+    reply: channel::Sender<Reply>,
 }
 
 /// A storage server listening on a real TCP socket.
@@ -79,13 +89,35 @@ impl TcpStorageServer {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `config.cores` is zero.
+    /// Propagates bind failures; a zero-core config surfaces as
+    /// `InvalidInput`.
     pub fn bind(store: ObjectStore, config: ServerConfig, addr: &str) -> io::Result<Self> {
-        assert!(config.cores > 0, "server needs at least one core");
+        Self::bind_with_injector(store, config, addr, None)
+    }
+
+    /// Like [`TcpStorageServer::bind`], but every fetch response first
+    /// consults `injector` — the server-side half of the chaos layer.
+    /// Faults are applied to the encoded frame on the wire itself: drops
+    /// skip the write, delays sleep in the writer, truncations shorten
+    /// the frame, bit-flips corrupt it. Configure responses are never
+    /// faulted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; a zero-core config surfaces as
+    /// `InvalidInput`.
+    pub fn bind_with_injector(
+        store: ObjectStore,
+        config: ServerConfig,
+        addr: &str,
+        injector: Option<Arc<ServerFaultInjector>>,
+    ) -> io::Result<Self> {
+        if config.cores == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "server needs at least one core",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -101,14 +133,16 @@ impl TcpStorageServer {
             .map(|_| {
                 let rx = work_rx.clone();
                 let store = store.clone();
-                std::thread::spawn(move || worker_loop(&rx, &store))
+                let injector = injector.clone();
+                std::thread::spawn(move || worker_loop(&rx, &store, injector.as_deref()))
             })
             .collect();
 
         let accept_stop = Arc::clone(&stop);
         let accept_meter = meter.clone();
+        let read_poll = config.read_poll;
         let accept_thread = std::thread::spawn(move || {
-            accept_loop(&listener, &accept_stop, &work_tx, &bucket, &accept_meter);
+            accept_loop(&listener, &accept_stop, &work_tx, &bucket, &accept_meter, read_poll);
         });
 
         Ok(TcpStorageServer {
@@ -161,6 +195,7 @@ fn accept_loop(
     work_tx: &channel::Sender<Job>,
     bucket: &Arc<Mutex<TokenBucket>>,
     meter: &TrafficMeter,
+    read_poll: Duration,
 ) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
@@ -171,7 +206,7 @@ fn accept_loop(
                 let bucket = Arc::clone(bucket);
                 let meter = meter.clone();
                 connections.push(std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &work_tx, &stop, &bucket, &meter);
+                    let _ = serve_connection(stream, &work_tx, &stop, &bucket, &meter, read_poll);
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -191,20 +226,36 @@ fn serve_connection(
     stop: &Arc<AtomicBool>,
     bucket: &Arc<Mutex<TokenBucket>>,
     meter: &TrafficMeter,
+    read_poll: Duration,
 ) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.set_read_timeout(Some(read_poll))?;
     let mut reader = stream.try_clone()?;
     let session: Arc<RwLock<Option<NearStorageExecutor>>> = Arc::new(RwLock::new(None));
-    let (reply_tx, reply_rx) = channel::unbounded::<Response>();
+    let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
 
-    // Writer thread: throttle + frame every response.
+    // Writer thread: throttle + frame every response, applying any
+    // injected wire-level fault to the encoded bytes.
     let writer_stream = stream;
     let writer_bucket = Arc::clone(bucket);
     let writer_meter = meter.clone();
     let writer = std::thread::spawn(move || -> io::Result<()> {
         let mut out = writer_stream;
-        while let Ok(resp) = reply_rx.recv() {
-            let payload = wire::encode_response(&resp);
+        while let Ok(reply) = reply_rx.recv() {
+            let mut payload = wire::encode_response(&reply.response).to_vec();
+            match reply.fault {
+                Some(FaultDirective { kind: FaultKind::Drop, .. }) => continue,
+                Some(FaultDirective { kind: FaultKind::Delay(d), .. }) => {
+                    std::thread::sleep(d);
+                }
+                Some(FaultDirective { kind: FaultKind::Truncate, salt }) => {
+                    chaos::truncate_payload(&mut payload, salt);
+                }
+                Some(FaultDirective { kind: FaultKind::BitFlip, salt }) => {
+                    chaos::flip_bit(&mut payload, salt);
+                }
+                // Error faults were applied at the worker; nothing here.
+                Some(FaultDirective { kind: FaultKind::Error, .. }) | None => {}
+            }
             let delay = writer_bucket.lock().delay_for(payload.len());
             if delay > Duration::ZERO {
                 std::thread::sleep(delay);
@@ -232,9 +283,12 @@ fn serve_connection(
         let response_or_job = match wire::decode_request(&frame) {
             Ok(request) => Job { request, session: Arc::clone(&session), reply: reply_tx.clone() },
             Err(e) => {
-                let _ = reply_tx.send(Response::Error {
-                    sample_id: None,
-                    message: format!("bad request: {e}"),
+                let _ = reply_tx.send(Reply {
+                    response: Response::Error {
+                        sample_id: None,
+                        message: format!("bad request: {e}"),
+                    },
+                    fault: None,
                 });
                 continue;
             }
@@ -252,35 +306,64 @@ fn serve_connection(
     Ok(())
 }
 
-fn worker_loop(rx: &channel::Receiver<Job>, store: &ObjectStore) {
+fn worker_loop(
+    rx: &channel::Receiver<Job>,
+    store: &ObjectStore,
+    injector: Option<&ServerFaultInjector>,
+) {
     while let Ok(job) = rx.recv() {
-        let response = match job.request {
+        let reply = match job.request {
             Request::Configure(cfg) => {
                 *job.session.write() = Some(NearStorageExecutor::new(store.clone(), cfg));
-                Response::Configured
+                Reply { response: Response::Configured, fault: None }
             }
             Request::Fetch(req) => {
-                let executor = job.session.read().clone();
-                match executor {
-                    Some(ex) => match ex.execute(req) {
-                        Ok(resp) => Response::Data(resp),
-                        Err(e) => Response::Error {
+                let fault = injector.and_then(|i| i.decide(req.sample_id, req.epoch));
+                if matches!(fault, Some(FaultDirective { kind: FaultKind::Error, .. })) {
+                    // Error faults replace the response before execution.
+                    Reply {
+                        response: Response::Error {
                             sample_id: Some(req.sample_id),
-                            message: e.to_string(),
+                            message: "injected storage fault".to_string(),
                         },
-                    },
-                    None => Response::Error {
-                        sample_id: Some(req.sample_id),
-                        message: "session not configured".to_string(),
-                    },
+                        fault,
+                    }
+                } else {
+                    let executor = job.session.read().clone();
+                    let response = match executor {
+                        Some(ex) => match ex.execute(req) {
+                            Ok(resp) => Response::Data(resp),
+                            Err(e) => Response::Error {
+                                sample_id: Some(req.sample_id),
+                                message: e.to_string(),
+                            },
+                        },
+                        None => Response::Error {
+                            sample_id: Some(req.sample_id),
+                            message: "session not configured".to_string(),
+                        },
+                    };
+                    Reply { response, fault }
                 }
             }
             Request::Shutdown => continue, // handled at the connection layer
         };
-        if job.reply.send(response).is_err() {
+        if job.reply.send(reply).is_err() {
             return;
         }
     }
+}
+
+/// Partially read frame state, persisted across deadline expiries so a
+/// timed-out read never desynchronizes the stream: the next call resumes
+/// the same frame exactly where the budget ran out.
+#[derive(Debug, Default)]
+struct FrameState {
+    header: [u8; 4],
+    header_got: usize,
+    payload: Vec<u8>,
+    payload_got: usize,
+    expect: Option<usize>,
 }
 
 /// Client for a [`TcpStorageServer`].
@@ -288,10 +371,13 @@ fn worker_loop(rx: &channel::Receiver<Job>, store: &ObjectStore) {
 pub struct TcpStorageClient {
     stream: TcpStream,
     pending: std::collections::HashMap<u64, FetchResponse>,
+    deadline: Deadline,
+    frame: FrameState,
 }
 
 impl TcpStorageClient {
-    /// Connects to a server.
+    /// Connects to a server (no deadline: reads block until the server
+    /// answers or hangs up).
     ///
     /// # Errors
     ///
@@ -299,7 +385,30 @@ impl TcpStorageClient {
     pub fn connect(addr: SocketAddr) -> io::Result<TcpStorageClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpStorageClient { stream, pending: std::collections::HashMap::new() })
+        Ok(TcpStorageClient {
+            stream,
+            pending: std::collections::HashMap::new(),
+            deadline: Deadline::NONE,
+            frame: FrameState::default(),
+        })
+    }
+
+    /// Sets the per-exchange time budget. Each public call (configure or
+    /// fetch batch) starts a fresh budget; expiry surfaces as
+    /// [`ClientError::DeadlineExceeded`].
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+    }
+
+    /// Builder form of [`TcpStorageClient::set_deadline`].
+    pub fn with_deadline(mut self, deadline: Deadline) -> TcpStorageClient {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The configured per-exchange deadline.
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
     }
 
     fn send(&mut self, req: &Request) -> Result<(), ClientError> {
@@ -307,9 +416,70 @@ impl TcpStorageClient {
             .map_err(|_| ClientError::Disconnected)
     }
 
-    fn recv(&mut self) -> Result<Response, ClientError> {
-        let frame = read_frame(&mut self.stream).map_err(|_| ClientError::Disconnected)?;
+    /// Reads one frame, resuming any partial frame from a previous
+    /// expired call, giving up when `expiry` passes.
+    fn read_frame_within(&mut self, expiry: Option<Instant>) -> Result<Vec<u8>, ClientError> {
+        loop {
+            let timeout = match expiry {
+                None => None,
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        return Err(ClientError::DeadlineExceeded);
+                    }
+                    Some(at - now)
+                }
+            };
+            self.stream.set_read_timeout(timeout).map_err(|_| ClientError::Disconnected)?;
+            let st = &mut self.frame;
+            if let Some(want) = st.expect {
+                if st.payload_got == want {
+                    let frame = std::mem::take(&mut st.payload);
+                    *st = FrameState::default();
+                    return Ok(frame);
+                }
+                match self.stream.read(&mut st.payload[st.payload_got..]) {
+                    Ok(0) => return Err(ClientError::Disconnected),
+                    Ok(n) => st.payload_got += n,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut => {}
+                    Err(_) => return Err(ClientError::Disconnected),
+                }
+            } else {
+                match self.stream.read(&mut st.header[st.header_got..]) {
+                    Ok(0) => return Err(ClientError::Disconnected),
+                    Ok(n) => {
+                        st.header_got += n;
+                        if st.header_got == 4 {
+                            let len = u32::from_le_bytes(st.header);
+                            if len > wire::MAX_PAYLOAD {
+                                return Err(ClientError::Wire(WireError::Invalid(
+                                    "frame length over cap",
+                                )));
+                            }
+                            st.expect = Some(len as usize);
+                            st.payload = vec![0u8; len as usize];
+                            st.payload_got = 0;
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut => {}
+                    Err(_) => return Err(ClientError::Disconnected),
+                }
+            }
+        }
+    }
+
+    fn recv_within(&mut self, expiry: Option<Instant>) -> Result<Response, ClientError> {
+        let frame = self.read_frame_within(expiry)?;
         Ok(wire::decode_response(&frame)?)
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let expiry = self.deadline.expiry_from_now();
+        self.recv_within(expiry)
     }
 
     /// Configures the session pipeline; must precede fetches.
@@ -345,12 +515,13 @@ impl TcpStorageClient {
         epoch: u64,
         split: SplitPoint,
     ) -> Result<StageData, ClientError> {
+        let expiry = self.deadline.expiry_from_now();
         self.send(&Request::Fetch(FetchRequest::new(sample_id, epoch, split)))?;
         if let Some(resp) = self.pending.remove(&sample_id) {
             return Ok(resp.data);
         }
         loop {
-            match self.recv()? {
+            match self.recv_within(expiry)? {
                 Response::Data(d) if d.sample_id == sample_id => return Ok(d.data),
                 Response::Data(d) => {
                     self.pending.insert(d.sample_id, d);
@@ -370,12 +541,13 @@ impl TcpStorageClient {
     ///
     /// Same conditions as `fetch`.
     pub fn fetch_request(&mut self, req: FetchRequest) -> Result<FetchResponse, ClientError> {
+        let expiry = self.deadline.expiry_from_now();
         self.send(&Request::Fetch(req))?;
         if let Some(resp) = self.pending.remove(&req.sample_id) {
             return Ok(resp);
         }
         loop {
-            match self.recv()? {
+            match self.recv_within(expiry)? {
                 Response::Data(d) if d.sample_id == req.sample_id => return Ok(d),
                 Response::Data(d) => {
                     self.pending.insert(d.sample_id, d);
@@ -390,27 +562,54 @@ impl TcpStorageClient {
 
     /// Pipelined variant of `fetch_many` with full request control.
     ///
+    /// Collects responses until every requested sample is satisfied, so
+    /// stale responses from a previously timed-out exchange (duplicates or
+    /// strays still in flight on this connection) are consumed and either
+    /// claimed or discarded rather than corrupting the accounting.
+    /// Responses return in request order.
+    ///
     /// # Errors
     ///
-    /// Returns the first failure.
+    /// Returns the first failure; [`ClientError::DeadlineExceeded`] when
+    /// the per-exchange budget runs out first.
     pub fn fetch_many_requests(
         &mut self,
         requests: &[FetchRequest],
     ) -> Result<Vec<FetchResponse>, ClientError> {
+        let expiry = self.deadline.expiry_from_now();
         for req in requests {
             self.send(&Request::Fetch(*req))?;
         }
-        let mut out = Vec::with_capacity(requests.len());
-        for _ in 0..requests.len() {
-            match self.recv()? {
-                Response::Data(d) => out.push(d),
+        let mut outstanding: std::collections::HashSet<u64> =
+            requests.iter().map(|r| r.sample_id).collect();
+        let mut got: std::collections::HashMap<u64, FetchResponse> =
+            std::collections::HashMap::new();
+        // Claim buffered strays from earlier single-fetch calls first.
+        for req in requests {
+            if let Some(resp) = self.pending.remove(&req.sample_id) {
+                outstanding.remove(&req.sample_id);
+                got.insert(req.sample_id, resp);
+            }
+        }
+        while !outstanding.is_empty() {
+            match self.recv_within(expiry)? {
+                Response::Data(d) => {
+                    if outstanding.remove(&d.sample_id) {
+                        got.insert(d.sample_id, d);
+                    }
+                    // Otherwise: a duplicate or an unrequested stray from
+                    // a timed-out exchange — dropped.
+                }
                 Response::Error { sample_id, message } => {
                     return Err(ClientError::Server { sample_id, message })
                 }
                 Response::Configured => return Err(ClientError::UnexpectedResponse),
             }
         }
-        Ok(out)
+        requests
+            .iter()
+            .map(|r| got.get(&r.sample_id).cloned().ok_or(ClientError::UnexpectedResponse))
+            .collect()
     }
 
     /// Issues all requests up front, then collects every response.
@@ -422,20 +621,11 @@ impl TcpStorageClient {
         &mut self,
         requests: &[(u64, u64, SplitPoint)],
     ) -> Result<Vec<FetchResponse>, ClientError> {
-        for &(sample_id, epoch, split) in requests {
-            self.send(&Request::Fetch(FetchRequest::new(sample_id, epoch, split)))?;
-        }
-        let mut out = Vec::with_capacity(requests.len());
-        for _ in 0..requests.len() {
-            match self.recv()? {
-                Response::Data(d) => out.push(d),
-                Response::Error { sample_id, message } => {
-                    return Err(ClientError::Server { sample_id, message })
-                }
-                Response::Configured => return Err(ClientError::UnexpectedResponse),
-            }
-        }
-        Ok(out)
+        let full: Vec<FetchRequest> = requests
+            .iter()
+            .map(|&(sample_id, epoch, split)| FetchRequest::new(sample_id, epoch, split))
+            .collect();
+        self.fetch_many_requests(&full)
     }
 }
 
@@ -449,7 +639,12 @@ mod tests {
         let store = ObjectStore::materialize_dataset(&ds, 0..n);
         let server = TcpStorageServer::bind(
             store,
-            ServerConfig { cores, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 32 },
+            ServerConfig {
+                cores,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 32,
+                ..ServerConfig::default()
+            },
             "127.0.0.1:0",
         )
         .unwrap();
@@ -524,5 +719,75 @@ mod tests {
         let mut bogus = Vec::new();
         bogus.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(read_frame(&bogus[..]).is_err());
+        // Oversized outbound payloads error instead of panicking.
+        let big = vec![0u8; (wire::MAX_PAYLOAD as usize) + 1];
+        assert!(write_frame(Vec::new(), &big).is_err());
+    }
+
+    #[test]
+    fn dropped_response_times_out_and_retry_recovers() {
+        use crate::chaos::{FaultKind, FaultPlan, ServerFaultInjector};
+
+        let ds = datasets::DatasetSpec::mini(2, 61);
+        let store = ObjectStore::materialize_dataset(&ds, 0..2);
+        // Drop sample 0's first response; everything else is clean.
+        let plan = FaultPlan::quiet(1).script(0, 0, 0, FaultKind::Drop);
+        let injector = Arc::new(ServerFaultInjector::new(0, plan));
+        let server = TcpStorageServer::bind_with_injector(
+            store,
+            ServerConfig {
+                cores: 2,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 32,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+            Some(Arc::clone(&injector)),
+        )
+        .unwrap();
+        let mut client = TcpStorageClient::connect(server.local_addr())
+            .unwrap()
+            .with_deadline(Deadline::after(Duration::from_millis(300)));
+        client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+
+        let reqs = vec![FetchRequest::new(0, 0, SplitPoint::NONE)];
+        let err = client.fetch_many_requests(&reqs).unwrap_err();
+        assert!(matches!(err, ClientError::DeadlineExceeded), "{err:?}");
+        // Attempt 1 is clean: the same connection recovers.
+        assert_eq!(client.fetch_many_requests(&reqs).unwrap().len(), 1);
+        assert_eq!(injector.injected(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bit_flipped_response_surfaces_as_corrupted() {
+        use crate::chaos::{FaultKind, FaultPlan, ServerFaultInjector};
+
+        let ds = datasets::DatasetSpec::mini(1, 62);
+        let store = ObjectStore::materialize_dataset(&ds, 0..1);
+        let plan = FaultPlan::quiet(2).script(0, 0, 0, FaultKind::BitFlip);
+        let injector = Arc::new(ServerFaultInjector::new(0, plan));
+        let server = TcpStorageServer::bind_with_injector(
+            store,
+            ServerConfig {
+                cores: 1,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 8,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+            Some(injector),
+        )
+        .unwrap();
+        let mut client = TcpStorageClient::connect(server.local_addr())
+            .unwrap()
+            .with_deadline(Deadline::after(Duration::from_secs(2)));
+        client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+
+        let reqs = vec![FetchRequest::new(0, 0, SplitPoint::NONE)];
+        let err = client.fetch_many_requests(&reqs).unwrap_err();
+        assert!(matches!(err, ClientError::Corrupted), "{err:?}");
+        assert_eq!(client.fetch_many_requests(&reqs).unwrap().len(), 1);
+        server.shutdown();
     }
 }

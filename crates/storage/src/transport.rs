@@ -80,6 +80,7 @@ mod tests {
                 cores: 2,
                 bandwidth: Bandwidth::from_gbps(10.0),
                 queue_depth: 16,
+                ..crate::ServerConfig::default()
             },
         );
         let mut pipe_client = server.client();
@@ -92,6 +93,7 @@ mod tests {
                 cores: 2,
                 bandwidth: Bandwidth::from_gbps(10.0),
                 queue_depth: 16,
+                ..crate::ServerConfig::default()
             },
             "127.0.0.1:0",
         )

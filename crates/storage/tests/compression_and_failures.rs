@@ -83,7 +83,12 @@ fn corrupt_object_degrades_to_per_sample_error() {
     store.insert(1, bytes::Bytes::from_static(b"definitely not SJPG"));
     let mut server = StorageServer::spawn(
         store,
-        ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 },
+        ServerConfig {
+            cores: 2,
+            bandwidth: Bandwidth::from_gbps(10.0),
+            queue_depth: 16,
+            ..ServerConfig::default()
+        },
     );
     let mut client = server.client();
     client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
@@ -103,7 +108,12 @@ fn corrupt_object_with_split_zero_passes_bytes_through() {
     store.insert(0, bytes::Bytes::from_static(b"junk"));
     let mut server = StorageServer::spawn(
         store,
-        ServerConfig { cores: 1, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 8 },
+        ServerConfig {
+            cores: 1,
+            bandwidth: Bandwidth::from_gbps(10.0),
+            queue_depth: 8,
+            ..ServerConfig::default()
+        },
     );
     let mut client = server.client();
     client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
@@ -118,7 +128,12 @@ fn missing_objects_and_bad_splits_dont_poison_the_session() {
     let (ds, store) = setup(2);
     let mut server = StorageServer::spawn(
         store,
-        ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 },
+        ServerConfig {
+            cores: 2,
+            bandwidth: Bandwidth::from_gbps(10.0),
+            queue_depth: 16,
+            ..ServerConfig::default()
+        },
     );
     let mut client = server.client();
     client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
@@ -136,7 +151,12 @@ fn reencode_over_live_server_reduces_wire_bytes() {
     let run = |reencode: bool| -> u64 {
         let mut server = StorageServer::spawn(
             store.clone(),
-            ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 },
+            ServerConfig {
+                cores: 2,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 16,
+                ..ServerConfig::default()
+            },
         );
         let mut client = server.client();
         client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();

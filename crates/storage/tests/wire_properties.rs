@@ -111,6 +111,36 @@ proptest! {
         }
     }
 
+    /// Flipping any bits of any single byte of a valid request frame is
+    /// caught — the CRC32 trailer covers the whole body, and CRC32 detects
+    /// every burst of 32 bits or fewer, so no single-byte corruption can
+    /// decode as a valid (let alone different) message.
+    #[test]
+    fn corrupting_one_request_byte_fails_decode(
+        req in arb_request(),
+        pos in any::<u16>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = encode_request(&req).to_vec();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= mask;
+        prop_assert!(decode_request(&bytes).is_err(), "byte {} ^ {:#04x} slipped past", idx, mask);
+    }
+
+    /// The same guarantee on the response path, where corruption would
+    /// otherwise silently perturb training tensors.
+    #[test]
+    fn corrupting_one_response_byte_fails_decode(
+        resp in arb_response(),
+        pos in any::<u16>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = encode_response(&resp).to_vec();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= mask;
+        prop_assert!(decode_response(&bytes).is_err(), "byte {} ^ {:#04x} slipped past", idx, mask);
+    }
+
     /// Data responses roundtrip whole for arbitrary encoded blobs.
     #[test]
     fn data_responses_preserve_payloads(
@@ -125,5 +155,28 @@ proptest! {
         });
         let bytes = encode_response(&resp);
         prop_assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+}
+
+/// Exhaustive companion to the sampled flip properties: every byte position
+/// of a representative data frame, including the CRC trailer itself, rejects
+/// a single-bit flip.
+#[test]
+fn every_byte_of_a_data_frame_is_flip_protected() {
+    let resp = Response::Data(FetchResponse {
+        sample_id: 7,
+        ops_applied: 3,
+        data: StageData::Encoded((0u8..=255).collect::<Vec<u8>>().into()),
+    });
+    let bytes = encode_response(&resp).to_vec();
+    for idx in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[idx] ^= 1 << bit;
+            assert!(
+                decode_response(&corrupt).is_err(),
+                "flip of byte {idx} bit {bit} decoded successfully"
+            );
+        }
     }
 }

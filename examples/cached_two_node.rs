@@ -55,7 +55,12 @@ fn run_with_cache(
     let store = ObjectStore::materialize_dataset(ds, 0..SAMPLES);
     let server = StorageServer::spawn(
         store,
-        ServerConfig { cores: 4, bandwidth: Bandwidth::from_mbps(40.0), queue_depth: 32 },
+        ServerConfig {
+            cores: 4,
+            bandwidth: Bandwidth::from_mbps(40.0),
+            queue_depth: 32,
+            ..ServerConfig::default()
+        },
     );
     let mut server = server;
 

@@ -55,8 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Four live TCP servers, each storing its primaries plus replicas.
-    let server_config =
-        ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 };
+    let server_config = ServerConfig {
+        cores: 2,
+        bandwidth: Bandwidth::from_gbps(10.0),
+        queue_depth: 16,
+        ..ServerConfig::default()
+    };
     let mut harness = MultiServerHarness::spawn(&store, NODES, server_config, |id| map.owners(id))?;
     let transports = harness.clients()?;
     let fleet = FleetTransport::new(transports, map.clone(), None);

@@ -32,7 +32,12 @@ fn run_epoch(
     let pipeline = PipelineSpec::standard_train();
     let mut server = StorageServer::spawn(
         store,
-        ServerConfig { cores: 4, bandwidth: Bandwidth::from_mbps(40.0), queue_depth: 32 },
+        ServerConfig {
+            cores: 4,
+            bandwidth: Bandwidth::from_mbps(40.0),
+            queue_depth: 32,
+            ..ServerConfig::default()
+        },
     );
     let mut client = server.client();
     client.configure(ds.seed, pipeline.clone())?;

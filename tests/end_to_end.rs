@@ -34,7 +34,12 @@ fn sophon_offloaded_tensors_equal_local_tensors() {
 
     let mut server = StorageServer::spawn(
         store.clone(),
-        ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 },
+        ServerConfig {
+            cores: 2,
+            bandwidth: Bandwidth::from_gbps(10.0),
+            queue_depth: 16,
+            ..ServerConfig::default()
+        },
     );
     let mut client = server.client();
     client.configure(ds.seed, pipeline.clone()).unwrap();
@@ -74,7 +79,12 @@ fn wire_traffic_matches_plan_prediction() {
 
     let mut server = StorageServer::spawn(
         store,
-        ServerConfig { cores: 3, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 32 },
+        ServerConfig {
+            cores: 3,
+            bandwidth: Bandwidth::from_gbps(10.0),
+            queue_depth: 32,
+            ..ServerConfig::default()
+        },
     );
     let mut client = server.client();
     client.configure(ds.seed, pipeline).unwrap();
@@ -124,7 +134,12 @@ fn augmentations_vary_across_epochs_through_the_server() {
     let (ds, store, pipeline) = live_setup();
     let mut server = StorageServer::spawn(
         store,
-        ServerConfig { cores: 1, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 8 },
+        ServerConfig {
+            cores: 1,
+            bandwidth: Bandwidth::from_gbps(10.0),
+            queue_depth: 8,
+            ..ServerConfig::default()
+        },
     );
     let mut client = server.client();
     client.configure(ds.seed, pipeline).unwrap();
@@ -157,7 +172,12 @@ fn loader_over_tcp_with_retry_and_compression() {
 
     let server = TcpStorageServer::bind(
         store,
-        ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 },
+        ServerConfig {
+            cores: 2,
+            bandwidth: Bandwidth::from_gbps(10.0),
+            queue_depth: 16,
+            ..ServerConfig::default()
+        },
         "127.0.0.1:0",
     )
     .unwrap();
@@ -205,7 +225,12 @@ fn warm_cache_epochs_are_bit_identical_to_cold_fetches() {
     let run_epochs = |cache: Option<SampleCache>, epochs: &[u64]| {
         let mut server = StorageServer::spawn(
             store.clone(),
-            ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 },
+            ServerConfig {
+                cores: 2,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 16,
+                ..ServerConfig::default()
+            },
         );
         let mut batches: Vec<Vec<pipeline::TensorBatch>> = Vec::new();
         let wire = match cache {

@@ -22,7 +22,12 @@ const N: u64 = 32;
 const BATCH: usize = 4;
 
 fn server_config() -> ServerConfig {
-    ServerConfig { cores: 2, bandwidth: Bandwidth::from_gbps(10.0), queue_depth: 16 }
+    ServerConfig {
+        cores: 2,
+        bandwidth: Bandwidth::from_gbps(10.0),
+        queue_depth: 16,
+        ..ServerConfig::default()
+    }
 }
 
 #[test]
