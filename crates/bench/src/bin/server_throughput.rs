@@ -1,0 +1,271 @@
+//! Serial vs pipelined serving throughput over the real TCP path.
+//!
+//! Sweeps client-connection counts against one readiness-driven
+//! [`TcpStorageServer`]. Every connection issues the same number of raw
+//! fetches two ways:
+//!
+//! * **serial** — one request in flight per connection (`fetch_request`
+//!   round trips, the pre-multiplexing protocol's behavior);
+//! * **pipelined** — the whole batch submitted before the first await
+//!   (`fetch_many_requests`), multiplexed on the connection by request id.
+//!
+//! Reports aggregate requests/second plus per-request p50/p99 latency for
+//! each mode, prints a table, and optionally writes a JSON artifact.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin server_throughput
+//! cargo run --release -p bench --bin server_throughput -- \
+//!     --conns 1,8,64 --per-conn 32 --json target/server_throughput.json --assert
+//! ```
+//!
+//! `--assert` exits nonzero unless pipelined beats serial on req/s at
+//! every swept connection count >= 64 (the CI smoke gate).
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use netsim::Bandwidth;
+use pipeline::{PipelineSpec, SplitPoint};
+use storage::{FetchRequest, ObjectStore, ServerConfig, TcpStorageClient, TcpStorageServer};
+
+const SAMPLES: u64 = 16;
+
+struct ModeResult {
+    rps: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+struct Row {
+    connections: usize,
+    serial: ModeResult,
+    pipelined: ModeResult,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one (connections, mode) cell and returns aggregate req/s plus the
+/// per-request latency distribution. Connections and sessions are set up
+/// before the clock starts; a barrier releases every client at once.
+fn run_mode(
+    server: &TcpStorageServer,
+    seed: u64,
+    connections: usize,
+    per_conn: usize,
+    pipelined: bool,
+) -> ModeResult {
+    let addr = server.local_addr();
+    let barrier = Barrier::new(connections + 1);
+    let (wall, mut latencies) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|t| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut client = TcpStorageClient::connect(addr).expect("connect");
+                    client.configure(seed, PipelineSpec::standard_train()).expect("configure");
+                    let reqs: Vec<FetchRequest> = (0..per_conn)
+                        .map(|i| {
+                            FetchRequest::new((t + i) as u64 % SAMPLES, i as u64, SplitPoint::NONE)
+                        })
+                        .collect();
+                    barrier.wait();
+                    let mut lats = Vec::with_capacity(per_conn);
+                    if pipelined {
+                        let started = Instant::now();
+                        let ids = client.submit_all(&reqs).expect("submit");
+                        for id in ids {
+                            client.await_response(id).expect("await");
+                            // Completion time relative to batch start: the
+                            // latency a pipelined caller actually observes.
+                            lats.push(started.elapsed());
+                        }
+                    } else {
+                        for req in &reqs {
+                            let started = Instant::now();
+                            client.fetch_request(*req).expect("fetch");
+                            lats.push(started.elapsed());
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        let lats: Vec<Duration> =
+            handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+        (started.elapsed(), lats)
+    });
+    latencies.sort_unstable();
+    let total = (connections * per_conn) as f64;
+    ModeResult {
+        rps: total / wall.as_secs_f64().max(f64::EPSILON),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn json_escape_free_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn render_json(per_conn: usize, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"server_throughput\",\n");
+    out.push_str(&format!("  \"per_conn\": {per_conn},\n  \"rows\": [\n"));
+    for (i, row) in rows.iter().enumerate() {
+        let mode = |m: &ModeResult| {
+            format!(
+                "{{\"rps\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+                json_escape_free_number(m.rps),
+                m.p50.as_micros(),
+                m.p99.as_micros()
+            )
+        };
+        out.push_str(&format!(
+            "    {{\"connections\": {}, \"serial\": {}, \"pipelined\": {}}}{}\n",
+            row.connections,
+            mode(&row.serial),
+            mode(&row.pipelined),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut conns: Vec<usize> = vec![1, 8, 64];
+    let mut per_conn = 32usize;
+    let mut repeat = 3usize;
+    let mut json_path: Option<String> = None;
+    let mut assert_gate = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--conns" => {
+                let v = it.next().expect("--conns needs a comma-separated list");
+                conns = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("connection counts are integers"))
+                    .collect();
+            }
+            "--per-conn" => {
+                per_conn = it
+                    .next()
+                    .expect("--per-conn needs a count")
+                    .parse()
+                    .expect("per-conn is an integer");
+            }
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("repeat is an integer");
+                assert!(repeat >= 1, "--repeat must be >= 1");
+            }
+            "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
+            "--assert" => assert_gate = true,
+            other => {
+                eprintln!(
+                    "unknown flag '{other}'; flags: --conns --per-conn --repeat --json --assert"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ds = datasets::DatasetSpec::mini(SAMPLES, 47);
+    let store = ObjectStore::materialize_dataset(&ds, 0..SAMPLES);
+    let server = TcpStorageServer::bind(
+        store,
+        ServerConfig {
+            cores: 4,
+            bandwidth: Bandwidth::from_gbps(100.0),
+            queue_depth: 64,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind throughput server");
+
+    println!(
+        "server_throughput: {per_conn} raw fetches per connection, 4 server cores, best of {repeat}"
+    );
+    println!(
+        "{:>11}  {:>13} {:>9} {:>9}   {:>13} {:>9} {:>9}  {:>8}",
+        "connections",
+        "serial rps",
+        "p50 us",
+        "p99 us",
+        "pipelined rps",
+        "p50 us",
+        "p99 us",
+        "speedup"
+    );
+    let mut rows = Vec::new();
+    // Best-of-N per cell: throughput cells measure capability, and on a
+    // loaded host a single scheduler stall otherwise dominates a ~1s cell.
+    let best = |server: &TcpStorageServer, connections: usize, pipelined: bool| {
+        (0..repeat)
+            .map(|_| run_mode(server, ds.seed, connections, per_conn, pipelined))
+            .max_by(|a, b| a.rps.total_cmp(&b.rps))
+            .expect("repeat >= 1")
+    };
+    for &connections in &conns {
+        let serial = best(&server, connections, false);
+        let pipelined = best(&server, connections, true);
+        println!(
+            "{:>11}  {:>13.0} {:>9} {:>9}   {:>13.0} {:>9} {:>9}  {:>7.2}x",
+            connections,
+            serial.rps,
+            serial.p50.as_micros(),
+            serial.p99.as_micros(),
+            pipelined.rps,
+            pipelined.p50.as_micros(),
+            pipelined.p99.as_micros(),
+            pipelined.rps / serial.rps.max(f64::EPSILON)
+        );
+        rows.push(Row { connections, serial, pipelined });
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, render_json(per_conn, &rows)).expect("write JSON artifact");
+        println!("wrote {path}");
+    }
+
+    if assert_gate {
+        let mut failed = false;
+        for row in rows.iter().filter(|r| r.connections >= 64) {
+            if row.pipelined.rps <= row.serial.rps {
+                eprintln!(
+                    "FAIL: pipelined ({:.0} rps) did not beat serial ({:.0} rps) at {} connections",
+                    row.pipelined.rps, row.serial.rps, row.connections
+                );
+                failed = true;
+            }
+        }
+        if rows.iter().all(|r| r.connections < 64) {
+            eprintln!("FAIL: --assert needs at least one swept point with >= 64 connections");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("assert ok: pipelined beats serial at every swept point >= 64 connections");
+    }
+
+    server.shutdown();
+}

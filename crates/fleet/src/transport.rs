@@ -22,6 +22,13 @@
 //!   samples re-route to replicas for this batch, but the node stays in
 //!   the map so the breaker's half-open probe can readmit it later.
 //!
+//! * **connection pooling** — [`FleetTransport::pooled`] gives each node a
+//!   pool of inner transports (e.g. several TCP connections), each on its
+//!   own worker with a private job queue. A node's share of a batch is
+//!   chunked across its pool, least-loaded worker first, so one node
+//!   serves multiple multiplexed streams concurrently instead of
+//!   serializing behind a single connection.
+//!
 //! The decorator composes like the others: wrap each per-node client in
 //! `RetryingTransport` before handing it to the fleet (retries stay
 //! per-node), and wrap the whole `FleetTransport` in a `CachingTransport`
@@ -104,7 +111,9 @@ struct Group {
 /// nodes, hedges stragglers, and fails over around dead nodes.
 pub struct FleetTransport {
     map: ShardMap,
-    job_txs: Vec<Option<channel::Sender<Job>>>,
+    /// Per-node pools of worker job queues; an empty pool means the node
+    /// is dead (its workers were disconnected and have exited).
+    job_txs: Vec<Vec<channel::Sender<Job>>>,
     reply_rx: channel::Receiver<Reply>,
     workers: Vec<JoinHandle<()>>,
     dead: Vec<bool>,
@@ -137,21 +146,45 @@ impl FleetTransport {
     where
         T: FetchTransport + Send + 'static,
     {
+        Self::pooled(transports.into_iter().map(|t| vec![t]).collect(), map, hedge_after)
+    }
+
+    /// Builds a fleet transport with a **pool** of inner transports per
+    /// node (e.g. several TCP connections to the same server). Each pool
+    /// member gets a dedicated worker with a private job queue; a node's
+    /// share of a batch is chunked across its pool, least-loaded worker
+    /// first, so the node serves concurrent multiplexed streams instead of
+    /// serializing behind one connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pools.len()` differs from `map.nodes()` or any pool
+    /// is empty.
+    pub fn pooled<T>(pools: Vec<Vec<T>>, map: ShardMap, hedge_after: Option<Duration>) -> Self
+    where
+        T: FetchTransport + Send + 'static,
+    {
         assert_eq!(
-            transports.len(),
+            pools.len(),
             map.nodes(),
-            "fleet has {} transports for {} nodes",
-            transports.len(),
+            "fleet has {} transport pools for {} nodes",
+            pools.len(),
             map.nodes()
         );
+        assert!(pools.iter().all(|p| !p.is_empty()), "every node needs at least one transport");
         let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
-        let mut job_txs = Vec::with_capacity(transports.len());
-        let mut workers = Vec::with_capacity(transports.len());
-        for (node, transport) in transports.into_iter().enumerate() {
-            let (tx, rx) = channel::unbounded::<Job>();
-            let replies = reply_tx.clone();
-            workers.push(std::thread::spawn(move || worker_loop(node, transport, &rx, &replies)));
-            job_txs.push(Some(tx));
+        let mut job_txs = Vec::with_capacity(pools.len());
+        let mut workers = Vec::new();
+        for (node, pool) in pools.into_iter().enumerate() {
+            let mut node_txs = Vec::with_capacity(pool.len());
+            for transport in pool {
+                let (tx, rx) = channel::unbounded::<Job>();
+                let replies = reply_tx.clone();
+                workers
+                    .push(std::thread::spawn(move || worker_loop(node, transport, &rx, &replies)));
+                node_txs.push(tx);
+            }
+            job_txs.push(node_txs);
         }
         let nodes = map.nodes();
         FleetTransport {
@@ -189,7 +222,7 @@ impl FleetTransport {
     fn mark_dead(&mut self, node: usize) {
         if !self.dead[node] {
             self.dead[node] = true;
-            self.job_txs[node] = None;
+            self.job_txs[node].clear(); // disconnect the whole pool
             self.stats.failovers += 1;
         }
     }
@@ -207,21 +240,32 @@ impl FleetTransport {
         groups: &mut HashMap<u64, Group>,
         issued: &mut HashSet<u64>,
     ) {
-        let ticket = self.next_ticket;
-        self.next_ticket += 1;
         self.stats.requests_per_node[node] += reqs.len() as u64;
         if hedge {
             self.stats.hedges_issued += reqs.len() as u64;
         }
-        let samples = reqs.iter().map(|r| r.sample_id).collect();
-        // A just-killed worker can only drop the send; the group then never
-        // replies and the dead-node sweep reroutes it.
-        if let Some(tx) = &self.job_txs[node] {
-            let _ = tx.send(Job::Fetch(ticket, reqs));
+        let pool = &self.job_txs[node];
+        // Chunk the node's share across its pool, least-loaded worker
+        // first, so pooled connections carry the batch concurrently.
+        let chunks = pool.len().clamp(1, reqs.len().max(1));
+        let per = reqs.len().div_ceil(chunks);
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        order.sort_by_key(|&w| pool[w].len());
+        for (i, chunk) in reqs.chunks(per.max(1)).enumerate() {
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            let samples = chunk.iter().map(|r| r.sample_id).collect();
+            // A just-killed worker can only drop the send; the group then
+            // never replies and the dead-node sweep reroutes it.
+            if let Some(&w) = order.get(i % order.len().max(1)) {
+                let _ = pool[w].send(Job::Fetch(ticket, chunk.to_vec()));
+            }
+            issued.insert(ticket);
+            groups.insert(
+                ticket,
+                Group { node, samples, hedge, hedged: false, sent_at: Instant::now() },
+            );
         }
-        issued.insert(ticket);
-        groups
-            .insert(ticket, Group { node, samples, hedge, hedged: false, sent_at: Instant::now() });
     }
 
     /// Groups `items` by their routed node and dispatches one job per node.
@@ -256,7 +300,8 @@ impl FetchTransport for FleetTransport {
     fn configure(&mut self, dataset_seed: u64, pipeline: PipelineSpec) -> Result<(), ClientError> {
         let mut outstanding = HashMap::new();
         for node in 0..self.map.nodes() {
-            if let Some(tx) = &self.job_txs[node] {
+            // Every pool member holds its own session: configure them all.
+            for tx in &self.job_txs[node] {
                 let ticket = self.next_ticket;
                 self.next_ticket += 1;
                 let _ = tx.send(Job::Configure(ticket, dataset_seed, pipeline.clone()));
@@ -475,8 +520,8 @@ impl FetchTransport for FleetTransport {
 
 impl Drop for FleetTransport {
     fn drop(&mut self) {
-        for tx in &mut self.job_txs {
-            *tx = None;
+        for pool in &mut self.job_txs {
+            pool.clear();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -764,6 +809,63 @@ mod tests {
         fleet.fetch_many_requests(&reqs(&[0, 1, 2, 3])).unwrap();
         assert_eq!(fleet.stats().hedges_issued, 0);
         assert_eq!(fleet.stats().hedge_wins, 0);
+    }
+
+    #[test]
+    fn pooled_node_splits_its_batch_across_connections() {
+        // One node, three pooled "connections" with distinct markers: a
+        // batch must fan out across at least two of them.
+        let map = ShardMap::new(1, 1, 3);
+        let pool: Vec<Stub> = (10..13).map(Stub::healthy).collect();
+        let mut fleet = FleetTransport::pooled(vec![pool], map, None);
+        fleet.configure(1, PipelineSpec::standard_train()).unwrap();
+        let ids: Vec<u64> = (0..12).collect();
+        let out = fleet.fetch_many_requests(&reqs(&ids)).unwrap();
+        assert_eq!(out.len(), 12);
+        let served: HashSet<u32> = out.iter().map(|r| r.ops_applied).collect();
+        assert!(served.len() >= 2, "batch stayed on one pooled connection: {served:?}");
+        assert_eq!(fleet.stats().requests_per_node, vec![12]);
+    }
+
+    #[test]
+    fn pooled_connections_serve_a_slow_node_concurrently() {
+        // Four pooled workers, each 100 ms per job: four samples finish in
+        // roughly one job's latency, not four serialized ones.
+        let map = ShardMap::new(1, 1, 5);
+        let pool: Vec<Stub> = (0..4)
+            .map(|n| {
+                let mut s = Stub::healthy(n);
+                s.delay = Duration::from_millis(100);
+                s
+            })
+            .collect();
+        let mut fleet = FleetTransport::pooled(vec![pool], map, None);
+        fleet.configure(1, PipelineSpec::standard_train()).unwrap();
+        let started = Instant::now();
+        let out = fleet.fetch_many_requests(&reqs(&[0, 1, 2, 3])).unwrap();
+        let elapsed = started.elapsed();
+        assert_eq!(out.len(), 4);
+        assert!(elapsed < Duration::from_millis(300), "pool did not parallelize: {elapsed:?}");
+    }
+
+    #[test]
+    fn dead_pool_member_fails_the_node_over_at_configure() {
+        let map = ShardMap::new(2, 2, 7);
+        let healthy = vec![Stub::healthy(1), Stub::healthy(1)];
+        let bad_pool = vec![Stub::healthy(0), Stub::healthy(0)];
+        bad_pool[1].dead.store(true, Ordering::SeqCst);
+        let mut fleet = FleetTransport::pooled(vec![bad_pool, healthy], map, None);
+        fleet.configure(1, PipelineSpec::standard_train()).unwrap();
+        assert!(fleet.is_dead(0), "a dead pooled connection must fail the node");
+        let out = fleet.fetch_many_requests(&reqs(&(0..8).collect::<Vec<_>>())).unwrap();
+        assert!(out.iter().all(|r| r.ops_applied == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transport")]
+    fn empty_pool_is_rejected() {
+        let map = ShardMap::new(1, 1, 3);
+        let _ = FleetTransport::pooled(Vec::<Vec<Stub>>::from([vec![]]), map, None);
     }
 
     #[test]

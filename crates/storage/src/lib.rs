@@ -80,7 +80,7 @@ pub use executor::{ExecError, NearStorageExecutor};
 pub use health::{
     BreakerConfig, BreakerState, HealthSnapshot, HealthTrackingTransport, NodeHealthHandle,
 };
-pub use multi::MultiServerHarness;
+pub use multi::{HarnessError, MultiServerHarness};
 pub use object_store::ObjectStore;
 pub use protocol::{FetchRequest, FetchResponse, Request, Response, SessionConfig};
 pub use retry::{BackoffConfig, RetryingTransport};

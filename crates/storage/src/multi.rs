@@ -20,6 +20,63 @@ use crate::chaos::{FaultPlan, FaultRecord, ServerFaultInjector};
 use crate::tcp::{TcpStorageClient, TcpStorageServer};
 use crate::{ObjectStore, ServerConfig};
 
+/// Typed construction failures for a [`MultiServerHarness`], so a caller
+/// can tell a bad fleet shape from a bad placement from one specific
+/// node's socket refusing to bind.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// The fleet was asked to spawn zero nodes.
+    EmptyFleet,
+    /// The placement function returned a node index past the fleet size.
+    OwnerOutOfRange {
+        /// The offending owner index.
+        owner: usize,
+        /// The fleet size it exceeded.
+        nodes: usize,
+    },
+    /// One node's server failed to bind; the others (which may have bound
+    /// fine) are shut down before this surfaces.
+    Bind {
+        /// Which node failed.
+        node: usize,
+        /// The underlying socket error.
+        source: io::Error,
+    },
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::EmptyFleet => write!(f, "fleet needs at least one node"),
+            HarnessError::OwnerOutOfRange { owner, nodes } => {
+                write!(f, "owner {owner} out of range for {nodes} nodes")
+            }
+            HarnessError::Bind { node, source } => {
+                write!(f, "node {node} failed to bind: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Bind { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<HarnessError> for io::Error {
+    fn from(e: HarnessError) -> io::Error {
+        match e {
+            HarnessError::Bind { source, .. } => source,
+            other => io::Error::new(io::ErrorKind::InvalidInput, other.to_string()),
+        }
+    }
+}
+
 /// One node of a [`MultiServerHarness`].
 #[derive(Debug)]
 struct Node {
@@ -46,14 +103,16 @@ impl MultiServerHarness {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures; a zero-node fleet or an out-of-range
-    /// owner surfaces as `InvalidInput`.
+    /// Returns a typed [`HarnessError`]: `EmptyFleet` for a zero-node
+    /// fleet, `OwnerOutOfRange` for a bad placement, and `Bind` naming the
+    /// specific node whose socket failed (converts into `io::Error` for
+    /// callers that want one).
     pub fn spawn<F>(
         store: &ObjectStore,
         nodes: usize,
         config: ServerConfig,
         owners: F,
-    ) -> io::Result<MultiServerHarness>
+    ) -> Result<MultiServerHarness, HarnessError>
     where
         F: Fn(u64) -> Vec<usize>,
     {
@@ -76,7 +135,7 @@ impl MultiServerHarness {
         config: ServerConfig,
         owners: F,
         plan: &FaultPlan,
-    ) -> io::Result<MultiServerHarness>
+    ) -> Result<MultiServerHarness, HarnessError>
     where
         F: Fn(u64) -> Vec<usize>,
     {
@@ -89,51 +148,73 @@ impl MultiServerHarness {
         config: ServerConfig,
         owners: F,
         plan: Option<&FaultPlan>,
-    ) -> io::Result<MultiServerHarness>
+    ) -> Result<MultiServerHarness, HarnessError>
     where
         F: Fn(u64) -> Vec<usize>,
     {
         if nodes == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "fleet needs at least one node",
-            ));
+            return Err(HarnessError::EmptyFleet);
         }
         let mut shards: Vec<ObjectStore> = (0..nodes).map(|_| ObjectStore::new()).collect();
         for (id, bytes) in store.iter() {
             for node in owners(id) {
                 if node >= nodes {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidInput,
-                        format!("owner {node} out of range for {nodes} nodes"),
-                    ));
+                    return Err(HarnessError::OwnerOutOfRange { owner: node, nodes });
                 }
                 shards[node].insert(id, bytes.clone());
             }
         }
+        // Bind every node concurrently — fleet startup costs one bind, not
+        // N serial ones. Each thread reports its own typed outcome.
+        let results: Vec<Result<Node, HarnessError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(n, shard)| {
+                    let injector = plan.map(|p| {
+                        // Domain-separated per-node seed: same fleet seed,
+                        // distinct per-node schedules, fully reproducible.
+                        let node_seed =
+                            p.seed() ^ (0x6e6f_6465 + n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        Arc::new(ServerFaultInjector::new(n, p.clone().reseeded(node_seed)))
+                    });
+                    s.spawn(move || {
+                        let stored = shard.len();
+                        let server = TcpStorageServer::bind_with_injector(
+                            shard,
+                            config,
+                            "127.0.0.1:0",
+                            injector.clone(),
+                        )
+                        .map_err(|source| HarnessError::Bind { node: n, source })?;
+                        Ok(Node {
+                            addr: server.local_addr(),
+                            meter: server.meter(),
+                            server: Some(server),
+                            stored,
+                            injector,
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("bind thread never panics")).collect()
+        });
         let mut out = Vec::with_capacity(nodes);
-        for (n, shard) in shards.into_iter().enumerate() {
-            let stored = shard.len();
-            let injector = plan.map(|p| {
-                // Domain-separated per-node seed: same fleet seed, distinct
-                // per-node schedules, fully reproducible.
-                let node_seed =
-                    p.seed() ^ (0x6e6f_6465 + n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                Arc::new(ServerFaultInjector::new(n, p.clone().reseeded(node_seed)))
-            });
-            let server = TcpStorageServer::bind_with_injector(
-                shard,
-                config,
-                "127.0.0.1:0",
-                injector.clone(),
-            )?;
-            out.push(Node {
-                addr: server.local_addr(),
-                meter: server.meter(),
-                server: Some(server),
-                stored,
-                injector,
-            });
+        let mut first_error = None;
+        for result in results {
+            match result {
+                Ok(node) => out.push(node),
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_error {
+            // Partial fleets don't leak: nodes that did bind are torn down.
+            for mut node in out {
+                if let Some(server) = node.server.take() {
+                    server.shutdown();
+                }
+            }
+            return Err(e);
         }
         Ok(MultiServerHarness { nodes: out })
     }
@@ -300,6 +381,38 @@ mod tests {
         assert!(!a.is_empty(), "a 50% error rate over 8 samples must fire");
         assert_eq!(a, b, "same seed, same fault sequence");
         assert_ne!(a, c, "different seed, different fault sequence");
+    }
+
+    #[test]
+    fn construction_failures_are_typed() {
+        let store = ObjectStore::new();
+        assert!(matches!(
+            MultiServerHarness::spawn(&store, 0, config(), |_| vec![0]),
+            Err(HarnessError::EmptyFleet)
+        ));
+        let ds = datasets::DatasetSpec::mini(2, 30);
+        let store = ObjectStore::materialize_dataset(&ds, 0..2);
+        let err = MultiServerHarness::spawn(&store, 2, config(), |_| vec![5]).unwrap_err();
+        assert!(matches!(err, HarnessError::OwnerOutOfRange { owner: 5, nodes: 2 }), "{err}");
+        // Typed errors still flow into io::Error for io::Result callers.
+        let as_io: io::Error = err.into();
+        assert_eq!(as_io.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn bind_failure_names_the_node_and_tears_down_survivors() {
+        let ds = datasets::DatasetSpec::mini(2, 30);
+        let store = ObjectStore::materialize_dataset(&ds, 0..2);
+        let bad = ServerConfig { cores: 0, ..config() };
+        let err =
+            MultiServerHarness::spawn(&store, 3, bad, |id| vec![(id % 3) as usize]).unwrap_err();
+        match err {
+            HarnessError::Bind { node, source } => {
+                assert!(node < 3);
+                assert_eq!(source.kind(), io::ErrorKind::InvalidInput);
+            }
+            other => panic!("expected Bind, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,19 +21,27 @@ pub struct ServerConfig {
     pub bandwidth: Bandwidth,
     /// Response queue depth in messages.
     pub queue_depth: usize,
-    /// How often connection readers wake to check for shutdown — the
-    /// socket read timeout (formerly a hardcoded 50 ms constant).
+    /// How often blocking waits wake to check for shutdown — the idle
+    /// poll granularity (formerly a hardcoded 50 ms constant).
     pub read_poll: Duration,
+    /// Backpressure bound for the pipelined TCP server: how many decoded
+    /// requests one connection may have in flight before the event loop
+    /// stops reading its socket (TCP backpressure then propagates to the
+    /// client). Connections beyond this depth are never starved — reading
+    /// resumes as soon as responses drain.
+    pub max_in_flight: usize,
 }
 
 impl Default for ServerConfig {
-    /// Two cores behind a 1 Gbps link, depth-16 queue, default poll.
+    /// Two cores behind a 1 Gbps link, depth-16 queue, default poll,
+    /// 64 in-flight requests per connection.
     fn default() -> Self {
         ServerConfig {
             cores: 2,
             bandwidth: Bandwidth::from_gbps(1.0),
             queue_depth: 16,
             read_poll: crate::Deadline::DEFAULT_POLL,
+            max_in_flight: 64,
         }
     }
 }
@@ -154,14 +162,17 @@ fn worker_loop(
             Err(channel::RecvTimeoutError::Disconnected) => return,
         };
         req_meter.record(msg.len() as u64);
-        let response = match wire::decode_request(&msg) {
-            Ok(Request::Configure(cfg)) => {
+        // Echo the request's multiplexing id on the reply; a frame whose
+        // body failed to parse still gets its id echoed best-effort so the
+        // error routes back to the caller that triggered it.
+        let (request_id, response) = match wire::decode_request_framed(&msg) {
+            Ok((id, Request::Configure(cfg))) => {
                 *session.write() = Some(NearStorageExecutor::new(ObjectStore::clone(store), cfg));
-                Response::Configured
+                (id, Response::Configured)
             }
-            Ok(Request::Fetch(req)) => {
+            Ok((id, Request::Fetch(req))) => {
                 let executor = session.read().clone();
-                match executor {
+                let response = match executor {
                     Some(ex) => match ex.execute(req) {
                         Ok(resp) => Response::Data(resp),
                         Err(e) => Response::Error {
@@ -173,15 +184,19 @@ fn worker_loop(
                         sample_id: Some(req.sample_id),
                         message: "session not configured".to_string(),
                     },
-                }
+                };
+                (id, response)
             }
-            Ok(Request::Shutdown) => {
+            Ok((_, Request::Shutdown)) => {
                 stop.store(true, Ordering::SeqCst);
                 return;
             }
-            Err(e) => Response::Error { sample_id: None, message: format!("bad request: {e}") },
+            Err(e) => (
+                wire::peek_request_id(&msg).unwrap_or(0),
+                Response::Error { sample_id: None, message: format!("bad request: {e}") },
+            ),
         };
-        if resp_tx.send(wire::encode_response(&response)).is_err() {
+        if resp_tx.send(wire::encode_response_framed(request_id, &response)).is_err() {
             return; // client hung up
         }
     }

@@ -1,17 +1,30 @@
-//! A real TCP transport for the fetch protocol.
+//! A real TCP transport for the fetch protocol — pipelined and
+//! multiplexed.
 //!
 //! [`StorageServer`](crate::StorageServer) demonstrates the data path with
-//! in-process pipes; this module runs the same protocol over actual sockets
-//! — length-prefixed frames on `TcpStream`s, a shared worker pool for
-//! near-storage preprocessing, and a shared token bucket capping response
-//! bandwidth — the closest local analogue of the paper's gRPC service
-//! behind a 500 Mbps link.
+//! in-process pipes; this module runs the same protocol over actual
+//! sockets. Since the serving-path rebuild the server is
+//! **readiness-driven**: one event-loop thread owns every connection as a
+//! nonblocking `TcpStream`, demultiplexes incoming frames by their
+//! [`wire`] `request_id` into the shared worker pool, and muxes completed
+//! responses back out of order onto the right connection. A single
+//! connection therefore carries many in-flight exchanges at once, bounded
+//! by [`ServerConfig::max_in_flight`] — past that depth the loop stops
+//! reading the socket and TCP backpressure propagates to the client.
+//!
+//! The hot path is allocation-conscious end to end: frames decode in
+//! place out of per-connection scratch buffers that persist across frames,
+//! responses encode into pooled buffers recycled once flushed, and every
+//! socket write is a vectored `header+payload` pair — no intermediate
+//! copies on either side.
 //!
 //! Frame format: `u32` little-endian payload length (capped at
 //! [`wire::MAX_PAYLOAD`]) followed by the payload (a [`wire`]-encoded
-//! request or response).
+//! request or response, which itself opens with the
+//! `ver request_id` multiplexing header and ends with the CRC32 trailer).
 
-use std::io::{self, Read, Write};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -20,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use netsim::{TokenBucket, TrafficMeter};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use pipeline::{PipelineSpec, SplitPoint, StageData};
 
 use crate::chaos::{FaultDirective, FaultKind, ServerFaultInjector};
@@ -43,35 +56,204 @@ pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed frame.
+/// Writes one length-prefixed frame as a vectored `header+payload` pair —
+/// the zero-copy variant of [`write_frame`]: the 4-byte length header and
+/// the payload reach the socket in single `writev`-style calls without
+/// being glued into an intermediate buffer.
+///
+/// # Errors
+///
+/// Propagates socket errors; an over-cap payload surfaces as
+/// `InvalidInput` before any bytes hit the wire.
+pub fn write_frame_vectored<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > u64::from(wire::MAX_PAYLOAD) {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame over cap"));
+    }
+    let header = (payload.len() as u32).to_le_bytes();
+    let total = header.len() + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < header.len() {
+            let bufs = [IoSlice::new(&header[written..]), IoSlice::new(payload)];
+            w.write_vectored(&bufs)?
+        } else {
+            w.write(&payload[written - header.len()..])?
+        };
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "socket closed mid-frame"));
+        }
+        written += n;
+    }
+    w.flush()
+}
+
+/// Reads one length-prefixed frame into a fresh buffer.
 ///
 /// # Errors
 ///
 /// Propagates socket errors; oversized declared lengths surface as
 /// `InvalidData` before any allocation.
 pub fn read_frame<R: Read>(mut r: R) -> io::Result<Vec<u8>> {
+    let mut payload = Vec::new();
+    read_frame_into(&mut r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one length-prefixed frame into `payload` (cleared first), reusing
+/// its capacity — the hot-path variant of [`read_frame`]: a steady-state
+/// connection reads frames with zero per-frame allocations.
+///
+/// # Errors
+///
+/// Propagates socket errors; oversized declared lengths surface as
+/// `InvalidData` before any allocation.
+pub fn read_frame_into<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> io::Result<()> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf);
     if len > wire::MAX_PAYLOAD {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length over cap"));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
+    payload.clear();
+    payload.resize(len as usize, 0);
+    r.read_exact(payload)
 }
 
-/// A response paired with the fault (if any) the writer must apply to it.
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// A request handed to the worker pool, tagged with its origin so the
+/// event loop can mux the response back to the right connection.
+struct Job {
+    conn: u64,
+    request_id: u32,
+    request: Request,
+    session: Arc<RwLock<Option<NearStorageExecutor>>>,
+}
+
+/// A finished response heading back to the event loop, paired with the
+/// fault (if any) the writer must apply to its encoded frame.
 struct Reply {
+    conn: u64,
+    request_id: u32,
     response: Response,
     fault: Option<FaultDirective>,
 }
 
-struct Job {
-    request: Request,
-    session: Arc<RwLock<Option<NearStorageExecutor>>>,
-    reply: channel::Sender<Reply>,
+/// Incremental nonblocking frame reader: per-connection scratch that
+/// persists across frames (and across `WouldBlock`s mid-frame), so a
+/// steady-state connection parses frames with zero allocations.
+#[derive(Debug, Default)]
+struct FrameReader {
+    header: [u8; 4],
+    header_got: usize,
+    payload: Vec<u8>,
+    payload_got: usize,
+    expect: Option<usize>,
 }
+
+/// Outcome of one [`FrameReader::poll`] step.
+enum ReadStatus {
+    /// A complete frame is buffered; process it, then call `reset`.
+    Frame,
+    /// No more bytes available right now.
+    WouldBlock,
+    /// Peer closed the read half (or the stream hard-errored).
+    Closed,
+}
+
+impl FrameReader {
+    /// Advances by at most one frame worth of reads on a nonblocking
+    /// stream.
+    fn poll<R: Read>(&mut self, r: &mut R) -> ReadStatus {
+        loop {
+            if let Some(want) = self.expect {
+                if self.payload_got == want {
+                    return ReadStatus::Frame;
+                }
+                match r.read(&mut self.payload[self.payload_got..]) {
+                    Ok(0) => return ReadStatus::Closed,
+                    Ok(n) => self.payload_got += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        return ReadStatus::WouldBlock
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return ReadStatus::Closed,
+                }
+            } else {
+                match r.read(&mut self.header[self.header_got..]) {
+                    Ok(0) => return ReadStatus::Closed,
+                    Ok(n) => {
+                        self.header_got += n;
+                        if self.header_got == 4 {
+                            let len = u32::from_le_bytes(self.header);
+                            if len > wire::MAX_PAYLOAD {
+                                return ReadStatus::Closed;
+                            }
+                            self.expect = Some(len as usize);
+                            self.payload.clear();
+                            self.payload.resize(len as usize, 0);
+                            self.payload_got = 0;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        return ReadStatus::WouldBlock
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return ReadStatus::Closed,
+                }
+            }
+        }
+    }
+
+    /// The completed frame's bytes (valid after `poll` returned `Frame`).
+    fn frame(&self) -> &[u8] {
+        &self.payload[..self.payload_got]
+    }
+
+    /// Clears per-frame state while keeping the payload buffer's capacity.
+    fn reset(&mut self) {
+        self.header_got = 0;
+        self.payload_got = 0;
+        self.expect = None;
+        self.payload.clear();
+    }
+}
+
+/// One response frame queued on a connection, with a release time from
+/// injected delays and the shared bandwidth model.
+///
+/// The body starts [`OutBody::Pending`] and is encoded only when it
+/// reaches the socket: a deep pipelined queue then holds cheap
+/// refcounted responses rather than one fully-encoded frame per entry,
+/// so queued memory stays O(connections x sample), not O(in-flight x
+/// sample), and the encode-buffer pool covers every write.
+struct OutFrame {
+    body: OutBody,
+    not_before: Instant,
+}
+
+enum OutBody {
+    /// Awaiting wire encoding (and any wire-level chaos mutation).
+    Pending { request_id: u32, response: Response, fault: Option<FaultDirective> },
+    /// On the wire, with resumable progress across `WouldBlock`s.
+    Encoded { header: [u8; 4], payload: Vec<u8>, written: usize },
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    session: Arc<RwLock<Option<NearStorageExecutor>>>,
+    reader: FrameReader,
+    outq: VecDeque<OutFrame>,
+    in_flight: usize,
+    peer_closed: bool,
+    dead: bool,
+}
+
+/// Upper bound on pooled response-encode buffers the event loop retains.
+const SPARE_BUFFER_POOL: usize = 64;
 
 /// A storage server listening on a real TCP socket.
 #[derive(Debug)]
@@ -79,7 +261,7 @@ pub struct TcpStorageServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     meter: TrafficMeter,
-    accept_thread: Option<JoinHandle<()>>,
+    event_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -98,14 +280,14 @@ impl TcpStorageServer {
     /// Like [`TcpStorageServer::bind`], but every fetch response first
     /// consults `injector` — the server-side half of the chaos layer.
     /// Faults are applied to the encoded frame on the wire itself: drops
-    /// skip the write, delays sleep in the writer, truncations shorten
-    /// the frame, bit-flips corrupt it. Configure responses are never
-    /// faulted.
+    /// skip the write, delays hold the frame past its release time,
+    /// truncations shorten the frame, bit-flips corrupt it. Configure
+    /// responses are never faulted.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures; a zero-core config surfaces as
-    /// `InvalidInput`.
+    /// Propagates bind failures; a zero-core or zero-in-flight config
+    /// surfaces as `InvalidInput`.
     pub fn bind_with_injector(
         store: ObjectStore,
         config: ServerConfig,
@@ -118,40 +300,53 @@ impl TcpStorageServer {
                 "server needs at least one core",
             ));
         }
+        if config.max_in_flight == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "server needs max_in_flight >= 1",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let meter = TrafficMeter::new();
-        let bucket = Arc::new(Mutex::new(TokenBucket::new(
-            config.bandwidth,
-            (config.bandwidth.bytes_per_second() * 0.02).max(1500.0) as usize,
-        )));
 
         let (work_tx, work_rx) = channel::unbounded::<Job>();
+        let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
         let workers = (0..config.cores)
             .map(|_| {
                 let rx = work_rx.clone();
+                let tx = reply_tx.clone();
                 let store = store.clone();
                 let injector = injector.clone();
-                std::thread::spawn(move || worker_loop(&rx, &store, injector.as_deref()))
+                std::thread::spawn(move || worker_loop(&rx, &tx, &store, injector.as_deref()))
             })
             .collect();
 
-        let accept_stop = Arc::clone(&stop);
-        let accept_meter = meter.clone();
-        let read_poll = config.read_poll;
-        let accept_thread = std::thread::spawn(move || {
-            accept_loop(&listener, &accept_stop, &work_tx, &bucket, &accept_meter, read_poll);
+        let loop_stop = Arc::clone(&stop);
+        let loop_meter = meter.clone();
+        let event_thread = std::thread::spawn(move || {
+            let mut el = EventLoop {
+                listener,
+                conns: HashMap::new(),
+                next_conn: 0,
+                work_tx,
+                reply_rx,
+                bucket: TokenBucket::new(
+                    config.bandwidth,
+                    (config.bandwidth.bytes_per_second() * 0.02).max(1500.0) as usize,
+                ),
+                meter: loop_meter,
+                stop: loop_stop,
+                max_in_flight: config.max_in_flight,
+                idle_sleep: config.read_poll.min(Duration::from_millis(1)),
+                spare: Vec::new(),
+            };
+            el.run();
         });
 
-        Ok(TcpStorageServer {
-            addr: local,
-            stop,
-            meter,
-            accept_thread: Some(accept_thread),
-            workers,
-        })
+        Ok(TcpStorageServer { addr: local, stop, meter, event_thread: Some(event_thread), workers })
     }
 
     /// The bound address (with the resolved ephemeral port).
@@ -173,7 +368,7 @@ impl TcpStorageServer {
     /// Stops accepting, drains workers, and joins all threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.event_thread.take() {
             let _ = t.join();
         }
         for w in self.workers.drain(..) {
@@ -189,145 +384,280 @@ impl Drop for TcpStorageServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    stop: &Arc<AtomicBool>,
-    work_tx: &channel::Sender<Job>,
-    bucket: &Arc<Mutex<TokenBucket>>,
-    meter: &TrafficMeter,
-    read_poll: Duration,
-) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let work_tx = work_tx.clone();
-                let stop = Arc::clone(stop);
-                let bucket = Arc::clone(bucket);
-                let meter = meter.clone();
-                connections.push(std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &work_tx, &stop, &bucket, &meter, read_poll);
-                }));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => break,
-        }
-    }
-    for c in connections {
-        let _ = c.join();
-    }
+/// The readiness-driven connection layer: one thread, every connection
+/// nonblocking, frames demuxed in and muxed out by `request_id`.
+struct EventLoop {
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    work_tx: channel::Sender<Job>,
+    reply_rx: channel::Receiver<Reply>,
+    bucket: TokenBucket,
+    meter: TrafficMeter,
+    stop: Arc<AtomicBool>,
+    max_in_flight: usize,
+    idle_sleep: Duration,
+    /// Recycled response-encode buffers (capped at [`SPARE_BUFFER_POOL`]).
+    spare: Vec<Vec<u8>>,
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    work_tx: &channel::Sender<Job>,
-    stop: &Arc<AtomicBool>,
-    bucket: &Arc<Mutex<TokenBucket>>,
-    meter: &TrafficMeter,
-    read_poll: Duration,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(read_poll))?;
-    let mut reader = stream.try_clone()?;
-    let session: Arc<RwLock<Option<NearStorageExecutor>>> = Arc::new(RwLock::new(None));
-    let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
+impl EventLoop {
+    fn run(&mut self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            let mut progressed = false;
+            progressed |= self.accept_new();
+            progressed |= self.drain_replies();
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in ids {
+                progressed |= self.flush_writes(id);
+                progressed |= self.read_requests(id);
+            }
+            self.reap();
+            if !progressed {
+                std::thread::sleep(self.idle_sleep);
+            }
+        }
+        // Dropping `work_tx` (with the loop) disconnects the worker pool.
+    }
 
-    // Writer thread: throttle + frame every response, applying any
-    // injected wire-level fault to the encoded bytes.
-    let writer_stream = stream;
-    let writer_bucket = Arc::clone(bucket);
-    let writer_meter = meter.clone();
-    let writer = std::thread::spawn(move || -> io::Result<()> {
-        let mut out = writer_stream;
-        while let Ok(reply) = reply_rx.recv() {
-            let mut payload = wire::encode_response(&reply.response).to_vec();
+    /// Accepts every connection currently pending on the listener.
+    fn accept_new(&mut self) -> bool {
+        let mut progressed = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue; // misconfigured socket: drop it, keep serving
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            session: Arc::new(RwLock::new(None)),
+                            reader: FrameReader::default(),
+                            outq: VecDeque::new(),
+                            in_flight: 0,
+                            peer_closed: false,
+                            dead: false,
+                        },
+                    );
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Moves every completed response from the workers onto its
+    /// connection's write queue, applying wire-level chaos faults.
+    fn drain_replies(&mut self) -> bool {
+        let mut progressed = false;
+        while let Ok(reply) = self.reply_rx.try_recv() {
+            progressed = true;
+            let Some(conn) = self.conns.get_mut(&reply.conn) else {
+                continue; // connection died while the job was in flight
+            };
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+            let mut delay = Duration::ZERO;
             match reply.fault {
                 Some(FaultDirective { kind: FaultKind::Drop, .. }) => continue,
-                Some(FaultDirective { kind: FaultKind::Delay(d), .. }) => {
-                    std::thread::sleep(d);
-                }
-                Some(FaultDirective { kind: FaultKind::Truncate, salt }) => {
-                    chaos::truncate_payload(&mut payload, salt);
-                }
-                Some(FaultDirective { kind: FaultKind::BitFlip, salt }) => {
-                    chaos::flip_bit(&mut payload, salt);
-                }
-                // Error faults were applied at the worker; nothing here.
-                Some(FaultDirective { kind: FaultKind::Error, .. }) | None => {}
+                Some(FaultDirective { kind: FaultKind::Delay(d), .. }) => delay = d,
+                // Truncate/BitFlip mutate the encoded bytes at write time;
+                // Error faults were applied at the worker.
+                _ => {}
             }
-            let delay = writer_bucket.lock().delay_for(payload.len());
-            if delay > Duration::ZERO {
-                std::thread::sleep(delay);
-            }
-            writer_meter.record(payload.len() as u64);
-            write_frame(&mut out, &payload)?;
+            conn.outq.push_back(OutFrame {
+                body: OutBody::Pending {
+                    request_id: reply.request_id,
+                    response: reply.response,
+                    fault: reply.fault,
+                },
+                not_before: Instant::now() + delay,
+            });
         }
-        Ok(())
-    });
-
-    // Reader loop: decode frames into jobs.
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let frame = match read_frame(&mut reader) {
-            Ok(f) => f,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
-            Err(_) => break, // EOF or hard error: connection done
-        };
-        let response_or_job = match wire::decode_request(&frame) {
-            Ok(request) => Job { request, session: Arc::clone(&session), reply: reply_tx.clone() },
-            Err(e) => {
-                let _ = reply_tx.send(Reply {
-                    response: Response::Error {
-                        sample_id: None,
-                        message: format!("bad request: {e}"),
-                    },
-                    fault: None,
-                });
-                continue;
-            }
-        };
-        if matches!(response_or_job.request, Request::Shutdown) {
-            stop.store(true, Ordering::SeqCst);
-            break;
-        }
-        if work_tx.send(response_or_job).is_err() {
-            break;
-        }
+        progressed
     }
-    drop(reply_tx);
-    let _ = writer.join();
-    Ok(())
+
+    /// Flushes as much of `id`'s write queue as the socket accepts, in
+    /// vectored `header+payload` writes. Frames are encoded here, just
+    /// before their bytes hit the wire — one pooled buffer per in-flight
+    /// write, however deep the queue behind it.
+    fn flush_writes(&mut self, id: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&id) else { return false };
+        let mut progressed = false;
+        while let Some(frame) = conn.outq.front_mut() {
+            let now = Instant::now();
+            if frame.not_before > now {
+                break; // token bucket / injected delay: not released yet
+            }
+            if let OutBody::Pending { request_id, response, fault } = &frame.body {
+                let mut payload = self.spare.pop().unwrap_or_default();
+                wire::encode_response_into(*request_id, response, &mut payload);
+                match *fault {
+                    Some(FaultDirective { kind: FaultKind::Truncate, salt }) => {
+                        chaos::truncate_payload(&mut payload, salt);
+                    }
+                    Some(FaultDirective { kind: FaultKind::BitFlip, salt }) => {
+                        chaos::flip_bit(&mut payload, salt);
+                    }
+                    _ => {}
+                }
+                // The shared-bandwidth charge lands when bytes reach the
+                // wire, not when the worker finished computing.
+                let delay = self.bucket.delay_for(payload.len());
+                frame.body = OutBody::Encoded {
+                    header: (payload.len() as u32).to_le_bytes(),
+                    payload,
+                    written: 0,
+                };
+                progressed = true;
+                if delay > Duration::ZERO {
+                    frame.not_before = now + delay;
+                    break;
+                }
+            }
+            let OutBody::Encoded { header, payload, written } = &mut frame.body else {
+                unreachable!("front frame was encoded above")
+            };
+            let total = header.len() + payload.len();
+            let result = if *written < header.len() {
+                let bufs = [IoSlice::new(&header[*written..]), IoSlice::new(payload)];
+                conn.stream.write_vectored(&bufs)
+            } else {
+                conn.stream.write(&payload[*written - header.len()..])
+            };
+            match result {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    *written += n;
+                    if *written == total {
+                        self.meter.record(payload.len() as u64);
+                        let done = conn.outq.pop_front().expect("front frame exists");
+                        if self.spare.len() < SPARE_BUFFER_POOL {
+                            if let OutBody::Encoded { mut payload, .. } = done.body {
+                                payload.clear();
+                                self.spare.push(payload);
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Reads and dispatches frames from `id` until the socket runs dry or
+    /// the connection reaches its in-flight bound (backpressure: the
+    /// unread bytes stay in the kernel buffer and TCP flow control pushes
+    /// back on the client).
+    fn read_requests(&mut self, id: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&id) else { return false };
+        if conn.dead || conn.peer_closed {
+            return false;
+        }
+        let mut progressed = false;
+        while conn.in_flight < self.max_in_flight {
+            match conn.reader.poll(&mut conn.stream) {
+                ReadStatus::Frame => {
+                    progressed = true;
+                    match wire::decode_request_framed(conn.reader.frame()) {
+                        Ok((_, Request::Shutdown)) => {
+                            self.stop.store(true, Ordering::SeqCst);
+                            conn.reader.reset();
+                            return true;
+                        }
+                        Ok((request_id, request)) => {
+                            conn.in_flight += 1;
+                            let job = Job {
+                                conn: id,
+                                request_id,
+                                request,
+                                session: Arc::clone(&conn.session),
+                            };
+                            if self.work_tx.send(job).is_err() {
+                                conn.dead = true;
+                            }
+                        }
+                        Err(e) => {
+                            // Echo the id best-effort so the error routes
+                            // back to the caller that sent the bad frame.
+                            let request_id =
+                                wire::peek_request_id(conn.reader.frame()).unwrap_or(0);
+                            let response = Response::Error {
+                                sample_id: None,
+                                message: format!("bad request: {e}"),
+                            };
+                            conn.outq.push_back(OutFrame {
+                                body: OutBody::Pending { request_id, response, fault: None },
+                                not_before: Instant::now(),
+                            });
+                        }
+                    }
+                    conn.reader.reset();
+                }
+                ReadStatus::WouldBlock => break,
+                ReadStatus::Closed => {
+                    conn.peer_closed = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Drops connections that are finished: hard-errored, or peer-closed
+    /// with nothing left to compute or flush.
+    fn reap(&mut self) {
+        self.conns.retain(|_, c| {
+            if c.dead {
+                return false;
+            }
+            !(c.peer_closed && c.in_flight == 0 && c.outq.is_empty())
+        });
+    }
 }
 
 fn worker_loop(
     rx: &channel::Receiver<Job>,
+    reply_tx: &channel::Sender<Reply>,
     store: &ObjectStore,
     injector: Option<&ServerFaultInjector>,
 ) {
     while let Ok(job) = rx.recv() {
-        let reply = match job.request {
+        let (response, fault) = match job.request {
             Request::Configure(cfg) => {
                 *job.session.write() = Some(NearStorageExecutor::new(store.clone(), cfg));
-                Reply { response: Response::Configured, fault: None }
+                (Response::Configured, None)
             }
             Request::Fetch(req) => {
                 let fault = injector.and_then(|i| i.decide(req.sample_id, req.epoch));
                 if matches!(fault, Some(FaultDirective { kind: FaultKind::Error, .. })) {
                     // Error faults replace the response before execution.
-                    Reply {
-                        response: Response::Error {
+                    (
+                        Response::Error {
                             sample_id: Some(req.sample_id),
                             message: "injected storage fault".to_string(),
                         },
                         fault,
-                    }
+                    )
                 } else {
                     let executor = job.session.read().clone();
                     let response = match executor {
@@ -343,20 +673,26 @@ fn worker_loop(
                             message: "session not configured".to_string(),
                         },
                     };
-                    Reply { response, fault }
+                    (response, fault)
                 }
             }
             Request::Shutdown => continue, // handled at the connection layer
         };
-        if job.reply.send(reply).is_err() {
+        let reply = Reply { conn: job.conn, request_id: job.request_id, response, fault };
+        if reply_tx.send(reply).is_err() {
             return;
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
 /// Partially read frame state, persisted across deadline expiries so a
 /// timed-out read never desynchronizes the stream: the next call resumes
-/// the same frame exactly where the budget ran out.
+/// the same frame exactly where the budget ran out. The payload buffer is
+/// reused across frames, so steady-state receiving is allocation-free.
 #[derive(Debug, Default)]
 struct FrameState {
     header: [u8; 4],
@@ -366,13 +702,48 @@ struct FrameState {
     expect: Option<usize>,
 }
 
-/// Client for a [`TcpStorageServer`].
+impl FrameState {
+    /// Clears per-frame state while keeping the payload buffer's capacity.
+    fn reset(&mut self) {
+        self.header_got = 0;
+        self.payload_got = 0;
+        self.expect = None;
+        self.payload.clear();
+    }
+}
+
+/// Client for a [`TcpStorageServer`], with a pipelined exchange API.
+///
+/// [`TcpStorageClient::submit`] puts a fetch on the wire and returns its
+/// `request_id`; [`TcpStorageClient::await_response`] claims a completion
+/// **by id**, buffering other in-flight completions for their own awaits.
+/// Many requests therefore ride one connection concurrently (up to the
+/// server's per-connection in-flight bound), and a stale response from a
+/// timed-out earlier exchange can never satisfy the wrong request — its
+/// id no longer matches anything outstanding, so it is discarded.
+///
+/// The batch helpers ([`TcpStorageClient::fetch_many_requests`] and
+/// friends) are built on submit/await and return responses in request
+/// order.
 #[derive(Debug)]
 pub struct TcpStorageClient {
     stream: TcpStream,
-    pending: std::collections::HashMap<u64, FetchResponse>,
     deadline: Deadline,
+    /// Monotonic multiplexing id; 0 is reserved for server-side replies to
+    /// frames whose id could not be recovered.
+    next_id: u32,
     frame: FrameState,
+    /// Reusable request-encode buffer: steady-state sends are
+    /// allocation-free.
+    send_buf: Vec<u8>,
+    /// Ids submitted and not yet claimed, with each request's own expiry
+    /// (deadlines are per-request: the budget starts at submit).
+    outstanding: HashMap<u32, Option<Instant>>,
+    /// Arrived-but-unclaimed completions, keyed by request id.
+    completed: HashMap<u32, Response>,
+    /// Ids abandoned by a deadline expiry; their late responses are
+    /// discarded on arrival instead of accumulating.
+    abandoned: HashSet<u32>,
 }
 
 impl TcpStorageClient {
@@ -387,15 +758,19 @@ impl TcpStorageClient {
         stream.set_nodelay(true)?;
         Ok(TcpStorageClient {
             stream,
-            pending: std::collections::HashMap::new(),
             deadline: Deadline::NONE,
+            next_id: 1,
             frame: FrameState::default(),
+            send_buf: Vec::new(),
+            outstanding: HashMap::new(),
+            completed: HashMap::new(),
+            abandoned: HashSet::new(),
         })
     }
 
-    /// Sets the per-exchange time budget. Each public call (configure or
-    /// fetch batch) starts a fresh budget; expiry surfaces as
-    /// [`ClientError::DeadlineExceeded`].
+    /// Sets the per-request time budget. Every subsequent submit starts a
+    /// fresh budget for that request; expiry surfaces as
+    /// [`ClientError::DeadlineExceeded`] from the await that hits it.
     pub fn set_deadline(&mut self, deadline: Deadline) {
         self.deadline = deadline;
     }
@@ -406,19 +781,72 @@ impl TcpStorageClient {
         self
     }
 
-    /// The configured per-exchange deadline.
+    /// The configured per-request deadline.
     pub fn deadline(&self) -> Deadline {
         self.deadline
     }
 
-    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
-        write_frame(&mut self.stream, &wire::encode_request(req))
+    fn alloc_id(&mut self) -> u32 {
+        let id = self.next_id;
+        // Skip the reserved id 0 on wrap.
+        self.next_id = self.next_id.checked_add(1).unwrap_or(1);
+        id
+    }
+
+    fn send_framed(&mut self, request_id: u32, req: &Request) -> Result<(), ClientError> {
+        wire::encode_request_into(request_id, req, &mut self.send_buf);
+        write_frame_vectored(&mut self.stream, &self.send_buf)
             .map_err(|_| ClientError::Disconnected)
     }
 
-    /// Reads one frame, resuming any partial frame from a previous
-    /// expired call, giving up when `expiry` passes.
-    fn read_frame_within(&mut self, expiry: Option<Instant>) -> Result<Vec<u8>, ClientError> {
+    /// Submits one fetch without waiting, returning the id to await. The
+    /// request's deadline budget (if any) starts now.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Disconnected`] on socket failures.
+    pub fn submit(&mut self, req: FetchRequest) -> Result<u32, ClientError> {
+        let id = self.alloc_id();
+        self.send_framed(id, &Request::Fetch(req))?;
+        self.outstanding.insert(id, self.deadline.expiry_from_now());
+        Ok(id)
+    }
+
+    /// Submits a whole batch of fetches in one write: every frame is
+    /// encoded back-to-back into a single buffer and pushed through one
+    /// syscall, so a pipelined batch costs one kernel crossing (and one
+    /// server wakeup) instead of one per request. Deadline budgets start
+    /// when the batch hits the socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Disconnected`] on socket failures; no ids
+    /// are registered if the batch write fails.
+    pub fn submit_all(&mut self, requests: &[FetchRequest]) -> Result<Vec<u32>, ClientError> {
+        let mut ids = Vec::with_capacity(requests.len());
+        let mut batch: Vec<u8> = Vec::new();
+        for req in requests {
+            let id = self.alloc_id();
+            wire::encode_request_into(id, &Request::Fetch(*req), &mut self.send_buf);
+            batch.extend_from_slice(&(self.send_buf.len() as u32).to_le_bytes());
+            batch.extend_from_slice(&self.send_buf);
+            ids.push(id);
+        }
+        self.stream.write_all(&batch).map_err(|_| ClientError::Disconnected)?;
+        for &id in &ids {
+            self.outstanding.insert(id, self.deadline.expiry_from_now());
+        }
+        Ok(ids)
+    }
+
+    /// Number of submitted-but-unclaimed requests on this connection.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Reads one frame into the reusable scratch, resuming any partial
+    /// frame from a previous expired call, giving up when `expiry` passes.
+    fn read_frame_within(&mut self, expiry: Option<Instant>) -> Result<(), ClientError> {
         loop {
             let timeout = match expiry {
                 None => None,
@@ -434,16 +862,15 @@ impl TcpStorageClient {
             let st = &mut self.frame;
             if let Some(want) = st.expect {
                 if st.payload_got == want {
-                    let frame = std::mem::take(&mut st.payload);
-                    *st = FrameState::default();
-                    return Ok(frame);
+                    return Ok(());
                 }
                 match self.stream.read(&mut st.payload[st.payload_got..]) {
                     Ok(0) => return Err(ClientError::Disconnected),
                     Ok(n) => st.payload_got += n,
                     Err(e)
                         if e.kind() == io::ErrorKind::WouldBlock
-                            || e.kind() == io::ErrorKind::TimedOut => {}
+                            || e.kind() == io::ErrorKind::TimedOut
+                            || e.kind() == io::ErrorKind::Interrupted => {}
                     Err(_) => return Err(ClientError::Disconnected),
                 }
             } else {
@@ -459,30 +886,89 @@ impl TcpStorageClient {
                                 )));
                             }
                             st.expect = Some(len as usize);
-                            st.payload = vec![0u8; len as usize];
+                            st.payload.clear();
+                            st.payload.resize(len as usize, 0);
                             st.payload_got = 0;
                         }
                     }
                     Err(e)
                         if e.kind() == io::ErrorKind::WouldBlock
-                            || e.kind() == io::ErrorKind::TimedOut => {}
+                            || e.kind() == io::ErrorKind::TimedOut
+                            || e.kind() == io::ErrorKind::Interrupted => {}
                     Err(_) => return Err(ClientError::Disconnected),
                 }
             }
         }
     }
 
-    fn recv_within(&mut self, expiry: Option<Instant>) -> Result<Response, ClientError> {
-        let frame = self.read_frame_within(expiry)?;
-        Ok(wire::decode_response(&frame)?)
+    /// Receives one framed response, decoding in place out of the scratch.
+    fn recv_framed_within(
+        &mut self,
+        expiry: Option<Instant>,
+    ) -> Result<(u32, Response), ClientError> {
+        self.read_frame_within(expiry)?;
+        let result = wire::decode_response_framed(self.frame.frame_bytes());
+        self.frame.reset();
+        Ok(result?)
     }
 
-    fn recv(&mut self) -> Result<Response, ClientError> {
-        let expiry = self.deadline.expiry_from_now();
-        self.recv_within(expiry)
+    /// Blocks until the response for `id` arrives, buffering other
+    /// completions for their own awaits. On deadline expiry the id is
+    /// abandoned: a late response is discarded instead of poisoning a
+    /// later exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on socket failures, malformed responses,
+    /// deadline expiry, or a server-reported failure for this request.
+    pub fn await_response(&mut self, id: u32) -> Result<FetchResponse, ClientError> {
+        match self.await_any(id)? {
+            Response::Data(d) => Ok(d),
+            Response::Error { sample_id, message } => {
+                Err(ClientError::Server { sample_id, message })
+            }
+            Response::Configured => Err(ClientError::UnexpectedResponse),
+        }
     }
 
-    /// Configures the session pipeline; must precede fetches.
+    /// Claims the raw protocol response for `id`.
+    fn await_any(&mut self, id: u32) -> Result<Response, ClientError> {
+        loop {
+            if let Some(resp) = self.completed.remove(&id) {
+                self.outstanding.remove(&id);
+                return Ok(resp);
+            }
+            let expiry = self.outstanding.get(&id).copied().flatten();
+            match self.recv_framed_within(expiry) {
+                Ok((rid, resp)) => {
+                    if self.outstanding.contains_key(&rid) {
+                        self.completed.insert(rid, resp);
+                    } else {
+                        // A stray: either an id abandoned by an expired
+                        // await or something the server invented. Drop it.
+                        self.abandoned.remove(&rid);
+                    }
+                }
+                Err(ClientError::DeadlineExceeded) => {
+                    self.abandon(id);
+                    return Err(ClientError::DeadlineExceeded);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Forgets an outstanding id; its late response (if any) is dropped.
+    fn abandon(&mut self, id: u32) {
+        if self.outstanding.remove(&id).is_some() {
+            self.abandoned.insert(id);
+        }
+        self.completed.remove(&id);
+    }
+
+    /// Configures the session pipeline; must precede fetches (configure
+    /// is a full round-trip, so the server's session is ready before any
+    /// pipelined fetch lands).
     ///
     /// # Errors
     ///
@@ -493,8 +979,10 @@ impl TcpStorageClient {
         dataset_seed: u64,
         pipeline: PipelineSpec,
     ) -> Result<(), ClientError> {
-        self.send(&Request::Configure(crate::SessionConfig { dataset_seed, pipeline }))?;
-        match self.recv()? {
+        let id = self.alloc_id();
+        self.send_framed(id, &Request::Configure(crate::SessionConfig { dataset_seed, pipeline }))?;
+        self.outstanding.insert(id, self.deadline.expiry_from_now());
+        match self.await_any(id)? {
             Response::Configured => Ok(()),
             Response::Error { sample_id, message } => {
                 Err(ClientError::Server { sample_id, message })
@@ -515,23 +1003,8 @@ impl TcpStorageClient {
         epoch: u64,
         split: SplitPoint,
     ) -> Result<StageData, ClientError> {
-        let expiry = self.deadline.expiry_from_now();
-        self.send(&Request::Fetch(FetchRequest::new(sample_id, epoch, split)))?;
-        if let Some(resp) = self.pending.remove(&sample_id) {
-            return Ok(resp.data);
-        }
-        loop {
-            match self.recv_within(expiry)? {
-                Response::Data(d) if d.sample_id == sample_id => return Ok(d.data),
-                Response::Data(d) => {
-                    self.pending.insert(d.sample_id, d);
-                }
-                Response::Error { sample_id, message } => {
-                    return Err(ClientError::Server { sample_id, message })
-                }
-                Response::Configured => return Err(ClientError::UnexpectedResponse),
-            }
-        }
+        let id = self.submit(FetchRequest::new(sample_id, epoch, split))?;
+        Ok(self.await_response(id)?.data)
     }
 
     /// Fetches with full request control (offload split plus optional
@@ -541,75 +1014,39 @@ impl TcpStorageClient {
     ///
     /// Same conditions as `fetch`.
     pub fn fetch_request(&mut self, req: FetchRequest) -> Result<FetchResponse, ClientError> {
-        let expiry = self.deadline.expiry_from_now();
-        self.send(&Request::Fetch(req))?;
-        if let Some(resp) = self.pending.remove(&req.sample_id) {
-            return Ok(resp);
-        }
-        loop {
-            match self.recv_within(expiry)? {
-                Response::Data(d) if d.sample_id == req.sample_id => return Ok(d),
-                Response::Data(d) => {
-                    self.pending.insert(d.sample_id, d);
-                }
-                Response::Error { sample_id, message } => {
-                    return Err(ClientError::Server { sample_id, message })
-                }
-                Response::Configured => return Err(ClientError::UnexpectedResponse),
-            }
-        }
+        let id = self.submit(req)?;
+        self.await_response(id)
     }
 
-    /// Pipelined variant of `fetch_many` with full request control.
-    ///
-    /// Collects responses until every requested sample is satisfied, so
-    /// stale responses from a previously timed-out exchange (duplicates or
-    /// strays still in flight on this connection) are consumed and either
-    /// claimed or discarded rather than corrupting the accounting.
-    /// Responses return in request order.
+    /// Pipelined batch fetch with full request control: every request is
+    /// submitted before the first response is awaited, so the whole batch
+    /// is in flight on one connection at once. Responses return in
+    /// request order. On the first failure the batch's remaining ids are
+    /// abandoned — late arrivals are discarded, never mis-claimed by a
+    /// retry.
     ///
     /// # Errors
     ///
-    /// Returns the first failure; [`ClientError::DeadlineExceeded`] when
-    /// the per-exchange budget runs out first.
+    /// Returns the first failure; [`ClientError::DeadlineExceeded`] when a
+    /// request's per-submit budget runs out first.
     pub fn fetch_many_requests(
         &mut self,
         requests: &[FetchRequest],
     ) -> Result<Vec<FetchResponse>, ClientError> {
-        let expiry = self.deadline.expiry_from_now();
-        for req in requests {
-            self.send(&Request::Fetch(*req))?;
-        }
-        let mut outstanding: std::collections::HashSet<u64> =
-            requests.iter().map(|r| r.sample_id).collect();
-        let mut got: std::collections::HashMap<u64, FetchResponse> =
-            std::collections::HashMap::new();
-        // Claim buffered strays from earlier single-fetch calls first.
-        for req in requests {
-            if let Some(resp) = self.pending.remove(&req.sample_id) {
-                outstanding.remove(&req.sample_id);
-                got.insert(req.sample_id, resp);
-            }
-        }
-        while !outstanding.is_empty() {
-            match self.recv_within(expiry)? {
-                Response::Data(d) => {
-                    if outstanding.remove(&d.sample_id) {
-                        got.insert(d.sample_id, d);
+        let ids = self.submit_all(requests)?;
+        let mut out = Vec::with_capacity(ids.len());
+        for (i, id) in ids.iter().enumerate() {
+            match self.await_response(*id) {
+                Ok(resp) => out.push(resp),
+                Err(e) => {
+                    for rest in &ids[i..] {
+                        self.abandon(*rest);
                     }
-                    // Otherwise: a duplicate or an unrequested stray from
-                    // a timed-out exchange — dropped.
+                    return Err(e);
                 }
-                Response::Error { sample_id, message } => {
-                    return Err(ClientError::Server { sample_id, message })
-                }
-                Response::Configured => return Err(ClientError::UnexpectedResponse),
             }
         }
-        requests
-            .iter()
-            .map(|r| got.get(&r.sample_id).cloned().ok_or(ClientError::UnexpectedResponse))
-            .collect()
+        Ok(out)
     }
 
     /// Issues all requests up front, then collects every response.
@@ -626,6 +1063,13 @@ impl TcpStorageClient {
             .map(|&(sample_id, epoch, split)| FetchRequest::new(sample_id, epoch, split))
             .collect();
         self.fetch_many_requests(&full)
+    }
+}
+
+impl FrameState {
+    /// The completed frame's bytes (valid once `expect == payload_got`).
+    fn frame_bytes(&self) -> &[u8] {
+        &self.payload[..self.payload_got]
     }
 }
 
@@ -672,9 +1116,48 @@ mod tests {
         let reqs: Vec<_> = (0..4u64).map(|id| (id, 0u64, SplitPoint::new(2))).collect();
         let responses = client.fetch_many(&reqs).unwrap();
         assert_eq!(responses.len(), 4);
-        let mut ids: Vec<_> = responses.iter().map(|r| r.sample_id).collect();
-        ids.sort_unstable();
+        // Request order, not arrival order.
+        let ids: Vec<_> = responses.iter().map(|r| r.sample_id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_await_multiplexes_out_of_order_claims() {
+        let (server, ds) = spawn_server(6, 3);
+        let mut client = TcpStorageClient::connect(server.local_addr()).unwrap();
+        client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        let ids: Vec<u32> = (0..6u64)
+            .map(|s| client.submit(FetchRequest::new(s, 0, SplitPoint::NONE)).unwrap())
+            .collect();
+        assert_eq!(client.in_flight(), 6);
+        // Claim in reverse submission order: muxing must route each id.
+        for (i, id) in ids.iter().enumerate().rev() {
+            let resp = client.await_response(*id).unwrap();
+            assert_eq!(resp.sample_id, i as u64);
+        }
+        assert_eq!(client.in_flight(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicate_sample_ids_resolve_by_request_id() {
+        // The same sample requested twice in one batch: correlation by
+        // request id keeps both callers satisfied (by-sample matching
+        // could only claim one).
+        let (server, ds) = spawn_server(2, 2);
+        let mut client = TcpStorageClient::connect(server.local_addr()).unwrap();
+        client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        let reqs = vec![
+            FetchRequest::new(1, 0, SplitPoint::NONE),
+            FetchRequest::new(1, 0, SplitPoint::NONE),
+            FetchRequest::new(0, 0, SplitPoint::NONE),
+        ];
+        let out = client.fetch_many_requests(&reqs).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].sample_id, 1);
+        assert_eq!(out[1].sample_id, 1);
+        assert_eq!(out[2].sample_id, 0);
         server.shutdown();
     }
 
@@ -710,11 +1193,42 @@ mod tests {
     }
 
     #[test]
+    fn in_flight_bound_applies_backpressure_without_loss() {
+        // 4x the per-connection bound submitted at once: the server
+        // stops reading past the bound, TCP pushes back, and every
+        // response still arrives as earlier ones drain.
+        let ds = datasets::DatasetSpec::mini(2, 61);
+        let store = ObjectStore::materialize_dataset(&ds, 0..2);
+        let server = TcpStorageServer::bind(
+            store,
+            ServerConfig {
+                cores: 2,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 32,
+                max_in_flight: 4,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = TcpStorageClient::connect(server.local_addr()).unwrap();
+        client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        let reqs: Vec<_> = (0..16u64).map(|i| (i % 2, i / 2, SplitPoint::NONE)).collect();
+        let out = client.fetch_many(&reqs).unwrap();
+        assert_eq!(out.len(), 16);
+        server.shutdown();
+    }
+
+    #[test]
     fn frame_roundtrip_and_cap() {
         let mut buf = Vec::new();
         write_frame(&mut buf, b"hello frame").unwrap();
         let got = read_frame(&buf[..]).unwrap();
         assert_eq!(got, b"hello frame");
+        // The vectored writer produces bit-identical frames.
+        let mut vbuf = Vec::new();
+        write_frame_vectored(&mut vbuf, b"hello frame").unwrap();
+        assert_eq!(buf, vbuf);
         // Oversized declared length is rejected before allocation.
         let mut bogus = Vec::new();
         bogus.extend_from_slice(&u32::MAX.to_le_bytes());
@@ -722,6 +1236,27 @@ mod tests {
         // Oversized outbound payloads error instead of panicking.
         let big = vec![0u8; (wire::MAX_PAYLOAD as usize) + 1];
         assert!(write_frame(Vec::new(), &big).is_err());
+        assert!(write_frame_vectored(&mut Vec::new(), &big).is_err());
+    }
+
+    #[test]
+    fn read_frame_into_reuses_the_buffer() {
+        let mut wire_bytes = Vec::new();
+        write_frame(&mut wire_bytes, b"abcdefgh").unwrap();
+        let mut stream = Vec::new();
+        for _ in 0..50 {
+            stream.extend_from_slice(&wire_bytes);
+        }
+        let mut cursor = &stream[..];
+        let mut buf = Vec::new();
+        read_frame_into(&mut cursor, &mut buf).unwrap();
+        let (ptr, cap) = (buf.as_ptr(), buf.capacity());
+        for _ in 0..49 {
+            read_frame_into(&mut cursor, &mut buf).unwrap();
+            assert_eq!(buf, b"abcdefgh");
+        }
+        assert_eq!(buf.as_ptr(), ptr, "read buffer reallocated on the hot path");
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]
