@@ -1,0 +1,317 @@
+//! Multi-tenant front for the sample cache.
+//!
+//! Two sharing disciplines, picked per deployment:
+//!
+//! * **Shared** — one [`SampleCache`] serves every tenant. Identical
+//!   keys deduplicate across tenants (two jobs training on the same
+//!   dataset pin each sample once), and per-tenant accounting tracks who
+//!   charged bytes in and who was served bytes out. Under eviction
+//!   pressure, admission is fairness-gated: a tenant whose share of
+//!   charged bytes already exceeds its weight share cannot displace
+//!   other tenants' residents.
+//! * **Partitioned** — each tenant owns a private [`SampleCache`] slice
+//!   of the total budget, proportional to its weight. No cross-tenant
+//!   interference of any kind, at the price of duplicated residents when
+//!   tenants overlap on data.
+//!
+//! Both modes are fully deterministic, like the underlying cache.
+
+use std::collections::BTreeMap;
+
+use pipeline::StageData;
+use tenant::TenantId;
+
+use crate::key::CacheKey;
+use crate::store::{AdmissionHint, SampleCache};
+
+/// How the cache budget is shared between tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantCacheMode {
+    /// One cache, cross-tenant dedupe, fairness-gated admission.
+    Shared,
+    /// Weight-proportional private slices, full isolation.
+    Partitioned,
+}
+
+/// Per-tenant cache accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCacheUsage {
+    /// Lookups this tenant served from the cache.
+    pub hits: u64,
+    /// Lookups this tenant sent on to storage.
+    pub misses: u64,
+    /// Payload bytes this tenant admitted (cumulative).
+    pub charged_bytes: u64,
+    /// Payload bytes served to this tenant from the cache.
+    pub bytes_served: u64,
+    /// Inserts turned away — by the fairness gate or the slice's policy.
+    pub rejections: u64,
+}
+
+#[derive(Debug)]
+enum Backing {
+    Shared(SampleCache),
+    Partitioned(BTreeMap<u16, SampleCache>),
+}
+
+/// A tenant-aware cache front over [`SampleCache`].
+#[derive(Debug)]
+pub struct TenantCache {
+    backing: Backing,
+    /// Scheduling weights; tenants without an entry weigh `1` in shared
+    /// mode and own no slice in partitioned mode.
+    weights: BTreeMap<u16, u32>,
+    usage: BTreeMap<u16, TenantCacheUsage>,
+}
+
+impl TenantCache {
+    /// A shared cache of `budget_bytes` (LRU policy) with the given
+    /// tenant weights; tenants absent from `weights` weigh 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a weight is zero.
+    pub fn shared(budget_bytes: u64, weights: &[(u16, u32)]) -> TenantCache {
+        TenantCache::shared_with(SampleCache::lru(budget_bytes), weights)
+    }
+
+    /// Shared mode over an explicit cache (any policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a weight is zero.
+    pub fn shared_with(cache: SampleCache, weights: &[(u16, u32)]) -> TenantCache {
+        TenantCache {
+            backing: Backing::Shared(cache),
+            weights: checked_weights(weights),
+            usage: BTreeMap::new(),
+        }
+    }
+
+    /// Partitioned mode: `budget_bytes` is sliced between the listed
+    /// tenants proportionally to weight (LRU within each slice). Tenants
+    /// not listed own no slice — their lookups miss and their inserts
+    /// are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty or contains a zero weight.
+    pub fn partitioned(budget_bytes: u64, weights: &[(u16, u32)]) -> TenantCache {
+        assert!(!weights.is_empty(), "partitioned mode needs at least one tenant");
+        let weights = checked_weights(weights);
+        let total: u64 = weights.values().map(|&w| u64::from(w)).sum();
+        let slices = weights
+            .iter()
+            .map(|(&t, &w)| (t, SampleCache::lru(budget_bytes * u64::from(w) / total)))
+            .collect();
+        TenantCache { backing: Backing::Partitioned(slices), weights, usage: BTreeMap::new() }
+    }
+
+    /// Which sharing discipline this cache runs.
+    pub fn mode(&self) -> TenantCacheMode {
+        match self.backing {
+            Backing::Shared(_) => TenantCacheMode::Shared,
+            Backing::Partitioned(_) => TenantCacheMode::Partitioned,
+        }
+    }
+
+    /// Total payload bytes resident, across all tenants.
+    pub fn used_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Shared(c) => c.used_bytes(),
+            Backing::Partitioned(slices) => slices.values().map(SampleCache::used_bytes).sum(),
+        }
+    }
+
+    /// The total byte budget, across all tenants.
+    pub fn budget_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Shared(c) => c.budget_bytes(),
+            Backing::Partitioned(slices) => slices.values().map(SampleCache::budget_bytes).sum(),
+        }
+    }
+
+    /// `tenant`'s private slice budget — the whole budget in shared
+    /// mode, zero for unsliced tenants in partitioned mode.
+    pub fn slice_budget(&self, tenant: TenantId) -> u64 {
+        match &self.backing {
+            Backing::Shared(c) => c.budget_bytes(),
+            Backing::Partitioned(slices) => {
+                slices.get(&tenant.0).map_or(0, SampleCache::budget_bytes)
+            }
+        }
+    }
+
+    /// `tenant`'s accounting so far.
+    pub fn usage(&self, tenant: TenantId) -> TenantCacheUsage {
+        self.usage.get(&tenant.0).copied().unwrap_or_default()
+    }
+
+    /// A snapshot of every tenant's accounting.
+    pub fn usage_all(&self) -> BTreeMap<u16, TenantCacheUsage> {
+        self.usage.clone()
+    }
+
+    /// Looks up `key` on behalf of `tenant`, counting the hit or miss
+    /// against its accounting. In shared mode a hit may be serving bytes
+    /// another tenant charged in — that is the point of sharing.
+    pub fn get(&mut self, tenant: TenantId, key: &CacheKey) -> Option<(u32, StageData)> {
+        let got = match &mut self.backing {
+            Backing::Shared(c) => c.get(key),
+            Backing::Partitioned(slices) => slices.get_mut(&tenant.0).and_then(|c| c.get(key)),
+        };
+        let u = self.usage.entry(tenant.0).or_default();
+        match &got {
+            Some((_, data)) => {
+                u.hits += 1;
+                u.bytes_served += data.byte_len();
+            }
+            None => u.misses += 1,
+        }
+        got
+    }
+
+    /// Offers a payload on behalf of `tenant`. Returns whether it was
+    /// admitted; admitted bytes are charged to `tenant`.
+    ///
+    /// In shared mode the fairness gate runs first: when admitting would
+    /// require eviction (the cache is at pressure) and `tenant`'s share
+    /// of cumulative charged bytes already exceeds its weight share, the
+    /// candidate is rejected before it can displace anyone.
+    pub fn insert(
+        &mut self,
+        tenant: TenantId,
+        key: CacheKey,
+        ops_applied: u32,
+        data: StageData,
+        hint: AdmissionHint,
+    ) -> bool {
+        let bytes = data.byte_len();
+        let gated = match &self.backing {
+            Backing::Shared(c) => {
+                c.used_bytes() + bytes > c.budget_bytes() && self.over_fair_share(tenant)
+            }
+            Backing::Partitioned(_) => false,
+        };
+        let admitted = match &mut self.backing {
+            Backing::Shared(_) if gated => false,
+            Backing::Shared(c) => c.insert(key, ops_applied, data, hint),
+            Backing::Partitioned(slices) => match slices.get_mut(&tenant.0) {
+                Some(c) => c.insert(key, ops_applied, data, hint),
+                None => false,
+            },
+        };
+        let u = self.usage.entry(tenant.0).or_default();
+        if admitted {
+            u.charged_bytes += bytes;
+        } else {
+            u.rejections += 1;
+        }
+        admitted
+    }
+
+    /// Whether `tenant`'s fraction of all charged bytes exceeds its
+    /// weight fraction (over every tenant seen or configured). A tenant
+    /// that has charged nothing is never over its share.
+    fn over_fair_share(&self, tenant: TenantId) -> bool {
+        let charged: u64 = self.usage.get(&tenant.0).map_or(0, |u| u.charged_bytes);
+        if charged == 0 {
+            return false;
+        }
+        let total_charged: u64 = self.usage.values().map(|u| u.charged_bytes).sum();
+        let weight_of = |t: u16| u64::from(self.weights.get(&t).copied().unwrap_or(1));
+        let total_weight: u64 = self
+            .usage
+            .keys()
+            .copied()
+            .chain(self.weights.keys().copied())
+            .collect::<std::collections::BTreeSet<u16>>()
+            .into_iter()
+            .map(weight_of)
+            .sum();
+        // charged/total > weight/total_weight, kept in integers.
+        charged.saturating_mul(total_weight) > weight_of(tenant.0).saturating_mul(total_charged)
+    }
+}
+
+fn checked_weights(weights: &[(u16, u32)]) -> BTreeMap<u16, u32> {
+    let mut map = BTreeMap::new();
+    for &(t, w) in weights {
+        assert!(w >= 1, "tenant weight must be at least 1");
+        map.insert(t, w);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::{PipelineSpec, SplitPoint};
+
+    fn key(sample_id: u64) -> CacheKey {
+        let pipeline = PipelineSpec::standard_train();
+        CacheKey::try_new(0, sample_id, SplitPoint::NONE, None, &pipeline).unwrap()
+    }
+
+    fn payload(len: usize) -> StageData {
+        StageData::Encoded(vec![0xCD; len].into())
+    }
+
+    #[test]
+    fn shared_mode_dedupes_across_tenants() {
+        let mut cache = TenantCache::shared(1000, &[]);
+        assert!(cache.insert(TenantId(1), key(0), 0, payload(100), AdmissionHint::default()));
+        // Tenant 2 hits the entry tenant 1 charged in; one resident copy.
+        assert!(cache.get(TenantId(2), &key(0)).is_some());
+        assert_eq!(cache.used_bytes(), 100);
+        assert_eq!(cache.usage(TenantId(1)).charged_bytes, 100);
+        assert_eq!(cache.usage(TenantId(2)).bytes_served, 100);
+        assert_eq!(cache.usage(TenantId(2)).hits, 1);
+    }
+
+    #[test]
+    fn shared_mode_fairness_gates_the_over_share_tenant_under_pressure() {
+        let mut cache = TenantCache::shared(100, &[]);
+        // The hog fills 80% of the budget; the other tenant 20%.
+        assert!(cache.insert(TenantId(1), key(0), 0, payload(40), AdmissionHint::default()));
+        assert!(cache.insert(TenantId(1), key(1), 0, payload(40), AdmissionHint::default()));
+        assert!(cache.insert(TenantId(2), key(2), 0, payload(20), AdmissionHint::default()));
+        // At pressure, the hog (share 0.8 > fair 0.5) cannot displace.
+        assert!(!cache.insert(TenantId(1), key(3), 0, payload(40), AdmissionHint::default()));
+        assert_eq!(cache.usage(TenantId(1)).rejections, 1);
+        // The under-share tenant still can.
+        assert!(cache.insert(TenantId(2), key(4), 0, payload(40), AdmissionHint::default()));
+    }
+
+    #[test]
+    fn partitioned_mode_slices_budget_by_weight() {
+        let cache = TenantCache::partitioned(300, &[(1, 1), (2, 2)]);
+        assert_eq!(cache.slice_budget(TenantId(1)), 100);
+        assert_eq!(cache.slice_budget(TenantId(2)), 200);
+        assert_eq!(cache.budget_bytes(), 300);
+        assert_eq!(cache.mode(), TenantCacheMode::Partitioned);
+    }
+
+    #[test]
+    fn partitioned_mode_isolates_tenants() {
+        let mut cache = TenantCache::partitioned(200, &[(1, 1), (2, 1)]);
+        assert!(cache.insert(TenantId(1), key(0), 0, payload(50), AdmissionHint::default()));
+        // Same key, other tenant: a miss — no cross-tenant visibility.
+        assert!(cache.get(TenantId(2), &key(0)).is_none());
+        assert!(cache.get(TenantId(1), &key(0)).is_some());
+        // Tenant 1's slice is 100 bytes: an oversized insert is rejected
+        // without touching tenant 2's slice.
+        assert!(!cache.insert(TenantId(1), key(1), 0, payload(120), AdmissionHint::default()));
+        assert_eq!(cache.usage(TenantId(1)).rejections, 1);
+    }
+
+    #[test]
+    fn unsliced_tenant_in_partitioned_mode_is_rejected() {
+        let mut cache = TenantCache::partitioned(100, &[(1, 1)]);
+        assert!(!cache.insert(TenantId(9), key(0), 0, payload(10), AdmissionHint::default()));
+        assert!(cache.get(TenantId(9), &key(0)).is_none());
+        assert_eq!(cache.slice_budget(TenantId(9)), 0);
+        let u = cache.usage(TenantId(9));
+        assert_eq!((u.rejections, u.misses), (1, 1));
+    }
+}

@@ -45,6 +45,7 @@ mod cache;
 mod config;
 mod fleet;
 mod gpu;
+pub mod multitenant;
 mod resources;
 mod sim;
 pub mod stagegraph;
@@ -60,6 +61,7 @@ pub use fleet::{
     simulate_fleet_training, FleetCachedTrainingStats, FleetEpochStats, FleetTrainingStats,
 };
 pub use gpu::GpuModel;
+pub use multitenant::{simulate_multi_tenant, MultiTenantRun, TenantRunStats, TenantWorkload};
 pub use resources::{CpuPool, FifoServer};
 pub use sim::{simulate_epoch, simulate_epoch_traced, SimError};
 pub use stagegraph::{FaultEvent, FleetNodeConfig, KillEvent, NodeEpochStats};

@@ -106,6 +106,85 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
         );
     }
 
+    if opts.tenants > 1 {
+        let profiles = scenario.profiles();
+        let ctx = sophon::engine::PlanningContext::new(
+            &profiles,
+            &scenario.pipeline,
+            &scenario.config,
+            scenario.gpu,
+            scenario.batch_size,
+        );
+        let plan = sophon::engine::DecisionEngine::new().plan(&ctx);
+        let works = plan.to_sample_works(&profiles).expect("plan matches profiles");
+        let specs = opts.tenant_specs();
+        // Deal the corpus round-robin: every tenant trains on an equal,
+        // interleaved share of the planned samples.
+        let mut per_tenant: Vec<Vec<cluster::SampleWork>> = vec![Vec::new(); opts.tenants];
+        for (i, w) in works.into_iter().enumerate() {
+            per_tenant[i % opts.tenants].push(w);
+        }
+        let workloads: Vec<cluster::TenantWorkload> = specs
+            .into_iter()
+            .zip(per_tenant)
+            .enumerate()
+            .map(|(i, (spec, samples))| {
+                cluster::TenantWorkload::new(tenant::TenantId(i as u16), spec, samples)
+            })
+            .collect();
+        println!(
+            "\nmulti-tenant serving: {} jobs, weights {}, quota {}",
+            opts.tenants,
+            if opts.tenant_weights.is_empty() {
+                "equal".to_string()
+            } else {
+                format!("{:?} (cycled)", opts.tenant_weights)
+            },
+            if opts.quota_bytes_per_sec > 0.0 {
+                format!("{:.1} MB/s per tenant", opts.quota_bytes_per_sec / 1e6)
+            } else {
+                "none".to_string()
+            },
+        );
+        match cluster::simulate_multi_tenant(&scenario.config, &workloads, opts.chaos_seed) {
+            Ok(run) => {
+                let shown = opts.tenants.min(8);
+                println!(
+                    "{:<8} {:>8} {:>11} {:>9} {:>9} {:>10} {:>18}",
+                    "tenant",
+                    "samples",
+                    "bytes (MB)",
+                    "p50 (ms)",
+                    "p99 (ms)",
+                    "throttled",
+                    "digest"
+                );
+                for (id, t) in run.per_tenant.iter().take(shown) {
+                    println!(
+                        "{:<8} {:>8} {:>11.1} {:>9.1} {:>9.1} {:>10} {:>18}",
+                        format!("job{id}"),
+                        t.samples,
+                        t.bytes as f64 / 1e6,
+                        t.p50_latency_seconds * 1e3,
+                        t.p99_latency_seconds * 1e3,
+                        t.throttled,
+                        format!("{:016x}", t.digest),
+                    );
+                }
+                if opts.tenants > shown {
+                    println!("... {} more tenants", opts.tenants - shown);
+                }
+                println!(
+                    "aggregate: {:.1} s, {:.2} GB, goodput {:.1} MB/s",
+                    run.epoch_seconds,
+                    run.total_bytes as f64 / 1e9,
+                    run.goodput_bytes_per_sec / 1e6,
+                );
+            }
+            Err(e) => println!("multi-tenant run failed: {e}"),
+        }
+    }
+
     if opts.cache_budget_pct > 0 && opts.shards > 1 {
         let profiles = scenario.profiles();
         let corpus_bytes: u64 = profiles.iter().map(|p| p.raw_bytes).sum();

@@ -82,6 +82,13 @@ pub struct CliOptions {
     pub chaos_profile: ChaosProfile,
     /// Seed driving the deterministic fault schedule.
     pub chaos_seed: u64,
+    /// Concurrent tenant jobs sharing the storage node (1 = single-job).
+    pub tenants: usize,
+    /// Per-tenant DWRR weights, cycled to cover all tenants
+    /// (empty = equal weights).
+    pub tenant_weights: Vec<u32>,
+    /// Per-tenant byte quota in bytes/second (0 = unquotaed).
+    pub quota_bytes_per_sec: f64,
 }
 
 impl Default for CliOptions {
@@ -105,6 +112,9 @@ impl Default for CliOptions {
             hedge_after_ms: 0,
             chaos_profile: ChaosProfile::None,
             chaos_seed: 0,
+            tenants: 1,
+            tenant_weights: Vec::new(),
+            quota_bytes_per_sec: 0.0,
         }
     }
 }
@@ -187,6 +197,26 @@ impl CliOptions {
                     }
                 }
                 "--chaos-seed" => opts.chaos_seed = parse_num(flag, value)?,
+                "--tenants" => opts.tenants = parse_num(flag, value)?,
+                "--tenant-weights" => {
+                    opts.tenant_weights = value
+                        .split(',')
+                        .map(|w| {
+                            w.trim()
+                                .parse::<u32>()
+                                .ok()
+                                .filter(|&w| w >= 1)
+                                .ok_or_else(|| format!("invalid tenant weight '{w}'"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--quota-bytes-per-sec" => {
+                    opts.quota_bytes_per_sec = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite() && *v > 0.0)
+                        .ok_or_else(|| format!("invalid quota '{value}'"))?;
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -203,6 +233,16 @@ impl CliOptions {
             return Err(format!(
                 "replication must be between 1 and the shard count ({})",
                 opts.shards
+            ));
+        }
+        if opts.tenants == 0 || opts.tenants > u16::MAX as usize {
+            return Err(format!("tenants must be between 1 and {}", u16::MAX));
+        }
+        if opts.tenant_weights.len() > opts.tenants {
+            return Err(format!(
+                "{} tenant weights for {} tenants (weights are cycled, never dropped)",
+                opts.tenant_weights.len(),
+                opts.tenants
             ));
         }
         Ok(opts)
@@ -267,6 +307,31 @@ impl CliOptions {
         kills
     }
 
+    /// Per-tenant specs for the multi-tenant serving simulation: weights
+    /// cycled from `--tenant-weights` (equal when unset), every tenant
+    /// quotaed at `--quota-bytes-per-sec` when positive (burst = a
+    /// quarter-second of quota, matching `TenantPolicy::uniform`).
+    pub fn tenant_specs(&self) -> Vec<tenant::TenantSpec> {
+        (0..self.tenants)
+            .map(|i| {
+                let weight = if self.tenant_weights.is_empty() {
+                    1
+                } else {
+                    self.tenant_weights[i % self.tenant_weights.len()]
+                };
+                let spec = tenant::TenantSpec::default().with_weight(weight);
+                if self.quota_bytes_per_sec > 0.0 {
+                    spec.with_quota(
+                        self.quota_bytes_per_sec,
+                        (self.quota_bytes_per_sec / 4.0).max(1.0) as u64,
+                    )
+                } else {
+                    spec
+                }
+            })
+            .collect()
+    }
+
     /// One line per flag, for `--help`-style output.
     pub fn usage() -> &'static str {
         "sophon-sim [--dataset openimages|imagenet|mini] [--samples N] [--seed N]\n\
@@ -277,9 +342,12 @@ impl CliOptions {
          \u{20}          [--cache-budget-pct 0-100] [--cache-policy lru|size|efficiency]\n\
          \u{20}          [--shards N] [--replication N] [--hedge-after MS]\n\
          \u{20}          [--chaos-profile none|light|aggressive] [--chaos-seed N]\n\
+         \u{20}          [--tenants N] [--tenant-weights W1,W2,...] [--quota-bytes-per-sec F]\n\
          \u{20}(--cache-budget-pct with --shards composes: a warm near-compute cache\n\
          \u{20} over a sharded storage fleet, planned per shard on the residual;\n\
-         \u{20} --chaos-profile injects seeded mid-epoch node kills into fleet runs)"
+         \u{20} --chaos-profile injects seeded mid-epoch node kills into fleet runs;\n\
+         \u{20} --tenants > 1 shares the storage node between that many jobs under\n\
+         \u{20} weighted-fair scheduling, with optional per-tenant byte quotas)"
     }
 }
 
@@ -408,6 +476,47 @@ mod tests {
         assert!(parse("--shards 4 --replication 1 --chaos-profile aggressive")
             .chaos_kills()
             .is_empty());
+    }
+
+    #[test]
+    fn tenant_flags_parse_and_validate() {
+        let opts = CliOptions::parse(
+            "--tenants 8 --tenant-weights 4,2,1 --quota-bytes-per-sec 2e6".split_whitespace(),
+        )
+        .unwrap();
+        assert_eq!(opts.tenants, 8);
+        assert_eq!(opts.tenant_weights, vec![4, 2, 1]);
+        assert_eq!(opts.quota_bytes_per_sec, 2e6);
+        let d = CliOptions::default();
+        assert_eq!((d.tenants, d.quota_bytes_per_sec), (1, 0.0));
+        assert!(d.tenant_weights.is_empty());
+        assert!(CliOptions::parse(["--tenants", "0"]).unwrap_err().contains("tenants"));
+        assert!(CliOptions::parse(["--tenants", "70000"]).unwrap_err().contains("tenants"));
+        assert!(CliOptions::parse(["--tenant-weights", "3,0"]).unwrap_err().contains("weight"));
+        assert!(CliOptions::parse(["--quota-bytes-per-sec", "-1"]).unwrap_err().contains("quota"));
+        // More weights than tenants is a mistake, not a cycle.
+        assert!(CliOptions::parse("--tenants 2 --tenant-weights 1,2,3".split_whitespace())
+            .unwrap_err()
+            .contains("cycled"));
+    }
+
+    #[test]
+    fn tenant_specs_cycle_weights_and_apply_quota() {
+        let opts = CliOptions::parse(
+            "--tenants 5 --tenant-weights 4,1 --quota-bytes-per-sec 1e6".split_whitespace(),
+        )
+        .unwrap();
+        let specs = opts.tenant_specs();
+        assert_eq!(specs.len(), 5);
+        let weights: Vec<u32> = specs.iter().map(|s| s.weight).collect();
+        assert_eq!(weights, vec![4, 1, 4, 1, 4]);
+        for s in &specs {
+            assert_eq!(s.quota_bytes_per_sec, Some(1e6));
+            assert_eq!(s.burst_bytes, 250_000);
+        }
+        // No weights, no quota: every tenant gets the default spec.
+        let plain = CliOptions::parse(["--tenants", "3"]).unwrap().tenant_specs();
+        assert!(plain.iter().all(|s| s.weight == 1 && s.quota_bytes_per_sec.is_none()));
     }
 
     #[test]

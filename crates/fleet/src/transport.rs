@@ -286,10 +286,9 @@ impl FleetTransport {
                 None => unroutable.push(*sample_id),
             }
         }
-        let mut nodes: Vec<usize> = per_node.keys().copied().collect();
-        nodes.sort_unstable();
-        for node in nodes {
-            let reqs = per_node.remove(&node).expect("node key present");
+        let mut per_node: Vec<(usize, Vec<FetchRequest>)> = per_node.into_iter().collect();
+        per_node.sort_unstable_by_key(|&(node, _)| node);
+        for (node, reqs) in per_node {
             self.send_group(node, reqs, hedge, groups, issued);
         }
         unroutable
@@ -362,7 +361,9 @@ impl FetchTransport for FleetTransport {
         }
         for group in groups.values() {
             for &s in &group.samples {
-                pending.get_mut(&s).expect("dispatched sample is pending").push(group.node);
+                if let Some(tried) = pending.get_mut(&s) {
+                    tried.push(group.node);
+                }
             }
         }
 
@@ -492,7 +493,9 @@ impl FetchTransport for FleetTransport {
                     }
                 }
                 for t in hedged_tickets {
-                    groups.get_mut(&t).expect("hedged ticket present").hedged = true;
+                    if let Some(g) = groups.get_mut(&t) {
+                        g.hedged = true;
+                    }
                 }
                 if !to_hedge.is_empty() {
                     // No alive replica is fine — the primary is still
@@ -511,10 +514,13 @@ impl FetchTransport for FleetTransport {
             }
         }
 
-        Ok(requests
+        // Every pending sample drained, so every request has a response;
+        // if that invariant ever breaks, surface a typed error instead of
+        // panicking inside the training loop.
+        requests
             .iter()
-            .map(|r| done.get(&r.sample_id).expect("pending drained means done").clone())
-            .collect())
+            .map(|r| done.get(&r.sample_id).cloned().ok_or(ClientError::UnexpectedResponse))
+            .collect()
     }
 }
 

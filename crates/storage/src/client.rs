@@ -33,6 +33,29 @@ pub enum ClientError {
     /// The node's circuit breaker is open: requests fail fast without
     /// touching the wire until the cooldown elapses and a probe succeeds.
     CircuitOpen,
+    /// The server's admission control rejected the request because this
+    /// tenant is over its byte quota or in-flight bound. Retryable: the
+    /// request was never queued, so backing off and resubmitting is safe
+    /// and cheap.
+    TenantThrottled {
+        /// Server-provided detail (which limit tripped).
+        message: String,
+    },
+}
+
+/// Message prefix a tenant-aware server puts on error replies produced by
+/// admission control. Clients recognise it and surface the typed,
+/// retryable [`ClientError::TenantThrottled`] instead of a generic server
+/// error.
+pub const TENANT_THROTTLED_PREFIX: &str = "tenant-throttled: ";
+
+/// Maps a server error reply to the client-side error type, recognising
+/// the admission-control marker.
+pub(crate) fn server_error(sample_id: Option<u64>, message: String) -> ClientError {
+    match message.strip_prefix(TENANT_THROTTLED_PREFIX) {
+        Some(detail) => ClientError::TenantThrottled { message: detail.to_string() },
+        None => ClientError::Server { sample_id, message },
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -48,6 +71,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Corrupted => write!(f, "frame corrupted in transit (checksum mismatch)"),
             ClientError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             ClientError::CircuitOpen => write!(f, "node circuit breaker is open"),
+            ClientError::TenantThrottled { message } => {
+                write!(f, "tenant throttled by admission control (retryable): {message}")
+            }
         }
     }
 }
@@ -129,9 +155,7 @@ impl StorageClient {
             if let Some(resp) = self.completed.remove(&id) {
                 return match resp {
                     Response::Data(d) => Ok(d),
-                    Response::Error { sample_id, message } => {
-                        Err(ClientError::Server { sample_id, message })
-                    }
+                    Response::Error { sample_id, message } => Err(server_error(sample_id, message)),
                     Response::Configured => Err(ClientError::UnexpectedResponse),
                 };
             }
@@ -157,9 +181,7 @@ impl StorageClient {
             if let Some(resp) = self.completed.remove(&id) {
                 return match resp {
                     Response::Configured => Ok(()),
-                    Response::Error { sample_id, message } => {
-                        Err(ClientError::Server { sample_id, message })
-                    }
+                    Response::Error { sample_id, message } => Err(server_error(sample_id, message)),
                     Response::Data(_) => Err(ClientError::UnexpectedResponse),
                 };
             }

@@ -43,6 +43,13 @@ pub enum HarnessError {
         /// The underlying socket error.
         source: io::Error,
     },
+    /// One node's startup thread panicked before reporting an outcome —
+    /// surfaced as a typed error instead of cascading the panic into the
+    /// caller.
+    NodeStartPanicked {
+        /// Which node's thread died.
+        node: usize,
+    },
 }
 
 impl std::fmt::Display for HarnessError {
@@ -54,6 +61,9 @@ impl std::fmt::Display for HarnessError {
             }
             HarnessError::Bind { node, source } => {
                 write!(f, "node {node} failed to bind: {source}")
+            }
+            HarnessError::NodeStartPanicked { node } => {
+                write!(f, "node {node}'s startup thread panicked")
             }
         }
     }
@@ -197,7 +207,13 @@ impl MultiServerHarness {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("bind thread never panics")).collect()
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(n, h)| {
+                    h.join().unwrap_or_else(|_| Err(HarnessError::NodeStartPanicked { node: n }))
+                })
+                .collect()
         });
         let mut out = Vec::with_capacity(nodes);
         let mut first_error = None;

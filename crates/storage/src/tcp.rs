@@ -22,8 +22,21 @@
 //! [`wire::MAX_PAYLOAD`]) followed by the payload (a [`wire`]-encoded
 //! request or response, which itself opens with the
 //! `ver request_id` multiplexing header and ends with the CRC32 trailer).
+//!
+//! # Multi-tenancy
+//!
+//! The server is tenant-aware: v3 request frames carry a `tenant_id`
+//! (v2 frames resolve to [`TenantId::DEFAULT`] unless the
+//! [`TenantPolicy`] requires explicit ids), and dispatch to the worker
+//! pool goes through a per-tenant deficit-weighted round-robin scheduler
+//! instead of a FIFO — a backlogged tenant cannot starve others past its
+//! weight share. Admission control runs at decode time: a tenant over
+//! its in-flight bound or byte quota gets a typed, retryable
+//! `tenant-throttled` error reply instead of a queue slot, and
+//! per-tenant quota buckets are charged where pacing already happens —
+//! at encode, when response bytes reach the wire.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -35,8 +48,10 @@ use crossbeam::channel;
 use netsim::{TokenBucket, TrafficMeter};
 use parking_lot::RwLock;
 use pipeline::{PipelineSpec, SplitPoint, StageData};
+use tenant::{ByteBudget, DwrrScheduler, TenantId, TenantPolicy, TenantStats};
 
 use crate::chaos::{FaultDirective, FaultKind, ServerFaultInjector};
+use crate::client::{server_error, TENANT_THROTTLED_PREFIX};
 use crate::protocol::{FetchRequest, FetchResponse, Request, Response};
 use crate::wire::{self, WireError};
 use crate::{chaos, ClientError, Deadline, NearStorageExecutor, ObjectStore, ServerConfig};
@@ -128,6 +143,7 @@ pub fn read_frame_into<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> io::Result<
 struct Job {
     conn: u64,
     request_id: u32,
+    tenant: TenantId,
     request: Request,
     session: Arc<RwLock<Option<NearStorageExecutor>>>,
 }
@@ -137,6 +153,7 @@ struct Job {
 struct Reply {
     conn: u64,
     request_id: u32,
+    tenant: TenantId,
     response: Response,
     fault: Option<FaultDirective>,
 }
@@ -230,6 +247,7 @@ impl FrameReader {
 /// so queued memory stays O(connections x sample), not O(in-flight x
 /// sample), and the encode-buffer pool covers every write.
 struct OutFrame {
+    tenant: TenantId,
     body: OutBody,
     not_before: Instant,
 }
@@ -255,12 +273,97 @@ struct Conn {
 /// Upper bound on pooled response-encode buffers the event loop retains.
 const SPARE_BUFFER_POOL: usize = 64;
 
+/// Admission rejects a quota-metered tenant whose byte debt projects past
+/// this horizon. Debts inside the horizon still queue (the quota bucket
+/// paces their frames at encode), so short bursts ride out at the wire;
+/// past it the tenant gets an immediate retryable throttle error instead
+/// of holding a queue slot for a frame that cannot send for a while.
+const QUOTA_REJECT_HORIZON_SECS: f64 = 0.1;
+
+/// Per-tenant admission state: the policy, live in-flight counts, and
+/// quota buckets. Grouped in one struct so admission can run while the
+/// event loop holds a connection borrow (field-disjoint from `conns`).
+struct Admission {
+    policy: TenantPolicy,
+    /// Live per-tenant request counts, across every connection.
+    in_flight: BTreeMap<u16, usize>,
+    /// Quota buckets, created lazily for metered tenants.
+    quotas: BTreeMap<u16, ByteBudget>,
+    /// Epoch converting wall clock to the buckets' `f64` seconds.
+    started: Instant,
+}
+
+impl Admission {
+    fn new(policy: TenantPolicy) -> Admission {
+        Admission {
+            policy,
+            in_flight: BTreeMap::new(),
+            quotas: BTreeMap::new(),
+            started: Instant::now(),
+        }
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Admission check for one decoded request: `None` admits,
+    /// `Some(message)` rejects with a marker-prefixed reason the client
+    /// surfaces as [`ClientError::TenantThrottled`].
+    fn check(&mut self, tenant: TenantId) -> Option<String> {
+        let spec = *self.policy.spec(tenant);
+        let live = self.in_flight.get(&tenant.0).copied().unwrap_or(0);
+        if live >= spec.max_in_flight {
+            return Some(format!(
+                "{TENANT_THROTTLED_PREFIX}{tenant} at its in-flight bound ({})",
+                spec.max_in_flight
+            ));
+        }
+        if let Some(rate) = spec.quota_bytes_per_sec {
+            let now = self.now_secs();
+            let budget = self
+                .quotas
+                .entry(tenant.0)
+                .or_insert_with(|| ByteBudget::new(rate, spec.burst_bytes.max(1)));
+            let debt = budget.debt(now);
+            if debt > QUOTA_REJECT_HORIZON_SECS {
+                return Some(format!(
+                    "{TENANT_THROTTLED_PREFIX}{tenant} over its byte quota; clears in {:.0} ms",
+                    debt * 1e3
+                ));
+            }
+        }
+        None
+    }
+
+    fn admitted(&mut self, tenant: TenantId) {
+        *self.in_flight.entry(tenant.0).or_insert(0) += 1;
+    }
+
+    fn completed(&mut self, tenant: TenantId) {
+        if let Some(n) = self.in_flight.get_mut(&tenant.0) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Charges a response's bytes to the tenant's quota bucket, returning
+    /// the pacing delay (zero for unmetered tenants).
+    fn charge(&mut self, tenant: TenantId, bytes: u64) -> Duration {
+        let now = self.now_secs();
+        match self.quotas.get_mut(&tenant.0) {
+            Some(b) => Duration::from_secs_f64(b.charge(bytes, now)),
+            None => Duration::ZERO,
+        }
+    }
+}
+
 /// A storage server listening on a real TCP socket.
 #[derive(Debug)]
 pub struct TcpStorageServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     meter: TrafficMeter,
+    stats: Arc<RwLock<BTreeMap<u16, TenantStats>>>,
     event_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -294,6 +397,28 @@ impl TcpStorageServer {
         addr: &str,
         injector: Option<Arc<ServerFaultInjector>>,
     ) -> io::Result<Self> {
+        Self::bind_with_policy(store, config, TenantPolicy::default(), addr, injector)
+    }
+
+    /// Like [`TcpStorageServer::bind_with_injector`], but serving under a
+    /// [`TenantPolicy`]: requests are attributed to the tenant id in
+    /// their (v3) frame, dispatched in deficit-weighted round-robin order
+    /// across tenants, paced against per-tenant byte quotas, and rejected
+    /// with a retryable throttle error past a tenant's in-flight bound or
+    /// quota debt. The default policy reproduces the pre-tenancy
+    /// behaviour exactly (one implicit tenant, unmetered, weight 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; a zero-core or zero-in-flight config
+    /// surfaces as `InvalidInput`.
+    pub fn bind_with_policy(
+        store: ObjectStore,
+        config: ServerConfig,
+        policy: TenantPolicy,
+        addr: &str,
+        injector: Option<Arc<ServerFaultInjector>>,
+    ) -> io::Result<Self> {
         if config.cores == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -311,6 +436,7 @@ impl TcpStorageServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let meter = TrafficMeter::new();
+        let stats: Arc<RwLock<BTreeMap<u16, TenantStats>>> = Arc::new(RwLock::new(BTreeMap::new()));
 
         let (work_tx, work_rx) = channel::unbounded::<Job>();
         let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
@@ -326,6 +452,7 @@ impl TcpStorageServer {
 
         let loop_stop = Arc::clone(&stop);
         let loop_meter = meter.clone();
+        let loop_stats = Arc::clone(&stats);
         let event_thread = std::thread::spawn(move || {
             let mut el = EventLoop {
                 listener,
@@ -342,11 +469,29 @@ impl TcpStorageServer {
                 max_in_flight: config.max_in_flight,
                 idle_sleep: config.read_poll.min(Duration::from_millis(1)),
                 spare: Vec::new(),
+                admission: Admission::new(policy),
+                // Count-fair DWRR: requests cost 1 unit each (responses
+                // are roughly sample-sized; byte fairness is enforced by
+                // the per-tenant quota buckets at encode).
+                sched: DwrrScheduler::new(1),
+                dispatched: 0,
+                // Small enough that the scheduler — not the FIFO worker
+                // channel — decides inter-tenant order under backlog,
+                // large enough to keep every core fed.
+                dispatch_cap: config.cores.saturating_mul(2).max(2),
+                stats: loop_stats,
             };
             el.run();
         });
 
-        Ok(TcpStorageServer { addr: local, stop, meter, event_thread: Some(event_thread), workers })
+        Ok(TcpStorageServer {
+            addr: local,
+            stop,
+            meter,
+            stats,
+            event_thread: Some(event_thread),
+            workers,
+        })
     }
 
     /// The bound address (with the resolved ephemeral port).
@@ -363,6 +508,14 @@ impl TcpStorageServer {
     /// server is consumed by `shutdown`).
     pub fn meter(&self) -> TrafficMeter {
         self.meter.clone()
+    }
+
+    /// A snapshot of per-tenant serving counters, keyed by tenant id.
+    /// Tenants appear once their first request is decoded; `completed`
+    /// counts responses handed back by the workers (including per-sample
+    /// errors), `bytes_sent` counts frame payloads that reached the wire.
+    pub fn tenant_stats(&self) -> BTreeMap<u16, TenantStats> {
+        self.stats.read().clone()
     }
 
     /// Stops accepting, drains workers, and joins all threads.
@@ -399,6 +552,17 @@ struct EventLoop {
     idle_sleep: Duration,
     /// Recycled response-encode buffers (capped at [`SPARE_BUFFER_POOL`]).
     spare: Vec<Vec<u8>>,
+    /// Tenant policy plus live admission state (in-flight, quotas).
+    admission: Admission,
+    /// Admitted-but-undispatched jobs, drained in DWRR order.
+    sched: DwrrScheduler<Job>,
+    /// Jobs currently inside the worker pool (sent, reply not drained).
+    dispatched: usize,
+    /// Cap on `dispatched`: excess jobs wait in the scheduler, where
+    /// inter-tenant order is still decided by weights.
+    dispatch_cap: usize,
+    /// Per-tenant counters shared with the server handle.
+    stats: Arc<RwLock<BTreeMap<u16, TenantStats>>>,
 }
 
 impl EventLoop {
@@ -407,11 +571,13 @@ impl EventLoop {
             let mut progressed = false;
             progressed |= self.accept_new();
             progressed |= self.drain_replies();
+            progressed |= self.dispatch_jobs();
             let ids: Vec<u64> = self.conns.keys().copied().collect();
             for id in ids {
                 progressed |= self.flush_writes(id);
                 progressed |= self.read_requests(id);
             }
+            progressed |= self.dispatch_jobs();
             self.reap();
             if !progressed {
                 std::thread::sleep(self.idle_sleep);
@@ -462,6 +628,12 @@ impl EventLoop {
         let mut progressed = false;
         while let Ok(reply) = self.reply_rx.try_recv() {
             progressed = true;
+            // Tenant accounting happens whether or not the connection is
+            // still alive — the worker slot and in-flight credit are
+            // released either way.
+            self.dispatched = self.dispatched.saturating_sub(1);
+            self.admission.completed(reply.tenant);
+            self.stats.write().entry(reply.tenant.0).or_default().completed += 1;
             let Some(conn) = self.conns.get_mut(&reply.conn) else {
                 continue; // connection died while the job was in flight
             };
@@ -475,6 +647,7 @@ impl EventLoop {
                 _ => {}
             }
             conn.outq.push_back(OutFrame {
+                tenant: reply.tenant,
                 body: OutBody::Pending {
                     request_id: reply.request_id,
                     response: reply.response,
@@ -482,6 +655,25 @@ impl EventLoop {
                 },
                 not_before: Instant::now() + delay,
             });
+        }
+        progressed
+    }
+
+    /// Moves admitted jobs from the scheduler into the worker pool, in
+    /// DWRR order, keeping at most `dispatch_cap` jobs inside the pool's
+    /// FIFO channel at once — so under backlog it is the weighted
+    /// scheduler, not arrival order, that decides which tenant runs next.
+    fn dispatch_jobs(&mut self) -> bool {
+        let mut progressed = false;
+        while self.dispatched < self.dispatch_cap {
+            let Some((_, job)) = self.sched.pop() else { break };
+            self.dispatched += 1;
+            progressed = true;
+            if self.work_tx.send(job).is_err() {
+                // Worker pool gone: the loop is shutting down.
+                self.stop.store(true, Ordering::SeqCst);
+                break;
+            }
         }
         progressed
     }
@@ -510,9 +702,13 @@ impl EventLoop {
                     }
                     _ => {}
                 }
-                // The shared-bandwidth charge lands when bytes reach the
-                // wire, not when the worker finished computing.
-                let delay = self.bucket.delay_for(payload.len());
+                // The shared-bandwidth and per-tenant quota charges land
+                // when bytes reach the wire, not when the worker finished
+                // computing; the frame is held to the later release time.
+                let delay = self
+                    .bucket
+                    .delay_for(payload.len())
+                    .max(self.admission.charge(frame.tenant, payload.len() as u64));
                 frame.body = OutBody::Encoded {
                     header: (payload.len() as u32).to_le_bytes(),
                     payload,
@@ -543,8 +739,10 @@ impl EventLoop {
                     progressed = true;
                     *written += n;
                     if *written == total {
-                        self.meter.record(payload.len() as u64);
+                        let sent = payload.len() as u64;
+                        self.meter.record(sent);
                         let done = conn.outq.pop_front().expect("front frame exists");
+                        self.stats.write().entry(done.tenant.0).or_default().bytes_sent += sent;
                         if self.spare.len() < SPARE_BUFFER_POOL {
                             if let OutBody::Encoded { mut payload, .. } = done.body {
                                 payload.clear();
@@ -578,22 +776,44 @@ impl EventLoop {
             match conn.reader.poll(&mut conn.stream) {
                 ReadStatus::Frame => {
                     progressed = true;
-                    match wire::decode_request_framed(conn.reader.frame()) {
-                        Ok((_, Request::Shutdown)) => {
+                    let require = self.admission.policy.require_tenant_id;
+                    match wire::decode_request_tenant(conn.reader.frame(), require) {
+                        Ok((_, _, Request::Shutdown)) => {
                             self.stop.store(true, Ordering::SeqCst);
                             conn.reader.reset();
                             return true;
                         }
-                        Ok((request_id, request)) => {
-                            conn.in_flight += 1;
-                            let job = Job {
-                                conn: id,
-                                request_id,
-                                request,
-                                session: Arc::clone(&conn.session),
-                            };
-                            if self.work_tx.send(job).is_err() {
-                                conn.dead = true;
+                        Ok((request_id, tenant_raw, request)) => {
+                            let tenant = TenantId(tenant_raw);
+                            if let Some(message) = self.admission.check(tenant) {
+                                // Over quota or in-flight bound: reject
+                                // instead of queueing. The reply carries
+                                // the throttle marker so the client sees
+                                // a typed, retryable error.
+                                self.stats.write().entry(tenant.0).or_default().throttled += 1;
+                                conn.outq.push_back(OutFrame {
+                                    tenant,
+                                    body: OutBody::Pending {
+                                        request_id,
+                                        response: Response::Error { sample_id: None, message },
+                                        fault: None,
+                                    },
+                                    not_before: Instant::now(),
+                                });
+                            } else {
+                                conn.in_flight += 1;
+                                self.admission.admitted(tenant);
+                                self.stats.write().entry(tenant.0).or_default().admitted += 1;
+                                let weight = self.admission.policy.spec(tenant).weight;
+                                self.sched.set_weight(tenant, weight);
+                                let job = Job {
+                                    conn: id,
+                                    request_id,
+                                    tenant,
+                                    request,
+                                    session: Arc::clone(&conn.session),
+                                };
+                                self.sched.push(tenant, 1, job);
                             }
                         }
                         Err(e) => {
@@ -606,6 +826,7 @@ impl EventLoop {
                                 message: format!("bad request: {e}"),
                             };
                             conn.outq.push_back(OutFrame {
+                                tenant: TenantId::DEFAULT,
                                 body: OutBody::Pending { request_id, response, fault: None },
                                 not_before: Instant::now(),
                             });
@@ -678,7 +899,13 @@ fn worker_loop(
             }
             Request::Shutdown => continue, // handled at the connection layer
         };
-        let reply = Reply { conn: job.conn, request_id: job.request_id, response, fault };
+        let reply = Reply {
+            conn: job.conn,
+            request_id: job.request_id,
+            tenant: job.tenant,
+            response,
+            fault,
+        };
         if reply_tx.send(reply).is_err() {
             return;
         }
@@ -729,6 +956,10 @@ impl FrameState {
 pub struct TcpStorageClient {
     stream: TcpStream,
     deadline: Deadline,
+    /// Tenant identity stamped on every request frame. `None` sends
+    /// legacy v2 (tenant-less) frames, which a tenant-aware server
+    /// attributes to [`TenantId::DEFAULT`].
+    tenant: Option<u16>,
     /// Monotonic multiplexing id; 0 is reserved for server-side replies to
     /// frames whose id could not be recovered.
     next_id: u32,
@@ -759,6 +990,7 @@ impl TcpStorageClient {
         Ok(TcpStorageClient {
             stream,
             deadline: Deadline::NONE,
+            tenant: None,
             next_id: 1,
             frame: FrameState::default(),
             send_buf: Vec::new(),
@@ -786,6 +1018,24 @@ impl TcpStorageClient {
         self.deadline
     }
 
+    /// Sets the tenant identity stamped on every subsequent request
+    /// frame (switches the connection to wire v3 framing).
+    pub fn set_tenant(&mut self, tenant: u16) {
+        self.tenant = Some(tenant);
+    }
+
+    /// Builder form of [`TcpStorageClient::set_tenant`].
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u16) -> TcpStorageClient {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// The tenant identity, when one is set.
+    pub fn tenant(&self) -> Option<u16> {
+        self.tenant
+    }
+
     fn alloc_id(&mut self) -> u32 {
         let id = self.next_id;
         // Skip the reserved id 0 on wrap.
@@ -794,7 +1044,10 @@ impl TcpStorageClient {
     }
 
     fn send_framed(&mut self, request_id: u32, req: &Request) -> Result<(), ClientError> {
-        wire::encode_request_into(request_id, req, &mut self.send_buf);
+        match self.tenant {
+            Some(t) => wire::encode_request_tenant_into(request_id, t, req, &mut self.send_buf),
+            None => wire::encode_request_into(request_id, req, &mut self.send_buf),
+        }
         write_frame_vectored(&mut self.stream, &self.send_buf)
             .map_err(|_| ClientError::Disconnected)
     }
@@ -827,7 +1080,15 @@ impl TcpStorageClient {
         let mut batch: Vec<u8> = Vec::new();
         for req in requests {
             let id = self.alloc_id();
-            wire::encode_request_into(id, &Request::Fetch(*req), &mut self.send_buf);
+            match self.tenant {
+                Some(t) => wire::encode_request_tenant_into(
+                    id,
+                    t,
+                    &Request::Fetch(*req),
+                    &mut self.send_buf,
+                ),
+                None => wire::encode_request_into(id, &Request::Fetch(*req), &mut self.send_buf),
+            }
             batch.extend_from_slice(&(self.send_buf.len() as u32).to_le_bytes());
             batch.extend_from_slice(&self.send_buf);
             ids.push(id);
@@ -924,9 +1185,7 @@ impl TcpStorageClient {
     pub fn await_response(&mut self, id: u32) -> Result<FetchResponse, ClientError> {
         match self.await_any(id)? {
             Response::Data(d) => Ok(d),
-            Response::Error { sample_id, message } => {
-                Err(ClientError::Server { sample_id, message })
-            }
+            Response::Error { sample_id, message } => Err(server_error(sample_id, message)),
             Response::Configured => Err(ClientError::UnexpectedResponse),
         }
     }
@@ -984,9 +1243,7 @@ impl TcpStorageClient {
         self.outstanding.insert(id, self.deadline.expiry_from_now());
         match self.await_any(id)? {
             Response::Configured => Ok(()),
-            Response::Error { sample_id, message } => {
-                Err(ClientError::Server { sample_id, message })
-            }
+            Response::Error { sample_id, message } => Err(server_error(sample_id, message)),
             Response::Data(_) => Err(ClientError::UnexpectedResponse),
         }
     }
@@ -1077,6 +1334,7 @@ impl FrameState {
 mod tests {
     use super::*;
     use netsim::Bandwidth;
+    use tenant::TenantSpec;
 
     fn spawn_server(n: u64, cores: usize) -> (TcpStorageServer, datasets::DatasetSpec) {
         let ds = datasets::DatasetSpec::mini(n, 61);
@@ -1323,6 +1581,156 @@ mod tests {
         let err = client.fetch_many_requests(&reqs).unwrap_err();
         assert!(matches!(err, ClientError::Corrupted), "{err:?}");
         assert_eq!(client.fetch_many_requests(&reqs).unwrap().len(), 1);
+        server.shutdown();
+    }
+
+    fn policy_server(
+        n: u64,
+        cores: usize,
+        policy: TenantPolicy,
+    ) -> (TcpStorageServer, datasets::DatasetSpec) {
+        let ds = datasets::DatasetSpec::mini(n, 61);
+        let store = ObjectStore::materialize_dataset(&ds, 0..n);
+        let server = TcpStorageServer::bind_with_policy(
+            store,
+            ServerConfig {
+                cores,
+                bandwidth: Bandwidth::from_gbps(10.0),
+                queue_depth: 32,
+                ..ServerConfig::default()
+            },
+            policy,
+            "127.0.0.1:0",
+            None,
+        )
+        .unwrap();
+        (server, ds)
+    }
+
+    #[test]
+    fn tenant_fetches_are_served_and_attributed() {
+        let policy =
+            TenantPolicy::default().with_tenant(TenantId(7), TenantSpec::default().with_weight(2));
+        let (server, ds) = policy_server(3, 2, policy);
+        let mut tagged = TcpStorageClient::connect(server.local_addr()).unwrap().with_tenant(7);
+        let mut legacy = TcpStorageClient::connect(server.local_addr()).unwrap();
+        tagged.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        legacy.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        for s in 0..3u64 {
+            assert_eq!(tagged.fetch(s, 0, SplitPoint::new(2)).unwrap().byte_len(), 150_528);
+        }
+        legacy.fetch(0, 0, SplitPoint::new(2)).unwrap();
+        let stats = server.tenant_stats();
+        // Configure + 3 fetches under tenant 7; the v2 client lands on
+        // the default tenant 0.
+        let t7 = stats[&7];
+        assert_eq!(t7.admitted, 4);
+        assert_eq!(t7.completed, 4);
+        assert_eq!(t7.throttled, 0);
+        assert!(t7.bytes_sent > 3 * 150_528, "{t7:?}");
+        assert_eq!(stats[&0].admitted, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_tenant_in_flight_bound_rejects_and_retry_succeeds() {
+        // Tenant 5 may hold one request in flight. A pipelined batch of 8
+        // reaches the event loop in one kernel buffer, so the loop decodes
+        // all of them while the single worker is still on the first — the
+        // excess must come back as typed, retryable throttle errors, not
+        // queue (the old FIFO behaviour) and not generic failures.
+        let policy = TenantPolicy::default()
+            .with_tenant(TenantId(5), TenantSpec::default().with_max_in_flight(1));
+        let (server, ds) = policy_server(2, 1, policy);
+        let mut client = TcpStorageClient::connect(server.local_addr()).unwrap().with_tenant(5);
+        client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        let reqs: Vec<_> =
+            (0..8u64).map(|i| FetchRequest::new(i % 2, i / 2, SplitPoint::new(2))).collect();
+        let ids = client.submit_all(&reqs).unwrap();
+        let mut ok = 0usize;
+        let mut throttled = Vec::new();
+        for (id, req) in ids.into_iter().zip(&reqs) {
+            match client.await_response(id) {
+                Ok(_) => ok += 1,
+                Err(ClientError::TenantThrottled { message }) => {
+                    assert!(message.contains("in-flight bound"), "{message}");
+                    throttled.push(*req);
+                }
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
+        assert!(ok >= 1, "at least the first request is admitted");
+        assert!(!throttled.is_empty(), "excess past the bound is rejected");
+        // Rejected requests were never queued; sequential retries all win.
+        for req in throttled {
+            client.fetch_request(req).unwrap();
+        }
+        let stats = server.tenant_stats();
+        assert!(stats[&5].throttled >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn quota_throttles_the_hog_but_not_the_victim() {
+        // Tenant 1 is metered at 128 KB/s with a 32 KB burst, so each
+        // ~150 KB tensor response puts its bucket ~0.9 s into debt when
+        // the charge lands at encode. Pacing drains that debt exactly as
+        // the frame releases — so a request arriving *while* the paced
+        // queue is draining sees the outstanding debt and is rejected at
+        // admission, while the pipelined pair itself still completes.
+        // Tenant 2 is unmetered and fetches at full speed throughout.
+        let policy = TenantPolicy::default()
+            .with_tenant(TenantId(1), TenantSpec::default().with_quota(128_000.0, 32_000));
+        let (server, ds) = policy_server(2, 2, policy);
+        let addr = server.local_addr();
+        let mut hog = TcpStorageClient::connect(addr).unwrap().with_tenant(1);
+        let mut victim = TcpStorageClient::connect(addr).unwrap().with_tenant(2);
+        hog.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        victim.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+
+        let burst: Vec<_> =
+            (0..2u64).map(|i| FetchRequest::new(i, 0, SplitPoint::new(2))).collect();
+        let ids = hog.submit_all(&burst).unwrap();
+        // Wait (by polling server stats) until the first paced response
+        // has fully hit the wire: in that same event-loop pass the second
+        // frame's charge lands, so the bucket sits ~1.2 s in debt for the
+        // whole time frame two paces out — the probe below lands squarely
+        // mid-drain however slow the workers are.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.tenant_stats().get(&1).map_or(0, |s| s.bytes_sent) < 150_528 {
+            assert!(Instant::now() < deadline, "first hog response never drained");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let err = hog.fetch(1, 1, SplitPoint::new(2)).unwrap_err();
+        assert!(
+            matches!(err, ClientError::TenantThrottled { ref message } if message.contains("byte quota")),
+            "{err:?}"
+        );
+
+        let reqs: Vec<_> = (0..6u64).map(|i| (i % 2, i / 2, SplitPoint::new(2))).collect();
+        assert_eq!(victim.fetch_many(&reqs).unwrap().len(), 6);
+        // The hog's admitted pair still arrives — paced, never dropped.
+        for id in ids {
+            hog.await_response(id).unwrap();
+        }
+
+        let stats = server.tenant_stats();
+        assert!(stats[&1].throttled >= 1, "{stats:?}");
+        assert_eq!(stats[&2].throttled, 0, "{stats:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn required_tenant_id_rejects_legacy_frames() {
+        let policy = TenantPolicy { require_tenant_id: true, ..TenantPolicy::default() };
+        let (server, ds) = policy_server(1, 1, policy);
+        let mut legacy = TcpStorageClient::connect(server.local_addr()).unwrap();
+        let err = legacy.configure(ds.seed, PipelineSpec::standard_train()).unwrap_err();
+        assert!(err.to_string().contains("no tenant id"), "{err}");
+        // The same connection succeeds once it identifies itself.
+        let mut tagged = TcpStorageClient::connect(server.local_addr()).unwrap().with_tenant(9);
+        tagged.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        tagged.fetch(0, 0, SplitPoint::NONE).unwrap();
         server.shutdown();
     }
 }

@@ -22,10 +22,20 @@
 //! corruption. Version-1 frames (no header) decode to
 //! [`WireError::Version`], never to a wrong-but-valid message.
 //!
+//! Wire format **version 3** ([`WIRE_VERSION_TENANT`]) extends the request
+//! header with a `tenant_id: u16` so a multi-tenant server can attribute,
+//! schedule, and meter every request. The field sits under the CRC like the
+//! request id. Version negotiation is per-frame: [`decode_request_tenant`]
+//! accepts v3 frames *and* v2 frames (attributing the latter to tenant 0),
+//! unless the caller requires an explicit tenant id, in which case a v2
+//! frame is the typed rejection [`WireError::TenantMissing`]. Responses
+//! stay v2 — the server already knows whom it is answering.
+//!
 //! Layout summary (all integers little-endian):
 //!
 //! ```text
 //! Message   := ver:u8 request_id:u32 body crc32:u32   (crc32 over ver..body)
+//! RequestV3 := ver:u8 request_id:u32 tenant_id:u16 body crc32:u32
 //! Request   := 0x01 SessionConfig | 0x02 FetchRequest | 0x03
 //! Response  := 0x11 | 0x12 FetchResponse | 0x13 Error
 //! OpKind    := tag:u8 [size:u32]           (sized ops carry their parameter)
@@ -61,6 +71,9 @@ pub enum WireError {
     ChecksumMismatch,
     /// The frame opens with an unsupported wire-format version.
     Version(u8),
+    /// A tenant-less (v2) frame reached an endpoint that requires an
+    /// explicit tenant id.
+    TenantMissing,
 }
 
 impl std::fmt::Display for WireError {
@@ -73,6 +86,9 @@ impl std::fmt::Display for WireError {
             WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
             WireError::Version(v) => {
                 write!(f, "unsupported wire version {v} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::TenantMissing => {
+                write!(f, "frame carries no tenant id but this endpoint requires one")
             }
         }
     }
@@ -92,6 +108,12 @@ pub const MAX_PAYLOAD: u32 = 64 << 20;
 /// a stray v1 frame always fails the version gate as foreign instead of
 /// accidentally parsing as a v2 header.
 pub const WIRE_VERSION: u8 = 0xA2;
+
+/// Wire-format version 3: the request header grows a `tenant_id: u16`
+/// between the request id and the body, CRC-covered like everything else.
+/// Same high-nibble magic as [`WIRE_VERSION`]; the low nibble is the
+/// version number. Only requests use this version — responses remain v2.
+pub const WIRE_VERSION_TENANT: u8 = 0xA3;
 
 /// Slice-by-16 lookup tables for the IEEE CRC32 polynomial (reflected
 /// form 0xEDB88320), built at compile time. `CRC_TABLES[0]` is the
@@ -169,9 +191,11 @@ fn seal_in_place(out: &mut Vec<u8>) {
 /// Best-effort read of a frame's `request_id` without decoding (or
 /// checksum-verifying) the rest — used by servers to echo an id on error
 /// replies for frames whose body failed to parse. Returns `None` for
-/// frames too short to carry the header or of a foreign version.
+/// frames too short to carry the header or of a foreign version. Both
+/// known versions carry the id at the same offset, so the peek works on
+/// v2 and v3 frames alike.
 pub fn peek_request_id(data: &[u8]) -> Option<u32> {
-    if data.len() < 5 || data[0] != WIRE_VERSION {
+    if data.len() < 5 || (data[0] != WIRE_VERSION && data[0] != WIRE_VERSION_TENANT) {
         return None;
     }
     data.get(1..5).and_then(|s| s.try_into().ok()).map(u32::from_le_bytes)
@@ -204,6 +228,12 @@ impl<'a> Reader<'a> {
         let b = *self.data.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
         Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let s = self.data.get(self.pos..self.pos + 2).ok_or(WireError::Truncated)?;
+        self.pos += 2;
+        Ok(u16::from_le_bytes(s.try_into().map_err(|_| WireError::Truncated)?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
@@ -367,11 +397,7 @@ fn decode_stage_data(r: &mut Reader<'_>) -> Result<StageData, WireError> {
 // Requests
 // ---------------------------------------------------------------------------
 
-/// Serializes a [`Request`] under `request_id` into a caller-provided
-/// buffer (cleared first). The hot-path form: a reused buffer makes
-/// steady-state encoding allocation-free.
-pub fn encode_request_into(request_id: u32, req: &Request, out: &mut Vec<u8>) {
-    begin_frame(request_id, out);
+fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
     match req {
         Request::Configure(cfg) => {
             out.push(0x01);
@@ -390,7 +416,69 @@ pub fn encode_request_into(request_id: u32, req: &Request, out: &mut Vec<u8>) {
         }
         Request::Shutdown => out.push(0x03),
     }
+}
+
+fn decode_request_body(r: &mut Reader<'_>) -> Result<Request, WireError> {
+    Ok(match r.u8()? {
+        0x01 => {
+            let dataset_seed = r.u64()?;
+            let n = r.u8()? as usize;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(decode_op(r)?);
+            }
+            let pipeline =
+                PipelineSpec::new(ops).map_err(|_| WireError::Invalid("ill-typed pipeline"))?;
+            Request::Configure(SessionConfig { dataset_seed, pipeline })
+        }
+        0x02 => {
+            let sample_id = r.u64()?;
+            let epoch = r.u64()?;
+            let split = SplitPoint::new(r.u8()? as usize);
+            let reencode_quality = match r.u8()? {
+                0 => None,
+                q if (1..=100).contains(&q) => Some(q),
+                _ => return Err(WireError::Invalid("reencode quality")),
+            };
+            Request::Fetch(FetchRequest { sample_id, epoch, split, reencode_quality })
+        }
+        0x03 => Request::Shutdown,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+/// Serializes a [`Request`] under `request_id` into a caller-provided
+/// buffer (cleared first). The hot-path form: a reused buffer makes
+/// steady-state encoding allocation-free.
+pub fn encode_request_into(request_id: u32, req: &Request, out: &mut Vec<u8>) {
+    begin_frame(request_id, out);
+    encode_request_body(req, out);
     seal_in_place(out);
+}
+
+/// Serializes a [`Request`] as a v3 frame carrying `tenant_id` into a
+/// caller-provided buffer (cleared first); the tenant-aware analogue of
+/// [`encode_request_into`], equally allocation-free at steady state.
+pub fn encode_request_tenant_into(
+    request_id: u32,
+    tenant_id: u16,
+    req: &Request,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.push(WIRE_VERSION_TENANT);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&tenant_id.to_le_bytes());
+    encode_request_body(req, out);
+    seal_in_place(out);
+}
+
+/// Serializes a [`Request`] as a v3 frame carrying `tenant_id` into
+/// fresh bytes.
+pub fn encode_request_tenant_framed(request_id: u32, tenant_id: u16, req: &Request) -> Bytes {
+    let mut out = Vec::new();
+    encode_request_tenant_into(request_id, tenant_id, req, &mut out);
+    Bytes::from(out)
 }
 
 /// Serializes a [`Request`] under `request_id` into fresh bytes.
@@ -418,34 +506,47 @@ pub fn decode_request_framed(data: &[u8]) -> Result<(u32, Request), WireError> {
         return Err(WireError::Version(version));
     }
     let request_id = r.u32()?;
-    let req = match r.u8()? {
-        0x01 => {
-            let dataset_seed = r.u64()?;
-            let n = r.u8()? as usize;
-            let mut ops = Vec::with_capacity(n);
-            for _ in 0..n {
-                ops.push(decode_op(&mut r)?);
-            }
-            let pipeline =
-                PipelineSpec::new(ops).map_err(|_| WireError::Invalid("ill-typed pipeline"))?;
-            Request::Configure(SessionConfig { dataset_seed, pipeline })
-        }
-        0x02 => {
-            let sample_id = r.u64()?;
-            let epoch = r.u64()?;
-            let split = SplitPoint::new(r.u8()? as usize);
-            let reencode_quality = match r.u8()? {
-                0 => None,
-                q if (1..=100).contains(&q) => Some(q),
-                _ => return Err(WireError::Invalid("reencode quality")),
-            };
-            Request::Fetch(FetchRequest { sample_id, epoch, split, reencode_quality })
-        }
-        0x03 => Request::Shutdown,
-        t => return Err(WireError::BadTag(t)),
-    };
+    let req = decode_request_body(&mut r)?;
     r.finish()?;
     Ok((request_id, req))
+}
+
+/// Deserializes a [`Request`] together with its multiplexing id and
+/// tenant id, negotiating the version per frame: v3 frames yield their
+/// explicit tenant, v2 frames are attributed to tenant 0 — unless
+/// `require_tenant` is set, in which case a v2 frame is rejected as
+/// [`WireError::TenantMissing`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for any malformed input, including trailing
+/// bytes, checksum mismatches, foreign wire versions, and (when
+/// required) missing tenant ids.
+pub fn decode_request_tenant(
+    data: &[u8],
+    require_tenant: bool,
+) -> Result<(u32, u16, Request), WireError> {
+    let mut r = Reader::new(verify_checksum(data)?);
+    let version = r.u8()?;
+    let request_id;
+    let tenant_id;
+    match version {
+        WIRE_VERSION_TENANT => {
+            request_id = r.u32()?;
+            tenant_id = r.u16()?;
+        }
+        WIRE_VERSION => {
+            if require_tenant {
+                return Err(WireError::TenantMissing);
+            }
+            request_id = r.u32()?;
+            tenant_id = 0;
+        }
+        v => return Err(WireError::Version(v)),
+    }
+    let req = decode_request_body(&mut r)?;
+    r.finish()?;
+    Ok((request_id, tenant_id, req))
 }
 
 /// Deserializes a [`Request`], discarding the multiplexing id.
@@ -610,6 +711,63 @@ mod tests {
             assert_eq!(decode_response_framed(&bytes).unwrap(), (id, resp));
             assert_eq!(peek_request_id(&bytes), Some(id));
         }
+    }
+
+    #[test]
+    fn tenant_frames_roundtrip_with_id_and_tenant() {
+        for (id, t) in [(0u32, 0u16), (7, 1), (0xdead_beef, 41), (u32::MAX, u16::MAX)] {
+            let req = Request::Fetch(FetchRequest::new(3, 1, SplitPoint::new(2)));
+            let bytes = encode_request_tenant_framed(id, t, &req);
+            assert_eq!(decode_request_tenant(&bytes, true).unwrap(), (id, t, req.clone()));
+            assert_eq!(decode_request_tenant(&bytes, false).unwrap(), (id, t, req));
+            assert_eq!(peek_request_id(&bytes), Some(id));
+        }
+    }
+
+    #[test]
+    fn v2_frames_negotiate_to_the_default_tenant() {
+        let req = Request::Fetch(FetchRequest::new(3, 1, SplitPoint::NONE));
+        let bytes = encode_request_framed(9, &req);
+        assert_eq!(decode_request_tenant(&bytes, false).unwrap(), (9, 0, req));
+    }
+
+    #[test]
+    fn v2_frames_are_rejected_when_a_tenant_is_required() {
+        let req = Request::Fetch(FetchRequest::new(3, 1, SplitPoint::NONE));
+        let bytes = encode_request_framed(9, &req);
+        assert_eq!(decode_request_tenant(&bytes, true), Err(WireError::TenantMissing));
+    }
+
+    #[test]
+    fn v3_frames_are_foreign_to_the_legacy_request_decoder() {
+        // An old (v2-only) server sees a v3 frame as an unsupported
+        // version, never as a misparsed v2 message.
+        let req = Request::Shutdown;
+        let bytes = encode_request_tenant_framed(1, 5, &req);
+        assert_eq!(decode_request_framed(&bytes), Err(WireError::Version(WIRE_VERSION_TENANT)));
+    }
+
+    #[test]
+    fn tenant_id_is_protected_by_the_checksum() {
+        let req = Request::Fetch(FetchRequest::new(3, 1, SplitPoint::new(2)));
+        let mut bytes = encode_request_tenant_framed(11, 6, &req).to_vec();
+        bytes[5] ^= 0x01; // inside the little-endian tenant id
+        assert_eq!(decode_request_tenant(&bytes, false), Err(WireError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn tenant_encode_into_reuses_the_buffer_without_reallocating() {
+        let req = Request::Fetch(FetchRequest::new(7, 3, SplitPoint::new(2)));
+        let mut buf = Vec::new();
+        encode_request_tenant_into(5, 1, &req, &mut buf);
+        let (ptr, cap) = (buf.as_ptr(), buf.capacity());
+        for id in 0..1000u32 {
+            encode_request_tenant_into(id, (id % 7) as u16, &req, &mut buf);
+            let (got_id, got_tenant, _) = decode_request_tenant(&buf, true).unwrap();
+            assert_eq!((got_id, got_tenant), (id, (id % 7) as u16));
+        }
+        assert_eq!(buf.as_ptr(), ptr, "buffer reallocated on the hot path");
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

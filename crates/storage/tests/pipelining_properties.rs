@@ -8,8 +8,13 @@
 use bytes::Bytes;
 use pipeline::{PipelineSpec, SplitPoint, StageData};
 use proptest::prelude::*;
-use storage::wire::{decode_response_framed, encode_response_framed, peek_request_id, WireError};
-use storage::{FetchRequest, FetchResponse, ObjectStore, Response, ServerConfig, StorageServer};
+use storage::wire::{
+    decode_request_tenant, decode_response_framed, encode_request_framed,
+    encode_request_tenant_framed, encode_response_framed, peek_request_id, WireError,
+};
+use storage::{
+    FetchRequest, FetchResponse, ObjectStore, Request, Response, ServerConfig, StorageServer,
+};
 
 /// Stateless SplitMix64 step (the repo's standard seeded scramble).
 fn splitmix(state: &mut u64) -> u64 {
@@ -88,6 +93,80 @@ proptest! {
         bytes[idx] ^= mask;
         prop_assert_eq!(
             decode_response_framed(&bytes),
+            Err(WireError::ChecksumMismatch),
+            "flip at byte {} slipped past the CRC",
+            idx
+        );
+    }
+
+    /// A pipelined burst of v3 request frames from many tenants, decoded
+    /// in an arbitrary order, hands back exactly the (request id, tenant
+    /// id) pair each frame was sealed with — tenant attribution survives
+    /// any interleaving on the shared stream.
+    #[test]
+    fn shuffled_tenant_frames_keep_their_attribution(
+        n in 2usize..24,
+        shuffle_seed in any::<u64>(),
+        tenant_base in any::<u16>(),
+    ) {
+        let mut frames: Vec<(u32, u16, u64, Bytes)> = (0..n)
+            .map(|i| {
+                let id = (i as u32).wrapping_mul(2_654_435_761).max(1);
+                let tenant = tenant_base.wrapping_add(i as u16);
+                let sample = i as u64;
+                let req = Request::Fetch(FetchRequest::new(sample, 0, SplitPoint::NONE));
+                (id, tenant, sample, encode_request_tenant_framed(id, tenant, &req))
+            })
+            .collect();
+        shuffle(&mut frames, shuffle_seed);
+        for (id, tenant, sample, frame) in &frames {
+            prop_assert_eq!(peek_request_id(frame), Some(*id));
+            let (decoded_id, decoded_tenant, req) = decode_request_tenant(frame, true).unwrap();
+            prop_assert_eq!(decoded_id, *id);
+            prop_assert_eq!(decoded_tenant, *tenant);
+            let Request::Fetch(f) = req else { panic!("fetch frame") };
+            prop_assert_eq!(f.sample_id, *sample);
+        }
+    }
+
+    /// A legacy v2 frame (no tenant field) is a typed `TenantMissing`
+    /// rejection on an endpoint that requires attribution, and tenant 0
+    /// on one that doesn't — never a garbled tenant id.
+    #[test]
+    fn v2_frames_without_tenant_are_rejected_when_required(
+        request_id in any::<u32>(),
+        sample_id in any::<u64>(),
+    ) {
+        let req = Request::Fetch(FetchRequest::new(sample_id, 0, SplitPoint::NONE));
+        let frame = encode_request_framed(request_id, &req);
+        prop_assert_eq!(
+            decode_request_tenant(&frame, true),
+            Err(WireError::TenantMissing)
+        );
+        let (id, tenant, _) = decode_request_tenant(&frame, false).unwrap();
+        prop_assert_eq!(id, request_id);
+        prop_assert_eq!(tenant, 0);
+    }
+
+    /// Flipping any single byte of a v3 tenant frame — version, request
+    /// id, tenant id, body, or the CRC itself — fails the checksum, so a
+    /// corrupted tenant id can never bill or throttle the wrong tenant.
+    #[test]
+    fn single_byte_flips_on_tenant_frames_fail_the_checksum(
+        request_id in any::<u32>(),
+        tenant_id in any::<u16>(),
+        sample_id in any::<u64>(),
+        flip_at in any::<usize>(),
+        flip_mask in any::<u8>(),
+    ) {
+        let req = Request::Fetch(FetchRequest::new(sample_id, 0, SplitPoint::NONE));
+        let frame = encode_request_tenant_framed(request_id, tenant_id, &req);
+        let mut bytes = frame.to_vec();
+        let idx = flip_at % bytes.len();
+        let mask = if flip_mask == 0 { 1 } else { flip_mask };
+        bytes[idx] ^= mask;
+        prop_assert_eq!(
+            decode_request_tenant(&bytes, false),
             Err(WireError::ChecksumMismatch),
             "flip at byte {} slipped past the CRC",
             idx

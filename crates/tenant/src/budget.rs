@@ -1,0 +1,126 @@
+//! A token-bucket byte budget over caller-supplied `f64` seconds.
+//!
+//! `netsim::TokenBucket` paces against wall-clock `Instant`s, which the
+//! TCP server uses for link shaping; quotas additionally need to run
+//! inside the virtual-time cluster simulator, where no `Instant` exists.
+//! This bucket takes `now` as a plain number of seconds, so one
+//! implementation backs both: the server feeds it seconds-since-start,
+//! the simulator feeds it virtual time.
+
+/// A deterministic token bucket metering bytes per second.
+///
+/// The balance may go negative: charging more than the burst is allowed
+/// and simply pushes the next admission further out, exactly like
+/// `netsim::TokenBucket`. [`ByteBudget::debt`] exposes how far in the
+/// future the bucket re-admits, which is what admission control gates
+/// on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByteBudget {
+    bytes_per_sec: f64,
+    burst_bytes: f64,
+    /// Current token balance in bytes (may be negative).
+    balance: f64,
+    /// Virtual time of the last refill.
+    last: f64,
+}
+
+impl ByteBudget {
+    /// A bucket refilling at `bytes_per_sec`, holding at most
+    /// `burst_bytes`, starting full at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rate is not finite and positive or the burst is
+    /// zero.
+    pub fn new(bytes_per_sec: f64, burst_bytes: u64) -> ByteBudget {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "rate must be finite and positive, got {bytes_per_sec}"
+        );
+        assert!(burst_bytes > 0, "burst must be positive");
+        ByteBudget {
+            bytes_per_sec,
+            burst_bytes: burst_bytes as f64,
+            balance: burst_bytes as f64,
+            last: 0.0,
+        }
+    }
+
+    fn refill(&mut self, now: f64) {
+        if now > self.last {
+            self.balance =
+                (self.balance + (now - self.last) * self.bytes_per_sec).min(self.burst_bytes);
+            self.last = now;
+        }
+    }
+
+    /// Charges `bytes` at time `now` and returns the delay in seconds
+    /// until the charged bytes are admitted under the rate (zero when
+    /// the burst covers them).
+    pub fn charge(&mut self, bytes: u64, now: f64) -> f64 {
+        self.refill(now);
+        self.balance -= bytes as f64;
+        if self.balance >= 0.0 {
+            0.0
+        } else {
+            -self.balance / self.bytes_per_sec
+        }
+    }
+
+    /// Seconds until the bucket is back at a non-negative balance as
+    /// seen from `now`, without charging anything. Zero means the next
+    /// request would be admitted immediately.
+    pub fn debt(&self, now: f64) -> f64 {
+        let projected =
+            (self.balance + (now - self.last).max(0.0) * self.bytes_per_sec).min(self.burst_bytes);
+        if projected >= 0.0 {
+            0.0
+        } else {
+            -projected / self.bytes_per_sec
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_free_then_rate_paces() {
+        let mut b = ByteBudget::new(1000.0, 1000);
+        assert_eq!(b.charge(1000, 0.0), 0.0);
+        // Bucket empty: the next 500 bytes take 0.5 s to earn back.
+        assert!((b.charge(500, 0.0) - 0.5).abs() < 1e-9);
+        assert!((b.debt(0.0) - 0.5).abs() < 1e-9);
+        // Debt drains with time and never goes negative.
+        assert!((b.debt(0.25) - 0.25).abs() < 1e-9);
+        assert_eq!(b.debt(10.0), 0.0);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = ByteBudget::new(1000.0, 500);
+        assert_eq!(b.charge(500, 0.0), 0.0);
+        // After a long idle stretch only `burst` is banked.
+        assert_eq!(b.charge(500, 100.0), 0.0);
+        assert!(b.charge(1, 100.0) > 0.0);
+    }
+
+    #[test]
+    fn oversized_charge_goes_negative_and_recovers() {
+        let mut b = ByteBudget::new(100.0, 100);
+        let d = b.charge(1100, 0.0);
+        assert!((d - 10.0).abs() < 1e-9);
+        assert!((b.debt(5.0) - 5.0).abs() < 1e-9);
+        assert_eq!(b.debt(10.0), 0.0);
+    }
+
+    #[test]
+    fn time_never_runs_backwards() {
+        let mut b = ByteBudget::new(100.0, 100);
+        b.charge(100, 5.0);
+        // A stale `now` neither refills nor panics.
+        let d = b.charge(10, 1.0);
+        assert!(d > 0.0);
+    }
+}
