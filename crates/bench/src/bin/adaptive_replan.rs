@@ -1,0 +1,256 @@
+//! Adaptive vs static replanning under mid-epoch chaos.
+//!
+//! Runs the same sharded fleet epoch twice per chaos seed on the paper
+//! testbed: once with the plan frozen at epoch start (**static**), once
+//! with the telemetry feedback loop closed (**adaptive**,
+//! `sophon::ext::feedback`). The chaos schedule — a CPU straggler onset at
+//! ~20% of the epoch and a link squeeze on a different node at ~35% — is a
+//! pure function of the seed, and neither run is told about it: the
+//! adaptive run has to *detect* the drift from stage telemetry, wait out
+//! its cooldown, and replan against the estimated node parameters.
+//!
+//! Reports epoch time, traffic, replan count, and the batch digest for
+//! both runs, plus a determinism check (the adaptive run repeated
+//! end-to-end must reproduce the same replan batches and digest).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin adaptive_replan
+//! cargo run --release -p bench --bin adaptive_replan -- \
+//!     --seeds 11,17,83 --json target/adaptive_replan.json --assert
+//! ```
+//!
+//! `--assert` exits nonzero unless, at every seed: the adaptive epoch
+//! beats the static one by at least [`MIN_GAIN`], the controller actually
+//! replanned, the two runs' batch digests are bit-identical (replanning
+//! changes *where* work runs, never *what* reaches the GPU), and the
+//! repeated adaptive run reproduces the first exactly (the CI smoke gate).
+
+use cluster::{ClusterConfig, GpuModel};
+use datasets::DatasetSpec;
+use fleet::ShardMap;
+use pipeline::{CostModel, PipelineSpec, SampleProfile};
+use sophon::engine::PlanningContext;
+use sophon::ext::feedback::{
+    chaos_straggler_and_squeeze, run_fleet_epoch_adaptive, FeedbackConfig,
+};
+use sophon::ext::sharding::fleet_nodes_sharing_link;
+
+/// The adaptive epoch must beat the static one by at least this fraction.
+const MIN_GAIN: f64 = 0.05;
+
+/// Storage nodes in the fleet.
+const SHARDS: usize = 4;
+
+/// Replicas per sample (gives failover plans somewhere to go).
+const REPLICATION: usize = 2;
+
+/// Training batch size.
+const BATCH: usize = 64;
+
+struct Point {
+    seed: u64,
+    static_seconds: f64,
+    adaptive_seconds: f64,
+    static_traffic: u64,
+    adaptive_traffic: u64,
+    replans: usize,
+    replan_batches: Vec<u64>,
+    digests_match: bool,
+    deterministic: bool,
+}
+
+impl Point {
+    fn gain(&self) -> f64 {
+        1.0 - self.adaptive_seconds / self.static_seconds
+    }
+}
+
+fn run_point(
+    profiles: &[SampleProfile],
+    pipeline: &PipelineSpec,
+    cores: usize,
+    seed: u64,
+) -> Point {
+    let config = ClusterConfig::paper_testbed(cores);
+    let ctx = PlanningContext::new(profiles, pipeline, &config, GpuModel::AlexNet, BATCH);
+    let map = ShardMap::new(SHARDS, REPLICATION, seed);
+    let nodes = fleet_nodes_sharing_link(&config, SHARDS);
+    let batches = (profiles.len() / BATCH) as u64;
+    let chaos = chaos_straggler_and_squeeze(seed, SHARDS, batches);
+    let feedback = FeedbackConfig::default();
+
+    let static_run =
+        run_fleet_epoch_adaptive(&ctx, &map, &nodes, &chaos, None).expect("static run");
+    let adaptive = run_fleet_epoch_adaptive(&ctx, &map, &nodes, &chaos, Some(&feedback))
+        .expect("adaptive run");
+    let repeat =
+        run_fleet_epoch_adaptive(&ctx, &map, &nodes, &chaos, Some(&feedback)).expect("repeat run");
+
+    Point {
+        seed,
+        static_seconds: static_run.epoch_seconds,
+        adaptive_seconds: adaptive.epoch_seconds,
+        static_traffic: static_run.traffic_bytes,
+        adaptive_traffic: adaptive.traffic_bytes,
+        replans: adaptive.replans.len(),
+        replan_batches: adaptive.replans.iter().map(|r| r.batch).collect(),
+        digests_match: adaptive.digest == static_run.digest,
+        deterministic: repeat == adaptive,
+    }
+}
+
+fn render_json(samples: u64, cores: usize, points: &[Point]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"adaptive_replan\",\n");
+    out.push_str(&format!(
+        "  \"samples\": {samples},\n  \"storage_cores\": {cores},\n  \"shards\": {SHARDS},\n  \
+         \"batch\": {BATCH},\n  \"min_gain\": {MIN_GAIN},\n  \"rows\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"seed\": {}, \"static_s\": {:.3}, \"adaptive_s\": {:.3}, \
+             \"gain_pct\": {:.1}, \"static_gb\": {:.3}, \"adaptive_gb\": {:.3}, \
+             \"replans\": {}, \"replan_batches\": {:?}, \"digests_match\": {}, \
+             \"deterministic\": {}}}{}\n",
+            p.seed,
+            p.static_seconds,
+            p.adaptive_seconds,
+            p.gain() * 100.0,
+            p.static_traffic as f64 / 1e9,
+            p.adaptive_traffic as f64 / 1e9,
+            p.replans,
+            p.replan_batches,
+            p.digests_match,
+            p.deterministic,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: Vec<u64> = vec![11, 17, 83];
+    let mut samples = 2048u64;
+    let mut cores = 2usize;
+    let mut json_path: Option<String> = None;
+    let mut assert_gate = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let v = it.next().expect("--seeds needs a comma-separated list");
+                seeds =
+                    v.split(',').map(|s| s.trim().parse().expect("seeds are integers")).collect();
+            }
+            "--samples" => {
+                samples =
+                    it.next().expect("--samples needs a count").parse().expect("sample count");
+            }
+            "--cores" => {
+                cores = it.next().expect("--cores needs a count").parse().expect("core count");
+            }
+            "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
+            "--assert" => assert_gate = true,
+            other => {
+                eprintln!(
+                    "unknown flag '{other}'; flags: --seeds --samples --cores --json --assert"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ds = DatasetSpec::openimages_like(samples, 23);
+    let pipeline = PipelineSpec::standard_train();
+    let model = CostModel::realistic();
+    let profiles: Vec<SampleProfile> =
+        ds.records().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+
+    println!(
+        "adaptive_replan: {samples} samples over {SHARDS} shards ({cores} cores each, shared \
+         500 Mbps link), batch {BATCH}; straggler + link squeeze per seed, unseen by either run"
+    );
+    println!(
+        "{:>6}  {:>10} {:>12} {:>7}  {:>9} {:>9}  {:>7} {:>8} {:>6}",
+        "seed",
+        "static s",
+        "adaptive s",
+        "gain",
+        "static GB",
+        "adapt GB",
+        "replans",
+        "digests",
+        "deterministic"
+    );
+    let points: Vec<Point> =
+        seeds.iter().map(|&s| run_point(&profiles, &pipeline, cores, s)).collect();
+    for p in &points {
+        println!(
+            "{:>6}  {:>10.2} {:>12.2} {:>6.1}%  {:>9.3} {:>9.3}  {:>7} {:>8} {:>6}",
+            p.seed,
+            p.static_seconds,
+            p.adaptive_seconds,
+            p.gain() * 100.0,
+            p.static_traffic as f64 / 1e9,
+            p.adaptive_traffic as f64 / 1e9,
+            p.replans,
+            if p.digests_match { "ok" } else { "DIFF" },
+            if p.deterministic { "ok" } else { "DIFF" },
+        );
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, render_json(samples, cores, &points)).expect("write JSON artifact");
+        println!("wrote {path}");
+    }
+
+    if assert_gate {
+        let mut failed = false;
+        for p in &points {
+            if p.replans == 0 {
+                eprintln!(
+                    "FAIL: seed {} never replanned — the controller missed the injected drift",
+                    p.seed
+                );
+                failed = true;
+            }
+            if p.gain() < MIN_GAIN {
+                eprintln!(
+                    "FAIL: seed {} adaptive {:.2}s vs static {:.2}s — gain {:.1}% below the \
+                     {:.0}% floor",
+                    p.seed,
+                    p.adaptive_seconds,
+                    p.static_seconds,
+                    p.gain() * 100.0,
+                    MIN_GAIN * 100.0
+                );
+                failed = true;
+            }
+            if !p.digests_match {
+                eprintln!(
+                    "FAIL: seed {} adaptive and static batch digests differ — replanning \
+                     changed batch contents",
+                    p.seed
+                );
+                failed = true;
+            }
+            if !p.deterministic {
+                eprintln!(
+                    "FAIL: seed {} repeated adaptive run diverged (replans at {:?})",
+                    p.seed, p.replan_batches
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "assert ok: adaptive beat static by >= {:.0}% at every seed with bit-identical \
+             digests and reproducible replan points",
+            MIN_GAIN * 100.0
+        );
+    }
+}

@@ -64,7 +64,11 @@ pub use gpu::GpuModel;
 pub use multitenant::{simulate_multi_tenant, MultiTenantRun, TenantRunStats, TenantWorkload};
 pub use resources::{CpuPool, FifoServer};
 pub use sim::{simulate_epoch, simulate_epoch_traced, SimError};
-pub use stagegraph::{FaultEvent, FleetNodeConfig, KillEvent, NodeEpochStats};
+pub use stagegraph::{
+    run_stage_graph_adaptive, EpochDirective, FaultEvent, FleetNodeConfig, KillEvent,
+    NodeEpochStats, NodeUpdate, StageKind, StageSample,
+};
 pub use stats::EpochStats;
+pub use trace::TraceError;
 pub use training::{simulate_training, TrainingStats};
 pub use workload::{EpochSpec, SampleWork};

@@ -47,6 +47,27 @@ pub enum SimError {
         /// Number of nodes in the fleet.
         nodes: usize,
     },
+    /// A fleet's kill-threshold vector is not parallel to its node vector.
+    ThresholdsMismatch {
+        /// Number of thresholds supplied.
+        thresholds: usize,
+        /// Number of nodes in the fleet.
+        nodes: usize,
+    },
+    /// A mid-epoch work replacement is not parallel to the epoch's samples.
+    WorksMismatch {
+        /// Number of sample works supplied by the directive.
+        got: usize,
+        /// Number of samples in the epoch.
+        samples: usize,
+    },
+    /// A mid-epoch node update names a node outside the fleet.
+    UpdateOutOfRange {
+        /// The node the update names.
+        node: usize,
+        /// Number of nodes in the fleet.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -71,6 +92,15 @@ impl std::fmt::Display for SimError {
             }
             SimError::KillOutOfRange { node, nodes } => {
                 write!(f, "kill event names node {node}, but the fleet has {nodes} nodes")
+            }
+            SimError::ThresholdsMismatch { thresholds, nodes } => {
+                write!(f, "{thresholds} kill thresholds for {nodes} nodes (must be parallel)")
+            }
+            SimError::WorksMismatch { got, samples } => {
+                write!(f, "directive replaces {got} sample works, epoch has {samples} samples")
+            }
+            SimError::UpdateOutOfRange { node, nodes } => {
+                write!(f, "node update names node {node}, but the fleet has {nodes} nodes")
             }
         }
     }

@@ -137,6 +137,72 @@ pub enum FaultEvent {
     },
 }
 
+/// Which FIFO stage of the graph a [`StageSample`] was measured at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// The serving node's storage read stage.
+    Read,
+    /// The serving node's offloaded-preprocessing CPU stage.
+    StorageCpu,
+    /// The serving node's link to the compute node.
+    Link,
+    /// The shared compute-node CPU stage.
+    ComputeCpu,
+}
+
+/// One stage completion, as seen by the observer hook of
+/// [`run_stage_graph_adaptive`].
+///
+/// `service_seconds` is the time the stage actively worked on the sample;
+/// `wait_seconds` is the queueing delay in front of the stage
+/// (`done - ready - service`). A telemetry consumer divides observed
+/// service time by the nominal expectation to get the drift-channel ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageSample {
+    /// The node that served the sample. The compute CPU stage is shared;
+    /// its samples carry the serving node for attribution.
+    pub node: usize,
+    /// Which stage this measurement came from.
+    pub stage: StageKind,
+    /// The sample's index in loading order.
+    pub sample: u64,
+    /// The batch the sample belongs to.
+    pub batch: u64,
+    /// Virtual time the stage finished the sample.
+    pub done: f64,
+    /// Seconds the stage actively spent on the sample.
+    pub service_seconds: f64,
+    /// Seconds the sample queued before the stage started it.
+    pub wait_seconds: f64,
+}
+
+/// A mid-epoch change to one node's modelled resources — a chaos event
+/// (straggler onset, link squeeze) or a recovery.
+///
+/// Fields left `None` keep their current value; non-finite or non-positive
+/// replacements are ignored rather than corrupting the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeUpdate {
+    /// The node to update.
+    pub node: usize,
+    /// New service-rate multiplier for reads and offloaded preprocessing.
+    pub speed: Option<f64>,
+    /// New link bandwidth in bits per second.
+    pub link_bps: Option<f64>,
+}
+
+/// What the per-batch controller hook of [`run_stage_graph_adaptive`] wants
+/// changed before the next batch is issued.
+#[derive(Debug, Clone, Default)]
+pub struct EpochDirective {
+    /// Replacement per-sample works (a revised offloading plan lowered to
+    /// sim works). Must be parallel to the epoch's samples; only samples
+    /// not yet issued are affected.
+    pub works: Option<Vec<crate::SampleWork>>,
+    /// Node resource changes (chaos injections or controller estimates).
+    pub node_updates: Vec<NodeUpdate>,
+}
+
 /// One node's share of an epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeEpochStats {
@@ -304,8 +370,62 @@ pub fn run_stage_graph_observed(
     nodes: &[FleetNodeConfig],
     spec: &EpochSpec,
     routing: SampleRouting<'_>,
+    trace: Option<&mut Vec<SampleTrace>>,
+    hook: Option<&mut dyn FnMut(FaultEvent)>,
+) -> Result<StageGraphRun, SimError> {
+    run_stage_graph_inner(base, nodes, spec, routing, trace, hook, None, None)
+}
+
+/// The fully instrumented, mid-epoch-adaptive stage graph.
+///
+/// Two hooks extend [`run_stage_graph_observed`]:
+///
+/// * `stage_hook` fires once per stage completion (read, offloaded CPU,
+///   link, local CPU) with that stage's service and queueing time — the raw
+///   material for telemetry rate/drift channels.
+/// * `batch_hook` fires before each batch is issued with `(batch, now)`
+///   (`now` = the previous batch's GPU completion, `0.0` for batch 0) and
+///   returns an [`EpochDirective`]: optional replacement sample works (a
+///   revised offloading plan lowered to works — only not-yet-issued samples
+///   are affected) and node resource updates (chaos events or controller
+///   estimates). This is the simulator analogue of
+///   `OffloadingLoader::run_epoch_with_replan`'s replan callback, with the
+///   same batch-boundary granularity.
+///
+/// Routing is untouched by directives: which node serves a sample never
+/// changes mid-epoch, so sample order — and hence any order-derived batch
+/// digest — is identical under any directive sequence.
+///
+/// # Errors
+///
+/// Same conditions as [`run_stage_graph`], plus
+/// [`SimError::WorksMismatch`] when a directive's replacement works are not
+/// parallel to the epoch's samples and [`SimError::UpdateOutOfRange`] when
+/// a node update names a node outside the fleet.
+#[allow(clippy::too_many_arguments)]
+pub fn run_stage_graph_adaptive(
+    base: &ClusterConfig,
+    nodes: &[FleetNodeConfig],
+    spec: &EpochSpec,
+    routing: SampleRouting<'_>,
+    trace: Option<&mut Vec<SampleTrace>>,
+    fault_hook: Option<&mut dyn FnMut(FaultEvent)>,
+    stage_hook: Option<&mut dyn FnMut(StageSample)>,
+    batch_hook: Option<&mut dyn FnMut(u64, f64) -> EpochDirective>,
+) -> Result<StageGraphRun, SimError> {
+    run_stage_graph_inner(base, nodes, spec, routing, trace, fault_hook, stage_hook, batch_hook)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_stage_graph_inner(
+    base: &ClusterConfig,
+    nodes: &[FleetNodeConfig],
+    spec: &EpochSpec,
+    routing: SampleRouting<'_>,
     mut trace: Option<&mut Vec<SampleTrace>>,
     mut hook: Option<&mut dyn FnMut(FaultEvent)>,
+    mut stage_hook: Option<&mut dyn FnMut(StageSample)>,
+    mut batch_hook: Option<&mut dyn FnMut(u64, f64) -> EpochDirective>,
 ) -> Result<StageGraphRun, SimError> {
     if nodes.is_empty() {
         return Err(SimError::EmptyFleet);
@@ -317,7 +437,12 @@ pub fn run_stage_graph_observed(
                 samples: spec.samples.len(),
             });
         }
-        debug_assert_eq!(dead_from.len(), nodes.len(), "thresholds must be parallel to nodes");
+        if dead_from.len() != nodes.len() {
+            return Err(SimError::ThresholdsMismatch {
+                thresholds: dead_from.len(),
+                nodes: nodes.len(),
+            });
+        }
         for (i, replicas) in owners.iter().enumerate() {
             for &owner in replicas {
                 if owner >= nodes.len() {
@@ -352,6 +477,10 @@ pub fn run_stage_graph_observed(
     let mut gpu = CpuPool::new(base.gpus);
     let mut served = vec![0u64; nodes.len()];
     let mut failovers = 0u64;
+    // Live-mutable node state: directives change speeds and link rates
+    // mid-epoch without touching the caller's node vector.
+    let mut speeds: Vec<f64> = nodes.iter().map(|n| n.speed).collect();
+    let mut works_override: Option<Vec<crate::SampleWork>> = None;
 
     let batch_count = spec.batch_count();
     let mut batch_done = vec![0.0f64; batch_count];
@@ -359,6 +488,37 @@ pub fn run_stage_graph_observed(
 
     let mut sample_idx = 0usize;
     for batch in 0..batch_count {
+        if let Some(control) = batch_hook.as_deref_mut() {
+            let now = if batch > 0 { batch_done[batch - 1] } else { 0.0 };
+            let directive = control(batch as u64, now);
+            if let Some(works) = directive.works {
+                if works.len() != spec.samples.len() {
+                    return Err(SimError::WorksMismatch {
+                        got: works.len(),
+                        samples: spec.samples.len(),
+                    });
+                }
+                works_override = Some(works);
+            }
+            for update in directive.node_updates {
+                if update.node >= nodes.len() {
+                    return Err(SimError::UpdateOutOfRange {
+                        node: update.node,
+                        nodes: nodes.len(),
+                    });
+                }
+                if let Some(speed) = update.speed {
+                    if speed.is_finite() && speed > 0.0 {
+                        speeds[update.node] = speed;
+                    }
+                }
+                if let Some(bps) = update.link_bps {
+                    if bps.is_finite() && bps > 0.0 {
+                        links[update.node].set_bandwidth(Bandwidth::from_bps(bps));
+                    }
+                }
+            }
+        }
         // Prefetch gate: wait for batch `batch - window` to leave the GPU.
         let gate = if batch >= base.prefetch_batches {
             batch_done[batch - base.prefetch_batches]
@@ -368,7 +528,7 @@ pub fn run_stage_graph_observed(
         let in_batch = spec.samples.len().saturating_sub(sample_idx).min(spec.batch_size);
         let mut batch_ready = gate;
         for _ in 0..in_batch {
-            let w = &spec.samples[sample_idx];
+            let w = works_override.as_ref().map_or(&spec.samples[sample_idx], |v| &v[sample_idx]);
             // Route: which node serves this sample.
             let node = match &routing {
                 SampleRouting::SingleNode => 0,
@@ -396,15 +556,35 @@ pub fn run_stage_graph_observed(
                 }
             };
             served[node] += 1;
-            let cfg = &nodes[node];
+            let speed = speeds[node];
+            let observe_stage = |hook: &mut Option<&mut dyn FnMut(StageSample)>,
+                                 stage: StageKind,
+                                 ready: f64,
+                                 done: f64,
+                                 service_seconds: f64| {
+                if let Some(observe) = hook.as_deref_mut() {
+                    observe(StageSample {
+                        node,
+                        stage,
+                        sample: sample_idx as u64,
+                        batch: batch as u64,
+                        done,
+                        service_seconds,
+                        wait_seconds: (done - ready - service_seconds).max(0.0),
+                    });
+                }
+            };
             // 1. storage read on the serving node (scaled by its speed).
-            let read_s = w.transfer_bytes as f64 / (base.storage_read_bytes_per_sec * cfg.speed);
+            let read_s = w.transfer_bytes as f64 / (base.storage_read_bytes_per_sec * speed);
             let read_done = reads[node].run(gate, read_s);
+            observe_stage(&mut stage_hook, StageKind::Read, gate, read_done, read_s);
             // 2. offloaded preprocessing on the serving node's CPU stage.
             let offload_done = if w.storage_cpu_seconds > 0.0 {
-                storage_cpus[node]
-                    .run(read_done, w.storage_cpu_seconds / cfg.speed)
-                    .ok_or(SimError::NoStorageCores)?
+                let service = w.storage_cpu_seconds / speed;
+                let done =
+                    storage_cpus[node].run(read_done, service).ok_or(SimError::NoStorageCores)?;
+                observe_stage(&mut stage_hook, StageKind::StorageCpu, read_done, done, service);
+                done
             } else {
                 read_done
             };
@@ -413,12 +593,29 @@ pub fn run_stage_graph_observed(
             // ready-time ordering is preserved because samples are
             // submitted in loading order and offload_done is produced by
             // FIFO pools.
+            let link_service =
+                links[node].bandwidth().transfer_seconds(w.transfer_bytes) + base.link_latency;
             let transfer_done = links[node].transfer(offload_done, w.transfer_bytes);
+            observe_stage(
+                &mut stage_hook,
+                StageKind::Link,
+                offload_done,
+                transfer_done,
+                link_service,
+            );
             // 4. local preprocessing on the shared compute stage.
             let local_done = if w.compute_cpu_seconds > 0.0 {
-                compute_cpu
+                let done = compute_cpu
                     .run(transfer_done, w.compute_cpu_seconds)
-                    .ok_or(SimError::NoComputeCores)?
+                    .ok_or(SimError::NoComputeCores)?;
+                observe_stage(
+                    &mut stage_hook,
+                    StageKind::ComputeCpu,
+                    transfer_done,
+                    done,
+                    w.compute_cpu_seconds,
+                );
+                done
             } else {
                 transfer_done
             };
@@ -566,6 +763,201 @@ mod tests {
                 FaultEvent::Failover { sample: 3, dead_node: 1 },
             ]
         );
+    }
+
+    #[test]
+    fn thresholds_mismatch_is_a_typed_error() {
+        let nodes = vec![FleetNodeConfig::nominal(&base()); 2];
+        let owners = vec![vec![0usize]; 4];
+        let dead = [usize::MAX]; // one threshold for two nodes
+        let err = run_stage_graph(
+            &base(),
+            &nodes,
+            &spec(4),
+            SampleRouting::ReplicaFailover { owners: &owners, dead_from: &dead },
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::ThresholdsMismatch { thresholds: 1, nodes: 2 });
+    }
+
+    #[test]
+    fn adaptive_without_hooks_matches_plain_run() {
+        let nodes = [FleetNodeConfig::nominal(&base())];
+        let s = spec(64);
+        let plain = run_stage_graph(&base(), &nodes, &s, SampleRouting::SingleNode, None).unwrap();
+        let adaptive = run_stage_graph_adaptive(
+            &base(),
+            &nodes,
+            &s,
+            SampleRouting::SingleNode,
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain, adaptive);
+    }
+
+    #[test]
+    fn stage_hook_emits_causal_samples_for_every_stage() {
+        let nodes = [FleetNodeConfig::nominal(&base())];
+        let s = spec(8);
+        let mut samples = Vec::new();
+        let mut hook = |e: StageSample| samples.push(e);
+        run_stage_graph_adaptive(
+            &base(),
+            &nodes,
+            &s,
+            SampleRouting::SingleNode,
+            None,
+            None,
+            Some(&mut hook),
+            None,
+        )
+        .unwrap();
+        // Every sample offloads and preprocesses locally: 4 stages each.
+        assert_eq!(samples.len(), 8 * 4);
+        for e in &samples {
+            assert!(e.service_seconds > 0.0, "{e:?}");
+            assert!(e.wait_seconds >= 0.0, "{e:?}");
+            assert!(e.done >= e.service_seconds, "{e:?}");
+        }
+        let reads = samples.iter().filter(|e| e.stage == StageKind::Read).count();
+        let links = samples.iter().filter(|e| e.stage == StageKind::Link).count();
+        assert_eq!((reads, links), (8, 8));
+    }
+
+    #[test]
+    fn directive_swaps_works_mid_epoch() {
+        let nodes = [FleetNodeConfig::nominal(&base())];
+        let s = spec(128); // 4 batches of 32, 100 KB per sample
+        let slim = vec![crate::SampleWork::new(0.002, 10_000, 0.0); 128];
+        let mut hook = |batch: u64, _now: f64| -> EpochDirective {
+            if batch == 2 {
+                EpochDirective { works: Some(slim.clone()), node_updates: Vec::new() }
+            } else {
+                EpochDirective::default()
+            }
+        };
+        let run = run_stage_graph_adaptive(
+            &base(),
+            &nodes,
+            &s,
+            SampleRouting::SingleNode,
+            None,
+            None,
+            None,
+            Some(&mut hook),
+        )
+        .unwrap();
+        // Batches 0-1 moved 100 KB per sample, batches 2-3 moved 10 KB.
+        let expect = 64 * 100_000 + 64 * 10_000;
+        assert_eq!(run.per_node[0].traffic_bytes, expect);
+    }
+
+    #[test]
+    fn node_updates_slow_the_graph_mid_epoch() {
+        let nodes = [FleetNodeConfig::nominal(&base())];
+        let s = spec(128);
+        let baseline =
+            run_stage_graph(&base(), &nodes, &s, SampleRouting::SingleNode, None).unwrap();
+        let mut hook = |batch: u64, _now: f64| -> EpochDirective {
+            let mut d = EpochDirective::default();
+            if batch == 2 {
+                // Straggler onset plus a link squeeze on node 0.
+                d.node_updates.push(NodeUpdate {
+                    node: 0,
+                    speed: Some(0.25),
+                    link_bps: Some(base().link_bps * 0.25),
+                });
+            }
+            d
+        };
+        let squeezed = run_stage_graph_adaptive(
+            &base(),
+            &nodes,
+            &s,
+            SampleRouting::SingleNode,
+            None,
+            None,
+            None,
+            Some(&mut hook),
+        )
+        .unwrap();
+        assert!(
+            squeezed.epoch_seconds > baseline.epoch_seconds * 1.5,
+            "squeezed {} baseline {}",
+            squeezed.epoch_seconds,
+            baseline.epoch_seconds
+        );
+        // Non-finite and non-positive updates are ignored, not applied.
+        let mut bad = |_: u64, _: f64| -> EpochDirective {
+            EpochDirective {
+                works: None,
+                node_updates: vec![NodeUpdate {
+                    node: 0,
+                    speed: Some(f64::NAN),
+                    link_bps: Some(-1.0),
+                }],
+            }
+        };
+        let unchanged = run_stage_graph_adaptive(
+            &base(),
+            &nodes,
+            &s,
+            SampleRouting::SingleNode,
+            None,
+            None,
+            None,
+            Some(&mut bad),
+        )
+        .unwrap();
+        assert_eq!(unchanged, baseline);
+    }
+
+    #[test]
+    fn malformed_directives_are_typed_errors() {
+        let nodes = [FleetNodeConfig::nominal(&base())];
+        let s = spec(8);
+        let mut short = |_: u64, _: f64| -> EpochDirective {
+            EpochDirective {
+                works: Some(vec![crate::SampleWork::new(0.0, 1, 0.0); 3]),
+                node_updates: Vec::new(),
+            }
+        };
+        let err = run_stage_graph_adaptive(
+            &base(),
+            &nodes,
+            &s,
+            SampleRouting::SingleNode,
+            None,
+            None,
+            None,
+            Some(&mut short),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::WorksMismatch { got: 3, samples: 8 });
+
+        let mut oob = |_: u64, _: f64| -> EpochDirective {
+            EpochDirective {
+                works: None,
+                node_updates: vec![NodeUpdate { node: 5, speed: Some(1.0), link_bps: None }],
+            }
+        };
+        let err = run_stage_graph_adaptive(
+            &base(),
+            &nodes,
+            &s,
+            SampleRouting::SingleNode,
+            None,
+            None,
+            None,
+            Some(&mut oob),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::UpdateOutOfRange { node: 5, nodes: 1 });
     }
 
     #[test]

@@ -45,6 +45,46 @@ impl SampleTrace {
     }
 }
 
+/// Errors from trace validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A sample's stages completed out of causal order.
+    CausalityViolation {
+        /// The offending sample.
+        sample: u64,
+        /// The stage that finished impossibly early.
+        later_stage: &'static str,
+        /// Its completion time.
+        later: f64,
+        /// The stage it should have followed.
+        earlier_stage: &'static str,
+        /// That stage's completion time.
+        earlier: f64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::CausalityViolation {
+                sample,
+                later_stage,
+                later,
+                earlier_stage,
+                earlier,
+            } => {
+                write!(
+                    f,
+                    "sample {sample}: {later_stage} ({later:.6}) precedes {earlier_stage} ({earlier:.6})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// The full timeline of one epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EpochTrace {
@@ -68,14 +108,13 @@ impl EpochTrace {
     }
 
     /// Validates causality for every sample: stages complete in order and
-    /// batches complete after their samples. Returns the first violation as
-    /// a description.
+    /// batches complete after their samples.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated
-    /// invariant.
-    pub fn check_causality(&self) -> Result<(), String> {
+    /// Returns [`TraceError::CausalityViolation`] describing the first
+    /// violated invariant.
+    pub fn check_causality(&self) -> Result<(), TraceError> {
         for t in &self.samples {
             let chain = [
                 ("gate", t.gate),
@@ -87,10 +126,13 @@ impl EpochTrace {
             ];
             for w in chain.windows(2) {
                 if w[1].1 + 1e-12 < w[0].1 {
-                    return Err(format!(
-                        "sample {}: {} ({:.6}) precedes {} ({:.6})",
-                        t.sample, w[1].0, w[1].1, w[0].0, w[0].1
-                    ));
+                    return Err(TraceError::CausalityViolation {
+                        sample: t.sample,
+                        later_stage: w[1].0,
+                        later: w[1].1,
+                        earlier_stage: w[0].0,
+                        earlier: w[0].1,
+                    });
                 }
             }
         }

@@ -338,6 +338,83 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
         }
     }
 
+    if let Some(feedback) = opts.feedback_config() {
+        let shards = opts.shards.max(2); // the control loop watches a fleet
+        let profiles = scenario.profiles();
+        let ctx = sophon::engine::PlanningContext::new(
+            &profiles,
+            &scenario.pipeline,
+            &scenario.config,
+            scenario.gpu,
+            scenario.batch_size,
+        );
+        let map = fleet::ShardMap::new(shards, opts.replication.min(shards), opts.seed);
+        let nodes = sophon::ext::sharding::fleet_nodes_sharing_link(&scenario.config, shards);
+        let batches = (profiles.len() / scenario.batch_size.max(1)).max(1) as u64;
+        let chaos = if opts.chaos_profile == sophon::cli::ChaosProfile::None {
+            Vec::new()
+        } else {
+            sophon::ext::feedback::chaos_straggler_and_squeeze(opts.chaos_seed, shards, batches)
+        };
+        println!(
+            "\nfeedback control: {} shards, drift window {}, cooldown {} batches, {}",
+            shards,
+            feedback.drift_window,
+            feedback.cooldown_batches,
+            if chaos.is_empty() {
+                "no injected drift".to_string()
+            } else {
+                format!("{} chaos event(s) (seed {})", chaos.len(), opts.chaos_seed)
+            },
+        );
+        let static_run =
+            sophon::ext::feedback::run_fleet_epoch_adaptive(&ctx, &map, &nodes, &chaos, None);
+        let adaptive_run = sophon::ext::feedback::run_fleet_epoch_adaptive(
+            &ctx,
+            &map,
+            &nodes,
+            &chaos,
+            Some(&feedback),
+        );
+        match (static_run, adaptive_run) {
+            (Ok(st), Ok(ad)) => {
+                println!(
+                    "{:<10} {:>11} {:>13} {:>9} {:>18}",
+                    "plan", "epoch (s)", "traffic (GB)", "replans", "batch digest"
+                );
+                for (name, r) in [("static", &st), ("adaptive", &ad)] {
+                    println!(
+                        "{:<10} {:>11.1} {:>13.2} {:>9} {:>18}",
+                        name,
+                        r.epoch_seconds,
+                        r.traffic_bytes as f64 / 1e9,
+                        r.replans.len(),
+                        format!("{:016x}", r.digest),
+                    );
+                }
+                for replan in &ad.replans {
+                    println!(
+                        "  replan at batch {}: {}",
+                        replan.batch,
+                        replan
+                            .channels
+                            .iter()
+                            .map(|c| format!("{} {:.2}x", c.channel, c.ratio))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    );
+                }
+                if ad.digest == st.digest {
+                    println!(
+                        "batches bit-identical; adaptive epoch {:+.1}% vs static",
+                        (ad.epoch_seconds / st.epoch_seconds - 1.0) * 100.0,
+                    );
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => println!("feedback run failed: {e}"),
+        }
+    }
+
     let policies = standard_policies();
     let selected: Vec<_> =
         policies.iter().filter(|p| opts.policy == "all" || p.name() == opts.policy).collect();

@@ -89,6 +89,12 @@ pub struct CliOptions {
     pub tenant_weights: Vec<u32>,
     /// Per-tenant byte quota in bytes/second (0 = unquotaed).
     pub quota_bytes_per_sec: f64,
+    /// Enable the mid-epoch feedback control loop on fleet runs.
+    pub adaptive: bool,
+    /// Telemetry samples per channel window feeding drift detection.
+    pub drift_window: usize,
+    /// Minimum batches between feedback-driven replans.
+    pub replan_cooldown: u64,
 }
 
 impl Default for CliOptions {
@@ -115,6 +121,9 @@ impl Default for CliOptions {
             tenants: 1,
             tenant_weights: Vec::new(),
             quota_bytes_per_sec: 0.0,
+            adaptive: false,
+            drift_window: 64,
+            replan_cooldown: 4,
         }
     }
 }
@@ -134,6 +143,10 @@ impl CliOptions {
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let flag = flag.as_ref();
+            if flag == "--adaptive" {
+                opts.adaptive = true;
+                continue; // boolean switch, takes no value
+            }
             let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
             let value = value.as_ref();
             match flag {
@@ -210,6 +223,8 @@ impl CliOptions {
                         })
                         .collect::<Result<_, _>>()?;
                 }
+                "--drift-window" => opts.drift_window = parse_num(flag, value)?,
+                "--replan-cooldown" => opts.replan_cooldown = parse_num(flag, value)?,
                 "--quota-bytes-per-sec" => {
                     opts.quota_bytes_per_sec = value
                         .parse::<f64>()
@@ -237,6 +252,12 @@ impl CliOptions {
         }
         if opts.tenants == 0 || opts.tenants > u16::MAX as usize {
             return Err(format!("tenants must be between 1 and {}", u16::MAX));
+        }
+        if opts.drift_window < 2 {
+            return Err("drift window must hold at least 2 samples".to_string());
+        }
+        if opts.replan_cooldown == 0 {
+            return Err("replan cooldown must be at least 1 batch".to_string());
         }
         if opts.tenant_weights.len() > opts.tenants {
             return Err(format!(
@@ -332,6 +353,16 @@ impl CliOptions {
             .collect()
     }
 
+    /// The feedback-control tuning this invocation asks for, or `None`
+    /// when `--adaptive` is absent.
+    pub fn feedback_config(&self) -> Option<crate::ext::feedback::FeedbackConfig> {
+        self.adaptive.then(|| crate::ext::feedback::FeedbackConfig {
+            drift_window: self.drift_window,
+            cooldown_batches: self.replan_cooldown,
+            ..crate::ext::feedback::FeedbackConfig::default()
+        })
+    }
+
     /// One line per flag, for `--help`-style output.
     pub fn usage() -> &'static str {
         "sophon-sim [--dataset openimages|imagenet|mini] [--samples N] [--seed N]\n\
@@ -343,11 +374,15 @@ impl CliOptions {
          \u{20}          [--shards N] [--replication N] [--hedge-after MS]\n\
          \u{20}          [--chaos-profile none|light|aggressive] [--chaos-seed N]\n\
          \u{20}          [--tenants N] [--tenant-weights W1,W2,...] [--quota-bytes-per-sec F]\n\
+         \u{20}          [--adaptive] [--drift-window N] [--replan-cooldown N]\n\
          \u{20}(--cache-budget-pct with --shards composes: a warm near-compute cache\n\
          \u{20} over a sharded storage fleet, planned per shard on the residual;\n\
          \u{20} --chaos-profile injects seeded mid-epoch node kills into fleet runs;\n\
          \u{20} --tenants > 1 shares the storage node between that many jobs under\n\
-         \u{20} weighted-fair scheduling, with optional per-tenant byte quotas)"
+         \u{20} weighted-fair scheduling, with optional per-tenant byte quotas;\n\
+         \u{20} --adaptive closes a telemetry feedback loop over fleet runs,\n\
+         \u{20} replanning mid-epoch when drift detectors trip, gated by\n\
+         \u{20} --drift-window samples and a --replan-cooldown batch floor)"
     }
 }
 
@@ -517,6 +552,30 @@ mod tests {
         // No weights, no quota: every tenant gets the default spec.
         let plain = CliOptions::parse(["--tenants", "3"]).unwrap().tenant_specs();
         assert!(plain.iter().all(|s| s.weight == 1 && s.quota_bytes_per_sec.is_none()));
+    }
+
+    #[test]
+    fn adaptive_flags_parse_and_validate() {
+        let opts = CliOptions::parse(
+            "--adaptive --drift-window 32 --replan-cooldown 8".split_whitespace(),
+        )
+        .unwrap();
+        assert!(opts.adaptive);
+        assert_eq!(opts.drift_window, 32);
+        assert_eq!(opts.replan_cooldown, 8);
+        let cfg = opts.feedback_config().unwrap();
+        assert_eq!(cfg.drift_window, 32);
+        assert_eq!(cfg.cooldown_batches, 8);
+        // --adaptive is a switch: the next token is parsed as its own flag.
+        let chained = CliOptions::parse("--adaptive --samples 64".split_whitespace()).unwrap();
+        assert!(chained.adaptive);
+        assert_eq!(chained.samples, 64);
+        let d = CliOptions::default();
+        assert!(!d.adaptive);
+        assert_eq!((d.drift_window, d.replan_cooldown), (64, 4));
+        assert!(d.feedback_config().is_none(), "tuning flags alone never enable the loop");
+        assert!(CliOptions::parse(["--drift-window", "1"]).unwrap_err().contains("drift window"));
+        assert!(CliOptions::parse(["--replan-cooldown", "0"]).unwrap_err().contains("cooldown"));
     }
 
     #[test]

@@ -1,0 +1,675 @@
+//! Feedback-controlled mid-epoch replanning from live telemetry.
+//!
+//! The planner's inputs (node speeds, link rates) are measurements, and
+//! measurements go stale: a storage node starts straggling, an operator
+//! caps a link, a noisy neighbour appears. The static pipeline reacts only
+//! at the next epoch boundary. This module closes the loop *inside* an
+//! epoch:
+//!
+//! ```text
+//! stage graph ──StageSample──▶ observed/expected ratio ──▶ TelemetryHub
+//!      ▲                                                       │
+//!      │                                 windowed mean, once per batch
+//!      │                                                       ▼
+//! revised FleetNodeConfigs ◀── FeedbackController ◀── CusumDetector trip
+//!      │  (cooldown-gated)
+//!      ▼
+//! plan_for_fleet_with_nodes ──▶ EpochDirective.works (next batch on)
+//! ```
+//!
+//! Every channel is a *ratio*: observed stage service time divided by the
+//! expectation under the nominal node parameters, so `1.0` means "as
+//! planned" and `2.5` means "this resource runs at 40% of its modelled
+//! rate". A tripped drift verdict's level is therefore directly the
+//! correction factor for the node parameter, and after the controller acts
+//! it [`telemetry::CusumDetector::rebase`]s the detector onto the new
+//! level so the already-corrected drift cannot re-trip.
+//!
+//! Determinism and bit-identity: drift statistics are windowed means
+//! (permutation-invariant in window contents) fed to a pure CUSUM, so the
+//! same seed produces the same verdicts at the same batches. Replanning
+//! swaps *works* (where preprocessing runs, how many bytes move) but never
+//! routing or sample order, so the batch digest — and, on the live loader
+//! path, the tensor bytes — are identical with the controller on or off.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use cluster::stagegraph::SampleRouting;
+use cluster::{
+    run_stage_graph_adaptive, EpochDirective, EpochSpec, FleetNodeConfig, NodeUpdate, StageKind,
+    StageSample,
+};
+use fleet::ShardMap;
+use serde::{Deserialize, Serialize};
+use telemetry::{CusumDetector, DriftConfig, TelemetryHub};
+
+use crate::engine::PlanningContext;
+use crate::ext::sharding::{owner_lists, plan_for_fleet_with_nodes};
+use crate::{OffloadPlan, SophonError};
+
+/// Tuning of the [`FeedbackController`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackConfig {
+    /// Samples per channel window feeding the drift statistic.
+    pub drift_window: usize,
+    /// Minimum batches between replans — the anti-thrash gate.
+    pub cooldown_batches: u64,
+    /// Deadband: a tripped level must differ from the current estimate by
+    /// at least this relative fraction to justify a replan.
+    pub min_ratio_change: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> FeedbackConfig {
+        FeedbackConfig { drift_window: 64, cooldown_batches: 4, min_ratio_change: 0.15 }
+    }
+}
+
+/// One channel's contribution to a replan decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelDrift {
+    /// The telemetry channel that drifted (e.g. `node2.link`).
+    pub channel: String,
+    /// The new observed/expected ratio the controller adopted.
+    pub ratio: f64,
+}
+
+/// A replan the controller committed to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanEvent {
+    /// The batch before which the replan takes effect.
+    pub batch: u64,
+    /// Virtual time of the decision.
+    pub at: f64,
+    /// The drifted channels that drove it, in channel-name order.
+    pub channels: Vec<ChannelDrift>,
+}
+
+/// Converts drift verdicts on telemetry ratio channels into replan
+/// decisions, with hysteresis (via the detectors) and a cooldown so the
+/// control loop cannot thrash.
+///
+/// Channels are created on first [`FeedbackController::observe`]; each gets
+/// a [`CusumDetector`] referenced at ratio `1.0`. Once per batch,
+/// [`FeedbackController::end_batch`] folds every channel's windowed mean
+/// into its detector; trips accumulate until the cooldown allows acting,
+/// at which point detectors rebase onto the adopted levels.
+#[derive(Debug, Clone)]
+pub struct FeedbackController {
+    config: FeedbackConfig,
+    hub: TelemetryHub,
+    detectors: BTreeMap<String, CusumDetector>,
+    estimates: BTreeMap<String, f64>,
+    pending: BTreeMap<String, f64>,
+    last_replan: Option<u64>,
+    replans: Vec<ReplanEvent>,
+}
+
+impl FeedbackController {
+    /// Creates an idle controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `drift_window` is zero or `min_ratio_change` is not a
+    /// finite non-negative number (allocation-time invariants).
+    pub fn new(config: FeedbackConfig) -> FeedbackController {
+        assert!(config.drift_window > 0, "drift window must hold at least one sample");
+        assert!(
+            config.min_ratio_change.is_finite() && config.min_ratio_change >= 0.0,
+            "invalid deadband {}",
+            config.min_ratio_change
+        );
+        let capacity = config.drift_window.max(64) * 4;
+        FeedbackController {
+            config,
+            hub: TelemetryHub::new(capacity),
+            detectors: BTreeMap::new(),
+            estimates: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            last_replan: None,
+            replans: Vec::new(),
+        }
+    }
+
+    /// Feeds one observed/expected ratio into `channel` at time `t`.
+    /// Out-of-order or non-finite observations are dropped (the series
+    /// counts them as rejected) rather than corrupting the window.
+    pub fn observe(&mut self, channel: &str, t: f64, ratio: f64) {
+        let _ = self.hub.push(channel, t, ratio);
+    }
+
+    /// The controller's current believed ratio for `channel` (`1.0` until
+    /// a replan adopts something else).
+    pub fn estimate(&self, channel: &str) -> f64 {
+        self.estimates.get(channel).copied().unwrap_or(1.0)
+    }
+
+    /// The telemetry hub backing the controller (for reporting).
+    pub fn hub(&self) -> &TelemetryHub {
+        &self.hub
+    }
+
+    /// Replans committed so far, in batch order.
+    pub fn replans(&self) -> &[ReplanEvent] {
+        &self.replans
+    }
+
+    /// Closes batch `batch` at virtual time `now`: updates every channel's
+    /// drift detector with its windowed mean and, when trips have
+    /// accumulated and the cooldown has expired, commits a replan.
+    ///
+    /// Returns the committed [`ReplanEvent`], or `None` when nothing
+    /// drifted, the cooldown is still active, or every trip fell inside
+    /// the deadband.
+    pub fn end_batch(&mut self, batch: u64, now: f64) -> Option<ReplanEvent> {
+        let window = self.config.drift_window;
+        let hub = &self.hub;
+        let detectors = &mut self.detectors;
+        let pending = &mut self.pending;
+        for (name, series) in hub.iter() {
+            let Some(mean) = series.mean_last(window) else { continue };
+            let detector = detectors.entry(name.to_string()).or_insert_with(|| {
+                CusumDetector::new(DriftConfig::for_reference(1.0))
+                    .expect("reference 1.0 is a valid drift config")
+            });
+            if let Some(verdict) = detector.update(batch as f64, mean) {
+                pending.insert(name.to_string(), verdict.level);
+            }
+        }
+        if self.pending.is_empty() {
+            return None;
+        }
+        if let Some(last) = self.last_replan {
+            if batch.saturating_sub(last) < self.config.cooldown_batches {
+                return None; // cooldown: trips stay pending
+            }
+        }
+        let mut channels = Vec::new();
+        for (channel, level) in std::mem::take(&mut self.pending) {
+            let current = self.estimates.get(&channel).copied().unwrap_or(1.0);
+            let relative = (level / current - 1.0).abs();
+            let detector =
+                self.detectors.get_mut(&channel).expect("tripped channels have detectors");
+            if relative >= self.config.min_ratio_change {
+                detector.rebase(level);
+                self.estimates.insert(channel.clone(), level);
+                channels.push(ChannelDrift { channel, ratio: level });
+            } else {
+                // Inside the deadband: re-arm on the existing estimate.
+                detector.rebase(current);
+            }
+        }
+        if channels.is_empty() {
+            return None;
+        }
+        self.last_replan = Some(batch);
+        let event = ReplanEvent { batch, at: now, channels };
+        self.replans.push(event.clone());
+        Some(event)
+    }
+}
+
+/// The telemetry channel carrying node `n`'s storage-read service ratio.
+pub fn read_channel(node: usize) -> String {
+    format!("node{node}.read")
+}
+
+/// The telemetry channel carrying node `n`'s offloaded-CPU service ratio.
+pub fn cpu_channel(node: usize) -> String {
+    format!("node{node}.cpu")
+}
+
+/// The telemetry channel carrying node `n`'s link service ratio.
+pub fn link_channel(node: usize) -> String {
+    format!("node{node}.link")
+}
+
+/// A deterministic mid-epoch disturbance for chaos runs: at `at_batch`,
+/// node `node`'s service speed and link bandwidth are multiplied by the
+/// given factors (relative to nominal).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosEvent {
+    /// Batch before which the disturbance lands.
+    pub at_batch: u64,
+    /// The disturbed node.
+    pub node: usize,
+    /// Multiplier on the node's service speed (`1.0` = unchanged).
+    pub speed_factor: f64,
+    /// Multiplier on the node's link bandwidth (`1.0` = unchanged).
+    pub link_factor: f64,
+}
+
+/// The bench's chaos profile: a straggler onset at ~20% of the epoch and a
+/// link squeeze on a different node at ~35%, with the victim nodes chosen
+/// by `seed`. Deterministic: the same seed yields the same events.
+pub fn chaos_straggler_and_squeeze(seed: u64, nodes: usize, batches: u64) -> Vec<ChaosEvent> {
+    assert!(nodes > 0, "chaos needs at least one node");
+    let straggler = (splitmix(seed, 1) as usize) % nodes;
+    // A different node for the squeeze when the fleet allows it.
+    let squeeze = if nodes > 1 {
+        let mut pick = (splitmix(seed, 2) as usize) % nodes;
+        if pick == straggler {
+            pick = (pick + 1) % nodes;
+        }
+        pick
+    } else {
+        straggler
+    };
+    vec![
+        ChaosEvent { at_batch: batches / 5, node: straggler, speed_factor: 0.3, link_factor: 1.0 },
+        ChaosEvent {
+            at_batch: batches * 7 / 20,
+            node: squeeze,
+            speed_factor: 1.0,
+            link_factor: 0.35,
+        },
+    ]
+}
+
+fn splitmix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The outcome of one (possibly feedback-controlled) fleet epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveEpochReport {
+    /// Virtual seconds until the last batch left the GPU.
+    pub epoch_seconds: f64,
+    /// Bytes on all wires.
+    pub traffic_bytes: u64,
+    /// FNV-1a digest over `(batch, serving node, sample id)` in issue
+    /// order — the simulator's analogue of batch bit-identity. Replans
+    /// change works, never routing or order, so this digest is invariant
+    /// under any directive sequence.
+    pub digest: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Replans the controller committed (empty for static runs).
+    pub replans: Vec<ReplanEvent>,
+}
+
+struct DriverState {
+    works: Vec<cluster::SampleWork>,
+    controller: Option<FeedbackController>,
+    digest: u64,
+    replans: Vec<ReplanEvent>,
+    error: Option<SophonError>,
+}
+
+fn fnv_fold(digest: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *digest ^= byte as u64;
+        *digest = digest.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// Runs one fleet epoch of `ctx`'s corpus, sharded by `map` over `nodes`,
+/// under the `chaos` disturbance schedule — statically when `feedback` is
+/// `None`, feedback-controlled when `Some`.
+///
+/// The initial plan is always [`plan_for_fleet_with_nodes`] against the
+/// *nominal* nodes — neither run knows the chaos schedule. The adaptive
+/// run additionally instruments every stage, detects drift, and swaps in
+/// plans recomputed against the estimated (post-disturbance) node
+/// parameters, cooldown-gated.
+///
+/// # Errors
+///
+/// Propagates planning errors ([`SophonError::PlanMismatch`] /
+/// [`SophonError::BadSplit`]) and simulation errors ([`SophonError::Sim`]).
+pub fn run_fleet_epoch_adaptive(
+    ctx: &PlanningContext<'_>,
+    map: &ShardMap,
+    nodes: &[FleetNodeConfig],
+    chaos: &[ChaosEvent],
+    feedback: Option<&FeedbackConfig>,
+) -> Result<AdaptiveEpochReport, SophonError> {
+    let n = ctx.profiles.len();
+    let sharded = plan_for_fleet_with_nodes(ctx, map, nodes)?;
+    let works = sharded.plan.to_sample_works(ctx.profiles)?;
+    let spec = EpochSpec::new(works.clone(), ctx.batch_size, ctx.gpu);
+    let owners = owner_lists(map, n);
+    let dead = vec![usize::MAX; nodes.len()];
+    let base = ctx.config;
+
+    let state = RefCell::new(DriverState {
+        works,
+        controller: feedback.map(|cfg| FeedbackController::new(cfg.clone())),
+        digest: 0xcbf29ce484222325,
+        replans: Vec::new(),
+        error: None,
+    });
+
+    let mut stage_hook = |e: StageSample| {
+        let st = &mut *state.borrow_mut();
+        if e.stage == StageKind::Read {
+            fnv_fold(&mut st.digest, e.batch);
+            fnv_fold(&mut st.digest, e.node as u64);
+            fnv_fold(&mut st.digest, e.sample);
+        }
+        let Some(controller) = st.controller.as_mut() else { return };
+        let w = &st.works[e.sample as usize];
+        let node = &nodes[e.node];
+        let (channel, expected) = match e.stage {
+            StageKind::Read => (
+                read_channel(e.node),
+                w.transfer_bytes as f64 / (base.storage_read_bytes_per_sec * node.speed),
+            ),
+            StageKind::StorageCpu => (cpu_channel(e.node), w.storage_cpu_seconds / node.speed),
+            StageKind::Link => (
+                link_channel(e.node),
+                w.transfer_bytes as f64 * 8.0 / node.link_bps + base.link_latency,
+            ),
+            // The compute stage is shared and not a planner input.
+            StageKind::ComputeCpu => return,
+        };
+        if expected > 1e-12 {
+            controller.observe(&channel, e.batch as f64, e.service_seconds / expected);
+        }
+    };
+
+    let mut batch_hook = |batch: u64, now: f64| -> EpochDirective {
+        let st = &mut *state.borrow_mut();
+        let mut directive = EpochDirective::default();
+        for ev in chaos.iter().filter(|ev| ev.at_batch == batch) {
+            if ev.node >= nodes.len() {
+                continue; // malformed chaos schedules are inert, not fatal
+            }
+            directive.node_updates.push(NodeUpdate {
+                node: ev.node,
+                speed: Some(nodes[ev.node].speed * ev.speed_factor),
+                link_bps: Some(nodes[ev.node].link_bps * ev.link_factor),
+            });
+        }
+        let Some(controller) = st.controller.as_mut() else { return directive };
+        let Some(event) = controller.end_batch(batch, now) else { return directive };
+        // Lower the adopted ratio estimates to a revised fleet: a channel
+        // running r× slower than modelled means the resource's effective
+        // rate is 1/r of nominal.
+        let revised: Vec<FleetNodeConfig> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| {
+                let r_cpu = controller.estimate(&cpu_channel(i));
+                let r_read = controller.estimate(&read_channel(i));
+                let r_speed =
+                    if (r_cpu - 1.0).abs() >= (r_read - 1.0).abs() { r_cpu } else { r_read };
+                let r_link = controller.estimate(&link_channel(i));
+                FleetNodeConfig {
+                    storage_cores: nd.storage_cores,
+                    speed: (nd.speed / r_speed).clamp(nd.speed * 0.05, nd.speed * 20.0),
+                    link_bps: (nd.link_bps / r_link).clamp(nd.link_bps * 0.05, nd.link_bps * 20.0),
+                }
+            })
+            .collect();
+        let replanned = plan_for_fleet_with_nodes(ctx, map, &revised)
+            .and_then(|p| p.plan.to_sample_works(ctx.profiles));
+        match replanned {
+            Ok(new_works) => {
+                st.works = new_works.clone();
+                directive.works = Some(new_works);
+                st.replans.push(event);
+            }
+            Err(e) => st.error = Some(e),
+        }
+        directive
+    };
+
+    let run = run_stage_graph_adaptive(
+        base,
+        nodes,
+        &spec,
+        SampleRouting::ReplicaFailover { owners: &owners, dead_from: &dead },
+        None,
+        None,
+        Some(&mut stage_hook),
+        Some(&mut batch_hook),
+    )?;
+    let st = state.into_inner();
+    if let Some(e) = st.error {
+        return Err(e);
+    }
+    let totals = run.total_stats();
+    Ok(AdaptiveEpochReport {
+        epoch_seconds: run.epoch_seconds,
+        traffic_bytes: totals.traffic_bytes,
+        digest: st.digest,
+        batches: run.batches,
+        replans: st.replans,
+    })
+}
+
+/// Builds a replan callback for `OffloadingLoader::run_epoch_with_replan`
+/// from a batch → plan schedule (for example, a controller run's
+/// [`ReplanEvent`]s lowered to revised plans). Each plan fires once, before
+/// its batch.
+pub fn scheduled_replans(
+    mut schedule: BTreeMap<usize, OffloadPlan>,
+) -> impl FnMut(usize) -> Option<OffloadPlan> {
+    move |batch| schedule.remove(&batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClusterConfig, GpuModel};
+    use datasets::DatasetSpec;
+    use pipeline::{CostModel, PipelineSpec, SampleProfile};
+
+    fn setup(samples: u64, cores: usize) -> (Vec<SampleProfile>, PipelineSpec, ClusterConfig) {
+        let ds = DatasetSpec::openimages_like(samples, 23);
+        let pipeline = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        let ps: Vec<_> = ds.records().map(|r| r.analytic_profile(&pipeline, &model)).collect();
+        (ps, pipeline, ClusterConfig::paper_testbed(cores))
+    }
+
+    fn controller_with_squeeze(flip_at: u64, batches: u64) -> FeedbackController {
+        let mut c = FeedbackController::new(FeedbackConfig {
+            drift_window: 16,
+            cooldown_batches: 4,
+            min_ratio_change: 0.15,
+        });
+        for b in 0..batches {
+            let ratio = if b < flip_at { 1.0 } else { 2.5 };
+            for _ in 0..8 {
+                c.observe("node0.link", b as f64, ratio);
+            }
+            c.end_batch(b, b as f64);
+        }
+        c
+    }
+
+    #[test]
+    fn controller_converges_on_excursion_and_respects_cooldown() {
+        let c = controller_with_squeeze(6, 40);
+        // A windowed step response may converge in two corrections (the
+        // first window straddles the step), but never thrashes.
+        assert!((1..=2).contains(&c.replans().len()), "{:?}", c.replans());
+        let first = &c.replans()[0];
+        assert!(first.batch >= 6, "cannot trip before the squeeze");
+        assert!(first.batch <= 10, "a 2.5x step must trip fast, got {}", first.batch);
+        for pair in c.replans().windows(2) {
+            assert!(pair[1].batch - pair[0].batch >= 4, "cooldown violated: {pair:?}");
+        }
+        assert!((c.estimate("node0.link") - 2.5).abs() < 0.2, "{:?}", c.replans());
+        assert_eq!(c.estimate("node9.link"), 1.0, "untouched channels stay nominal");
+    }
+
+    #[test]
+    fn controller_is_deterministic() {
+        let a = controller_with_squeeze(6, 40);
+        let b = controller_with_squeeze(6, 40);
+        assert_eq!(a.replans(), b.replans());
+    }
+
+    #[test]
+    fn cooldown_defers_but_does_not_drop_trips() {
+        let mut c = FeedbackController::new(FeedbackConfig {
+            drift_window: 8,
+            cooldown_batches: 10,
+            min_ratio_change: 0.15,
+        });
+        // First drift on the link channel trips and replans early.
+        for b in 0..4u64 {
+            for _ in 0..8 {
+                c.observe("node0.link", b as f64, 3.0);
+            }
+            c.end_batch(b, b as f64);
+        }
+        assert_eq!(c.replans().len(), 1);
+        let first = c.replans()[0].batch;
+        // A second channel drifts immediately after: its trip must wait
+        // out the cooldown, then land.
+        for b in 4..20u64 {
+            for _ in 0..8 {
+                c.observe("node1.cpu", b as f64, 2.0);
+                c.observe("node0.link", b as f64, 3.0);
+            }
+            c.end_batch(b, b as f64);
+        }
+        assert_eq!(c.replans().len(), 2, "{:?}", c.replans());
+        let second = c.replans()[1].batch;
+        assert!(second - first >= 10, "cooldown violated: {first} then {second}");
+        assert_eq!(c.replans()[1].channels[0].channel, "node1.cpu");
+    }
+
+    #[test]
+    fn deadband_suppresses_tiny_corrections() {
+        let mut c = FeedbackController::new(FeedbackConfig {
+            drift_window: 8,
+            cooldown_batches: 1,
+            min_ratio_change: 0.5,
+        });
+        // A real drift (1.7x) that is still inside the 50% deadband
+        // relative to... no: 1.7 vs 1.0 is 70% — outside. Use 1.3 (30%).
+        for b in 0..40u64 {
+            for _ in 0..8 {
+                c.observe("node0.cpu", b as f64, 1.3);
+            }
+            c.end_batch(b, b as f64);
+        }
+        assert!(c.replans().is_empty(), "{:?}", c.replans());
+        assert_eq!(c.estimate("node0.cpu"), 1.0);
+    }
+
+    #[test]
+    fn adaptive_run_matches_static_when_nothing_drifts() {
+        let (ps, pipeline, config) = setup(512, 8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 64);
+        let map = ShardMap::new(4, 2, 11);
+        let nodes = crate::ext::sharding::fleet_nodes(&config, 4);
+        let quiet = run_fleet_epoch_adaptive(&ctx, &map, &nodes, &[], None).unwrap();
+        let watched =
+            run_fleet_epoch_adaptive(&ctx, &map, &nodes, &[], Some(&FeedbackConfig::default()))
+                .unwrap();
+        assert!(watched.replans.is_empty(), "{:?}", watched.replans);
+        assert_eq!(quiet.epoch_seconds, watched.epoch_seconds);
+        assert_eq!(quiet.digest, watched.digest);
+    }
+
+    #[test]
+    fn adaptive_beats_static_under_chaos_with_identical_digests() {
+        let (ps, pipeline, config) = setup(2048, 2);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 64);
+        let map = ShardMap::new(4, 2, 11);
+        let nodes = crate::ext::sharding::fleet_nodes_sharing_link(&config, 4);
+        let batches = (ps.len() / 64) as u64;
+        let chaos = chaos_straggler_and_squeeze(17, 4, batches);
+        let static_run = run_fleet_epoch_adaptive(&ctx, &map, &nodes, &chaos, None).unwrap();
+        let feedback = FeedbackConfig { drift_window: 64, ..FeedbackConfig::default() };
+        let adaptive =
+            run_fleet_epoch_adaptive(&ctx, &map, &nodes, &chaos, Some(&feedback)).unwrap();
+        assert!(!adaptive.replans.is_empty(), "the chaos profile must trigger replanning");
+        assert!(
+            adaptive.epoch_seconds < static_run.epoch_seconds,
+            "adaptive {} vs static {}",
+            adaptive.epoch_seconds,
+            static_run.epoch_seconds
+        );
+        assert_eq!(adaptive.digest, static_run.digest, "replanning disturbed batch identity");
+        assert_eq!(adaptive.batches, static_run.batches);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_replan_points() {
+        let (ps, pipeline, config) = setup(1024, 8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 64);
+        let map = ShardMap::new(3, 2, 5);
+        let nodes = crate::ext::sharding::fleet_nodes(&config, 3);
+        let chaos = chaos_straggler_and_squeeze(83, 3, (ps.len() / 64) as u64);
+        let feedback = FeedbackConfig::default();
+        let a = run_fleet_epoch_adaptive(&ctx, &map, &nodes, &chaos, Some(&feedback)).unwrap();
+        let b = run_fleet_epoch_adaptive(&ctx, &map, &nodes, &chaos, Some(&feedback)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.replans.iter().map(|r| r.batch).collect::<Vec<_>>(),
+            b.replans.iter().map(|r| r.batch).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scheduled_replans_keep_live_loader_batches_bit_identical() {
+        // A controller-produced schedule drives the *real* loader through
+        // `scheduled_replans`: tensors must match a never-replanned run.
+        use crate::loader::{LoaderConfig, OffloadingLoader};
+        use netsim::Bandwidth;
+        use storage::{ObjectStore, ServerConfig, StorageServer};
+
+        const N: u64 = 10;
+        let ds = DatasetSpec::mini(N, 55);
+        let pipeline = PipelineSpec::standard_train();
+        let model = CostModel::realistic();
+        let plan = crate::OffloadPlan::from_splits(
+            ds.records().map(|r| r.analytic_profile(&pipeline, &model).best_split()).collect(),
+        );
+        let spawn = || {
+            StorageServer::spawn(
+                ObjectStore::materialize_dataset(&ds, 0..N),
+                ServerConfig {
+                    cores: 3,
+                    bandwidth: Bandwidth::from_gbps(10.0),
+                    queue_depth: 32,
+                    ..ServerConfig::default()
+                },
+            )
+        };
+        let run = |mut server: StorageServer,
+                   replan: &mut dyn FnMut(usize) -> Option<crate::OffloadPlan>| {
+            let mut loader = OffloadingLoader::new(
+                server.client(),
+                PipelineSpec::standard_train(),
+                plan.clone(),
+                LoaderConfig::new(ds.seed, 4),
+            )
+            .unwrap();
+            let mut out: Vec<Vec<f32>> = Vec::new();
+            loader.run_epoch_with_replan(1, |b| out.push(b.as_slice().to_vec()), replan).unwrap();
+            server.shutdown();
+            out
+        };
+        let steady = run(spawn(), &mut |_| None);
+        let mut schedule = BTreeMap::new();
+        schedule.insert(1usize, crate::OffloadPlan::none(N as usize));
+        schedule.insert(2usize, plan.clone());
+        let mut scheduled = scheduled_replans(schedule);
+        let replanned = run(spawn(), &mut scheduled);
+        assert_eq!(steady, replanned, "scheduled replans changed batch contents");
+        assert!(scheduled(1).is_none(), "each scheduled plan fires exactly once");
+    }
+
+    #[test]
+    fn chaos_profile_is_deterministic_and_in_range() {
+        let a = chaos_straggler_and_squeeze(42, 5, 100);
+        let b = chaos_straggler_and_squeeze(42, 5, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|e| e.node < 5));
+        assert_ne!(a[0].node, a[1].node, "straggler and squeeze hit different nodes");
+        assert!(a[0].at_batch < a[1].at_batch);
+    }
+}

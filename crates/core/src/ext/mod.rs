@@ -31,11 +31,16 @@
 //! * [`gpu_split`] — the paper's §5 "new opportunity": the same selective
 //!   minimum-size logic applied to the CPU→GPU PCIe hop (DALI-style
 //!   on-device tensor conversion).
+//! * [`feedback`] — live telemetry closing the loop mid-epoch: stage
+//!   observations become drift verdicts (`telemetry` crate), and a
+//!   cooldown-gated controller swaps in plans recomputed against the
+//!   estimated node parameters without disturbing batch identity.
 
 pub mod adaptive;
 pub mod caching;
 pub mod compression;
 pub mod degraded;
+pub mod feedback;
 pub mod fleet_caching;
 pub mod gpu_split;
 pub mod hetero;

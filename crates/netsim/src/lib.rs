@@ -34,6 +34,6 @@ mod token_bucket;
 
 pub use bandwidth::Bandwidth;
 pub use link::VirtualLink;
-pub use meter::{MeterSnapshot, TrafficMeter};
+pub use meter::{MeterInterval, MeterSnapshot, MeterWindow, TrafficMeter};
 pub use pipe::{PipeReceiver, PipeSender, RecvError, SendError, ThrottledPipe};
 pub use token_bucket::TokenBucket;

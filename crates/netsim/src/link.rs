@@ -38,6 +38,13 @@ impl VirtualLink {
         self.bandwidth
     }
 
+    /// Changes the link's bandwidth mid-run (a live squeeze or recovery).
+    /// In-flight transfers keep their already-computed completion times;
+    /// only transfers submitted afterwards see the new rate.
+    pub fn set_bandwidth(&mut self, bandwidth: Bandwidth) {
+        self.bandwidth = bandwidth;
+    }
+
     /// Submits a transfer of `bytes` at time `now`; returns its completion
     /// time. Zero-byte transfers still pay latency.
     ///

@@ -518,6 +518,29 @@ impl TcpStorageServer {
         self.stats.read().clone()
     }
 
+    /// Appends one observation per tenant counter to `hub` at time
+    /// `t_seconds` (the caller's clock): `tenant{id}.served`,
+    /// `tenant{id}.throttled`, and `tenant{id}.bytes`, all cumulative, so
+    /// `telemetry::windowed_rate` over the resulting series yields live
+    /// per-tenant serving and throttle rates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`telemetry::SeriesError`] when `t_seconds` rewinds a
+    /// series' clock (callers must sample with a monotonic clock).
+    pub fn export_tenant_telemetry(
+        &self,
+        hub: &mut telemetry::TelemetryHub,
+        t_seconds: f64,
+    ) -> Result<(), telemetry::SeriesError> {
+        for (id, stats) in self.tenant_stats() {
+            hub.push(&format!("tenant{id}.served"), t_seconds, stats.completed as f64)?;
+            hub.push(&format!("tenant{id}.throttled"), t_seconds, stats.throttled as f64)?;
+            hub.push(&format!("tenant{id}.bytes"), t_seconds, stats.bytes_sent as f64)?;
+        }
+        Ok(())
+    }
+
     /// Stops accepting, drains workers, and joins all threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -1629,6 +1652,30 @@ mod tests {
         assert_eq!(t7.throttled, 0);
         assert!(t7.bytes_sent > 3 * 150_528, "{t7:?}");
         assert_eq!(stats[&0].admitted, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tenant_telemetry_exports_rate_series() {
+        let (server, ds) = spawn_server(3, 2);
+        let mut hub = telemetry::TelemetryHub::new(64);
+        let mut client = TcpStorageClient::connect(server.local_addr()).unwrap().with_tenant(9);
+        client.configure(ds.seed, PipelineSpec::standard_train()).unwrap();
+        server.export_tenant_telemetry(&mut hub, 0.0).unwrap();
+        for s in 0..3u64 {
+            client.fetch(s, 0, SplitPoint::new(2)).unwrap();
+        }
+        server.export_tenant_telemetry(&mut hub, 2.0).unwrap();
+        let served = hub.series("tenant9.served").unwrap();
+        assert_eq!(served.len(), 2);
+        // 3 fetches over 2 seconds of caller clock.
+        let rate = served.rate_over(10.0, 2.0).unwrap();
+        assert!((rate - 1.5).abs() < 1e-9, "rate {rate}");
+        let throttled = hub.series("tenant9.throttled").unwrap();
+        assert_eq!(throttled.rate_over(10.0, 2.0), Some(0.0));
+        assert!(hub.series("tenant9.bytes").unwrap().newest().unwrap().value > 0.0);
+        // A clock rewind is a typed error, not silent corruption.
+        assert!(server.export_tenant_telemetry(&mut hub, 1.0).is_err());
         server.shutdown();
     }
 
