@@ -50,7 +50,7 @@ mod tests {
         assert_eq!(AudioData::Pcm(w.clone()).byte_len(), w.byte_len() as u64);
         let enc = crate::codec::encode(&w);
         assert_eq!(AudioData::Encoded(enc.clone()).byte_len(), enc.len() as u64);
-        let s = crate::mel::mel_spectrogram(&w, 256, 128, 32);
+        let s = crate::mel::mel_spectrogram(&w, 256, 128, 32).unwrap();
         assert_eq!(AudioData::Features(s.clone()).byte_len(), s.byte_len() as u64);
     }
 }

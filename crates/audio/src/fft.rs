@@ -6,16 +6,41 @@
 /// A complex number (re, im).
 pub type Complex = (f64, f64);
 
+/// Errors from the FFT kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FftError {
+    /// Radix-2 decimation needs a power-of-two size.
+    NotPowerOfTwo {
+        /// The rejected length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo { len } => {
+                write!(f, "FFT size must be a power of two, got {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
 /// In-place radix-2 decimation-in-time FFT.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `data.len()` is not a power of two.
-pub fn fft_in_place(data: &mut [Complex]) {
+/// [`FftError::NotPowerOfTwo`] when `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) -> Result<(), FftError> {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+    if !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo { len: n });
+    }
     if n <= 1 {
-        return;
+        return Ok(());
     }
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
@@ -47,17 +72,18 @@ pub fn fft_in_place(data: &mut [Complex]) {
         }
         len <<= 1;
     }
+    Ok(())
 }
 
 /// Power spectrum (|X_k|²) of a real frame, returning `n/2 + 1` bins.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `frame.len()` is not a power of two.
-pub fn power_spectrum(frame: &[f64]) -> Vec<f64> {
+/// [`FftError::NotPowerOfTwo`] when `frame.len()` is not a power of two.
+pub fn power_spectrum(frame: &[f64]) -> Result<Vec<f64>, FftError> {
     let mut data: Vec<Complex> = frame.iter().map(|&v| (v, 0.0)).collect();
-    fft_in_place(&mut data);
-    data[..frame.len() / 2 + 1].iter().map(|&(re, im)| re * re + im * im).collect()
+    fft_in_place(&mut data)?;
+    Ok(data[..frame.len() / 2 + 1].iter().map(|&(re, im)| re * re + im * im).collect())
 }
 
 #[cfg(test)]
@@ -87,7 +113,7 @@ mod tests {
             .map(|i| (((i * 37 + 11) % 17) as f64 - 8.0, ((i * 13) % 7) as f64 - 3.0))
             .collect();
         let expected = dft(&data);
-        fft_in_place(&mut data);
+        fft_in_place(&mut data).unwrap();
         for (a, b) in data.iter().zip(expected.iter()) {
             assert!((a.0 - b.0).abs() < 1e-9, "{a:?} vs {b:?}");
             assert!((a.1 - b.1).abs() < 1e-9, "{a:?} vs {b:?}");
@@ -101,7 +127,7 @@ mod tests {
         let frame: Vec<f64> = (0..n)
             .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).sin())
             .collect();
-        let spec = power_spectrum(&frame);
+        let spec = power_spectrum(&frame).unwrap();
         let peak = spec.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(peak, k0);
         let total: f64 = spec.iter().sum();
@@ -113,22 +139,24 @@ mod tests {
         let frame: Vec<f64> = (0..128).map(|i| ((i as f64) * 0.37).sin() * 3.0).collect();
         let time_energy: f64 = frame.iter().map(|v| v * v).sum();
         let mut data: Vec<Complex> = frame.iter().map(|&v| (v, 0.0)).collect();
-        fft_in_place(&mut data);
+        fft_in_place(&mut data).unwrap();
         let freq_energy: f64 = data.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 128.0;
         assert!((time_energy - freq_energy).abs() / time_energy < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn non_power_of_two_panics() {
+    fn non_power_of_two_is_a_typed_error() {
         let mut d = vec![(0.0, 0.0); 100];
-        fft_in_place(&mut d);
+        let err = fft_in_place(&mut d).unwrap_err();
+        assert_eq!(err, FftError::NotPowerOfTwo { len: 100 });
+        assert!(err.to_string().contains("power of two"));
+        assert_eq!(power_spectrum(&[0.0; 100]).unwrap_err(), FftError::NotPowerOfTwo { len: 100 });
     }
 
     #[test]
     fn size_one_is_identity() {
         let mut d = vec![(5.0, -2.0)];
-        fft_in_place(&mut d);
+        fft_in_place(&mut d).unwrap();
         assert_eq!(d, vec![(5.0, -2.0)]);
     }
 }

@@ -42,4 +42,4 @@ pub use corpus::{AudioDatasetSpec, ClipRecord};
 pub use data::AudioData;
 pub use ops::{AudioOp, AudioPipeline, AudioPipelineError};
 pub use profile::{profile_clip, AUDIO_OP_LABELS};
-pub use waveform::{SynthAudioSpec, Waveform};
+pub use waveform::{SynthAudioSpec, Waveform, WaveformError};

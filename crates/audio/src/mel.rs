@@ -2,8 +2,66 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::fft::power_spectrum;
+use crate::fft::{power_spectrum, FftError};
 use crate::Waveform;
+
+/// Errors from mel feature extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MelError {
+    /// A filterbank needs at least one filter.
+    ZeroMels,
+    /// The FFT size must be a power of two.
+    BadFftSize {
+        /// The rejected size.
+        n_fft: usize,
+    },
+    /// A sample rate of zero makes the Nyquist limit undefined.
+    ZeroSampleRate,
+    /// A hop of zero would never advance between frames.
+    ZeroHop,
+    /// The waveform is shorter than one analysis frame.
+    FrameTooShort {
+        /// Samples available.
+        len: usize,
+        /// Samples one frame needs.
+        n_fft: usize,
+    },
+    /// The FFT kernel rejected a frame.
+    Fft(FftError),
+}
+
+impl std::fmt::Display for MelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MelError::ZeroMels => write!(f, "need at least one mel filter"),
+            MelError::BadFftSize { n_fft } => {
+                write!(f, "n_fft must be a power of two, got {n_fft}")
+            }
+            MelError::ZeroSampleRate => write!(f, "sample rate must be positive"),
+            MelError::ZeroHop => write!(f, "hop must be positive"),
+            MelError::FrameTooShort { len, n_fft } => {
+                write!(f, "waveform of {len} samples is shorter than one {n_fft}-sample frame")
+            }
+            MelError::Fft(e) => write!(f, "FFT failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MelError::Fft(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FftError> for MelError {
+    fn from(e: FftError) -> MelError {
+        MelError::Fft(e)
+    }
+}
 
 /// Hz → mel (HTK convention).
 pub fn hz_to_mel(hz: f64) -> f64 {
@@ -17,14 +75,24 @@ pub fn mel_to_hz(mel: f64) -> f64 {
 
 /// Triangular mel filterbank: `n_mels` filters over `n_fft/2 + 1` bins.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics for degenerate parameters (zero filters, zero rate, `n_fft` not a
-/// power of two).
-pub fn filterbank(n_mels: usize, n_fft: usize, sample_rate: u32) -> Vec<Vec<f64>> {
-    assert!(n_mels > 0, "need at least one mel filter");
-    assert!(n_fft.is_power_of_two(), "n_fft must be a power of two");
-    assert!(sample_rate > 0, "sample rate must be positive");
+/// [`MelError`] for degenerate parameters (zero filters, zero rate, `n_fft`
+/// not a power of two).
+pub fn filterbank(
+    n_mels: usize,
+    n_fft: usize,
+    sample_rate: u32,
+) -> Result<Vec<Vec<f64>>, MelError> {
+    if n_mels == 0 {
+        return Err(MelError::ZeroMels);
+    }
+    if !n_fft.is_power_of_two() {
+        return Err(MelError::BadFftSize { n_fft });
+    }
+    if sample_rate == 0 {
+        return Err(MelError::ZeroSampleRate);
+    }
     let n_bins = n_fft / 2 + 1;
     let f_max = f64::from(sample_rate) / 2.0;
     let mel_max = hz_to_mel(f_max);
@@ -32,7 +100,7 @@ pub fn filterbank(n_mels: usize, n_fft: usize, sample_rate: u32) -> Vec<Vec<f64>
     let points: Vec<f64> =
         (0..n_mels + 2).map(|i| mel_to_hz(mel_max * i as f64 / (n_mels + 1) as f64)).collect();
     let bin_of = |hz: f64| hz / f_max * (n_bins - 1) as f64;
-    (0..n_mels)
+    Ok((0..n_mels)
         .map(|m| {
             let (lo, mid, hi) = (bin_of(points[m]), bin_of(points[m + 1]), bin_of(points[m + 2]));
             (0..n_bins)
@@ -48,7 +116,7 @@ pub fn filterbank(n_mels: usize, n_fft: usize, sample_rate: u32) -> Vec<Vec<f64>
                 })
                 .collect()
         })
-        .collect()
+        .collect())
 }
 
 /// A log-mel spectrogram: `n_mels × frames` features, stored frame-major.
@@ -107,13 +175,23 @@ impl Spectrogram {
 /// Frames of `n_fft` samples advance by `hop`; each frame is Hann-windowed,
 /// transformed, pooled through the mel filterbank, and log-compressed.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics for degenerate parameters or a waveform shorter than one frame.
-pub fn mel_spectrogram(w: &Waveform, n_fft: usize, hop: usize, n_mels: usize) -> Spectrogram {
-    assert!(hop > 0, "hop must be positive");
-    assert!(w.len() >= n_fft, "waveform shorter than one frame");
-    let bank = filterbank(n_mels, n_fft, w.sample_rate());
+/// [`MelError`] for degenerate parameters or a waveform shorter than one
+/// frame.
+pub fn mel_spectrogram(
+    w: &Waveform,
+    n_fft: usize,
+    hop: usize,
+    n_mels: usize,
+) -> Result<Spectrogram, MelError> {
+    if hop == 0 {
+        return Err(MelError::ZeroHop);
+    }
+    if w.len() < n_fft {
+        return Err(MelError::FrameTooShort { len: w.len(), n_fft });
+    }
+    let bank = filterbank(n_mels, n_fft, w.sample_rate())?;
     let window: Vec<f64> = (0..n_fft)
         .map(|i| 0.5 - 0.5 * (2.0 * std::f64::consts::PI * i as f64 / (n_fft - 1) as f64).cos())
         .collect();
@@ -126,13 +204,13 @@ pub fn mel_spectrogram(w: &Waveform, n_fft: usize, hop: usize, n_mels: usize) ->
         for (i, b) in frame_buf.iter_mut().enumerate() {
             *b = f64::from(samples[start + i]) / 32768.0 * window[i];
         }
-        let spec = power_spectrum(&frame_buf);
+        let spec = power_spectrum(&frame_buf)?;
         for filt in &bank {
             let energy: f64 = filt.iter().zip(spec.iter()).map(|(a, b)| a * b).sum();
             data.push((energy + 1e-10).ln() as f32);
         }
     }
-    Spectrogram { n_mels, frames: n_frames, data }
+    Ok(Spectrogram { n_mels, frames: n_frames, data })
 }
 
 #[cfg(test)]
@@ -149,7 +227,7 @@ mod tests {
 
     #[test]
     fn filterbank_covers_spectrum() {
-        let bank = filterbank(40, 512, 16_000);
+        let bank = filterbank(40, 512, 16_000).unwrap();
         assert_eq!(bank.len(), 40);
         assert_eq!(bank[0].len(), 257);
         // Every filter has some mass; interior bins are covered by some filter.
@@ -164,7 +242,7 @@ mod tests {
     #[test]
     fn spectrogram_shape_and_size() {
         let w = SynthAudioSpec::new(16_000, 1.0).render(1); // 16 000 samples
-        let s = mel_spectrogram(&w, 512, 256, 64);
+        let s = mel_spectrogram(&w, 512, 256, 64).unwrap();
         assert_eq!(s.n_mels(), 64);
         assert_eq!(s.frames(), (16_000 - 512) / 256 + 1);
         assert_eq!(s.byte_len(), s.n_mels() * s.frames() * 4);
@@ -185,7 +263,7 @@ mod tests {
             })
             .collect();
         let w = Waveform::new(sr, samples);
-        let s = mel_spectrogram(&w, 512, 256, 40);
+        let s = mel_spectrogram(&w, 512, 256, 40).unwrap();
         // Average each band over time.
         let band_energy: Vec<f64> =
             (0..40).map(|m| (0..s.frames()).map(|f| f64::from(s.get(m, f))).sum::<f64>()).collect();
@@ -199,7 +277,7 @@ mod tests {
     #[test]
     fn normalize_standardizes() {
         let w = SynthAudioSpec::new(8_000, 0.5).render(2);
-        let mut s = mel_spectrogram(&w, 256, 128, 32);
+        let mut s = mel_spectrogram(&w, 256, 128, 32).unwrap();
         s.normalize();
         let n = s.as_slice().len() as f64;
         let mean: f64 = s.as_slice().iter().map(|&v| f64::from(v)).sum::<f64>() / n;
@@ -207,5 +285,22 @@ mod tests {
             s.as_slice().iter().map(|&v| f64::from(v).powi(2)).sum::<f64>() / n - mean * mean;
         assert!(mean.abs() < 1e-3, "mean {mean}");
         assert!((var - 1.0).abs() < 1e-2, "var {var}");
+    }
+
+    #[test]
+    fn degenerate_parameters_are_typed_errors() {
+        let w = SynthAudioSpec::new(8_000, 0.5).render(2);
+        assert_eq!(filterbank(0, 512, 16_000).unwrap_err(), MelError::ZeroMels);
+        assert_eq!(filterbank(40, 500, 16_000).unwrap_err(), MelError::BadFftSize { n_fft: 500 });
+        assert_eq!(filterbank(40, 512, 0).unwrap_err(), MelError::ZeroSampleRate);
+        assert_eq!(mel_spectrogram(&w, 256, 0, 32).unwrap_err(), MelError::ZeroHop);
+        assert_eq!(
+            mel_spectrogram(&w, 8_192, 128, 32).unwrap_err(),
+            MelError::FrameTooShort { len: w.len(), n_fft: 8_192 }
+        );
+        // FftError converts (and chains as a source) through MelError.
+        let e = MelError::from(crate::fft::FftError::NotPowerOfTwo { len: 100 });
+        assert_eq!(e, MelError::Fft(crate::fft::FftError::NotPowerOfTwo { len: 100 }));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

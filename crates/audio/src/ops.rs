@@ -8,7 +8,8 @@
 use pipeline::{AugmentRng, SampleKey, SplitPoint};
 
 use crate::codec::AudioCodecError;
-use crate::mel::mel_spectrogram;
+use crate::mel::{mel_spectrogram, MelError};
+use crate::waveform::WaveformError;
 use crate::AudioData;
 
 /// An audio preprocessing operation.
@@ -41,6 +42,12 @@ pub enum AudioOp {
 }
 
 impl AudioOp {
+    /// Whether this op draws from the augmentation stream (its output
+    /// varies per epoch).
+    pub fn is_random(self) -> bool {
+        matches!(self, AudioOp::RandomCrop { .. })
+    }
+
     /// Short name for traces and profiles.
     pub fn name(self) -> &'static str {
         match self {
@@ -68,7 +75,7 @@ impl AudioOp {
                 Ok(AudioData::Pcm(crate::codec::decode(&bytes)?))
             }
             (AudioOp::Resample { to_hz }, AudioData::Pcm(w)) => {
-                Ok(AudioData::Pcm(w.resample(to_hz)))
+                Ok(AudioData::Pcm(w.resample(to_hz)?))
             }
             (AudioOp::RandomCrop { millis }, AudioData::Pcm(w)) => {
                 let want = (u64::from(millis) * u64::from(w.sample_rate()) / 1000) as usize;
@@ -76,7 +83,7 @@ impl AudioOp {
                     return Ok(AudioData::Pcm(w));
                 }
                 let offset = rng.next_below((w.len() - want + 1) as u64) as usize;
-                Ok(AudioData::Pcm(w.window(offset, want)))
+                Ok(AudioData::Pcm(w.window(offset, want)?))
             }
             (AudioOp::MelSpectrogram { n_fft, hop, n_mels }, AudioData::Pcm(w)) => {
                 Ok(AudioData::Features(mel_spectrogram(
@@ -84,7 +91,7 @@ impl AudioOp {
                     usize::from(n_fft),
                     usize::from(hop),
                     usize::from(n_mels),
-                )))
+                )?))
             }
             (AudioOp::Normalize, AudioData::Features(mut s)) => {
                 s.normalize();
@@ -115,6 +122,10 @@ pub enum AudioPipelineError {
     },
     /// Decoding the stored bytes failed.
     Codec(AudioCodecError),
+    /// A waveform kernel (resample/window) rejected its parameters.
+    Waveform(WaveformError),
+    /// Mel feature extraction failed.
+    Mel(MelError),
     /// A split exceeds the pipeline length.
     SplitOutOfRange {
         /// Requested split.
@@ -131,6 +142,8 @@ impl std::fmt::Display for AudioPipelineError {
                 write!(f, "op {op:?} cannot consume {got} data")
             }
             AudioPipelineError::Codec(e) => write!(f, "audio decode failed: {e}"),
+            AudioPipelineError::Waveform(e) => write!(f, "waveform op failed: {e}"),
+            AudioPipelineError::Mel(e) => write!(f, "mel extraction failed: {e}"),
             AudioPipelineError::SplitOutOfRange { split, len } => {
                 write!(f, "split {split} out of range for {len}-op pipeline")
             }
@@ -138,11 +151,32 @@ impl std::fmt::Display for AudioPipelineError {
     }
 }
 
-impl std::error::Error for AudioPipelineError {}
+impl std::error::Error for AudioPipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AudioPipelineError::Codec(e) => Some(e),
+            AudioPipelineError::Waveform(e) => Some(e),
+            AudioPipelineError::Mel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<AudioCodecError> for AudioPipelineError {
     fn from(e: AudioCodecError) -> Self {
         AudioPipelineError::Codec(e)
+    }
+}
+
+impl From<WaveformError> for AudioPipelineError {
+    fn from(e: WaveformError) -> Self {
+        AudioPipelineError::Waveform(e)
+    }
+}
+
+impl From<MelError> for AudioPipelineError {
+    fn from(e: MelError) -> Self {
+        AudioPipelineError::Mel(e)
     }
 }
 
@@ -248,6 +282,40 @@ impl AudioPipeline {
     }
 }
 
+impl pipeline::Modality for AudioPipeline {
+    fn modality_name(&self) -> &'static str {
+        "audio"
+    }
+
+    fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn op_name(&self, idx: usize) -> &'static str {
+        self.ops[idx].name()
+    }
+
+    fn op_is_random(&self, idx: usize) -> bool {
+        self.ops[idx].is_random()
+    }
+
+    fn stage_supports_reencode(&self, _stage: usize) -> bool {
+        // PCM and mel intermediates have no lossy re-encode pass; the
+        // selective-compression planner is a no-op for audio.
+        false
+    }
+
+    fn resize_off_split(&self) -> SplitPoint {
+        // The size-reducing op analogous to the image crop is the random
+        // window: Resize-Off offloads everything up to and including it.
+        self.ops
+            .iter()
+            .position(|op| matches!(op, AudioOp::RandomCrop { .. }))
+            .map(|i| SplitPoint::new(i + 1))
+            .unwrap_or(SplitPoint::NONE)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +372,25 @@ mod tests {
             .run(AudioData::Encoded(crate::codec::encode(&w)), SampleKey::new(0, 0, 0))
             .unwrap();
         assert!(out.as_features().is_some());
+    }
+
+    #[test]
+    fn modality_impl_matches_pipeline_structure() {
+        use pipeline::Modality;
+        let spec = AudioPipeline::standard_train();
+        let m: &dyn Modality = &spec;
+        assert_eq!(m.modality_name(), "audio");
+        assert_eq!(m.op_count(), 5);
+        assert_eq!(m.op_name(0), "audio_decode");
+        // Only the random window is epoch-varying: the cacheable prefix
+        // is Decode + Resample, and Resize-Off splits after the crop.
+        assert_eq!(m.deterministic_prefix_ops(), 2);
+        assert!(m.split_is_epoch_stable(SplitPoint::new(2)));
+        assert!(!m.split_is_epoch_stable(SplitPoint::new(3)));
+        assert_eq!(m.resize_off_split(), SplitPoint::new(3));
+        for stage in 0..=5 {
+            assert!(!m.stage_supports_reencode(stage), "audio never re-encodes");
+        }
     }
 
     #[test]

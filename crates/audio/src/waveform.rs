@@ -2,6 +2,43 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Errors from waveform construction and slicing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WaveformError {
+    /// A sample rate of zero makes duration undefined.
+    ZeroSampleRate,
+    /// A waveform must carry at least one sample.
+    EmptySamples,
+    /// A resample target rate of zero is degenerate.
+    ZeroTargetRate,
+    /// A requested window does not fit in the waveform.
+    WindowOutOfRange {
+        /// First sample of the window.
+        offset: usize,
+        /// Requested window length (zero is also rejected).
+        len: usize,
+        /// Samples actually available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveformError::ZeroSampleRate => write!(f, "sample rate must be positive"),
+            WaveformError::EmptySamples => write!(f, "waveform must be non-empty"),
+            WaveformError::ZeroTargetRate => write!(f, "resample target rate must be positive"),
+            WaveformError::WindowOutOfRange { offset, len, available } => write!(
+                f,
+                "window out of range: {len} samples at offset {offset} from {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}
+
 /// A mono PCM waveform with 16-bit samples.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Waveform {
@@ -14,11 +51,26 @@ impl Waveform {
     ///
     /// # Panics
     ///
-    /// Panics when `sample_rate` is zero or `samples` is empty.
+    /// Panics when `sample_rate` is zero or `samples` is empty; use
+    /// [`Waveform::try_new`] to handle untrusted dimensions.
     pub fn new(sample_rate: u32, samples: Vec<i16>) -> Waveform {
-        assert!(sample_rate > 0, "sample rate must be positive");
-        assert!(!samples.is_empty(), "waveform must be non-empty");
-        Waveform { sample_rate, samples }
+        Waveform::try_new(sample_rate, samples).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor for untrusted dimensions.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::ZeroSampleRate`] / [`WaveformError::EmptySamples`]
+    /// for degenerate inputs.
+    pub fn try_new(sample_rate: u32, samples: Vec<i16>) -> Result<Waveform, WaveformError> {
+        if sample_rate == 0 {
+            return Err(WaveformError::ZeroSampleRate);
+        }
+        if samples.is_empty() {
+            return Err(WaveformError::EmptySamples);
+        }
+        Ok(Waveform { sample_rate, samples })
     }
 
     /// Samples per second.
@@ -54,13 +106,15 @@ impl Waveform {
 
     /// Linear-interpolation resample to `target_rate`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `target_rate` is zero.
-    pub fn resample(&self, target_rate: u32) -> Waveform {
-        assert!(target_rate > 0, "target rate must be positive");
+    /// [`WaveformError::ZeroTargetRate`] when `target_rate` is zero.
+    pub fn resample(&self, target_rate: u32) -> Result<Waveform, WaveformError> {
+        if target_rate == 0 {
+            return Err(WaveformError::ZeroTargetRate);
+        }
         if target_rate == self.sample_rate {
-            return self.clone();
+            return Ok(self.clone());
         }
         let ratio = f64::from(self.sample_rate) / f64::from(target_rate);
         let out_len = ((self.samples.len() as f64) / ratio).floor().max(1.0) as usize;
@@ -75,21 +129,24 @@ impl Waveform {
                 v.round().clamp(-32768.0, 32767.0) as i16
             })
             .collect();
-        Waveform { sample_rate: target_rate, samples }
+        Ok(Waveform { sample_rate: target_rate, samples })
     }
 
     /// The window of `len` samples starting at `offset`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the window exceeds the waveform.
-    pub fn window(&self, offset: usize, len: usize) -> Waveform {
-        assert!(offset + len <= self.samples.len(), "window out of range");
-        assert!(len > 0, "window must be non-empty");
-        Waveform {
+    /// [`WaveformError::WindowOutOfRange`] when the window exceeds the
+    /// waveform or `len` is zero.
+    pub fn window(&self, offset: usize, len: usize) -> Result<Waveform, WaveformError> {
+        let available = self.samples.len();
+        if len == 0 || offset.checked_add(len).is_none_or(|end| end > available) {
+            return Err(WaveformError::WindowOutOfRange { offset, len, available });
+        }
+        Ok(Waveform {
             sample_rate: self.sample_rate,
             samples: self.samples[offset..offset + len].to_vec(),
-        }
+        })
     }
 }
 
@@ -195,26 +252,37 @@ mod tests {
     #[test]
     fn resample_halves_and_doubles() {
         let w = SynthAudioSpec::new(32_000, 1.0).tonality(1.0).render(2);
-        let down = w.resample(16_000);
+        let down = w.resample(16_000).unwrap();
         assert_eq!(down.sample_rate(), 16_000);
         assert!((down.len() as f64 - 16_000.0).abs() <= 1.0);
-        let same = w.resample(32_000);
+        let same = w.resample(32_000).unwrap();
         assert_eq!(same, w);
     }
 
     #[test]
     fn window_extracts_exact_slice() {
         let w = SynthAudioSpec::new(8_000, 1.0).render(5);
-        let win = w.window(100, 256);
+        let win = w.window(100, 256).unwrap();
         assert_eq!(win.len(), 256);
         assert_eq!(win.samples()[0], w.samples()[100]);
     }
 
     #[test]
-    #[should_panic(expected = "window out of range")]
-    fn oversized_window_panics() {
+    fn degenerate_shapes_are_typed_errors() {
         let w = SynthAudioSpec::new(8_000, 0.1).render(5);
-        let _ = w.window(0, w.len() + 1);
+        let avail = w.len();
+        assert_eq!(
+            w.window(0, avail + 1).unwrap_err(),
+            WaveformError::WindowOutOfRange { offset: 0, len: avail + 1, available: avail }
+        );
+        assert_eq!(
+            w.window(3, 0).unwrap_err(),
+            WaveformError::WindowOutOfRange { offset: 3, len: 0, available: avail }
+        );
+        assert_eq!(w.resample(0).unwrap_err(), WaveformError::ZeroTargetRate);
+        assert_eq!(Waveform::try_new(0, vec![1]).unwrap_err(), WaveformError::ZeroSampleRate);
+        assert_eq!(Waveform::try_new(8_000, vec![]).unwrap_err(), WaveformError::EmptySamples);
+        assert!(w.window(0, avail + 1).unwrap_err().to_string().contains("window out of range"));
     }
 
     #[test]

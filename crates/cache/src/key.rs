@@ -7,11 +7,14 @@
 //! epochs and must never be replayed across them. [`StableSplit`] encodes
 //! that rule in the type layer: the only way to obtain one is
 //! [`StableSplit::try_new`], which consults
-//! [`PipelineSpec::split_is_epoch_stable`] — so a [`CacheKey`] (which can
+//! [`Modality::split_is_epoch_stable`] — so a [`CacheKey`] (which can
 //! only be built from a `StableSplit`) is proof that the cached bytes are
-//! safe to serve in any epoch. The key deliberately has **no epoch field**.
+//! safe to serve in any epoch. The key deliberately has **no epoch field**,
+//! and it carries the **modality name**, so entries from two pipelines that
+//! happen to share a dataset seed and sample index (say, image sample 7 and
+//! audio clip 7) can never alias.
 
-use pipeline::{PipelineSpec, SplitPoint};
+use pipeline::{Modality, SplitPoint};
 
 /// Errors from cache-key construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,19 +54,22 @@ impl std::error::Error for CacheError {}
 pub struct StableSplit(SplitPoint);
 
 impl StableSplit {
-    /// Validates `split` against `pipeline`'s deterministic prefix.
+    /// Validates `split` against the modality's deterministic prefix.
+    ///
+    /// Any concrete pipeline (`&PipelineSpec`, `&AudioPipeline`) coerces
+    /// into the `&dyn Modality` parameter.
     ///
     /// # Errors
     ///
     /// [`CacheError::UnstableSplit`] when the split is past the first
     /// randomized op (or past the end of the pipeline).
-    pub fn try_new(split: SplitPoint, pipeline: &PipelineSpec) -> Result<StableSplit, CacheError> {
-        if pipeline.split_is_epoch_stable(split) {
+    pub fn try_new(split: SplitPoint, modality: &dyn Modality) -> Result<StableSplit, CacheError> {
+        if modality.split_is_epoch_stable(split) {
             Ok(StableSplit(split))
         } else {
             Err(CacheError::UnstableSplit {
                 split: split.offloaded_ops(),
-                stable_ops: pipeline.deterministic_prefix_ops(),
+                stable_ops: modality.deterministic_prefix_ops(),
             })
         }
     }
@@ -81,12 +87,17 @@ impl StableSplit {
 
 /// Identity of a cached representation.
 ///
-/// Two fetches hit the same entry iff they come from the same dataset, name
-/// the same sample, ask for the same (stable) split, and carry the same
-/// re-compression directive. Epoch is intentionally absent: stability of
-/// the split (enforced by [`StableSplit`]) is what makes that sound.
+/// Two fetches hit the same entry iff they come from the same modality and
+/// dataset, name the same sample, ask for the same (stable) split, and
+/// carry the same re-compression directive. Epoch is intentionally absent:
+/// stability of the split (enforced by [`StableSplit`]) is what makes that
+/// sound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
+    /// Modality name ([`Modality::modality_name`]): image and audio entries
+    /// for the same `(dataset_seed, sample_id)` are different bytes and
+    /// must never collide.
+    pub modality: &'static str,
     /// Dataset seed (distinguishes datasets and their augmentation keying).
     pub dataset_seed: u64,
     /// Sample id within the dataset.
@@ -100,7 +111,7 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Builds a key after proving the split stable for `pipeline`.
+    /// Builds a key after proving the split stable for the modality.
     ///
     /// # Errors
     ///
@@ -110,12 +121,13 @@ impl CacheKey {
         sample_id: u64,
         split: SplitPoint,
         reencode_quality: Option<u8>,
-        pipeline: &PipelineSpec,
+        modality: &dyn Modality,
     ) -> Result<CacheKey, CacheError> {
         Ok(CacheKey {
+            modality: modality.modality_name(),
             dataset_seed,
             sample_id,
-            split: StableSplit::try_new(split, pipeline)?,
+            split: StableSplit::try_new(split, modality)?,
             reencode_quality,
         })
     }
@@ -124,6 +136,22 @@ impl CacheKey {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipeline::PipelineSpec;
+
+    #[test]
+    fn modalities_never_alias() {
+        // Image sample 7 and audio clip 7 from seed 1, both at a stable
+        // split, must land in different cache entries.
+        let image = PipelineSpec::standard_train();
+        let audio = audio::AudioPipeline::standard_train();
+        let img_key = CacheKey::try_new(1, 7, SplitPoint::NONE, None, &image).unwrap();
+        let audio_key = CacheKey::try_new(1, 7, SplitPoint::NONE, None, &audio).unwrap();
+        assert_ne!(img_key, audio_key, "cross-modality cache collision");
+        // Audio's deterministic prefix is deeper than imagery's: split 2
+        // (decode + resample) caches for audio, not for images.
+        assert!(CacheKey::try_new(1, 7, SplitPoint::new(2), None, &audio).is_ok());
+        assert!(CacheKey::try_new(1, 7, SplitPoint::new(2), None, &image).is_err());
+    }
 
     #[test]
     fn stable_splits_accepted_unstable_rejected() {

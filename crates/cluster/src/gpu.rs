@@ -33,14 +33,24 @@ impl GpuModel {
         }
     }
 
-    /// GPU seconds per batch of `batch_size` images.
+    /// GPU seconds consumed per sample, whatever the modality.
+    ///
+    /// Alias of [`seconds_per_image`](GpuModel::seconds_per_image): the
+    /// simulator charges the GPU per *sample*, so an audio workload uses
+    /// `Custom` with its measured per-clip step time and nothing else in
+    /// the cluster model cares which modality the bytes carried.
+    pub fn seconds_per_sample(self) -> f64 {
+        self.seconds_per_image()
+    }
+
+    /// GPU seconds per batch of `batch_size` samples.
     ///
     /// # Panics
     ///
     /// Panics when `batch_size` is zero.
     pub fn seconds_per_batch(self, batch_size: usize) -> f64 {
         assert!(batch_size > 0, "batch size must be positive");
-        self.seconds_per_image() * batch_size as f64
+        self.seconds_per_sample() * batch_size as f64
     }
 
     /// Display name.
@@ -81,5 +91,6 @@ mod tests {
         let m = GpuModel::Custom { seconds_per_image: 0.01 };
         assert_eq!(m.seconds_per_batch(10), 0.1);
         assert_eq!(m.name(), "custom");
+        assert_eq!(m.seconds_per_sample(), m.seconds_per_image());
     }
 }

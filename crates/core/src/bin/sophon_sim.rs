@@ -5,7 +5,7 @@
 //!     --dataset openimages --samples 8192 --storage-cores 4 --policy all
 //! ```
 
-use sophon::cli::CliOptions;
+use sophon::cli::{CliOptions, ModalityChoice};
 use sophon::policy::standard_policies;
 
 fn main() {
@@ -36,6 +36,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if opts.modality == ModalityChoice::Audio {
+        run_audio(&opts, explain, trace_n);
+        return;
+    }
 
     let scenario = opts.scenario();
     println!(
@@ -455,6 +460,100 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
                 ),
                 Err(e) => println!("{:<12} failed: {e}", p.name()),
             }
+        }
+    }
+}
+
+/// The `--modality audio` path: plan the speech-like mel front-end with
+/// the same policies and cluster, using per-clip *measured* profiles
+/// instead of the imagery cost model.
+fn run_audio(opts: &CliOptions, explain: bool, trace_n: Option<usize>) {
+    let workload = opts.workload();
+    let config = opts.cluster_config();
+    println!(
+        "scenario: speech-like x{} ({} modality) | {} | {} storage cores, {} compute cores, \
+         {} GPU(s), {:.0} Mbps",
+        workload.len(),
+        workload.modality_name(),
+        opts.model.name(),
+        config.storage_cores,
+        config.compute_cores,
+        config.gpus,
+        config.link_bps / 1e6,
+    );
+
+    let profiles = match workload.profiles() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: audio profiling failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let ctx = sophon::engine::PlanningContext::new(
+        &profiles,
+        workload.modality(),
+        &config,
+        opts.model,
+        opts.batch,
+    );
+
+    if explain {
+        let (_, report) = sophon::explain::ExplainReport::compute(&ctx);
+        println!(
+            "
+SOPHON decision trace:
+{}",
+            report.render()
+        );
+    }
+
+    if let Some(n) = trace_n {
+        let plan = sophon::engine::DecisionEngine::new().plan(&ctx);
+        let works = plan.to_sample_works(&profiles).expect("plan matches profiles");
+        let spec = cluster::EpochSpec::new(works, opts.batch, opts.model);
+        match cluster::simulate_epoch_traced(&config, &spec) {
+            Ok(trace) => {
+                println!(
+                    "
+SOPHON epoch timeline (first {n} clips, virtual seconds):"
+                );
+                println!("{}", trace.render_head(n));
+            }
+            Err(e) => eprintln!("trace unavailable: {e}"),
+        }
+    }
+
+    let policies = standard_policies();
+    let selected: Vec<_> =
+        policies.iter().filter(|p| opts.policy == "all" || p.name() == opts.policy).collect();
+    println!(
+        "\n{:<12} {:>11} {:>13} {:>11} {:>10} {:>9}",
+        "policy", "epoch (s)", "traffic (MB)", "offloaded", "reduction", "class"
+    );
+    for p in selected {
+        let report = sophon::profiler::Stage1Probe::run(&ctx)
+            .map(|probe| probe.classify())
+            .and_then(|class| {
+                let plan = p.plan(&ctx)?;
+                let summary = plan.summarize(&profiles)?;
+                let works = plan.to_sample_works(&profiles)?;
+                let epoch = cluster::simulate_epoch(
+                    &config,
+                    &cluster::EpochSpec::new(works, opts.batch, opts.model),
+                )?;
+                Ok((class, summary, epoch))
+            });
+        match report {
+            Ok((class, summary, epoch)) => println!(
+                "{:<12} {:>11.1} {:>13.2} {:>11} {:>9.2}x {:>9}",
+                p.name(),
+                epoch.epoch_seconds,
+                epoch.traffic_bytes as f64 / 1e6,
+                summary.offloaded_samples,
+                summary.traffic_reduction(),
+                format!("{:?}", class),
+            ),
+            Err(e) => println!("{:<12} failed: {e}", p.name()),
         }
     }
 }

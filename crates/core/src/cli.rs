@@ -30,6 +30,25 @@ impl ChaosProfile {
     }
 }
 
+/// Which data modality the simulated workload preprocesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModalityChoice {
+    /// Imagery through the paper's five-op pipeline.
+    Image,
+    /// Speech-like audio through the mel front-end.
+    Audio,
+}
+
+impl ModalityChoice {
+    /// The modality's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModalityChoice::Image => "image",
+            ModalityChoice::Audio => "audio",
+        }
+    }
+}
+
 /// Which corpus to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetChoice {
@@ -44,6 +63,8 @@ pub enum DatasetChoice {
 /// A fully parsed `sophon-sim` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliOptions {
+    /// Data modality of the workload.
+    pub modality: ModalityChoice,
     /// Corpus family.
     pub dataset: DatasetChoice,
     /// Sample count.
@@ -100,6 +121,7 @@ pub struct CliOptions {
 impl Default for CliOptions {
     fn default() -> Self {
         CliOptions {
+            modality: ModalityChoice::Image,
             dataset: DatasetChoice::OpenImages,
             samples: 8_192,
             seed: 42,
@@ -150,6 +172,13 @@ impl CliOptions {
             let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
             let value = value.as_ref();
             match flag {
+                "--modality" => {
+                    opts.modality = match value {
+                        "image" => ModalityChoice::Image,
+                        "audio" => ModalityChoice::Audio,
+                        other => return Err(format!("unknown modality '{other}'")),
+                    }
+                }
                 "--dataset" => {
                     opts.dataset = match value {
                         "openimages" => DatasetChoice::OpenImages,
@@ -269,6 +298,25 @@ impl CliOptions {
         Ok(opts)
     }
 
+    /// Materializes the modality-tagged workload: the corpus paired with
+    /// its preprocessing pipeline, behind [`crate::workload::ModalWorkload`]'s
+    /// dispatch.
+    ///
+    /// `--dataset` picks the image corpus family; the audio modality has
+    /// a single speech-like corpus family, so it reads only `--samples`
+    /// and `--seed`.
+    pub fn workload(&self) -> crate::workload::ModalWorkload {
+        use crate::workload::ModalWorkload;
+        match self.modality {
+            ModalityChoice::Image => ModalWorkload::Image {
+                dataset: self.dataset_spec(),
+                pipeline: pipeline::PipelineSpec::standard_train(),
+                cost_model: pipeline::CostModel::realistic(),
+            },
+            ModalityChoice::Audio => ModalWorkload::audio_standard(self.samples, self.seed),
+        }
+    }
+
     /// Materializes the corpus spec.
     pub fn dataset_spec(&self) -> DatasetSpec {
         match self.dataset {
@@ -365,7 +413,8 @@ impl CliOptions {
 
     /// One line per flag, for `--help`-style output.
     pub fn usage() -> &'static str {
-        "sophon-sim [--dataset openimages|imagenet|mini] [--samples N] [--seed N]\n\
+        "sophon-sim [--modality image|audio]\n\
+         \u{20}          [--dataset openimages|imagenet|mini] [--samples N] [--seed N]\n\
          \u{20}          [--policy all|no-off|all-off|fastflow|resize-off|sophon]\n\
          \u{20}          [--storage-cores N] [--compute-cores N] [--gpus N]\n\
          \u{20}          [--bandwidth-mbps F] [--model alexnet|resnet18|resnet50]\n\
@@ -375,7 +424,9 @@ impl CliOptions {
          \u{20}          [--chaos-profile none|light|aggressive] [--chaos-seed N]\n\
          \u{20}          [--tenants N] [--tenant-weights W1,W2,...] [--quota-bytes-per-sec F]\n\
          \u{20}          [--adaptive] [--drift-window N] [--replan-cooldown N]\n\
-         \u{20}(--cache-budget-pct with --shards composes: a warm near-compute cache\n\
+         \u{20}(--modality audio plans the speech-like mel front-end instead of the\n\
+         \u{20} imagery pipeline, with per-clip measured profiles;\n\
+         \u{20} --cache-budget-pct with --shards composes: a warm near-compute cache\n\
          \u{20} over a sharded storage fleet, planned per shard on the residual;\n\
          \u{20} --chaos-profile injects seeded mid-epoch node kills into fleet runs;\n\
          \u{20} --tenants > 1 shares the storage node between that many jobs under\n\
@@ -443,6 +494,16 @@ mod tests {
         assert!(CliOptions::parse("--shards 4 --replication 5".split_whitespace())
             .unwrap_err()
             .contains("replication"));
+    }
+
+    #[test]
+    fn modality_flag_parses() {
+        assert_eq!(CliOptions::default().modality, ModalityChoice::Image);
+        let opts = CliOptions::parse(["--modality", "audio"]).unwrap();
+        assert_eq!(opts.modality, ModalityChoice::Audio);
+        assert_eq!(opts.workload().modality_name(), "audio");
+        assert_eq!(CliOptions::default().workload().modality_name(), "image");
+        assert!(CliOptions::parse(["--modality", "video"]).unwrap_err().contains("video"));
     }
 
     #[test]

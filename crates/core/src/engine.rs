@@ -18,7 +18,7 @@
 //! uncached residual, and `ext::fleet_caching` both at once.
 
 use cluster::{ClusterConfig, FleetNodeConfig, GpuModel};
-use pipeline::{PipelineSpec, SampleProfile};
+use pipeline::{Modality, SampleProfile};
 
 use crate::{CostVector, OffloadPlan, SophonError};
 
@@ -114,8 +114,10 @@ impl std::fmt::Debug for SampleUniverse<'_> {
 pub struct PlanningContext<'a> {
     /// Per-sample profiles from the stage-2 profiler, indexed by sample.
     pub profiles: &'a [SampleProfile],
-    /// The job's preprocessing pipeline.
-    pub pipeline: &'a PipelineSpec,
+    /// The job's preprocessing pipeline, behind the modality abstraction:
+    /// policies read only op structure and split semantics, never concrete
+    /// op types, so one engine plans imagery and audio alike.
+    pub modality: &'a dyn Modality,
     /// The cluster's resources.
     pub config: &'a ClusterConfig,
     /// The model being trained.
@@ -130,14 +132,17 @@ pub struct PlanningContext<'a> {
 
 impl<'a> PlanningContext<'a> {
     /// Creates a context with identical CPU types on both nodes.
+    ///
+    /// Any `&PipelineSpec` or `&AudioPipeline` coerces into the
+    /// `&dyn Modality` parameter.
     pub fn new(
         profiles: &'a [SampleProfile],
-        pipeline: &'a PipelineSpec,
+        modality: &'a dyn Modality,
         config: &'a ClusterConfig,
         gpu: GpuModel,
         batch_size: usize,
     ) -> PlanningContext<'a> {
-        PlanningContext { profiles, pipeline, config, gpu, batch_size, storage_speed_factor: 1.0 }
+        PlanningContext { profiles, modality, config, gpu, batch_size, storage_speed_factor: 1.0 }
     }
 
     /// GPU seconds for one epoch (`T_G`), accounting for data-parallel
@@ -335,7 +340,7 @@ impl DecisionEngine {
 mod tests {
     use super::*;
     use datasets::DatasetSpec;
-    use pipeline::CostModel;
+    use pipeline::{CostModel, PipelineSpec};
 
     fn profiles(ds: &DatasetSpec) -> Vec<SampleProfile> {
         let spec = PipelineSpec::standard_train();

@@ -6,6 +6,8 @@ pub enum SophonError {
     Sim(cluster::SimError),
     /// A pipeline execution failed during profiling.
     Pipeline(pipeline::PipelineError),
+    /// An audio pipeline execution failed during profiling.
+    Audio(audio::AudioPipelineError),
     /// The plan and profile collections disagree in length.
     PlanMismatch {
         /// Number of per-sample profiles.
@@ -29,6 +31,7 @@ impl std::fmt::Display for SophonError {
         match self {
             SophonError::Sim(e) => write!(f, "cluster simulation failed: {e}"),
             SophonError::Pipeline(e) => write!(f, "profiling failed: {e}"),
+            SophonError::Audio(e) => write!(f, "audio profiling failed: {e}"),
             SophonError::PlanMismatch { profiles, plan } => {
                 write!(f, "plan has {plan} entries for {profiles} profiles")
             }
@@ -44,6 +47,7 @@ impl std::error::Error for SophonError {
         match self {
             SophonError::Sim(e) => Some(e),
             SophonError::Pipeline(e) => Some(e),
+            SophonError::Audio(e) => Some(e),
             _ => None,
         }
     }
@@ -58,5 +62,11 @@ impl From<cluster::SimError> for SophonError {
 impl From<pipeline::PipelineError> for SophonError {
     fn from(e: pipeline::PipelineError) -> Self {
         SophonError::Pipeline(e)
+    }
+}
+
+impl From<audio::AudioPipelineError> for SophonError {
+    fn from(e: audio::AudioPipelineError) -> Self {
+        SophonError::Audio(e)
     }
 }

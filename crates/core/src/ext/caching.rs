@@ -113,7 +113,7 @@ pub fn choose_cache_contents(
     selection: CacheSelection,
 ) -> CacheAssignment {
     let no_cache_plan = DecisionEngine::new().plan(ctx);
-    let stable_ops = ctx.pipeline.deterministic_prefix_ops();
+    let stable_ops = ctx.modality.deterministic_prefix_ops();
 
     // Per sample: (index, resident stage, resident bytes, warm wire bytes).
     let mut candidates: Vec<(usize, usize, u64, u64)> = ctx

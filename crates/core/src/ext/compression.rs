@@ -11,7 +11,7 @@
 
 use cluster::SampleWork;
 use datasets::{model, SampleRecord};
-use pipeline::{DataKind, SplitPoint};
+use pipeline::SplitPoint;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::PlanningContext;
@@ -106,7 +106,7 @@ impl CompressionExt {
         for (i, (_profile, rec)) in ctx.profiles.iter().zip(records.iter()).enumerate() {
             let split: SplitPoint = plan.split(i);
             let k = split.offloaded_ops();
-            if k == 0 || ctx.pipeline.kind_at(k) != DataKind::Image {
+            if !ctx.modality.stage_supports_reencode(k) {
                 continue;
             }
             // Dimensions of the shipped intermediate.

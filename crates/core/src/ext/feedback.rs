@@ -58,11 +58,27 @@ pub struct FeedbackConfig {
     /// Deadband: a tripped level must differ from the current estimate by
     /// at least this relative fraction to justify a replan.
     pub min_ratio_change: f64,
+    /// How much of a deadband-suppressed correction *toward nominal* is
+    /// adopted anyway, in `[0, 1]`. A resource that recovers most — but not
+    /// all — of the way back trips the detector at a level inside the
+    /// deadband; dropping that trip (the `0.0` behaviour) leaves the
+    /// estimate pessimistic forever while the detector re-trips endlessly.
+    /// With a positive decay the estimate moves that fraction of the way to
+    /// the tripped level per trip, and when the result lands within the
+    /// deadband of `1.0` it snaps to exactly nominal and the channel is
+    /// forgotten. Degradations (trips *away* from nominal) inside the
+    /// deadband are still dropped as noise.
+    pub recovery_decay: f64,
 }
 
 impl Default for FeedbackConfig {
     fn default() -> FeedbackConfig {
-        FeedbackConfig { drift_window: 64, cooldown_batches: 4, min_ratio_change: 0.15 }
+        FeedbackConfig {
+            drift_window: 64,
+            cooldown_batches: 4,
+            min_ratio_change: 0.15,
+            recovery_decay: 0.5,
+        }
     }
 }
 
@@ -111,14 +127,20 @@ impl FeedbackController {
     ///
     /// # Panics
     ///
-    /// Panics when `drift_window` is zero or `min_ratio_change` is not a
-    /// finite non-negative number (allocation-time invariants).
+    /// Panics when `drift_window` is zero, `min_ratio_change` is not a
+    /// finite non-negative number, or `recovery_decay` is outside `[0, 1]`
+    /// (allocation-time invariants).
     pub fn new(config: FeedbackConfig) -> FeedbackController {
         assert!(config.drift_window > 0, "drift window must hold at least one sample");
         assert!(
             config.min_ratio_change.is_finite() && config.min_ratio_change >= 0.0,
             "invalid deadband {}",
             config.min_ratio_change
+        );
+        assert!(
+            config.recovery_decay.is_finite() && (0.0..=1.0).contains(&config.recovery_decay),
+            "invalid recovery decay {}",
+            config.recovery_decay
         );
         let capacity = config.drift_window.max(64) * 4;
         FeedbackController {
@@ -195,8 +217,26 @@ impl FeedbackController {
                 detector.rebase(level);
                 self.estimates.insert(channel.clone(), level);
                 channels.push(ChannelDrift { channel, ratio: level });
+            } else if self.config.recovery_decay > 0.0
+                && (level - 1.0).abs() < (current - 1.0).abs()
+            {
+                // A recovery the deadband would otherwise drop: adopt a
+                // decayed step toward the tripped level, snapping to
+                // nominal when the residual falls inside the deadband.
+                let mut adopted = current + (level - current) * self.config.recovery_decay;
+                if (adopted - 1.0).abs() <= self.config.min_ratio_change {
+                    adopted = 1.0;
+                }
+                detector.rebase(adopted);
+                if (adopted - 1.0).abs() < 1e-12 {
+                    self.estimates.remove(&channel);
+                } else {
+                    self.estimates.insert(channel.clone(), adopted);
+                }
+                channels.push(ChannelDrift { channel, ratio: adopted });
             } else {
-                // Inside the deadband: re-arm on the existing estimate.
+                // Inside the deadband, away from nominal: noise. Re-arm on
+                // the existing estimate.
                 detector.rebase(current);
             }
         }
@@ -471,8 +511,7 @@ mod tests {
     fn controller_with_squeeze(flip_at: u64, batches: u64) -> FeedbackController {
         let mut c = FeedbackController::new(FeedbackConfig {
             drift_window: 16,
-            cooldown_batches: 4,
-            min_ratio_change: 0.15,
+            ..FeedbackConfig::default()
         });
         for b in 0..batches {
             let ratio = if b < flip_at { 1.0 } else { 2.5 };
@@ -512,7 +551,7 @@ mod tests {
         let mut c = FeedbackController::new(FeedbackConfig {
             drift_window: 8,
             cooldown_batches: 10,
-            min_ratio_change: 0.15,
+            ..FeedbackConfig::default()
         });
         // First drift on the link channel trips and replans early.
         for b in 0..4u64 {
@@ -538,12 +577,85 @@ mod tests {
         assert_eq!(c.replans()[1].channels[0].channel, "node1.cpu");
     }
 
+    /// A link squeezed to 2.5x that later lifts most of the way back,
+    /// settling at 2.2x — a 12% residual, inside the 15% deadband, so the
+    /// recovery trip would be suppressed outright without decay.
+    fn degrade_then_partially_recover(recovery_decay: f64) -> FeedbackController {
+        let mut c = FeedbackController::new(FeedbackConfig {
+            drift_window: 16,
+            recovery_decay,
+            ..FeedbackConfig::default()
+        });
+        for b in 0..80u64 {
+            let ratio = if b < 12 { 2.5 } else { 2.2 };
+            for _ in 0..8 {
+                c.observe("node0.link", b as f64, ratio);
+            }
+            c.end_batch(b, b as f64);
+        }
+        c
+    }
+
+    #[test]
+    fn recovery_decay_tracks_a_partial_recovery_the_deadband_would_drop() {
+        // Without decay the estimate stays pessimistic at 2.5 forever:
+        // every recovery trip toward 2.2 lands inside the deadband and is
+        // dropped, so the only replan is the original degradation.
+        let stale = degrade_then_partially_recover(0.0);
+        assert_eq!(stale.replans().len(), 1, "{:?}", stale.replans());
+        assert!((stale.estimate("node0.link") - 2.5).abs() < 0.2, "{:?}", stale.replans());
+
+        // With decay the suppressed trip moves the estimate halfway toward
+        // the observed 2.2 and then settles (the rebased detector sees the
+        // residual as in-slack), as its own cooldown-respecting replan.
+        let tracked = degrade_then_partially_recover(0.5);
+        assert!(tracked.replans().len() >= 2, "{:?}", tracked.replans());
+        let est = tracked.estimate("node0.link");
+        assert!((2.0..2.45).contains(&est), "expected a decayed step toward 2.2, got {est}");
+        assert!(tracked.replans().len() <= 4, "recovery must not thrash: {:?}", tracked.replans());
+        for pair in tracked.replans().windows(2) {
+            assert!(pair[1].batch - pair[0].batch >= 4, "cooldown violated: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn recovery_decay_snaps_near_nominal_residuals_to_nominal() {
+        // Degrade to 1.4 (adopted: 40% off nominal), then recover to 1.1
+        // (|1.1/1.4 - 1| ≈ 21%, outside the deadband: adopted directly).
+        // The tail then overshoots slightly to 0.95: that trip lands
+        // inside the deadband (|0.95/1.1 - 1| ≈ 14%), and the decayed
+        // level is within 15% of nominal — so the estimate snaps to
+        // exactly 1.0 and the channel is forgotten.
+        let mut c = FeedbackController::new(FeedbackConfig {
+            drift_window: 16,
+            recovery_decay: 1.0,
+            ..FeedbackConfig::default()
+        });
+        for b in 0..120u64 {
+            let ratio = if b < 12 {
+                1.4
+            } else if b < 60 {
+                1.1
+            } else {
+                0.95
+            };
+            for _ in 0..8 {
+                c.observe("node0.cpu", b as f64, ratio);
+            }
+            c.end_batch(b, b as f64);
+        }
+        assert_eq!(c.estimate("node0.cpu"), 1.0, "{:?}", c.replans());
+        let last = c.replans().last().expect("recovery must commit a replan");
+        assert_eq!(last.channels[0].ratio, 1.0, "{:?}", c.replans());
+    }
+
     #[test]
     fn deadband_suppresses_tiny_corrections() {
         let mut c = FeedbackController::new(FeedbackConfig {
             drift_window: 8,
             cooldown_batches: 1,
             min_ratio_change: 0.5,
+            ..FeedbackConfig::default()
         });
         // A real drift (1.7x) that is still inside the 50% deadband
         // relative to... no: 1.7 vs 1.0 is 70% — outside. Use 1.3 (30%).

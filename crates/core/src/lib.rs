@@ -58,6 +58,7 @@ mod plan;
 pub mod policy;
 pub mod profiler;
 pub mod runner;
+pub mod workload;
 
 pub use error::SophonError;
 pub use metrics::{Bottleneck, CostVector};
@@ -71,5 +72,6 @@ pub mod prelude {
     };
     pub use crate::profiler::{Stage1Probe, WorkloadClass};
     pub use crate::runner::{RunReport, Scenario};
+    pub use crate::workload::ModalWorkload;
     pub use crate::{Bottleneck, CostVector, OffloadPlan, SophonError};
 }

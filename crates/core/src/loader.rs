@@ -218,11 +218,14 @@ impl<T: FetchTransport> OffloadingLoader<T> {
                 .map(|&id| {
                     let split = self.plan.split(id as usize);
                     let mut req = FetchRequest::new(id, epoch, split);
-                    // Re-compression only applies to image-stage transfers.
+                    // Re-compression only applies to stages the modality's
+                    // codec can shrink (raster-image transfers).
                     if let Some(q) = self.config.reencode_quality {
                         if split.is_offloaded()
-                            && self.pipeline.kind_at(split.offloaded_ops())
-                                == pipeline::DataKind::Image
+                            && pipeline::Modality::stage_supports_reencode(
+                                &self.pipeline,
+                                split.offloaded_ops(),
+                            )
                         {
                             req = req.with_reencode(q);
                         }

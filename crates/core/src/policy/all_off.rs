@@ -29,7 +29,7 @@ impl Policy for AllOffPolicy {
     }
 
     fn plan(&self, ctx: &PlanningContext<'_>) -> Result<OffloadPlan, SophonError> {
-        Ok(OffloadPlan::uniform(ctx.profiles.len(), SplitPoint::new(ctx.pipeline.len())))
+        Ok(OffloadPlan::uniform(ctx.profiles.len(), SplitPoint::new(ctx.modality.op_count())))
     }
 }
 

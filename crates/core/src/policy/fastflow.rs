@@ -37,7 +37,7 @@ impl Policy for FastFlowPolicy {
     fn plan(&self, ctx: &PlanningContext<'_>) -> Result<OffloadPlan, SophonError> {
         let n = ctx.profiles.len();
         let none = OffloadPlan::none(n);
-        let all = OffloadPlan::uniform(n, SplitPoint::new(ctx.pipeline.len()));
+        let all = OffloadPlan::uniform(n, SplitPoint::new(ctx.modality.op_count()));
         let cost_none = ctx.costs_for_plan(&none)?;
         let cost_all = ctx.costs_for_plan(&all)?;
         if cost_all.makespan() < cost_none.makespan() {

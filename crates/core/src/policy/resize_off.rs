@@ -1,5 +1,3 @@
-use pipeline::{OpKind, SplitPoint};
-
 use crate::engine::PlanningContext;
 use crate::{OffloadPlan, SophonError};
 
@@ -29,18 +27,10 @@ impl Policy for ResizeOffPolicy {
     }
 
     fn plan(&self, ctx: &PlanningContext<'_>) -> Result<OffloadPlan, SophonError> {
-        // Split right after the resizing crop (or the deterministic resize
-        // chain in the eval pipeline); without one, offload nothing.
-        let split = ctx
-            .pipeline
-            .ops()
-            .iter()
-            .position(|op| {
-                matches!(op, OpKind::RandomResizedCrop { .. } | OpKind::CenterCrop { .. })
-            })
-            .map(|i| SplitPoint::new(i + 1))
-            .unwrap_or(SplitPoint::NONE);
-        Ok(OffloadPlan::uniform(ctx.profiles.len(), split))
+        // Split right after the modality's size-reducing crop (or the
+        // deterministic resize chain in the eval pipeline); without one,
+        // offload nothing.
+        Ok(OffloadPlan::uniform(ctx.profiles.len(), ctx.modality.resize_off_split()))
     }
 }
 
@@ -49,7 +39,7 @@ mod tests {
     use super::*;
     use cluster::{ClusterConfig, GpuModel};
     use datasets::DatasetSpec;
-    use pipeline::{CostModel, PipelineSpec};
+    use pipeline::{CostModel, PipelineSpec, SplitPoint};
 
     fn plan_for(ds: &DatasetSpec) -> (OffloadPlan, Vec<pipeline::SampleProfile>) {
         let pipeline = PipelineSpec::standard_train();

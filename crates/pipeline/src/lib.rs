@@ -58,6 +58,7 @@ mod cost;
 mod data;
 mod error;
 pub mod measure;
+mod modality;
 pub mod ops;
 mod rng;
 mod spec;
@@ -67,6 +68,7 @@ pub use cost::CostModel;
 pub use data::{DataKind, StageData};
 pub use error::PipelineError;
 pub use measure::{measure_corpus, SampleProfile, StageMeasurement};
+pub use modality::Modality;
 pub use ops::OpKind;
 pub use rng::{AugmentRng, SampleKey};
 pub use spec::{PipelineSpec, SplitPoint};

@@ -1,0 +1,170 @@
+//! The modality abstraction: what the planner needs to know about *any*
+//! preprocessing pipeline, independent of what flows through it.
+//!
+//! SOPHON's decision machinery consumes per-sample [`SampleProfile`]s
+//! (stage sizes and costs), so most of the engine is already
+//! data-agnostic. What remained imagery-specific were the few places that
+//! read the *pipeline* rather than the profiles: split bookkeeping
+//! (`len`, which ops are random, which splits are epoch-stable), the
+//! re-encode gate (which intermediate stages are raster images that a
+//! JPEG pass can shrink), and the `Resize-Off` baseline (where the
+//! "post-crop" stage sits). [`Modality`] names exactly that surface, so
+//! planners and caches can be written once and hold for the image
+//! pipeline, the audio pipeline, and whatever comes next.
+//!
+//! The trait is object-safe: the planner stores a `&dyn Modality` and a
+//! `&PipelineSpec` coerces into one at every existing call site.
+//!
+//! [`SampleProfile`]: crate::SampleProfile
+
+use crate::spec::{PipelineSpec, SplitPoint};
+use crate::{DataKind, OpKind};
+
+/// A preprocessing pipeline as the planner sees it: an ordered op list
+/// with split semantics, stripped of the concrete data types the ops
+/// transform.
+///
+/// Implementations must agree with their execution engine: `op_count`
+/// matches the number of runnable ops, `op_is_random` matches which ops
+/// draw from the augmentation stream, and the provided split-stability
+/// methods therefore match which split outputs may be cached across
+/// epochs.
+pub trait Modality: std::fmt::Debug {
+    /// Stable lowercase modality name (`"image"`, `"audio"`).
+    ///
+    /// Qualifies cache keys — two modalities must never return the same
+    /// name, or their cached entries for one sample index could collide.
+    fn modality_name(&self) -> &'static str;
+
+    /// Number of operations in the pipeline.
+    fn op_count(&self) -> usize;
+
+    /// Short lowercase name of op `idx`, for reports and traces.
+    ///
+    /// # Panics
+    ///
+    /// May panic when `idx >= op_count()`.
+    fn op_name(&self, idx: usize) -> &'static str;
+
+    /// Whether op `idx` draws from the per-(sample, epoch) augmentation
+    /// stream. Random ops make their output epoch-unstable.
+    ///
+    /// # Panics
+    ///
+    /// May panic when `idx >= op_count()`.
+    fn op_is_random(&self, idx: usize) -> bool;
+
+    /// Whether the intermediate at stage `stage` (the output of the first
+    /// `stage` ops) is a representation a lossy re-encode pass can shrink
+    /// before transfer (the paper's §6 selective-compression extension).
+    ///
+    /// Imagery returns `true` for raster-image stages; modalities whose
+    /// intermediates have no such codec return `false` everywhere, which
+    /// turns the compression planner into a no-op for them.
+    fn stage_supports_reencode(&self, stage: usize) -> bool;
+
+    /// The split the `Resize-Off` baseline uses: one past the pipeline's
+    /// size-reducing crop, or [`SplitPoint::NONE`] when the pipeline has
+    /// no such op.
+    fn resize_off_split(&self) -> SplitPoint;
+
+    /// Number of leading ops guaranteed deterministic — the longest
+    /// offloadable prefix whose output is identical every epoch.
+    fn deterministic_prefix_ops(&self) -> usize {
+        (0..self.op_count()).position(|i| self.op_is_random(i)).unwrap_or(self.op_count())
+    }
+
+    /// Whether `split`'s output is bit-identical across epochs (and so
+    /// may be cached and replayed).
+    fn split_is_epoch_stable(&self, split: SplitPoint) -> bool {
+        split.offloaded_ops() <= self.deterministic_prefix_ops()
+    }
+}
+
+impl Modality for PipelineSpec {
+    fn modality_name(&self) -> &'static str {
+        "image"
+    }
+
+    fn op_count(&self) -> usize {
+        self.len()
+    }
+
+    fn op_name(&self, idx: usize) -> &'static str {
+        self.ops()[idx].name()
+    }
+
+    fn op_is_random(&self, idx: usize) -> bool {
+        self.ops()[idx].is_random()
+    }
+
+    fn stage_supports_reencode(&self, stage: usize) -> bool {
+        // Stage 0 is the stored encoding (already compressed); raster
+        // stages after it can take a JPEG pass, tensor stages cannot.
+        stage > 0 && self.kind_at(stage) == DataKind::Image
+    }
+
+    fn resize_off_split(&self) -> SplitPoint {
+        self.ops()
+            .iter()
+            .position(|op| {
+                matches!(op, OpKind::RandomResizedCrop { .. } | OpKind::CenterCrop { .. })
+            })
+            .map(|i| SplitPoint::new(i + 1))
+            .unwrap_or(SplitPoint::NONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_impl_agrees_with_spec() {
+        for spec in [
+            PipelineSpec::standard_train(),
+            PipelineSpec::augmented_train(),
+            PipelineSpec::standard_eval(),
+        ] {
+            let m: &dyn Modality = &spec;
+            assert_eq!(m.modality_name(), "image");
+            assert_eq!(m.op_count(), spec.len());
+            assert_eq!(Modality::deterministic_prefix_ops(&spec), spec.deterministic_prefix_ops());
+            for split in 0..=spec.len() + 1 {
+                let split = SplitPoint::new(split);
+                assert_eq!(
+                    Modality::split_is_epoch_stable(&spec, split),
+                    spec.split_is_epoch_stable(split)
+                );
+            }
+            for (i, op) in spec.ops().iter().enumerate() {
+                assert_eq!(m.op_name(i), op.name());
+                assert_eq!(m.op_is_random(i), op.is_random());
+            }
+        }
+    }
+
+    #[test]
+    fn image_reencode_gate_matches_kind_at() {
+        let spec = PipelineSpec::standard_train();
+        let m: &dyn Modality = &spec;
+        // Stage 0 (encoded bytes) never re-encodes; raster stages do;
+        // tensor stages do not.
+        assert!(!m.stage_supports_reencode(0));
+        assert!(m.stage_supports_reencode(1)); // decoded raster
+        assert!(m.stage_supports_reencode(2)); // cropped raster
+        assert!(m.stage_supports_reencode(3)); // flipped raster
+        assert!(!m.stage_supports_reencode(4)); // tensor
+        assert!(!m.stage_supports_reencode(5)); // normalized tensor
+    }
+
+    #[test]
+    fn image_resize_off_lands_after_the_crop() {
+        let train = PipelineSpec::standard_train();
+        assert_eq!(Modality::resize_off_split(&train), SplitPoint::new(2));
+        let eval = PipelineSpec::standard_eval();
+        // Eval pipeline: Decode, Resize, CenterCrop, ... — split after
+        // the center crop.
+        assert_eq!(Modality::resize_off_split(&eval), SplitPoint::new(3));
+    }
+}

@@ -43,8 +43,7 @@ fn main() -> Result<(), SophonError> {
 
     let gpu = GpuModel::Custom { seconds_per_image: 1.0 / 2000.0 };
     let config = ClusterConfig::paper_testbed(16).with_bandwidth(Bandwidth::from_mbps(50.0));
-    let nominal = pipeline::PipelineSpec::standard_train(); // length bookkeeping only
-    let ctx = PlanningContext::new(&profiles, &nominal, &config, gpu, 32);
+    let ctx = PlanningContext::new(&profiles, &spec, &config, gpu, 32);
     let plan = DecisionEngine::new().plan(&ctx);
     let summary = plan.summarize(&profiles)?;
 

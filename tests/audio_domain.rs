@@ -4,7 +4,8 @@
 
 use audio::{profile_clip, AudioDatasetSpec, AudioPipeline};
 use cluster::{simulate_epoch, ClusterConfig, EpochSpec, GpuModel};
-use pipeline::{SampleKey, SampleProfile};
+use pipeline::{SampleKey, SampleProfile, SplitPoint};
+use proptest::prelude::*;
 use sophon::engine::{DecisionEngine, PlanningContext};
 use sophon::prelude::*;
 
@@ -35,15 +36,12 @@ fn audio_corpus_has_selective_structure() {
 fn sophon_engine_plans_audio_offloading_unchanged() {
     // 384 clips over a tight 50 Mbps link: I/O-bound, plenty of storage CPU.
     let profiles = audio_profiles(384, 7);
-    // The pipeline spec parameter exists for split bookkeeping only; reuse
-    // the image PipelineSpec of the same length (the engine never reads op
-    // identities).
-    let nominal = pipeline::PipelineSpec::standard_train();
+    let spec = AudioPipeline::standard_train();
     let config =
         ClusterConfig::paper_testbed(16).with_bandwidth(netsim::Bandwidth::from_mbps(50.0));
     let ctx = PlanningContext::new(
         &profiles,
-        &nominal,
+        &spec,
         &config,
         GpuModel::Custom { seconds_per_image: 1.0 / 2000.0 },
         32,
@@ -83,11 +81,50 @@ fn audio_split_execution_is_exact_across_the_board() {
             let key = SampleKey::new(ds.seed, id, epoch);
             let full = spec.run(ds.materialize(id), key).unwrap();
             for split in 0..=spec.len() {
-                let split = pipeline::SplitPoint::new(split);
+                let split = SplitPoint::new(split);
                 let mid = spec.run_prefix(ds.materialize(id), split, key).unwrap();
                 let out = spec.run_suffix(mid, split, key).unwrap();
                 assert_eq!(out, full, "clip {id} epoch {epoch} split {split:?}");
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Determinism, property-tested over corpus seeds: for any clip and
+    /// epoch, the FNV digest of the final mel features is bit-identical
+    /// no matter where the storage/compute split lands. This is the
+    /// transparency invariant the golden stage-graph tests pin for
+    /// imagery, checked here through [`ModalWorkload`]'s digest path.
+    #[test]
+    fn mel_digest_invariant_across_splits(
+        seed in any::<u64>(),
+        id in 0u64..2,
+        epoch in 0u64..3,
+    ) {
+        let w = ModalWorkload::audio_standard(2, seed);
+        let full = w.split_digest(id, epoch, SplitPoint::NONE).unwrap();
+        for k in 1..=w.modality().op_count() {
+            let d = w.split_digest(id, epoch, SplitPoint::new(k)).unwrap();
+            prop_assert_eq!(d, full, "split {} diverged under seed {}", k, seed);
+        }
+    }
+
+    /// The lossless audio codec roundtrips bit-exactly for arbitrary
+    /// synthesized clips — the property split-point freedom rests on:
+    /// shipping encoded bytes and decoding near compute must reproduce
+    /// the PCM a storage-side decode would have produced.
+    #[test]
+    fn audio_codec_roundtrip_is_lossless(
+        seed in any::<u64>(),
+        tonality in 0f64..=1.0,
+        secs in 0.05f64..0.5,
+        rate in 4_000u32..32_000,
+    ) {
+        let w = audio::SynthAudioSpec::new(rate, secs).tonality(tonality).render(seed);
+        let back = audio::codec::decode(&audio::codec::encode(&w)).unwrap();
+        prop_assert_eq!(back, w);
     }
 }
