@@ -82,7 +82,20 @@ pub fn decode(data: &[u8]) -> Result<RasterImage, CodecError> {
         }
     };
 
-    // Dequantize + inverse DCT into planes.
+    Ok(reconstruct(w, h, quality, opts.subsampling, &quantized))
+}
+
+/// Dequantizes, inverse-transforms, and color-converts three planes of
+/// quantized blocks back to a raster image — the back half of [`decode`],
+/// shared with the tiered decoder (which entropy-decodes its own scans).
+pub(crate) fn reconstruct(
+    w: u32,
+    h: u32,
+    quality: Quality,
+    subsampling: Subsampling,
+    quantized: &[Vec<[i16; BLOCK_AREA]>; 3],
+) -> RasterImage {
+    let (cw, ch) = chroma_dims(w, h, subsampling);
     let luma_table = quality.luma_table();
     let chroma_table = quality.chroma_table();
     let mut planes = [Plane::new(w, h), Plane::new(cw, ch), Plane::new(cw, ch)];
@@ -102,7 +115,7 @@ pub fn decode(data: &[u8]) -> Result<RasterImage, CodecError> {
     let mut raw = Vec::with_capacity(w as usize * h as usize * 3);
     for yy in 0..h {
         for xx in 0..w {
-            let (cx, cy) = match opts.subsampling {
+            let (cx, cy) = match subsampling {
                 Subsampling::S444 => (xx, yy),
                 Subsampling::S420 => ((xx / 2).min(cw - 1), (yy / 2).min(ch - 1)),
             };
@@ -114,7 +127,7 @@ pub fn decode(data: &[u8]) -> Result<RasterImage, CodecError> {
             raw.extend_from_slice(&rgb);
         }
     }
-    Ok(RasterImage::from_raw(w, h, raw).expect("buffer sized from dimensions"))
+    RasterImage::from_raw(w, h, raw).expect("buffer sized from dimensions")
 }
 
 #[cfg(test)]

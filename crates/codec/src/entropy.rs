@@ -102,7 +102,9 @@ pub fn decode_block(
     dc_pred: &mut i16,
 ) -> Result<[i16; BLOCK_AREA], CodecError> {
     let mut zz = [0i16; BLOCK_AREA];
-    let dc = i64::from(*dc_pred) + read_varint(data, pos)?;
+    // Wrapping: a hostile varint near i64::MAX must produce garbage
+    // coefficients, not a debug-build overflow panic.
+    let dc = i64::from(*dc_pred).wrapping_add(read_varint(data, pos)?);
     zz[0] = dc as i16;
     *dc_pred = zz[0];
     let mut idx = 1usize;

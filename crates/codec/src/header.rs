@@ -5,6 +5,11 @@ pub const FORMAT_MAGIC: [u8; 4] = *b"SJPG";
 /// Current format version (2 added the flags byte: subsampling + entropy
 /// mode).
 pub const FORMAT_VERSION: u8 = 2;
+/// Format version of progressive, tier-truncatable streams (see
+/// [`crate::tiered`]). Kept distinct from [`FORMAT_VERSION`] so legacy
+/// decoders reject tiered streams cleanly and v2 byte streams stay
+/// bit-identical.
+pub const FORMAT_VERSION_TIERED: u8 = 3;
 /// Serialized header length in bytes.
 pub const HEADER_LEN: usize = 4 + 1 + 4 + 4 + 1 + 1;
 
@@ -28,9 +33,14 @@ pub struct Header {
 impl Header {
     /// Serializes the header to its wire form.
     pub fn to_bytes(self) -> [u8; HEADER_LEN] {
+        self.to_bytes_with_version(FORMAT_VERSION)
+    }
+
+    /// Serializes the header under an explicit format version byte.
+    pub(crate) fn to_bytes_with_version(self, version: u8) -> [u8; HEADER_LEN] {
         let mut out = [0u8; HEADER_LEN];
         out[..4].copy_from_slice(&FORMAT_MAGIC);
-        out[4] = FORMAT_VERSION;
+        out[4] = version;
         out[5..9].copy_from_slice(&self.width.to_le_bytes());
         out[9..13].copy_from_slice(&self.height.to_le_bytes());
         out[13] = self.quality;
@@ -46,13 +56,18 @@ impl Header {
     /// [`CodecError::UnsupportedVersion`], or
     /// [`CodecError::InvalidDimensions`] for the corresponding defects.
     pub fn parse(data: &[u8]) -> Result<Header, CodecError> {
+        Self::parse_with_version(data, FORMAT_VERSION)
+    }
+
+    /// [`Header::parse`] against an explicit expected version byte.
+    pub(crate) fn parse_with_version(data: &[u8], version: u8) -> Result<Header, CodecError> {
         if data.len() < HEADER_LEN {
             return Err(CodecError::Truncated { offset: data.len() });
         }
         if data[..4] != FORMAT_MAGIC {
             return Err(CodecError::BadMagic);
         }
-        if data[4] != FORMAT_VERSION {
+        if data[4] != version {
             return Err(CodecError::UnsupportedVersion(data[4]));
         }
         let width = u32::from_le_bytes(data[5..9].try_into().expect("sliced 4 bytes"));

@@ -356,20 +356,36 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
         let map = fleet::ShardMap::new(shards, opts.replication.min(shards), opts.seed);
         let nodes = sophon::ext::sharding::fleet_nodes_sharing_link(&scenario.config, shards);
         let batches = (profiles.len() / scenario.batch_size.max(1)).max(1) as u64;
-        let chaos = if opts.chaos_profile == sophon::cli::ChaosProfile::None {
-            Vec::new()
-        } else {
-            sophon::ext::feedback::chaos_straggler_and_squeeze(opts.chaos_seed, shards, batches)
+        let chaos = match opts.chaos_profile {
+            sophon::cli::ChaosProfile::None => Vec::new(),
+            sophon::cli::ChaosProfile::LinkSqueeze => {
+                sophon::ext::feedback::chaos_link_squeeze(opts.chaos_seed, shards, batches)
+            }
+            _ => {
+                sophon::ext::feedback::chaos_straggler_and_squeeze(opts.chaos_seed, shards, batches)
+            }
         };
         println!(
-            "\nfeedback control: {} shards, drift window {}, cooldown {} batches, {}",
+            "\nfeedback control: {} shards, drift window {}, cooldown {} batches, {}{}",
             shards,
             feedback.drift_window,
             feedback.cooldown_batches,
             if chaos.is_empty() {
                 "no injected drift".to_string()
             } else {
-                format!("{} chaos event(s) (seed {})", chaos.len(), opts.chaos_seed)
+                format!(
+                    "{} chaos event(s) ({}, seed {})",
+                    chaos.len(),
+                    opts.chaos_profile.name(),
+                    opts.chaos_seed
+                )
+            },
+            match &feedback.brownout {
+                Some(b) => format!(
+                    ", brownout tiers {:?} floored at {:.2}",
+                    b.tier_fractions, b.min_fidelity
+                ),
+                None => String::new(),
             },
         );
         let static_run =
@@ -384,16 +400,17 @@ SOPHON epoch timeline (first {n} samples, virtual seconds):"
         match (static_run, adaptive_run) {
             (Ok(st), Ok(ad)) => {
                 println!(
-                    "{:<10} {:>11} {:>13} {:>9} {:>18}",
-                    "plan", "epoch (s)", "traffic (GB)", "replans", "batch digest"
+                    "{:<10} {:>11} {:>13} {:>9} {:>9} {:>18}",
+                    "plan", "epoch (s)", "traffic (GB)", "replans", "fidelity", "batch digest"
                 );
                 for (name, r) in [("static", &st), ("adaptive", &ad)] {
                     println!(
-                        "{:<10} {:>11.1} {:>13.2} {:>9} {:>18}",
+                        "{:<10} {:>11.1} {:>13.2} {:>9} {:>9.3} {:>18}",
                         name,
                         r.epoch_seconds,
                         r.traffic_bytes as f64 / 1e9,
                         r.replans.len(),
+                        r.mean_fidelity,
                         format!("{:016x}", r.digest),
                     );
                 }

@@ -17,6 +17,10 @@ pub enum ChaosProfile {
     Light,
     /// As many node kills as replication tolerates.
     Aggressive,
+    /// No kills; every node's link is squeezed mid-epoch and never
+    /// recovers. Rerouting cannot help — only brownout (byte-shedding)
+    /// keeps the epoch bounded.
+    LinkSqueeze,
 }
 
 impl ChaosProfile {
@@ -26,6 +30,7 @@ impl ChaosProfile {
             ChaosProfile::None => "none",
             ChaosProfile::Light => "light",
             ChaosProfile::Aggressive => "aggressive",
+            ChaosProfile::LinkSqueeze => "link-squeeze",
         }
     }
 }
@@ -116,6 +121,11 @@ pub struct CliOptions {
     pub drift_window: usize,
     /// Minimum batches between feedback-driven replans.
     pub replan_cooldown: u64,
+    /// Byte fractions of the brownout fidelity ladder, ascending and
+    /// ending at 1.0 (empty = brownout disabled).
+    pub brownout_tiers: Vec<f64>,
+    /// Floor on the served byte fraction when brownout engages.
+    pub min_fidelity: f64,
 }
 
 impl Default for CliOptions {
@@ -146,6 +156,8 @@ impl Default for CliOptions {
             adaptive: false,
             drift_window: 64,
             replan_cooldown: 4,
+            brownout_tiers: Vec::new(),
+            min_fidelity: 0.25,
         }
     }
 }
@@ -235,6 +247,7 @@ impl CliOptions {
                         "none" => ChaosProfile::None,
                         "light" => ChaosProfile::Light,
                         "aggressive" => ChaosProfile::Aggressive,
+                        "link-squeeze" => ChaosProfile::LinkSqueeze,
                         other => return Err(format!("unknown chaos profile '{other}'")),
                     }
                 }
@@ -254,6 +267,25 @@ impl CliOptions {
                 }
                 "--drift-window" => opts.drift_window = parse_num(flag, value)?,
                 "--replan-cooldown" => opts.replan_cooldown = parse_num(flag, value)?,
+                "--brownout-tiers" => {
+                    opts.brownout_tiers = value
+                        .split(',')
+                        .map(|f| {
+                            f.trim()
+                                .parse::<f64>()
+                                .ok()
+                                .filter(|v| v.is_finite() && *v > 0.0 && *v <= 1.0)
+                                .ok_or_else(|| format!("invalid brownout tier '{f}'"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--min-fidelity" => {
+                    opts.min_fidelity = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite() && (0.0..=1.0).contains(v))
+                        .ok_or_else(|| format!("invalid min fidelity '{value}' (want 0-1)"))?;
+                }
                 "--quota-bytes-per-sec" => {
                     opts.quota_bytes_per_sec = value
                         .parse::<f64>()
@@ -287,6 +319,12 @@ impl CliOptions {
         }
         if opts.replan_cooldown == 0 {
             return Err("replan cooldown must be at least 1 batch".to_string());
+        }
+        if !opts.brownout_tiers.is_empty() {
+            let ascending = opts.brownout_tiers.windows(2).all(|w| w[0] < w[1]);
+            if !ascending || opts.brownout_tiers.last() != Some(&1.0) {
+                return Err("brownout tiers must be strictly ascending and end at 1.0".to_string());
+            }
         }
         if opts.tenant_weights.len() > opts.tenants {
             return Err(format!(
@@ -352,7 +390,9 @@ impl CliOptions {
             return Vec::new();
         }
         let want = match self.chaos_profile {
-            ChaosProfile::None => 0,
+            // A link squeeze degrades every wire but kills nothing; its
+            // schedule lives in the feedback loop, not the kill list.
+            ChaosProfile::None | ChaosProfile::LinkSqueeze => 0,
             ChaosProfile::Light => 1,
             ChaosProfile::Aggressive => self.replication - 1,
         }
@@ -402,12 +442,23 @@ impl CliOptions {
     }
 
     /// The feedback-control tuning this invocation asks for, or `None`
-    /// when `--adaptive` is absent.
+    /// when `--adaptive` is absent. `--brownout-tiers` arms progressive
+    /// fidelity degradation inside the same loop; without it every replan
+    /// corrects node parameters only and serves full fidelity.
     pub fn feedback_config(&self) -> Option<crate::ext::feedback::FeedbackConfig> {
-        self.adaptive.then(|| crate::ext::feedback::FeedbackConfig {
-            drift_window: self.drift_window,
-            cooldown_batches: self.replan_cooldown,
-            ..crate::ext::feedback::FeedbackConfig::default()
+        self.adaptive.then(|| {
+            let brownout =
+                (!self.brownout_tiers.is_empty()).then(|| crate::ext::feedback::BrownoutConfig {
+                    tier_fractions: self.brownout_tiers.clone(),
+                    min_fidelity: self.min_fidelity,
+                    ..crate::ext::feedback::BrownoutConfig::default()
+                });
+            crate::ext::feedback::FeedbackConfig {
+                drift_window: self.drift_window,
+                cooldown_batches: self.replan_cooldown,
+                brownout,
+                ..crate::ext::feedback::FeedbackConfig::default()
+            }
         })
     }
 
@@ -421,9 +472,10 @@ impl CliOptions {
          \u{20}          [--batch N] [--epochs N]\n\
          \u{20}          [--cache-budget-pct 0-100] [--cache-policy lru|size|efficiency]\n\
          \u{20}          [--shards N] [--replication N] [--hedge-after MS]\n\
-         \u{20}          [--chaos-profile none|light|aggressive] [--chaos-seed N]\n\
+         \u{20}          [--chaos-profile none|light|aggressive|link-squeeze] [--chaos-seed N]\n\
          \u{20}          [--tenants N] [--tenant-weights W1,W2,...] [--quota-bytes-per-sec F]\n\
          \u{20}          [--adaptive] [--drift-window N] [--replan-cooldown N]\n\
+         \u{20}          [--brownout-tiers F1,F2,...,1.0] [--min-fidelity F]\n\
          \u{20}(--modality audio plans the speech-like mel front-end instead of the\n\
          \u{20} imagery pipeline, with per-clip measured profiles;\n\
          \u{20} --cache-budget-pct with --shards composes: a warm near-compute cache\n\
@@ -433,7 +485,12 @@ impl CliOptions {
          \u{20} weighted-fair scheduling, with optional per-tenant byte quotas;\n\
          \u{20} --adaptive closes a telemetry feedback loop over fleet runs,\n\
          \u{20} replanning mid-epoch when drift detectors trip, gated by\n\
-         \u{20} --drift-window samples and a --replan-cooldown batch floor)"
+         \u{20} --drift-window samples and a --replan-cooldown batch floor;\n\
+         \u{20} --brownout-tiers arms progressive fidelity degradation inside the\n\
+         \u{20} adaptive loop: link-bound samples drop to the largest tier fraction\n\
+         \u{20} the squeezed link affords, never below --min-fidelity;\n\
+         \u{20} --chaos-profile link-squeeze throttles every link mid-epoch without\n\
+         \u{20} killing nodes — the schedule where rerouting cannot help)"
     }
 }
 
@@ -637,6 +694,50 @@ mod tests {
         assert!(d.feedback_config().is_none(), "tuning flags alone never enable the loop");
         assert!(CliOptions::parse(["--drift-window", "1"]).unwrap_err().contains("drift window"));
         assert!(CliOptions::parse(["--replan-cooldown", "0"]).unwrap_err().contains("cooldown"));
+    }
+
+    #[test]
+    fn brownout_flags_parse_and_validate() {
+        let opts = CliOptions::parse(
+            "--adaptive --brownout-tiers 0.2,0.6,1.0 --min-fidelity 0.2".split_whitespace(),
+        )
+        .unwrap();
+        assert_eq!(opts.brownout_tiers, vec![0.2, 0.6, 1.0]);
+        assert_eq!(opts.min_fidelity, 0.2);
+        let brownout = opts.feedback_config().unwrap().brownout.unwrap();
+        assert_eq!(brownout.tier_fractions, vec![0.2, 0.6, 1.0]);
+        assert_eq!(brownout.min_fidelity, 0.2);
+        let d = CliOptions::default();
+        assert!(d.brownout_tiers.is_empty());
+        assert_eq!(d.min_fidelity, 0.25);
+        // Without tiers the adaptive loop runs fidelity-blind.
+        let plain = CliOptions::parse(["--adaptive"]).unwrap();
+        assert!(plain.feedback_config().unwrap().brownout.is_none());
+        // Tiers without --adaptive configure nothing (the loop is off).
+        let unarmed = CliOptions::parse(["--brownout-tiers", "0.5,1.0"]).unwrap();
+        assert!(unarmed.feedback_config().is_none());
+        assert!(CliOptions::parse(["--brownout-tiers", "0,1.0"]).unwrap_err().contains("tier"));
+        assert!(CliOptions::parse(["--brownout-tiers", "0.5,1.5"]).unwrap_err().contains("tier"));
+        assert!(CliOptions::parse(["--brownout-tiers", "0.6,0.3,1.0"])
+            .unwrap_err()
+            .contains("ascending"));
+        assert!(CliOptions::parse(["--brownout-tiers", "0.25,0.55"])
+            .unwrap_err()
+            .contains("end at 1.0"));
+        assert!(CliOptions::parse(["--min-fidelity", "1.5"]).unwrap_err().contains("fidelity"));
+        assert!(CliOptions::parse(["--min-fidelity", "-0.1"]).unwrap_err().contains("fidelity"));
+    }
+
+    #[test]
+    fn link_squeeze_profile_parses_and_kills_nothing() {
+        let opts = CliOptions::parse(
+            "--shards 4 --replication 2 --chaos-profile link-squeeze --chaos-seed 7"
+                .split_whitespace(),
+        )
+        .unwrap();
+        assert_eq!(opts.chaos_profile, ChaosProfile::LinkSqueeze);
+        assert_eq!(opts.chaos_profile.name(), "link-squeeze");
+        assert!(opts.chaos_kills().is_empty(), "a squeeze degrades links, never kills nodes");
     }
 
     #[test]

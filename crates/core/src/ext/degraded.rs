@@ -22,6 +22,11 @@
 //!   thing the sick node can serve, and the transport's retry/breaker
 //!   machinery still guards the actual fetch.
 //!
+//! The fidelity axis: [`plan_degraded_with_brownout`] additionally plans
+//! orphaned raw fallbacks at a brownout policy's fidelity floor, so the
+//! sick node ships tier prefixes of its progressive encodings instead of
+//! whole objects — graceful degradation instead of a stalled fetch queue.
+//!
 //! The module is pure planning — it never touches a socket — so the
 //! runtime can call it between batches (via
 //! [`crate::loader::OffloadingLoader::run_epoch_with_replan`]) with
@@ -35,6 +40,7 @@ use storage::NodeHealthHandle;
 use cluster::FleetNodeConfig;
 
 use crate::engine::{DecisionEngine, PlanningContext, ResourceBudget, SampleUniverse};
+use crate::ext::feedback::BrownoutConfig;
 use crate::{OffloadPlan, SophonError};
 
 /// A plan recomputed for a partially degraded fleet.
@@ -46,6 +52,12 @@ pub struct DegradedPlan {
     /// nominal primary when every owner is degraded), parallel to the
     /// corpus.
     pub primaries: Vec<usize>,
+    /// Per-sample serving fidelity as a byte fraction of the full
+    /// encoding, parallel to the corpus. All `1.0` unless the plan was
+    /// computed with a brownout policy
+    /// ([`plan_degraded_with_brownout`]), under which orphaned raw
+    /// fallbacks are served at the policy's fidelity floor.
+    pub fidelity: Vec<f64>,
     /// Samples now fronted by a replica because their nominal primary is
     /// degraded.
     pub reassigned: u64,
@@ -58,6 +70,14 @@ impl DegradedPlan {
     /// Whether the degradation forced any change of serving shard.
     pub fn is_disturbed(&self) -> bool {
         self.reassigned > 0 || self.raw_fallbacks > 0
+    }
+
+    /// Mean planned fidelity across the corpus (`1.0` without brownout).
+    pub fn mean_fidelity(&self) -> f64 {
+        if self.fidelity.is_empty() {
+            return 1.0;
+        }
+        self.fidelity.iter().sum::<f64>() / self.fidelity.len() as f64
     }
 }
 
@@ -81,6 +101,39 @@ pub fn plan_degraded(
     nodes: &[FleetNodeConfig],
     degraded: &[bool],
 ) -> Result<DegradedPlan, SophonError> {
+    plan_degraded_inner(ctx, map, nodes, degraded, None)
+}
+
+/// [`plan_degraded`] with a fidelity axis: samples whose every owner is
+/// degraded — the raw fallbacks a sick node must serve itself — are
+/// planned at the brownout policy's fidelity floor instead of full
+/// fidelity. A tier prefix is the cheapest thing an overloaded node can
+/// ship: the breaker opened on timeouts or overload, and a floor-tier raw
+/// read asks it for a fraction of the bytes while the transport's
+/// retry/breaker machinery still guards the fetch. Samples with an alive
+/// owner keep full fidelity — mid-epoch link pressure on alive nodes is
+/// the feedback controller's job, not this planner's.
+///
+/// # Errors
+///
+/// Same conditions as [`plan_degraded`].
+pub fn plan_degraded_with_brownout(
+    ctx: &PlanningContext<'_>,
+    map: &ShardMap,
+    nodes: &[FleetNodeConfig],
+    degraded: &[bool],
+    brownout: &BrownoutConfig,
+) -> Result<DegradedPlan, SophonError> {
+    plan_degraded_inner(ctx, map, nodes, degraded, Some(brownout))
+}
+
+fn plan_degraded_inner(
+    ctx: &PlanningContext<'_>,
+    map: &ShardMap,
+    nodes: &[FleetNodeConfig],
+    degraded: &[bool],
+    brownout: Option<&BrownoutConfig>,
+) -> Result<DegradedPlan, SophonError> {
     if nodes.len() != map.nodes() {
         return Err(SophonError::PlanMismatch { profiles: map.nodes(), plan: nodes.len() });
     }
@@ -95,6 +148,8 @@ pub fn plan_degraded(
     // Effective primary: first alive owner; orphans keep their nominal
     // primary but are excluded from every shard's planning pass.
     let mut orphans: Vec<bool> = vec![false; n];
+    let mut fidelity = vec![1.0f64; n];
+    let floor = brownout.map_or(1.0, BrownoutConfig::floor_fraction);
     for (i, orphan) in orphans.iter_mut().enumerate() {
         let nominal = map.primary(i as u64);
         match map.owners(i as u64).into_iter().find(|&o| !degraded[o]) {
@@ -107,6 +162,7 @@ pub fn plan_degraded(
             None => {
                 raw_fallbacks += 1;
                 *orphan = true;
+                fidelity[i] = floor;
                 primaries.push(nominal);
             }
         }
@@ -133,7 +189,7 @@ pub fn plan_degraded(
     // Orphans stay at SplitPoint::NONE — `OffloadPlan::none` already put
     // them there; assert the invariant cheaply in debug builds.
     debug_assert!((0..n).filter(|&i| orphans[i]).all(|i| plan.split(i) == SplitPoint::NONE));
-    Ok(DegradedPlan { plan, primaries, reassigned, raw_fallbacks })
+    Ok(DegradedPlan { plan, primaries, fidelity, reassigned, raw_fallbacks })
 }
 
 #[cfg(test)]
@@ -213,6 +269,56 @@ mod tests {
         let plan = plan_degraded(&ctx, &map, &nodes, &[true, true]).unwrap();
         assert_eq!(plan.raw_fallbacks, ps.len() as u64);
         assert_eq!(plan.plan, OffloadPlan::none(ps.len()));
+    }
+
+    #[test]
+    fn brownout_serves_orphans_at_the_fidelity_floor() {
+        use crate::ext::feedback::BrownoutConfig;
+        let (ps, pipeline, config) = setup(8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(2, 1, 9);
+        let nodes = fleet_nodes(&config, 2);
+        let policy = BrownoutConfig::default();
+        let plan =
+            plan_degraded_with_brownout(&ctx, &map, &nodes, &[true, false], &policy).unwrap();
+        assert!(plan.raw_fallbacks > 0);
+        let floor = policy.floor_fraction();
+        assert!(floor < 1.0, "the default policy must have a real floor");
+        for i in 0..ps.len() {
+            if map.primary(i as u64) == 0 {
+                assert_eq!(plan.fidelity[i], floor, "orphan {i} must serve at the floor");
+                assert_eq!(plan.plan.split(i), SplitPoint::NONE);
+            } else {
+                assert_eq!(plan.fidelity[i], 1.0, "alive-owner sample {i} stays full fidelity");
+            }
+        }
+        assert!(plan.mean_fidelity() < 1.0);
+        // The fidelity axis never changes placement: splits and primaries
+        // match the brownout-free replan exactly.
+        let plain = plan_degraded(&ctx, &map, &nodes, &[true, false]).unwrap();
+        assert_eq!(plan.plan, plain.plan);
+        assert_eq!(plan.primaries, plain.primaries);
+        assert!(plain.fidelity.iter().all(|&f| f == 1.0));
+        assert_eq!(plain.mean_fidelity(), 1.0);
+    }
+
+    #[test]
+    fn brownout_on_a_healthy_fleet_is_full_fidelity() {
+        use crate::ext::feedback::BrownoutConfig;
+        let (ps, pipeline, config) = setup(8);
+        let ctx = PlanningContext::new(&ps, &pipeline, &config, GpuModel::AlexNet, 256);
+        let map = ShardMap::new(3, 2, 17);
+        let nodes = fleet_nodes(&config, 3);
+        let policy = BrownoutConfig::default();
+        let plan = plan_degraded_with_brownout(&ctx, &map, &nodes, &[false; 3], &policy).unwrap();
+        assert!(plan.fidelity.iter().all(|&f| f == 1.0));
+        assert_eq!(plan.mean_fidelity(), 1.0);
+        // Replication 2 also covers a single death without orphans, so no
+        // sample browns out even with a sick node.
+        let sick = plan_degraded_with_brownout(&ctx, &map, &nodes, &[false, true, false], &policy)
+            .unwrap();
+        assert!(sick.reassigned > 0);
+        assert!(sick.fidelity.iter().all(|&f| f == 1.0));
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct LoaderConfig {
     /// When set, every offloaded image-stage transfer is re-encoded at this
     /// quality (the selective-compression extension).
     pub reencode_quality: Option<u8>,
+    /// When set, raw (un-offloaded) fetches carry this fidelity cap: a
+    /// server holding tiered encodings serves the tier prefix instead of
+    /// the full stream (the brownout extension). Advisory for classic
+    /// stores, which serve whole objects. `None` — the default — keeps
+    /// every request byte-identical to a fidelity-unaware loader.
+    pub max_tier: Option<u8>,
     /// Worker threads for the local pipeline suffix (1 = run inline).
     pub workers: usize,
 }
@@ -51,6 +57,7 @@ impl LoaderConfig {
             batch_size,
             shuffle_seed: 0,
             reencode_quality: None,
+            max_tier: None,
             workers: 2,
         }
     }
@@ -136,6 +143,18 @@ impl<T: FetchTransport> OffloadingLoader<T> {
         &self.plan
     }
 
+    /// The fidelity cap currently attached to raw fetches.
+    pub fn max_tier(&self) -> Option<u8> {
+        self.config.max_tier
+    }
+
+    /// Sets (or clears) the fidelity cap for subsequent raw fetches — the
+    /// brownout controller's live actuator. Takes effect from the next
+    /// batch; `None` restores full fidelity.
+    pub fn set_max_tier(&mut self, cap: Option<u8>) {
+        self.config.max_tier = cap;
+    }
+
     /// The underlying transport (e.g. to read cache or retry counters off
     /// a decorated transport after an epoch).
     pub fn transport(&self) -> &T {
@@ -218,6 +237,15 @@ impl<T: FetchTransport> OffloadingLoader<T> {
                 .map(|&id| {
                     let split = self.plan.split(id as usize);
                     let mut req = FetchRequest::new(id, epoch, split);
+                    // Only raw serves have tier boundaries to truncate at;
+                    // leaving offloaded requests untouched keeps their
+                    // wire frames bit-identical to a fidelity-unaware
+                    // loader.
+                    if let Some(cap) = self.config.max_tier {
+                        if split == SplitPoint::NONE {
+                            req = req.with_max_tier(cap);
+                        }
+                    }
                     // Re-compression only applies to stages the modality's
                     // codec can shrink (raster-image transfers).
                     if let Some(q) = self.config.reencode_quality {
@@ -508,6 +536,52 @@ mod tests {
         assert_eq!(serial, parallel, "worker count changed batch contents");
         server.shutdown();
         server2.shutdown();
+    }
+
+    #[test]
+    fn fidelity_cap_browns_out_raw_fetches_deterministically() {
+        // A tiered store served under a fidelity cap: batches keep their
+        // shapes, differ from the full-fidelity run (fewer coefficients
+        // reached the decoder), and reproduce exactly across reruns.
+        let ds = datasets::DatasetSpec::mini(N, 55);
+        let spawn = || {
+            StorageServer::spawn(
+                ObjectStore::materialize_dataset_tiered(&ds, 0..N, &codec::TierSpec::default()),
+                ServerConfig {
+                    cores: 3,
+                    bandwidth: Bandwidth::from_gbps(10.0),
+                    queue_depth: 32,
+                    ..ServerConfig::default()
+                },
+            )
+        };
+        let run = |cap: Option<u8>| {
+            let mut server = spawn();
+            let mut config = LoaderConfig::new(ds.seed, 4);
+            config.max_tier = cap;
+            let mut loader = OffloadingLoader::new(
+                server.client(),
+                PipelineSpec::standard_train(),
+                OffloadPlan::none(N as usize),
+                config,
+            )
+            .unwrap();
+            let mut out: Vec<Vec<f32>> = Vec::new();
+            loader
+                .run_epoch(0, |b| {
+                    assert_eq!(b.shape(), (224, 224));
+                    out.push(b.as_slice().to_vec());
+                })
+                .unwrap();
+            server.shutdown();
+            out
+        };
+        let full = run(None);
+        let browned = run(Some(0));
+        let browned_again = run(Some(0));
+        assert_eq!(browned, browned_again, "browned batches must be reproducible");
+        assert_ne!(full, browned, "a tier-0 cap must actually shed fidelity");
+        assert_eq!(full.len(), browned.len(), "brownout never drops batches");
     }
 
     #[test]

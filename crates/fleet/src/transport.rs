@@ -22,6 +22,13 @@
 //!   samples re-route to replicas for this batch, but the node stays in
 //!   the map so the breaker's half-open probe can readmit it later.
 //!
+//! * **exchange deadlines** — an optional [`Deadline`] bounds each
+//!   `fetch_many_requests` call end to end. One clock covers the whole
+//!   exchange: hedged, failed-over, and breaker-rerouted attempts charge
+//!   their elapsed time against the same budget rather than each
+//!   re-dispatch starting a fresh one, and exhaustion surfaces as
+//!   [`ClientError::DeadlineExceeded`] (transient to the retry layer).
+//!
 //! * **connection pooling** — [`FleetTransport::pooled`] gives each node a
 //!   pool of inner transports (e.g. several TCP connections), each on its
 //!   own worker with a private job queue. A node's share of a batch is
@@ -40,7 +47,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use pipeline::PipelineSpec;
-use storage::{ClientError, FetchRequest, FetchResponse, FetchTransport};
+use storage::{ClientError, Deadline, FetchRequest, FetchResponse, FetchTransport};
 
 use crate::ShardMap;
 
@@ -118,6 +125,7 @@ pub struct FleetTransport {
     workers: Vec<JoinHandle<()>>,
     dead: Vec<bool>,
     hedge_after: Option<Duration>,
+    deadline: Deadline,
     next_ticket: u64,
     stats: FleetStats,
 }
@@ -129,6 +137,7 @@ impl std::fmt::Debug for FleetTransport {
             .field("replication", &self.map.replication())
             .field("dead", &self.dead)
             .field("hedge_after", &self.hedge_after)
+            .field("deadline", &self.deadline)
             .finish()
     }
 }
@@ -194,6 +203,7 @@ impl FleetTransport {
             workers,
             dead: vec![false; nodes],
             hedge_after,
+            deadline: Deadline::NONE,
             next_ticket: 0,
             stats: FleetStats { requests_per_node: vec![0; nodes], ..FleetStats::default() },
         }
@@ -202,6 +212,31 @@ impl FleetTransport {
     /// The placement map the fleet routes by.
     pub fn map(&self) -> &ShardMap {
         &self.map
+    }
+
+    /// Sets the **exchange-level** time budget for each
+    /// `fetch_many_requests` call.
+    ///
+    /// One clock covers the whole exchange: hedges, breaker reroutes, and
+    /// dead-node failovers all charge their elapsed time against the same
+    /// budget instead of each re-dispatched attempt getting a fresh one.
+    /// When the budget runs out with samples still pending the call fails
+    /// with [`ClientError::DeadlineExceeded`]. [`Deadline::NONE`] (the
+    /// default) blocks until the fleet answers or dies.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+    }
+
+    /// Builder form of [`set_deadline`](Self::set_deadline).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> FleetTransport {
+        self.set_deadline(deadline);
+        self
+    }
+
+    /// The exchange-level deadline currently in force.
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
     }
 
     /// Counters accumulated so far.
@@ -352,6 +387,12 @@ impl FetchTransport for FleetTransport {
         let req_by_sample: HashMap<u64, FetchRequest> =
             unique.iter().map(|(id, r, _)| (*id, *r)).collect();
 
+        // One clock for the whole exchange: hedged, failed-over, and
+        // breaker-rerouted attempts all charge elapsed time against this
+        // expiry. Each `Group` still carries its own `sent_at` for hedge
+        // pacing, but no re-dispatch ever refreshes the exchange budget.
+        let expiry = self.deadline.expiry_from_now();
+
         let mut groups: HashMap<u64, Group> = HashMap::new();
         let mut issued: HashSet<u64> = HashSet::new();
         let mut done: HashMap<u64, FetchResponse> = HashMap::new();
@@ -368,7 +409,14 @@ impl FetchTransport for FleetTransport {
         }
 
         while !pending.is_empty() {
-            let wait = self.hedge_after.unwrap_or(Duration::from_millis(50));
+            let mut wait = self.hedge_after.unwrap_or(Duration::from_millis(50));
+            if let Some(expiry) = expiry {
+                let remaining = expiry.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(ClientError::DeadlineExceeded);
+                }
+                wait = wait.min(remaining);
+            }
             match self.reply_rx.recv_timeout(wait) {
                 Ok(reply) => {
                     let known = issued.contains(&reply.ticket);
@@ -603,6 +651,7 @@ mod tests {
                     data: StageData::Encoded(bytes::Bytes::from(
                         format!("sample-{}", r.sample_id).into_bytes(),
                     )),
+                    tier: None,
                 })
                 .collect())
         }
@@ -804,6 +853,83 @@ mod tests {
         );
         assert!(fleet.stats().hedges_issued >= 1);
         assert!(fleet.stats().hedge_wins >= 1);
+    }
+
+    #[test]
+    fn exchange_deadline_is_not_refreshed_by_hedges() {
+        // Both replicas are 800 ms stragglers. The hedge fires at 100 ms
+        // but must charge against the same 200 ms exchange budget: a
+        // single clock fails the call at ~200 ms, a per-attempt budget
+        // restarted at the hedge would keep it alive until ~300 ms, and
+        // no budget at all blocks for the full 800 ms.
+        let map = ShardMap::new(2, 2, 13);
+        let stubs: Vec<Stub> = (0..2)
+            .map(|n| {
+                let mut s = Stub::healthy(n);
+                s.delay = Duration::from_millis(800);
+                s
+            })
+            .collect();
+        let mut fleet = FleetTransport::new(stubs, map, Some(Duration::from_millis(100)))
+            .with_deadline(Deadline::after(Duration::from_millis(200)));
+        fleet.configure(1, PipelineSpec::standard_train()).unwrap();
+        let started = Instant::now();
+        let err = fleet.fetch_many_requests(&reqs(&[0])).unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(matches!(err, ClientError::DeadlineExceeded), "got {err:?}");
+        assert!(fleet.stats().hedges_issued >= 1, "hedge must fire before the budget drains");
+        assert!(
+            elapsed < Duration::from_millis(280),
+            "hedge was granted a fresh budget: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn breaker_reroutes_charge_the_same_exchange_budget() {
+        // Primary's breaker is open, the replica is an 800 ms straggler.
+        // The reroute happens almost immediately and must not restart the
+        // 200 ms exchange clock.
+        let map = ShardMap::new(2, 2, 5);
+        let mut stubs: Vec<Stub> = (0..2).map(Stub::healthy).collect();
+        let victim_sample = (0..100u64).find(|&id| map.primary(id) == 0).unwrap();
+        stubs[0].open.store(true, Ordering::SeqCst);
+        stubs[1].delay = Duration::from_millis(800);
+        let mut fleet = FleetTransport::new(stubs, map, None)
+            .with_deadline(Deadline::after(Duration::from_millis(200)));
+        fleet.configure(1, PipelineSpec::standard_train()).unwrap();
+        let started = Instant::now();
+        let err = fleet.fetch_many_requests(&reqs(&[victim_sample])).unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(matches!(err, ClientError::DeadlineExceeded), "got {err:?}");
+        assert!(fleet.stats().breaker_reroutes >= 1, "the open breaker must reroute first");
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "reroute was granted a fresh budget: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn a_generous_deadline_does_not_disturb_a_healthy_exchange() {
+        let map = ShardMap::new(2, 2, 7);
+        let stubs: Vec<Stub> = (0..2)
+            .map(|n| {
+                let mut s = Stub::healthy(n);
+                s.delay = Duration::from_millis(20);
+                s
+            })
+            .collect();
+        let mut fleet = FleetTransport::new(stubs, map, Some(Duration::from_millis(10)))
+            .with_deadline(Deadline::after(Duration::from_secs(5)));
+        assert_eq!(fleet.deadline(), Deadline::after(Duration::from_secs(5)));
+        fleet.configure(1, PipelineSpec::standard_train()).unwrap();
+        let ids: Vec<u64> = (0..8).collect();
+        let out = fleet.fetch_many_requests(&reqs(&ids)).unwrap();
+        assert_eq!(out.len(), 8);
+        // And the default stays the pre-deadline blocking behaviour.
+        assert_eq!(
+            FleetTransport::new(vec![Stub::healthy(0)], ShardMap::new(1, 1, 3), None).deadline(),
+            Deadline::NONE
+        );
     }
 
     #[test]

@@ -4,7 +4,14 @@ use crate::{PipelineError, StageData};
 
 pub(super) fn apply(data: StageData) -> Result<StageData, PipelineError> {
     let StageData::Encoded(bytes) = data else { unreachable!("kind checked by caller") };
-    let img = codec::decode(&bytes)?;
+    // Tiered (version-3) streams — including browned-out prefixes served
+    // under link pressure — decode through the progressive path; classic
+    // version-2 streams stay on the bit-exact legacy decoder.
+    let img = if codec::is_tiered(&bytes) {
+        codec::decode_tiered(&bytes)?.image
+    } else {
+        codec::decode(&bytes)?
+    };
     Ok(StageData::Image(img))
 }
 

@@ -481,6 +481,7 @@ mod tests {
                     sample_id: r.sample_id,
                     ops_applied: 0,
                     data: StageData::Encoded(Bytes::from_static(b"sample payload bytes")),
+                    tier: None,
                 })
                 .collect())
         }

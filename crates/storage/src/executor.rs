@@ -77,6 +77,28 @@ impl NearStorageExecutor {
     /// [`ExecError::Pipeline`] when the prefix fails.
     pub fn execute(&self, req: FetchRequest) -> Result<FetchResponse, ExecError> {
         let bytes = self.store.get(req.sample_id).ok_or(ExecError::UnknownSample(req.sample_id))?;
+
+        // Brownout serving: a fidelity-capped raw fetch of a tiered object
+        // ships the tier prefix straight from storage — no re-encode, no
+        // pipeline work, strictly fewer bytes on the wire. The cap is
+        // advisory for classic (non-tiered) objects, which have no
+        // truncation boundaries and are served whole.
+        if let (Some(cap), true) = (req.max_tier, req.split == pipeline::SplitPoint::NONE) {
+            if let Ok(index) = codec::TierIndex::parse(&bytes) {
+                let served = cap.min(index.full_tier());
+                if served < index.full_tier() {
+                    let prefix = codec::truncate_to_tier(&bytes, served)
+                        .expect("tier validated against the parsed index");
+                    return Ok(FetchResponse {
+                        sample_id: req.sample_id,
+                        ops_applied: 0,
+                        data: StageData::Encoded(bytes.slice(0..prefix.len())),
+                        tier: Some(served),
+                    });
+                }
+            }
+        }
+
         let key = SampleKey::new(self.config.dataset_seed, req.sample_id, req.epoch);
         let mut data =
             self.config.pipeline.run_prefix(StageData::Encoded(bytes), req.split, key)?;
@@ -91,6 +113,7 @@ impl NearStorageExecutor {
             sample_id: req.sample_id,
             ops_applied: req.split.offloaded_ops() as u32,
             data,
+            tier: None,
         })
     }
 }
@@ -137,6 +160,66 @@ mod tests {
         let ex = executor();
         let err = ex.execute(FetchRequest::new(0, 0, SplitPoint::new(9))).unwrap_err();
         assert!(matches!(err, ExecError::Pipeline(_)));
+    }
+
+    #[test]
+    fn fidelity_capped_raw_fetch_serves_a_tier_prefix() {
+        let ds = datasets::DatasetSpec::mini(2, 4);
+        let spec = codec::TierSpec::default();
+        let store = ObjectStore::materialize_dataset_tiered(&ds, 0..2, &spec);
+        let full = store.get(0).unwrap();
+        let ex = NearStorageExecutor::new(
+            store,
+            SessionConfig { dataset_seed: 4, pipeline: PipelineSpec::standard_train() },
+        );
+        let resp = ex.execute(FetchRequest::new(0, 0, SplitPoint::NONE).with_max_tier(0)).unwrap();
+        assert_eq!(resp.tier, Some(0));
+        let served = resp.data.as_encoded().unwrap();
+        assert!(served.len() < full.len(), "tier 0 prefix must shrink the payload");
+        assert_eq!(&full[..served.len()], served, "prefix is a literal truncation");
+        assert_eq!(codec::decode_tiered(served).unwrap().tier, 0);
+    }
+
+    #[test]
+    fn fidelity_cap_at_or_above_the_ladder_serves_full_and_unmarked() {
+        let ds = datasets::DatasetSpec::mini(1, 4);
+        let spec = codec::TierSpec::default();
+        let store = ObjectStore::materialize_dataset_tiered(&ds, 0..1, &spec);
+        let full = store.get(0).unwrap();
+        let ex = NearStorageExecutor::new(
+            store,
+            SessionConfig { dataset_seed: 4, pipeline: PipelineSpec::standard_train() },
+        );
+        for cap in [2u8, 7] {
+            let resp =
+                ex.execute(FetchRequest::new(0, 0, SplitPoint::NONE).with_max_tier(cap)).unwrap();
+            assert_eq!(resp.tier, None, "full-fidelity serves carry no tier marker");
+            assert_eq!(resp.data.as_encoded().unwrap(), &full[..]);
+        }
+    }
+
+    #[test]
+    fn fidelity_cap_is_advisory_for_classic_objects() {
+        let ex = executor(); // classic v2 store
+        let full = ex.execute(FetchRequest::new(0, 0, SplitPoint::NONE)).unwrap();
+        let capped =
+            ex.execute(FetchRequest::new(0, 0, SplitPoint::NONE).with_max_tier(0)).unwrap();
+        assert_eq!(capped.tier, None);
+        assert_eq!(capped.data.as_encoded(), full.data.as_encoded());
+    }
+
+    #[test]
+    fn fidelity_cap_does_not_disturb_offloaded_prefixes() {
+        let ds = datasets::DatasetSpec::mini(1, 4);
+        let store = ObjectStore::materialize_dataset_tiered(&ds, 0..1, &codec::TierSpec::default());
+        let ex = NearStorageExecutor::new(
+            store,
+            SessionConfig { dataset_seed: 4, pipeline: PipelineSpec::standard_train() },
+        );
+        let resp =
+            ex.execute(FetchRequest::new(0, 0, SplitPoint::new(2)).with_max_tier(0)).unwrap();
+        assert_eq!(resp.tier, None, "offloaded samples are not browned out");
+        assert_eq!(resp.ops_applied, 2);
     }
 
     #[test]

@@ -44,6 +44,22 @@ impl ObjectStore {
         Self::from_objects(ids.map(|id| (id, Bytes::from(ds.materialize(id)))))
     }
 
+    /// Materializes the given id range as **tiered** (progressive) streams
+    /// so the server can brown out samples by truncating at tier
+    /// boundaries. Same pixels as [`ObjectStore::materialize_dataset`];
+    /// only the byte layout differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the dataset length.
+    pub fn materialize_dataset_tiered(
+        ds: &datasets::DatasetSpec,
+        ids: Range<u64>,
+        tiers: &codec::TierSpec,
+    ) -> ObjectStore {
+        Self::from_objects(ids.map(|id| (id, Bytes::from(ds.materialize_tiered(id, tiers)))))
+    }
+
     /// Inserts (or replaces) an object; returns the previous bytes, if any.
     pub fn insert(&mut self, id: u64, bytes: Bytes) -> Option<Bytes> {
         self.total_bytes += bytes.len() as u64;

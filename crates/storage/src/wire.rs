@@ -31,11 +31,25 @@
 //! frame is the typed rejection [`WireError::TenantMissing`]. Responses
 //! stay v2 — the server already knows whom it is answering.
 //!
+//! Wire format **version 4** ([`WIRE_VERSION_FIDELITY`]) adds the brownout
+//! fidelity axis, on *both* directions. A v4 request carries the v3 tenant
+//! header plus a `max_tier: u8` trailing the fetch body — the fidelity cap
+//! the client will accept (`0xFF` = no cap). A v4 data response appends
+//! the *served* tier byte after the payload, directly under the CRC
+//! trailer, so a flipped fidelity marker can never be mistaken for a
+//! full-quality sample. Negotiation is per-frame, exactly like the v2→v3
+//! tenant bump: encoders emit v4 only when a fidelity field is actually
+//! set, so full-fidelity traffic stays bit-identical to v2/v3, and every
+//! decoder accepts both generations.
+//!
 //! Layout summary (all integers little-endian):
 //!
 //! ```text
 //! Message   := ver:u8 request_id:u32 body crc32:u32   (crc32 over ver..body)
 //! RequestV3 := ver:u8 request_id:u32 tenant_id:u16 body crc32:u32
+//! RequestV4 := ver:u8 request_id:u32 tenant_id:u16 body crc32:u32
+//!              (Fetch body gains a trailing max_tier:u8, 0xFF = no cap)
+//! RespV4    := ver:u8 request_id:u32 body tier:u8 crc32:u32  (Data only)
 //! Request   := 0x01 SessionConfig | 0x02 FetchRequest | 0x03
 //! Response  := 0x11 | 0x12 FetchResponse | 0x13 Error
 //! OpKind    := tag:u8 [size:u32]           (sized ops carry their parameter)
@@ -114,6 +128,27 @@ pub const WIRE_VERSION: u8 = 0xA2;
 /// Same high-nibble magic as [`WIRE_VERSION`]; the low nibble is the
 /// version number. Only requests use this version — responses remain v2.
 pub const WIRE_VERSION_TENANT: u8 = 0xA3;
+
+/// Wire-format version 4: the brownout fidelity axis. Requests keep the
+/// v3 tenant header and their fetch body gains a trailing `max_tier: u8`
+/// fidelity cap (`0xFF` = uncapped); data responses append the served
+/// tier byte after the payload, directly under the CRC trailer. Encoders
+/// only emit v4 when a fidelity field is set, so full-fidelity frames
+/// remain bit-identical to the previous generation.
+pub const WIRE_VERSION_FIDELITY: u8 = 0xA4;
+
+/// The wire sentinel for "no fidelity cap / full fidelity".
+const TIER_UNCAPPED: u8 = u8::MAX;
+
+/// Parses a wire tier byte: the sentinel means `None`, in-range tiers map
+/// to `Some`, anything else is a typed rejection.
+fn decode_tier_byte(b: u8) -> Result<Option<u8>, WireError> {
+    match b {
+        TIER_UNCAPPED => Ok(None),
+        t if (t as usize) < codec::MAX_TIERS => Ok(Some(t)),
+        _ => Err(WireError::Invalid("fidelity tier out of range")),
+    }
+}
 
 /// Slice-by-16 lookup tables for the IEEE CRC32 polynomial (reflected
 /// form 0xEDB88320), built at compile time. `CRC_TABLES[0]` is the
@@ -397,7 +432,7 @@ fn decode_stage_data(r: &mut Reader<'_>) -> Result<StageData, WireError> {
 // Requests
 // ---------------------------------------------------------------------------
 
-fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
+fn encode_request_body(req: &Request, fidelity: bool, out: &mut Vec<u8>) {
     match req {
         Request::Configure(cfg) => {
             out.push(0x01);
@@ -413,12 +448,15 @@ fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
             out.extend_from_slice(&f.epoch.to_le_bytes());
             out.push(f.split.offloaded_ops() as u8);
             out.push(f.reencode_quality.unwrap_or(0));
+            if fidelity {
+                out.push(f.max_tier.unwrap_or(TIER_UNCAPPED));
+            }
         }
         Request::Shutdown => out.push(0x03),
     }
 }
 
-fn decode_request_body(r: &mut Reader<'_>) -> Result<Request, WireError> {
+fn decode_request_body(r: &mut Reader<'_>, fidelity: bool) -> Result<Request, WireError> {
     Ok(match r.u8()? {
         0x01 => {
             let dataset_seed = r.u64()?;
@@ -440,36 +478,72 @@ fn decode_request_body(r: &mut Reader<'_>) -> Result<Request, WireError> {
                 q if (1..=100).contains(&q) => Some(q),
                 _ => return Err(WireError::Invalid("reencode quality")),
             };
-            Request::Fetch(FetchRequest { sample_id, epoch, split, reencode_quality })
+            let max_tier = if fidelity { decode_tier_byte(r.u8()?)? } else { None };
+            Request::Fetch(FetchRequest { sample_id, epoch, split, reencode_quality, max_tier })
         }
         0x03 => Request::Shutdown,
         t => return Err(WireError::BadTag(t)),
     })
 }
 
+/// Whether a request carries a fidelity field that forces the v4 frame
+/// format; anything else stays on the older, bit-stable encodings.
+fn request_wants_fidelity(req: &Request) -> bool {
+    matches!(req, Request::Fetch(f) if f.max_tier.is_some())
+}
+
 /// Serializes a [`Request`] under `request_id` into a caller-provided
 /// buffer (cleared first). The hot-path form: a reused buffer makes
-/// steady-state encoding allocation-free.
+/// steady-state encoding allocation-free. Requests carrying a fidelity
+/// cap upgrade the frame to v4 (tenant 0); everything else stays on the
+/// bit-stable v2 encoding.
 pub fn encode_request_into(request_id: u32, req: &Request, out: &mut Vec<u8>) {
+    if request_wants_fidelity(req) {
+        encode_request_fidelity_into(request_id, 0, req, out);
+        return;
+    }
     begin_frame(request_id, out);
-    encode_request_body(req, out);
+    encode_request_body(req, false, out);
     seal_in_place(out);
 }
 
 /// Serializes a [`Request`] as a v3 frame carrying `tenant_id` into a
 /// caller-provided buffer (cleared first); the tenant-aware analogue of
 /// [`encode_request_into`], equally allocation-free at steady state.
+/// Requests carrying a fidelity cap upgrade the frame to v4, keeping the
+/// tenant id.
 pub fn encode_request_tenant_into(
     request_id: u32,
     tenant_id: u16,
     req: &Request,
     out: &mut Vec<u8>,
 ) {
+    if request_wants_fidelity(req) {
+        encode_request_fidelity_into(request_id, tenant_id, req, out);
+        return;
+    }
     out.clear();
     out.push(WIRE_VERSION_TENANT);
     out.extend_from_slice(&request_id.to_le_bytes());
     out.extend_from_slice(&tenant_id.to_le_bytes());
-    encode_request_body(req, out);
+    encode_request_body(req, false, out);
+    seal_in_place(out);
+}
+
+/// Serializes a [`Request`] as a v4 frame carrying `tenant_id` and the
+/// fidelity cap into a caller-provided buffer (cleared first);
+/// allocation-free at steady state like its older siblings.
+pub fn encode_request_fidelity_into(
+    request_id: u32,
+    tenant_id: u16,
+    req: &Request,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.push(WIRE_VERSION_FIDELITY);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&tenant_id.to_le_bytes());
+    encode_request_body(req, true, out);
     seal_in_place(out);
 }
 
@@ -502,11 +576,16 @@ pub fn encode_request(req: &Request) -> Bytes {
 pub fn decode_request_framed(data: &[u8]) -> Result<(u32, Request), WireError> {
     let mut r = Reader::new(verify_checksum(data)?);
     let version = r.u8()?;
-    if version != WIRE_VERSION {
-        return Err(WireError::Version(version));
-    }
+    let fidelity = match version {
+        WIRE_VERSION => false,
+        WIRE_VERSION_FIDELITY => true,
+        v => return Err(WireError::Version(v)),
+    };
     let request_id = r.u32()?;
-    let req = decode_request_body(&mut r)?;
+    if fidelity {
+        let _tenant = r.u16()?; // endpoint without tenant metering
+    }
+    let req = decode_request_body(&mut r, fidelity)?;
     r.finish()?;
     Ok((request_id, req))
 }
@@ -530,10 +609,16 @@ pub fn decode_request_tenant(
     let version = r.u8()?;
     let request_id;
     let tenant_id;
+    let mut fidelity = false;
     match version {
         WIRE_VERSION_TENANT => {
             request_id = r.u32()?;
             tenant_id = r.u16()?;
+        }
+        WIRE_VERSION_FIDELITY => {
+            request_id = r.u32()?;
+            tenant_id = r.u16()?;
+            fidelity = true;
         }
         WIRE_VERSION => {
             if require_tenant {
@@ -544,7 +629,7 @@ pub fn decode_request_tenant(
         }
         v => return Err(WireError::Version(v)),
     }
-    let req = decode_request_body(&mut r)?;
+    let req = decode_request_body(&mut r, fidelity)?;
     r.finish()?;
     Ok((request_id, tenant_id, req))
 }
@@ -565,8 +650,18 @@ pub fn decode_request(data: &[u8]) -> Result<Request, WireError> {
 /// Serializes a [`Response`] under `request_id` into a caller-provided
 /// buffer (cleared first). The hot-path form: a reused buffer makes
 /// steady-state encoding allocation-free.
+///
+/// A data response carrying a served fidelity tier is emitted as a v4
+/// frame with the tier byte directly under the CRC trailer; every other
+/// response keeps the bit-stable v2 encoding.
 pub fn encode_response_into(request_id: u32, resp: &Response, out: &mut Vec<u8>) {
-    begin_frame(request_id, out);
+    let tier = match resp {
+        Response::Data(d) => d.tier,
+        _ => None,
+    };
+    out.clear();
+    out.push(if tier.is_some() { WIRE_VERSION_FIDELITY } else { WIRE_VERSION });
+    out.extend_from_slice(&request_id.to_le_bytes());
     match resp {
         Response::Configured => out.push(0x11),
         Response::Data(d) => {
@@ -574,6 +669,9 @@ pub fn encode_response_into(request_id: u32, resp: &Response, out: &mut Vec<u8>)
             out.extend_from_slice(&d.sample_id.to_le_bytes());
             out.extend_from_slice(&d.ops_applied.to_le_bytes());
             encode_stage_data(&d.data, out);
+            if let Some(t) = tier {
+                out.push(t);
+            }
         }
         Response::Error { sample_id, message } => {
             out.push(0x13);
@@ -613,9 +711,11 @@ pub fn encode_response(resp: &Response) -> Bytes {
 pub fn decode_response_framed(data: &[u8]) -> Result<(u32, Response), WireError> {
     let mut r = Reader::new(verify_checksum(data)?);
     let version = r.u8()?;
-    if version != WIRE_VERSION {
-        return Err(WireError::Version(version));
-    }
+    let fidelity = match version {
+        WIRE_VERSION => false,
+        WIRE_VERSION_FIDELITY => true,
+        v => return Err(WireError::Version(v)),
+    };
     let request_id = r.u32()?;
     let resp = match r.u8()? {
         0x11 => Response::Configured,
@@ -623,7 +723,8 @@ pub fn decode_response_framed(data: &[u8]) -> Result<(u32, Response), WireError>
             let sample_id = r.u64()?;
             let ops_applied = r.u32()?;
             let data = decode_stage_data(&mut r)?;
-            Response::Data(FetchResponse { sample_id, ops_applied, data })
+            let tier = if fidelity { decode_tier_byte(r.u8()?)? } else { None };
+            Response::Data(FetchResponse { sample_id, ops_applied, data, tier })
         }
         0x13 => {
             let sample_id = match r.u8()? {
@@ -771,6 +872,88 @@ mod tests {
     }
 
     #[test]
+    fn fidelity_requests_roundtrip_on_every_decoder() {
+        for tier in 0..codec::MAX_TIERS as u8 {
+            let req = Request::Fetch(FetchRequest::new(3, 1, SplitPoint::NONE).with_max_tier(tier));
+            let bytes = encode_request_framed(5, &req);
+            assert_eq!(bytes[0], WIRE_VERSION_FIDELITY, "cap forces a v4 frame");
+            assert_eq!(decode_request_framed(&bytes).unwrap(), (5, req.clone()));
+            // The tenant-aware decoder sees tenant 0 and the same request,
+            // even when it requires an explicit tenant (v4 carries one).
+            assert_eq!(decode_request_tenant(&bytes, true).unwrap(), (5, 0, req));
+        }
+    }
+
+    #[test]
+    fn fidelity_requests_keep_their_tenant() {
+        let req = Request::Fetch(FetchRequest::new(3, 1, SplitPoint::NONE).with_max_tier(2));
+        let bytes = encode_request_tenant_framed(9, 41, &req);
+        assert_eq!(bytes[0], WIRE_VERSION_FIDELITY);
+        assert_eq!(decode_request_tenant(&bytes, true).unwrap(), (9, 41, req));
+    }
+
+    #[test]
+    fn uncapped_requests_stay_bit_identical_to_v2_and_v3() {
+        // The digest-pinning guarantee: a request without a fidelity cap
+        // must encode exactly as it did before the v4 bump.
+        let req = Request::Fetch(FetchRequest::new(3, 1, SplitPoint::new(2)));
+        assert_eq!(encode_request_framed(5, &req)[0], WIRE_VERSION);
+        assert_eq!(encode_request_tenant_framed(5, 7, &req)[0], WIRE_VERSION_TENANT);
+    }
+
+    #[test]
+    fn served_tier_roundtrips_under_the_crc_trailer() {
+        let resp = Response::Data(FetchResponse {
+            sample_id: 9,
+            ops_applied: 0,
+            data: StageData::Encoded(Bytes::from_static(b"tiered prefix")),
+            tier: Some(1),
+        });
+        let bytes = encode_response_framed(4, &resp);
+        assert_eq!(bytes[0], WIRE_VERSION_FIDELITY, "served tier forces a v4 frame");
+        assert_eq!(decode_response_framed(&bytes).unwrap(), (4, resp));
+        // The tier byte sits directly under the CRC trailer: flipping it
+        // must fail the checksum, never downgrade silently.
+        let mut corrupt = bytes.to_vec();
+        let at = corrupt.len() - 5;
+        corrupt[at] ^= 0x01;
+        assert_eq!(decode_response_framed(&corrupt), Err(WireError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn full_fidelity_responses_stay_bit_identical_to_v2() {
+        let resp = Response::Data(FetchResponse {
+            sample_id: 9,
+            ops_applied: 2,
+            data: StageData::Encoded(Bytes::from_static(b"payload")),
+            tier: None,
+        });
+        assert_eq!(encode_response_framed(4, &resp)[0], WIRE_VERSION);
+    }
+
+    #[test]
+    fn out_of_range_wire_tiers_are_rejected() {
+        // Hand-craft a v4 data response whose tier byte is 8 (valid tiers
+        // are 0..8, 0xFF is the sentinel).
+        let resp = Response::Data(FetchResponse {
+            sample_id: 1,
+            ops_applied: 0,
+            data: StageData::Encoded(Bytes::from_static(b"x")),
+            tier: Some(0),
+        });
+        let mut bytes = encode_response_framed(0, &resp).to_vec();
+        let at = bytes.len() - 5;
+        bytes[at] = codec::MAX_TIERS as u8;
+        let crc_at = bytes.len() - 4;
+        let crc = crc32(&bytes[..crc_at]);
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_response_framed(&bytes),
+            Err(WireError::Invalid("fidelity tier out of range"))
+        );
+    }
+
+    #[test]
     fn request_id_is_protected_by_the_checksum() {
         // A flipped bit inside the multiplexing id must never re-route a
         // response to the wrong caller: it fails the CRC instead.
@@ -778,6 +961,7 @@ mod tests {
             sample_id: 9,
             ops_applied: 2,
             data: StageData::Encoded(Bytes::from_static(b"payload")),
+            tier: None,
         });
         let mut bytes = encode_response_framed(41, &resp).to_vec();
         bytes[3] ^= 0x04; // inside the little-endian request id
@@ -867,8 +1051,12 @@ mod tests {
             StageData::Tensor(tensor),
         ];
         for p in payloads {
-            let resp =
-                Response::Data(FetchResponse { sample_id: 9, ops_applied: 2, data: p.clone() });
+            let resp = Response::Data(FetchResponse {
+                sample_id: 9,
+                ops_applied: 2,
+                data: p.clone(),
+                tier: None,
+            });
             let bytes = encode_response(&resp);
             // Responses are `PartialEq`, so the roundtrip asserts every
             // field (payload bytes included) in one exhaustive comparison.
@@ -891,6 +1079,7 @@ mod tests {
             sample_id: 1,
             ops_applied: 1,
             data: StageData::Image(RasterImage::filled(8, 8, Rgb::gray(7))),
+            tier: None,
         });
         let bytes = encode_response(&resp);
         for len in 0..bytes.len() {

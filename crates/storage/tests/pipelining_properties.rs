@@ -39,6 +39,7 @@ fn data_response(request_id: u32, sample_id: u64) -> (u32, Bytes) {
         sample_id,
         ops_applied: 0,
         data: StageData::Encoded(Bytes::from(sample_id.to_le_bytes().to_vec())),
+        tier: None,
     });
     (request_id, encode_response_framed(request_id, &resp))
 }

@@ -40,7 +40,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
         Just(Response::Configured),
         (any::<u64>(), 0u32..8, arb_stage_data()).prop_map(|(sample_id, ops_applied, data)| {
-            Response::Data(FetchResponse { sample_id, ops_applied, data })
+            Response::Data(FetchResponse { sample_id, ops_applied, data, tier: None })
         }),
         (proptest::option::of(any::<u64>()), ".{0,200}")
             .prop_map(|(sample_id, message)| Response::Error { sample_id, message }),
@@ -152,6 +152,7 @@ proptest! {
             sample_id,
             ops_applied: ops,
             data: pipeline::StageData::Encoded(payload.into()),
+            tier: None,
         });
         let bytes = encode_response(&resp);
         prop_assert_eq!(decode_response(&bytes).unwrap(), resp);
@@ -167,6 +168,7 @@ fn every_byte_of_a_data_frame_is_flip_protected() {
         sample_id: 7,
         ops_applied: 3,
         data: StageData::Encoded((0u8..=255).collect::<Vec<u8>>().into()),
+        tier: None,
     });
     let bytes = encode_response(&resp).to_vec();
     for idx in 0..bytes.len() {
